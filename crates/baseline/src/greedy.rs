@@ -1,0 +1,105 @@
+//! Profit-greedy heuristic baseline.
+
+use treenet_model::{Problem, Solution, SolutionTracker};
+
+/// Instance ordering used by [`greedy_profit`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GreedyOrder {
+    /// Highest profit first.
+    Profit,
+    /// Highest profit per path edge first (density) — the classic
+    /// knapsack-style heuristic.
+    Density,
+    /// Shortest path first (ties by profit) — maximizes count.
+    Shortest,
+}
+
+/// Greedily packs instances in the given order; always feasible, no
+/// approximation guarantee (the experiment harness uses it to show what
+/// the primal-dual machinery buys over naive packing).
+///
+/// # Example
+///
+/// ```
+/// use treenet_model::fixtures::figure1;
+/// use treenet_baseline::{greedy_profit, GreedyOrder};
+///
+/// let (problem, _) = figure1();
+/// let solution = greedy_profit(&problem, GreedyOrder::Profit);
+/// assert!(solution.verify(&problem).is_ok());
+/// ```
+pub fn greedy_profit(problem: &Problem, order: GreedyOrder) -> Solution {
+    let mut ids: Vec<_> = problem.instances().map(|inst| inst.id).collect();
+    match order {
+        GreedyOrder::Profit => ids.sort_by(|&a, &b| {
+            problem
+                .profit_of(b)
+                .partial_cmp(&problem.profit_of(a))
+                .expect("finite profits")
+                .then(a.cmp(&b))
+        }),
+        GreedyOrder::Density => ids.sort_by(|&a, &b| {
+            let da = problem.profit_of(a) / problem.instance(a).len().max(1) as f64;
+            let db = problem.profit_of(b) / problem.instance(b).len().max(1) as f64;
+            db.partial_cmp(&da).expect("finite densities").then(a.cmp(&b))
+        }),
+        GreedyOrder::Shortest => ids.sort_by(|&a, &b| {
+            problem
+                .instance(a)
+                .len()
+                .cmp(&problem.instance(b).len())
+                .then_with(|| {
+                    problem
+                        .profit_of(b)
+                        .partial_cmp(&problem.profit_of(a))
+                        .expect("finite profits")
+                })
+                .then(a.cmp(&b))
+        }),
+    }
+    let mut tracker = SolutionTracker::new(problem);
+    for d in ids {
+        let _ = tracker.try_add(d);
+    }
+    tracker.into_solution()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use treenet_model::workload::{HeightMode, TreeWorkload};
+
+    #[test]
+    fn all_orders_feasible() {
+        for seed in 0..5u64 {
+            let p = TreeWorkload::new(16, 20)
+                .with_networks(2)
+                .with_heights(HeightMode::Uniform { hmin: 0.25 })
+                .generate(&mut SmallRng::seed_from_u64(seed));
+            for order in [GreedyOrder::Profit, GreedyOrder::Density, GreedyOrder::Shortest] {
+                let s = greedy_profit(&p, order);
+                assert!(s.verify(&p).is_ok(), "seed {seed} {order:?}");
+                assert!(!s.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn profit_order_takes_the_big_demand_first() {
+        let (p, [_, b, _]) = treenet_model::fixtures::figure1();
+        let s = greedy_profit(&p, GreedyOrder::Profit);
+        // B has profit 7 — the greedy takes it (and C fits besides).
+        assert!(s.contains(p.instances_of(b)[0]));
+        assert_eq!(s.profit(&p), 11.0);
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let p = TreeWorkload::new(12, 12).generate(&mut SmallRng::seed_from_u64(3));
+        let a = greedy_profit(&p, GreedyOrder::Density);
+        let b = greedy_profit(&p, GreedyOrder::Density);
+        assert_eq!(a, b);
+    }
+}

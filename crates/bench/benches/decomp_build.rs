@@ -1,0 +1,27 @@
+//! Criterion bench: building the three tree decompositions (Section 4)
+//! across sizes — the preprocessing cost of the scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treenet_decomp::Strategy;
+use treenet_graph::generators::random_tree;
+
+fn bench_decompositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomp_build");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let tree = random_tree(n, &mut SmallRng::seed_from_u64(7));
+        for strategy in Strategy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), n),
+                &tree,
+                |b, tree| b.iter(|| std::hint::black_box(strategy.build(tree))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompositions);
+criterion_main!(benches);

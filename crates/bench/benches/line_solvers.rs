@@ -1,0 +1,42 @@
+//! Criterion bench: ours vs Panconesi–Sozio vs greedy vs exact DP on the
+//! same line workloads — the cost side of the T1 comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treenet_baseline::{greedy_profit, ps_line_unit, weighted_interval_dp, GreedyOrder, PsConfig};
+use treenet_core::{solve_line_unit, SolverConfig};
+use treenet_model::workload::LineWorkload;
+use treenet_model::Problem;
+
+fn workload(m: usize, resources: usize) -> Problem {
+    LineWorkload::new(48, m)
+        .with_resources(resources)
+        .with_len_range(1, 12)
+        .generate(&mut SmallRng::seed_from_u64(11))
+}
+
+fn bench_line_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_solvers");
+    group.sample_size(10);
+    for m in [40usize, 120] {
+        let p = workload(m, 2);
+        group.bench_with_input(BenchmarkId::new("ours", m), &p, |b, p| {
+            b.iter(|| solve_line_unit(p, &SolverConfig::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ps", m), &p, |b, p| {
+            b.iter(|| ps_line_unit(p, &PsConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", m), &p, |b, p| {
+            b.iter(|| greedy_profit(p, GreedyOrder::Density))
+        });
+        let single = workload(m, 1);
+        group.bench_with_input(BenchmarkId::new("exact_dp_r1", m), &single, |b, p| {
+            b.iter(|| weighted_interval_dp(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_line_solvers);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: Luby MIS on conflict graphs (the `Time(MIS)` factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treenet_mis::{greedy_mis, luby_mis};
+use treenet_model::conflict::ConflictGraph;
+use treenet_model::workload::TreeWorkload;
+use treenet_model::InstanceId;
+
+fn conflict_adj(n: usize, seed: u64) -> (Vec<Vec<u32>>, Vec<u64>) {
+    let p = TreeWorkload::new(n, 2 * n)
+        .with_networks(3)
+        .generate(&mut SmallRng::seed_from_u64(seed));
+    let ids: Vec<InstanceId> = p.instances().map(|d| d.id).collect();
+    let g = ConflictGraph::build(&p, &ids);
+    let adj = (0..g.len()).map(|v| g.neighbors(v).to_vec()).collect();
+    let keys = (0..g.len() as u64).collect();
+    (adj, keys)
+}
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let (adj, keys) = conflict_adj(n, 5);
+        group.bench_with_input(BenchmarkId::new("luby", n), &(adj.clone(), keys), |b, (adj, keys)| {
+            b.iter(|| luby_mis(adj, keys, 9, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &adj, |b, adj| {
+            b.iter(|| greedy_mis(adj))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

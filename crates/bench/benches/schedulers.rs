@@ -1,0 +1,72 @@
+//! Criterion bench: end-to-end scheduler runs — the tree/line solvers of
+//! Theorems 5.3/6.3/7.1/7.2 and the sequential Appendix-A algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treenet_core::{
+    solve_line_unit, solve_sequential_tree, solve_tree_arbitrary, solve_tree_unit, SolverConfig,
+};
+use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
+
+fn bench_tree_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_unit");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let p = TreeWorkload::new(n, 2 * n)
+            .with_networks(3)
+            .generate(&mut SmallRng::seed_from_u64(1));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| solve_tree_unit(p, &SolverConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_arbitrary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_arbitrary");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let p = TreeWorkload::new(n, 2 * n)
+            .with_networks(2)
+            .with_heights(HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.25 })
+            .generate(&mut SmallRng::seed_from_u64(2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| solve_tree_arbitrary(p, &SolverConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_line_unit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_unit");
+    group.sample_size(10);
+    for m in [40usize, 80, 160] {
+        let p = LineWorkload::new(64, m)
+            .with_resources(3)
+            .with_window_slack(3)
+            .with_len_range(1, 16)
+            .generate(&mut SmallRng::seed_from_u64(3));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &p, |b, p| {
+            b.iter(|| solve_line_unit(p, &SolverConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_tree");
+    group.sample_size(10);
+    for n in [64usize, 256] {
+        let p = TreeWorkload::new(n, 2 * n)
+            .with_networks(3)
+            .generate(&mut SmallRng::seed_from_u64(4));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| solve_sequential_tree(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_unit, bench_tree_arbitrary, bench_line_unit, bench_sequential);
+criterion_main!(benches);

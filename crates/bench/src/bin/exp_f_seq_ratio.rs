@@ -1,0 +1,62 @@
+//! **Experiment F-seq** — Appendix A: the sequential algorithm is a
+//! certified 3-approximation on multiple tree-networks and a
+//! 2-approximation on a single tree; against exact OPT the realized
+//! ratios are far better. Also demonstrates the Θ(n) iteration count
+//! (one instance per iteration) that motivates the distributed version.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treenet_baseline::exact_max_profit;
+use treenet_bench::report::f3;
+use treenet_bench::stats::summarize;
+use treenet_bench::{seeds, Scale, Table};
+use treenet_core::solve_sequential_tree;
+use treenet_model::workload::TreeWorkload;
+
+fn main() {
+    let scale = Scale::from_env();
+    let runs = seeds(scale.pick(6, 25));
+    let mut table = Table::new(
+        "F-seq — sequential Appendix-A algorithm (n = 20, m = 12)",
+        &["networks r", "guarantee", "certified mean", "certified max", "OPT/profit mean", "OPT/profit max", "raises mean"],
+    );
+    for &r in &[1usize, 2, 4] {
+        let mut certified = Vec::new();
+        let mut vs_opt = Vec::new();
+        let mut raises = Vec::new();
+        for &seed in &runs {
+            let p = TreeWorkload::new(20, 12)
+                .with_networks(r)
+                .generate(&mut SmallRng::seed_from_u64(seed));
+            let out = solve_sequential_tree(&p);
+            out.solution.verify(&p).unwrap();
+            certified.push(out.certified_ratio(&p));
+            raises.push(out.raises as f64);
+            if let Ok(opt) = exact_max_profit(&p, 20_000_000) {
+                let po = opt.profit(&p);
+                let ps = out.profit(&p);
+                vs_opt.push(if ps > 0.0 { po / ps } else { 1.0 });
+            }
+        }
+        let guarantee = if r == 1 { 2.0 } else { 3.0 };
+        let c = summarize(&certified);
+        let o = summarize(&vs_opt);
+        table.row(&[
+            r.to_string(),
+            f3(guarantee),
+            f3(c.mean),
+            f3(c.max),
+            f3(o.mean),
+            f3(o.max),
+            f3(summarize(&raises).mean),
+        ]);
+        assert!(c.max <= guarantee + 1e-6, "Appendix A bound violated at r = {r}");
+        assert!(o.max <= guarantee + 1e-6, "exact ratio exceeded the guarantee at r = {r}");
+    }
+    table.print();
+    println!(
+        "certified ≤ 3 (≤ 2 for r = 1) on every run; the number of raises grows with \
+         the instance count — the Θ(n) sequential bottleneck the distributed \
+         algorithm removes."
+    );
+}

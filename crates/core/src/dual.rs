@@ -1,0 +1,202 @@
+//! Dual variables of the LP relaxation (Section 3.1 / Section 6.1).
+//!
+//! The dual has one variable `α(a)` per demand and one `β(e)` per edge of
+//! the global edge set `E = Σ_T edges(T)`. The dual constraint of a demand
+//! instance `d` reads
+//!
+//! * unit height: `α(a_d) + Σ_{e : d∼e} β(e) ≥ p(d)`,
+//! * arbitrary height: `α(a_d) + h(d)·Σ_{e : d∼e} β(e) ≥ p(d)`,
+//!
+//! and `d` is `ξ`-*satisfied* when the LHS reaches `ξ·p(d)`.
+
+use treenet_model::{DemandId, InstanceId, NetworkId, Problem};
+use treenet_graph::EdgeId;
+
+/// Which LP/raising scheme is in force.
+///
+/// `Unit` is the Section 3 scheme (heights absent from the dual
+/// constraint); `Capacitated` is the Section 6.1 narrow-instance scheme
+/// where the `β` sum is scaled by `h(d)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DualForm {
+    /// `α + Σβ ≥ p` — the unit height case.
+    Unit,
+    /// `α + h·Σβ ≥ p` — the arbitrary height (narrow) case.
+    Capacitated,
+}
+
+/// The dual variable assignment `⟨α, β⟩`.
+#[derive(Clone, Debug)]
+pub struct DualState {
+    form: DualForm,
+    alpha: Vec<f64>,
+    beta: Vec<Vec<f64>>,
+}
+
+impl DualState {
+    /// All-zero duals for `problem` under the given form.
+    pub fn new(problem: &Problem, form: DualForm) -> Self {
+        DualState {
+            form,
+            alpha: vec![0.0; problem.demand_count()],
+            beta: problem
+                .networks()
+                .map(|t| vec![0.0; problem.network(t).edge_count()])
+                .collect(),
+        }
+    }
+
+    /// The dual form this state is maintained under.
+    pub fn form(&self) -> DualForm {
+        self.form
+    }
+
+    /// `α(a)`.
+    #[inline]
+    pub fn alpha(&self, a: DemandId) -> f64 {
+        self.alpha[a.index()]
+    }
+
+    /// `β(e)` for edge `e` of network `t`.
+    #[inline]
+    pub fn beta(&self, t: NetworkId, e: EdgeId) -> f64 {
+        self.beta[t.index()][e.index()]
+    }
+
+    /// Adds `amount` to `α(a)`.
+    #[inline]
+    pub fn raise_alpha(&mut self, a: DemandId, amount: f64) {
+        self.alpha[a.index()] += amount;
+    }
+
+    /// Adds `amount` to `β(e)` of network `t`.
+    #[inline]
+    pub fn raise_beta(&mut self, t: NetworkId, e: EdgeId, amount: f64) {
+        self.beta[t.index()][e.index()] += amount;
+    }
+
+    /// LHS of the dual constraint of instance `d`.
+    pub fn lhs(&self, problem: &Problem, d: InstanceId) -> f64 {
+        let inst = problem.instance(d);
+        let beta_sum: f64 =
+            inst.path.edges().iter().map(|&e| self.beta[inst.network.index()][e.index()]).sum();
+        let scale = match self.form {
+            DualForm::Unit => 1.0,
+            DualForm::Capacitated => problem.height_of(d),
+        };
+        self.alpha[inst.demand.index()] + scale * beta_sum
+    }
+
+    /// Slack `p(d) - LHS(d)` (negative when over-satisfied).
+    pub fn slack(&self, problem: &Problem, d: InstanceId) -> f64 {
+        problem.profit_of(d) - self.lhs(problem, d)
+    }
+
+    /// The satisfaction ratio `LHS(d) / p(d)` — `d` is `ξ`-satisfied when
+    /// this reaches `ξ` (Section 3.2).
+    pub fn satisfaction(&self, problem: &Problem, d: InstanceId) -> f64 {
+        self.lhs(problem, d) / problem.profit_of(d)
+    }
+
+    /// The dual objective `val(α, β) = Σ_a α(a) + Σ_e β(e)`.
+    pub fn value(&self) -> f64 {
+        let a: f64 = self.alpha.iter().sum();
+        let b: f64 = self.beta.iter().map(|per| per.iter().sum::<f64>()).sum();
+        a + b
+    }
+
+    /// The minimum satisfaction ratio over `instances` — the *measured*
+    /// slackness parameter λ at the end of the first phase. Returns 1.0
+    /// for an empty set.
+    pub fn min_satisfaction<'a, I>(&self, problem: &Problem, instances: I) -> f64
+    where
+        I: IntoIterator<Item = &'a InstanceId>,
+    {
+        instances
+            .into_iter()
+            .map(|&d| self.satisfaction(problem, d))
+            .fold(1.0f64, f64::min)
+    }
+
+    /// Scaled dual objective `val(α, β) / λ`: by weak duality (after
+    /// scaling into feasibility, Lemma 3.1 proof) this upper-bounds
+    /// `p(OPT)` whenever every instance is `λ`-satisfied.
+    pub fn opt_upper_bound(&self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "λ must be positive");
+        self.value() / lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treenet_graph::{Tree, VertexId};
+    use treenet_model::{Demand, ProblemBuilder};
+
+    fn problem() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_network(Tree::line(5)).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(2), 4.0), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(1), VertexId(4), 6.0).with_height(0.5), &[t]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let p = problem();
+        let dual = DualState::new(&p, DualForm::Unit);
+        assert_eq!(dual.value(), 0.0);
+        assert_eq!(dual.lhs(&p, InstanceId(0)), 0.0);
+        assert_eq!(dual.slack(&p, InstanceId(0)), 4.0);
+        assert_eq!(dual.satisfaction(&p, InstanceId(0)), 0.0);
+        assert_eq!(dual.form(), DualForm::Unit);
+    }
+
+    #[test]
+    fn unit_lhs_sums_alpha_and_path_betas() {
+        let p = problem();
+        let mut dual = DualState::new(&p, DualForm::Unit);
+        dual.raise_alpha(DemandId(0), 1.0);
+        dual.raise_beta(NetworkId(0), EdgeId(0), 0.5);
+        dual.raise_beta(NetworkId(0), EdgeId(3), 2.0); // off d0's path [0,2)
+        assert_eq!(dual.lhs(&p, InstanceId(0)), 1.5);
+        assert_eq!(dual.alpha(DemandId(0)), 1.0);
+        assert_eq!(dual.beta(NetworkId(0), EdgeId(0)), 0.5);
+        assert_eq!(dual.value(), 3.5);
+        assert!((dual.satisfaction(&p, InstanceId(0)) - 1.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitated_lhs_scales_beta_by_height() {
+        let p = problem();
+        let mut dual = DualState::new(&p, DualForm::Capacitated);
+        // d1 = demand 1 (height 0.5), path edges 1..3.
+        dual.raise_beta(NetworkId(0), EdgeId(1), 2.0);
+        dual.raise_beta(NetworkId(0), EdgeId(2), 2.0);
+        assert_eq!(dual.lhs(&p, InstanceId(1)), 0.5 * 4.0);
+        dual.raise_alpha(DemandId(1), 1.0);
+        assert_eq!(dual.lhs(&p, InstanceId(1)), 3.0);
+    }
+
+    #[test]
+    fn min_satisfaction_and_bound() {
+        let p = problem();
+        let mut dual = DualState::new(&p, DualForm::Unit);
+        dual.raise_alpha(DemandId(0), 4.0); // d0 fully satisfied
+        dual.raise_alpha(DemandId(1), 3.0); // d1 half satisfied
+        let ids = [InstanceId(0), InstanceId(1)];
+        let lam = dual.min_satisfaction(&p, &ids);
+        assert!((lam - 0.5).abs() < 1e-12);
+        assert!((dual.opt_upper_bound(0.5) - 14.0).abs() < 1e-12);
+        // Empty set → 1.0 by convention.
+        assert_eq!(dual.min_satisfaction(&p, &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lambda_rejected() {
+        let p = problem();
+        let dual = DualState::new(&p, DualForm::Unit);
+        let _ = dual.opt_upper_bound(0.0);
+    }
+}

@@ -1,0 +1,610 @@
+//! The two-phase primal-dual framework (Section 3.2) and the distributed
+//! first-phase schedule of Section 5 (epochs → stages → steps).
+//!
+//! The runner is parametrized by
+//!
+//! * a [`LayeredDecomposition`] supplying the epoch grouping and the
+//!   critical edges `π(d)`,
+//! * a [`RaiseRule`] — the unit scheme of Section 3 or the narrow scheme
+//!   of Section 6.1,
+//! * a [`FrameworkConfig`] fixing `ε`, the stage factor `ξ`, and the
+//!   common-randomness seed.
+//!
+//! Epoch `k` processes group `G_k`. Stage `j` of an epoch drives every
+//! group member to `(1 - ξ^j)`-satisfaction; each step computes an MIS of
+//! the still-unsatisfied members' conflict graph (Luby with common
+//! randomness — bit-identical to the message-passing execution in
+//! `treenet-dist`) and raises all its members simultaneously, pushing the
+//! set onto the framework stack. The second phase pops the stack and
+//! greedily extracts a feasible solution.
+
+use crate::dual::{DualForm, DualState};
+use treenet_decomp::LayeredDecomposition;
+use treenet_mis::MisBackend;
+use treenet_model::conflict::ConflictGraph;
+use treenet_model::{InstanceId, Problem, Solution, SolutionTracker};
+use std::fmt;
+
+/// How dual variables are raised for a demand instance with slack `s` and
+/// critical set `π(d)` (Sections 3.2 and 6.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RaiseRule {
+    /// Unit height: `δ = s/(|π|+1)`; `α += δ`; `β(e) += δ` on critical
+    /// edges. Objective grows by at most `(Δ+1)·δ` per raise.
+    Unit,
+    /// Narrow instances: `δ = s/(1 + 2h|π|²)`; `α += δ`;
+    /// `β(e) += 2|π|·δ` on critical edges. Objective grows by at most
+    /// `(2Δ²+1)·δ` per raise.
+    Narrow,
+}
+
+impl RaiseRule {
+    /// The matching dual form.
+    pub fn dual_form(self) -> DualForm {
+        match self {
+            RaiseRule::Unit => DualForm::Unit,
+            RaiseRule::Narrow => DualForm::Capacitated,
+        }
+    }
+
+    /// The per-raise objective growth cap as a function of `Δ`:
+    /// `Δ+1` (unit, Lemma 3.1) or `2Δ²+1` (narrow, Lemma 6.1).
+    pub fn objective_cap(self, delta: usize) -> f64 {
+        match self {
+            RaiseRule::Unit => (delta + 1) as f64,
+            RaiseRule::Narrow => (2 * delta * delta + 1) as f64,
+        }
+    }
+
+    /// Raises instance `d` to tightness; returns `δ(d)`.
+    fn raise(
+        self,
+        problem: &Problem,
+        dual: &mut DualState,
+        d: InstanceId,
+        critical: &[treenet_graph::EdgeId],
+    ) -> f64 {
+        let inst = problem.instance(d);
+        let slack = dual.slack(problem, d);
+        debug_assert!(slack > 0.0, "raised instances must be unsatisfied");
+        let pi = critical.len() as f64;
+        match self {
+            RaiseRule::Unit => {
+                let delta = slack / (pi + 1.0);
+                dual.raise_alpha(inst.demand, delta);
+                for &e in critical {
+                    dual.raise_beta(inst.network, e, delta);
+                }
+                delta
+            }
+            RaiseRule::Narrow => {
+                let h = problem.height_of(d);
+                let delta = slack / (1.0 + 2.0 * h * pi * pi);
+                dual.raise_alpha(inst.demand, delta);
+                for &e in critical {
+                    dual.raise_beta(inst.network, e, 2.0 * pi * delta);
+                }
+                delta
+            }
+        }
+    }
+}
+
+/// Configuration of a framework run.
+#[derive(Clone, Debug)]
+pub struct FrameworkConfig {
+    /// Target slackness: run stages until everything is `(1-ε)`-satisfied.
+    /// Must lie in `(0, 1)`.
+    pub epsilon: f64,
+    /// Stage shrink factor `ξ ∈ (0, 1)`: stage `j` targets
+    /// `(1-ξ^j)`-satisfaction. Section 5 uses `14/15` for trees, Section 7
+    /// uses `8/9` for lines, Section 6 uses `c/(c+hmin)`.
+    pub xi: f64,
+    /// Seed of the common-randomness hash driving Luby's MIS.
+    pub seed: u64,
+    /// Safety valve: abort if a stage exceeds this many steps (`None`
+    /// disables). Lemma 5.1 bounds steps by `1 + log₂(pmax/pmin)` — the
+    /// default in [`FrameworkConfig::default`] is far above that.
+    pub max_steps_per_stage: Option<u64>,
+    /// Record the raise order for interference-property checking.
+    pub record_trace: bool,
+    /// Which MIS routine supplies the `Time(MIS)` factor.
+    pub mis_backend: MisBackend,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            epsilon: 0.1,
+            xi: 14.0 / 15.0,
+            seed: 0x5eed,
+            max_steps_per_stage: Some(100_000),
+            record_trace: false,
+            mis_backend: MisBackend::Luby,
+        }
+    }
+}
+
+/// One recorded raise (for interference checking and diagnostics).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RaiseEvent {
+    /// The raised instance.
+    pub instance: InstanceId,
+    /// The raise amount `δ(d)`.
+    pub delta: f64,
+    /// Epoch (1-based), stage (1-based), step (0-based) of the raise.
+    pub at: (u32, u32, u64),
+}
+
+/// Counters of a framework run — the quantities Theorems 5.3/6.3/7.1/7.2
+/// bound.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Epochs executed (= number of non-empty groups scanned).
+    pub epochs: u64,
+    /// Total stages across epochs.
+    pub stages: u64,
+    /// Total steps (framework iterations) across stages.
+    pub steps: u64,
+    /// Largest step count of any single stage (Lemma 5.1 bounds this by
+    /// `O(log(pmax/pmin))`).
+    pub max_steps_in_stage: u64,
+    /// Total Luby iterations across all MIS computations (`Time(MIS)`
+    /// accounting).
+    pub mis_rounds: u64,
+    /// Number of raise operations.
+    pub raises: u64,
+    /// Synchronous communication rounds of the equivalent message-passing
+    /// execution: per step, two rounds per Luby iteration plus one round
+    /// to broadcast the new dual values, plus one round per phase-2 stack
+    /// pop.
+    pub comm_rounds: u64,
+}
+
+/// Result of a framework run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The feasible solution extracted by the second phase.
+    pub solution: Solution,
+    /// The dual assignment at the end of the first phase.
+    pub dual: DualState,
+    /// Round/step counters.
+    pub stats: RunStats,
+    /// The measured slackness λ: the minimum satisfaction ratio over all
+    /// participating instances (≥ `1 - ε` when the run succeeds).
+    pub lambda: f64,
+    /// The critical set size `Δ` of the layered decomposition used.
+    pub delta: usize,
+    /// The per-raise objective cap `Δ+1` (unit) or `2Δ²+1` (narrow) —
+    /// dividing by λ gives the certified approximation factor.
+    pub objective_cap: f64,
+    /// Raise order, when tracing was requested.
+    pub trace: Option<Vec<RaiseEvent>>,
+    /// The stack of independent sets as pushed in phase 1 (innermost
+    /// last); kept for the distributed equivalence tests.
+    pub stack: Vec<StackEntry>,
+}
+
+/// One stack entry: the independent set raised in one step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StackEntry {
+    /// (epoch, stage, step) tuple identifying the framework iteration.
+    pub at: (u32, u32, u64),
+    /// The raised independent set.
+    pub instances: Vec<InstanceId>,
+}
+
+impl Outcome {
+    /// Profit `p(S)` of the extracted solution.
+    pub fn profit(&self, problem: &Problem) -> f64 {
+        self.solution.profit(problem)
+    }
+
+    /// Certified upper bound on `p(OPT)`: `val(α,β)/λ` (weak duality).
+    pub fn opt_upper_bound(&self) -> f64 {
+        self.dual.opt_upper_bound(self.lambda)
+    }
+
+    /// Certified approximation factor `opt_upper_bound / p(S)` (∞ for an
+    /// empty solution with positive dual value).
+    pub fn certified_ratio(&self, problem: &Problem) -> f64 {
+        let p = self.profit(problem);
+        if p == 0.0 {
+            if self.opt_upper_bound() == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.opt_upper_bound() / p
+        }
+    }
+}
+
+/// Framework failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrameworkError {
+    /// `ε` or `ξ` outside `(0, 1)`.
+    BadParameters {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A stage exceeded [`FrameworkConfig::max_steps_per_stage`].
+    StageDiverged {
+        /// Epoch (1-based).
+        epoch: u32,
+        /// Stage (1-based).
+        stage: u32,
+    },
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::BadParameters { reason } => write!(f, "bad parameters: {reason}"),
+            FrameworkError::StageDiverged { epoch, stage } => {
+                write!(f, "stage {stage} of epoch {epoch} exceeded the step budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}
+
+/// Tolerance for satisfaction comparisons: an instance counts as
+/// `ξ`-unsatisfied only if its LHS is below `ξ·p(d)` by more than this
+/// relative guard, keeping float jitter from spinning the step loop.
+const SATISFACTION_GUARD: f64 = 1e-9;
+
+/// Runs the two-phase framework over `participants` (pass all instances
+/// for the plain algorithm; subsets are used by the wide/narrow combiner).
+///
+/// # Errors
+///
+/// [`FrameworkError::BadParameters`] for out-of-range `ε`/`ξ`;
+/// [`FrameworkError::StageDiverged`] if a stage exceeds the step budget
+/// (indicates a broken layered decomposition).
+pub fn run_two_phase(
+    problem: &Problem,
+    layers: &LayeredDecomposition,
+    rule: RaiseRule,
+    config: &FrameworkConfig,
+    participants: &[InstanceId],
+) -> Result<Outcome, FrameworkError> {
+    if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
+        return Err(FrameworkError::BadParameters {
+            reason: format!("epsilon must lie in (0,1), got {}", config.epsilon),
+        });
+    }
+    if !(config.xi > 0.0 && config.xi < 1.0) {
+        return Err(FrameworkError::BadParameters {
+            reason: format!("xi must lie in (0,1), got {}", config.xi),
+        });
+    }
+    // b = smallest integer with ξ^b ≤ ε.
+    let stages_per_epoch = stages_for(config.epsilon, config.xi);
+
+    let mut dual = DualState::new(problem, rule.dual_form());
+    let mut stats = RunStats::default();
+    let mut stack: Vec<StackEntry> = Vec::new();
+    let mut trace: Option<Vec<RaiseEvent>> = config.record_trace.then(Vec::new);
+
+    // Group members once.
+    let num_groups = layers.num_groups() as u32;
+    let mut groups: Vec<Vec<InstanceId>> = vec![Vec::new(); num_groups as usize + 1];
+    for &d in participants {
+        groups[layers.group_of(d) as usize].push(d);
+    }
+
+    // ---- First phase: epochs / stages / steps (Figure 7). ----
+    for k in 1..=num_groups {
+        let members = &groups[k as usize];
+        if members.is_empty() {
+            continue;
+        }
+        stats.epochs += 1;
+        for j in 1..=stages_per_epoch {
+            stats.stages += 1;
+            let threshold = 1.0 - config.xi.powi(j as i32);
+            let mut steps_this_stage = 0u64;
+            loop {
+                // U = group members still (1-ξ^j)-unsatisfied.
+                let unsatisfied: Vec<InstanceId> = members
+                    .iter()
+                    .copied()
+                    .filter(|&d| {
+                        dual.satisfaction(problem, d) < threshold - SATISFACTION_GUARD
+                    })
+                    .collect();
+                if unsatisfied.is_empty() {
+                    break;
+                }
+                if let Some(limit) = config.max_steps_per_stage {
+                    if steps_this_stage >= limit {
+                        return Err(FrameworkError::StageDiverged { epoch: k, stage: j });
+                    }
+                }
+                // MIS of the conflict graph on U, with common randomness
+                // tagged by (epoch, stage, step).
+                let graph = ConflictGraph::build(problem, &unsatisfied);
+                let adj: Vec<Vec<u32>> =
+                    (0..graph.len()).map(|v| graph.neighbors(v).to_vec()).collect();
+                // Canonical keys (not dense ids) so the message-passing
+                // implementation draws identical common randomness.
+                let keys: Vec<u64> = graph
+                    .instances()
+                    .iter()
+                    .map(|&d| problem.instance(d).canonical_key())
+                    .collect();
+                let tag = mis_tag(k, j, steps_this_stage);
+                let outcome = config.mis_backend.run(&adj, &keys, config.seed, tag);
+                stats.mis_rounds += outcome.rounds;
+                // Raise every MIS member; they are pairwise non-conflicting
+                // so the raises commute (the parallelism of the framework).
+                let raised: Vec<InstanceId> =
+                    outcome.mis.iter().map(|&v| graph.instance(v as usize)).collect();
+                for &d in &raised {
+                    let delta = rule.raise(problem, &mut dual, d, layers.critical_of(d));
+                    stats.raises += 1;
+                    if let Some(t) = trace.as_mut() {
+                        t.push(RaiseEvent {
+                            instance: d,
+                            delta,
+                            at: (k, j, steps_this_stage),
+                        });
+                    }
+                }
+                stack.push(StackEntry { at: (k, j, steps_this_stage), instances: raised });
+                // Communication accounting: 2 rounds per Luby iteration +
+                // 1 round broadcasting the raised duals.
+                stats.comm_rounds += 2 * outcome.rounds + 1;
+                steps_this_stage += 1;
+            }
+            stats.steps += steps_this_stage;
+            stats.max_steps_in_stage = stats.max_steps_in_stage.max(steps_this_stage);
+        }
+    }
+
+    // ---- Second phase: reverse greedy over the stack. ----
+    let mut tracker = SolutionTracker::new(problem);
+    for entry in stack.iter().rev() {
+        for &d in &entry.instances {
+            let _ = tracker.try_add(d);
+        }
+        stats.comm_rounds += 1;
+    }
+    let solution = tracker.into_solution();
+
+    let lambda = dual.min_satisfaction(problem, participants);
+    Ok(Outcome {
+        solution,
+        dual,
+        stats,
+        lambda,
+        delta: layers.delta(),
+        objective_cap: rule.objective_cap(layers.delta()),
+        trace,
+        stack,
+    })
+}
+
+/// The MIS namespace tag for (epoch, stage, step): all processors derive
+/// the same tag from the public schedule, so common randomness is shared.
+pub fn mis_tag(epoch: u32, stage: u32, step: u64) -> u64 {
+    ((epoch as u64) << 48) ^ ((stage as u64) << 32) ^ step
+}
+
+/// Number of stages per epoch: the smallest `b` with `ξ^b ≤ ε` (so the
+/// last stage reaches `(1-ε)`-satisfaction). Public, so every processor
+/// of the message-passing implementation derives the same schedule.
+///
+/// # Panics
+///
+/// Panics unless both parameters lie in `(0, 1)`.
+pub fn stages_for(epsilon: f64, xi: f64) -> u32 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+    assert!(xi > 0.0 && xi < 1.0, "xi in (0,1)");
+    (epsilon.ln() / xi.ln()).ceil().max(1.0) as u32
+}
+
+/// Checks the interference property (Section 3.2) on a recorded trace:
+/// for every pair of overlapping instances `d₁` raised before `d₂`,
+/// `path(d₂)` must include a critical edge of `d₁`. Returns the first
+/// violating pair, if any. `O(R²)` — for tests.
+pub fn check_interference(
+    problem: &Problem,
+    layers: &LayeredDecomposition,
+    trace: &[RaiseEvent],
+) -> Option<(InstanceId, InstanceId)> {
+    for (i, first) in trace.iter().enumerate() {
+        let d1 = problem.instance(first.instance);
+        for second in &trace[i + 1..] {
+            // Simultaneous raises (same step) are independent by
+            // construction; the property concerns strictly-later raises.
+            if second.at == first.at {
+                continue;
+            }
+            let d2 = problem.instance(second.instance);
+            if !d1.overlaps(d2) {
+                continue;
+            }
+            if !layers.critical_of(first.instance).iter().any(|&e| d2.active_on(e)) {
+                return Some((first.instance, second.instance));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use treenet_decomp::Strategy;
+    use treenet_model::workload::TreeWorkload;
+
+    fn small_problem(seed: u64) -> Problem {
+        TreeWorkload::new(16, 14)
+            .with_networks(2)
+            .with_profit_ratio(8.0)
+            .generate(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    fn run(problem: &Problem, seed: u64) -> (LayeredDecomposition, Outcome) {
+        let layers = LayeredDecomposition::for_trees(problem, Strategy::Ideal);
+        let config = FrameworkConfig { seed, record_trace: true, ..FrameworkConfig::default() };
+        let participants: Vec<InstanceId> = problem.instances().map(|d| d.id).collect();
+        let outcome =
+            run_two_phase(problem, &layers, RaiseRule::Unit, &config, &participants).unwrap();
+        (layers, outcome)
+    }
+
+    #[test]
+    fn produces_feasible_solutions() {
+        for seed in 0..10u64 {
+            let p = small_problem(seed);
+            let (_, outcome) = run(&p, seed);
+            assert!(outcome.solution.verify(&p).is_ok(), "seed {seed}");
+            assert!(!outcome.solution.is_empty(), "seed {seed}: empty solution");
+        }
+    }
+
+    #[test]
+    fn all_instances_end_lambda_satisfied() {
+        for seed in 0..10u64 {
+            let p = small_problem(seed);
+            let (_, outcome) = run(&p, seed);
+            assert!(
+                outcome.lambda >= 1.0 - 0.1 - 1e-9,
+                "seed {seed}: λ = {}",
+                outcome.lambda
+            );
+        }
+    }
+
+    #[test]
+    fn dual_value_bounded_by_cap_times_profit() {
+        // The heart of Lemma 3.1's proof: val(α,β) ≤ (Δ+1)·p(S).
+        for seed in 0..10u64 {
+            let p = small_problem(seed);
+            let (_, outcome) = run(&p, seed);
+            let profit = outcome.profit(&p);
+            assert!(
+                outcome.dual.value() <= outcome.objective_cap * profit + 1e-6,
+                "seed {seed}: val {} > cap {} · p(S) {}",
+                outcome.dual.value(),
+                outcome.objective_cap,
+                profit
+            );
+        }
+    }
+
+    #[test]
+    fn interference_property_holds_on_trace() {
+        for seed in 0..10u64 {
+            let p = small_problem(seed);
+            let (layers, outcome) = run(&p, seed);
+            let trace = outcome.trace.as_ref().unwrap();
+            assert_eq!(check_interference(&p, &layers, trace), None, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn certified_ratio_within_theorem_bound() {
+        // Theorem 5.3: ratio ≤ (Δ+1)/λ = 7/(1-ε).
+        for seed in 0..10u64 {
+            let p = small_problem(seed);
+            let (_, outcome) = run(&p, seed);
+            let bound = outcome.objective_cap / outcome.lambda;
+            assert!(
+                outcome.certified_ratio(&p) <= bound + 1e-6,
+                "seed {seed}: {} > {}",
+                outcome.certified_ratio(&p),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn steps_per_stage_within_lemma_bound() {
+        // Lemma 5.1: ≤ 1 + log₂(pmax/pmin) steps per stage (+1 slack for
+        // the final empty check).
+        for seed in 0..10u64 {
+            let p = small_problem(seed);
+            let (pmin, pmax) = p.profit_bounds();
+            let (_, outcome) = run(&p, seed);
+            let bound = 2.0 + (pmax / pmin).log2().max(0.0);
+            assert!(
+                (outcome.stats.max_steps_in_stage as f64) <= bound,
+                "seed {seed}: {} steps > {}",
+                outcome.stats.max_steps_in_stage,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = small_problem(3);
+        let (_, a) = run(&p, 11);
+        let (_, b) = run(&p, 11);
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.stats, b.stats);
+        let (_, c) = run(&p, 12);
+        // Different seeds may change the MIS choices; stats usually differ.
+        let _ = c;
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let p = small_problem(0);
+        let layers = LayeredDecomposition::for_trees(&p, Strategy::Ideal);
+        let participants: Vec<InstanceId> = p.instances().map(|d| d.id).collect();
+        for (eps, xi) in [(0.0, 0.9), (1.0, 0.9), (0.1, 0.0), (0.1, 1.0)] {
+            let config = FrameworkConfig { epsilon: eps, xi, ..FrameworkConfig::default() };
+            assert!(matches!(
+                run_two_phase(&p, &layers, RaiseRule::Unit, &config, &participants),
+                Err(FrameworkError::BadParameters { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_participants_yield_empty_outcome() {
+        let p = small_problem(1);
+        let layers = LayeredDecomposition::for_trees(&p, Strategy::Ideal);
+        let outcome = run_two_phase(
+            &p,
+            &layers,
+            RaiseRule::Unit,
+            &FrameworkConfig::default(),
+            &[],
+        )
+        .unwrap();
+        assert!(outcome.solution.is_empty());
+        assert_eq!(outcome.stats.raises, 0);
+        assert_eq!(outcome.lambda, 1.0);
+        assert_eq!(outcome.certified_ratio(&p), 1.0);
+    }
+
+    #[test]
+    fn mis_tags_are_unique_per_tuple() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 1..5u32 {
+            for j in 1..5u32 {
+                for s in 0..5u64 {
+                    assert!(seen.insert(mis_tag(k, j, s)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FrameworkError::StageDiverged { epoch: 2, stage: 3 };
+        assert!(e.to_string().contains("stage 3"));
+        let e = FrameworkError::BadParameters { reason: "x".into() };
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The line-network layered decomposition (Section 7): length classes with
+//! `Δ = 3`.
+//!
+//! Demand instances on a canonical line are intervals of timeslots. They
+//! are grouped by length class — group `i` holds instances with
+//! `2^(i-1)·Lmin ≤ len < 2^i·Lmin` — and the critical slots of an instance
+//! are its start, mid-point and end: `π(d) = {s(d), mid(d), e(d)}`.
+//!
+//! Why this works (implicit in Panconesi–Sozio and re-proved in our tests):
+//! if `d₂` overlaps `d₁` and sits in the same or a later class, then
+//! `len(d₂) > len(d₁)/2`, and a contiguous interval that long cannot fit
+//! strictly inside either open half `(s, mid)` or `(mid, e)` of `d₁` — so
+//! it must cover `s`, `mid` or `e`.
+
+use crate::LayeredDecomposition;
+use treenet_graph::EdgeId;
+use treenet_model::Problem;
+
+/// Builds the length-class layered decomposition for a line-network
+/// problem (every network must be a canonical line).
+///
+/// Groups: `⌊log₂(len/Lmin)⌋ + 1`, so `⌈log₂(Lmax/Lmin)⌉ + 1` groups in
+/// total; critical edges: start/mid/end timeslots (`Δ ≤ 3`).
+///
+/// # Panics
+///
+/// Panics if some network is not a canonical line (window problems built
+/// through [`treenet_model::ProblemBuilder`] guarantee this) or if some
+/// instance has an empty path.
+pub fn line_layers(problem: &Problem) -> LayeredDecomposition {
+    for t in problem.networks() {
+        assert!(
+            problem.network(t).is_canonical_line(),
+            "line layered decomposition requires canonical line networks"
+        );
+    }
+    let (lmin, _) = problem.length_bounds();
+    let lmin = lmin.max(1) as f64;
+    let mut group = vec![0u32; problem.instance_count()];
+    let mut critical = vec![Vec::new(); problem.instance_count()];
+    for inst in problem.instances() {
+        let len = inst.len();
+        assert!(len >= 1, "demand instances use at least one timeslot");
+        // Class index: ⌊log₂(len / Lmin)⌋ + 1, computed in integers to
+        // avoid floating-point edge cases at powers of two.
+        let ratio = (len as f64 / lmin).log2().floor() as u32;
+        group[inst.id.index()] = ratio + 1;
+        // Slots are edge indices on the canonical line.
+        let edges = inst.path.edges();
+        let s = edges[0];
+        let e = edges[len - 1];
+        let mid = EdgeId((s.0 + e.0) / 2);
+        let mut pi = vec![s, mid, e];
+        pi.sort_unstable();
+        pi.dedup();
+        critical[inst.id.index()] = pi;
+    }
+    LayeredDecomposition::from_parts(group, critical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use treenet_model::workload::LineWorkload;
+    use treenet_model::{Demand, ProblemBuilder};
+    use treenet_graph::{Tree, VertexId};
+
+    #[test]
+    fn delta_is_at_most_three() {
+        for seed in 0..8u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let p = LineWorkload::new(60, 40)
+                .with_resources(3)
+                .with_window_slack(3)
+                .with_len_range(1, 15)
+                .generate(&mut rng);
+            let layers = line_layers(&p);
+            assert!(layers.delta() <= 3, "Δ = {}", layers.delta());
+            assert!(layers.verify(&p).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn group_count_is_log_length_ratio() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let p = LineWorkload::new(128, 60).with_len_range(1, 64).generate(&mut rng);
+        let layers = line_layers(&p);
+        let (lmin, lmax) = p.length_bounds();
+        let bound = ((lmax as f64 / lmin as f64).log2().floor() as usize) + 1;
+        assert!(layers.num_groups() <= bound, "{} > {}", layers.num_groups(), bound);
+    }
+
+    #[test]
+    fn same_length_instances_share_group() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_network(Tree::line(30)).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(4), 1.0), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(10), VertexId(14), 1.0), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(20), 1.0), &[t]).unwrap();
+        let p = b.build().unwrap();
+        let layers = line_layers(&p);
+        let g: Vec<u32> = p.instances().map(|d| layers.group_of(d.id)).collect();
+        assert_eq!(g[0], g[1]);
+        assert!(g[2] > g[0], "length 20 is in a later class than length 4");
+    }
+
+    #[test]
+    fn critical_slots_are_start_mid_end() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_network(Tree::line(30)).unwrap();
+        // Slots 4..=12 (vertices 4 ↝ 13).
+        b.add_demand(Demand::pair(VertexId(4), VertexId(13), 1.0), &[t]).unwrap();
+        let p = b.build().unwrap();
+        let layers = line_layers(&p);
+        assert_eq!(
+            layers.critical_of(treenet_model::InstanceId(0)),
+            &[EdgeId(4), EdgeId(8), EdgeId(12)]
+        );
+    }
+
+    #[test]
+    fn unit_length_instance_has_single_critical_slot() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_network(Tree::line(10)).unwrap();
+        b.add_demand(Demand::pair(VertexId(3), VertexId(4), 1.0), &[t]).unwrap();
+        let p = b.build().unwrap();
+        let layers = line_layers(&p);
+        assert_eq!(layers.critical_of(treenet_model::InstanceId(0)), &[EdgeId(3)]);
+        assert_eq!(layers.group_of(treenet_model::InstanceId(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "canonical line")]
+    fn rejects_non_line_networks() {
+        let mut b = ProblemBuilder::new();
+        let star = Tree::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let t = b.add_network(star).unwrap();
+        b.add_demand(Demand::pair(VertexId(1), VertexId(2), 1.0), &[t]).unwrap();
+        let p = b.build().unwrap();
+        let _ = line_layers(&p);
+    }
+
+    #[test]
+    fn window_instances_of_same_demand_verify() {
+        // Overlapping same-demand instances sit in the same group; the
+        // property must hold between them too.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let p = LineWorkload::new(40, 10)
+            .with_resources(1)
+            .with_window_slack(6)
+            .with_len_range(3, 8)
+            .generate(&mut rng);
+        let layers = line_layers(&p);
+        assert!(layers.verify(&p).is_ok());
+    }
+}

@@ -1,0 +1,129 @@
+//! Tree statistics and Graphviz export — used by the experiment harness
+//! and the examples for inspecting generated topologies.
+
+use crate::{RootedTree, Tree, VertexId};
+use std::fmt::Write as _;
+
+/// Summary statistics of a tree's shape.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Longest path length in edges.
+    pub diameter: usize,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Number of leaves (degree-1 vertices; 0 for a single vertex).
+    pub leaves: usize,
+}
+
+/// Computes [`TreeStats`] (diameter by double-BFS, `O(n)`).
+pub fn tree_stats(tree: &Tree) -> TreeStats {
+    let n = tree.len();
+    let far = |start: VertexId| -> (VertexId, usize) {
+        let rooted = RootedTree::new(tree, start);
+        tree.vertices()
+            .map(|v| (v, rooted.depth(v) as usize))
+            .max_by_key(|&(_, d)| d)
+            .expect("non-empty tree")
+    };
+    let (a, _) = far(VertexId(0));
+    let (_, diameter) = far(a);
+    let max_degree = tree.vertices().map(|v| tree.degree(v)).max().unwrap_or(0);
+    let leaves = tree.vertices().filter(|&v| tree.degree(v) == 1).count();
+    TreeStats { n, diameter, max_degree, leaves }
+}
+
+/// Renders the tree in Graphviz DOT format (undirected), with optional
+/// per-vertex labels (`None` falls back to the vertex index).
+///
+/// # Example
+///
+/// ```
+/// use treenet_graph::{Tree, analysis::to_dot};
+///
+/// let dot = to_dot(&Tree::line(3), "demo", |v| Some(format!("site {}", v.0)));
+/// assert!(dot.contains("graph demo {"));
+/// assert!(dot.contains("0 -- 1"));
+/// ```
+pub fn to_dot<F>(tree: &Tree, name: &str, label: F) -> String
+where
+    F: Fn(VertexId) -> Option<String>,
+{
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for v in tree.vertices() {
+        if let Some(text) = label(v) {
+            let _ = writeln!(out, "  {} [label=\"{}\"];", v.0, text);
+        }
+    }
+    for (_, (u, v)) in tree.edges() {
+        let _ = writeln!(out, "  {} -- {};", u.0, v.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use crate::generators::{random_tree, TreeFamily};
+
+    #[test]
+    fn line_stats() {
+        let s = tree_stats(&Tree::line(10));
+        assert_eq!(s.n, 10);
+        assert_eq!(s.diameter, 9);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.leaves, 2);
+    }
+
+    #[test]
+    fn star_stats() {
+        let t = Tree::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let s = tree_stats(&t);
+        assert_eq!(s.diameter, 2);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.leaves, 4);
+    }
+
+    #[test]
+    fn singleton_stats() {
+        let t = Tree::from_edges(1, &[]).unwrap();
+        let s = tree_stats(&t);
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.leaves, 0);
+    }
+
+    #[test]
+    fn diameter_matches_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..5 {
+            let t = random_tree(20, &mut rng);
+            let s = tree_stats(&t);
+            let rooted = RootedTree::new(&t, VertexId(0));
+            let brute = t
+                .vertices()
+                .flat_map(|u| t.vertices().map(move |v| (u, v)))
+                .map(|(u, v)| rooted.distance(u, v) as usize)
+                .max()
+                .unwrap();
+            assert_eq!(s.diameter, brute);
+        }
+    }
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t = TreeFamily::Caterpillar.generate(12, &mut rng);
+        let dot = to_dot(&t, "g", |_| None);
+        assert_eq!(dot.matches(" -- ").count(), t.edge_count());
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Labels appear when requested.
+        let labelled = to_dot(&t, "g", |v| (v.0 == 0).then(|| "root".to_string()));
+        assert!(labelled.contains("label=\"root\""));
+    }
+}

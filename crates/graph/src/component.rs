@@ -1,0 +1,378 @@
+//! Components (connected vertex subsets), neighborhoods and balancers.
+//!
+//! Section 4 of the paper builds its tree decompositions out of three
+//! primitives on a tree `T`:
+//!
+//! * a **component** `C ⊆ V` is a vertex subset inducing a connected
+//!   subtree;
+//! * the **neighborhood** `Γ[C]` is the set of vertices outside `C`
+//!   adjacent to some vertex of `C` — every path leaving `C` crosses it;
+//! * a **balancer** of `C` is a vertex `z ∈ C` whose removal splits the
+//!   induced subtree into components of size at most `⌊|C|/2⌋` (a centroid).
+//!
+//! Functions here take a scratch [`Membership`] buffer so that recursive
+//! decomposition code can reuse allocations; a convenience constructor
+//! builds one per call for one-off use.
+
+use crate::{Tree, VertexId};
+
+/// Reusable membership bitmap over the vertices of one tree.
+///
+/// Marking and clearing are `O(|C|)`; queries are `O(1)`. The intended use
+/// is mark → query during one decomposition step → clear.
+///
+/// # Example
+///
+/// ```
+/// use treenet_graph::{Tree, VertexId};
+/// use treenet_graph::component::Membership;
+///
+/// # fn main() -> Result<(), treenet_graph::TreeError> {
+/// let tree = Tree::line(4);
+/// let mut membership = Membership::new(tree.len());
+/// membership.mark(&[VertexId(1), VertexId(2)]);
+/// assert!(membership.contains(VertexId(1)));
+/// assert!(!membership.contains(VertexId(3)));
+/// membership.clear(&[VertexId(1), VertexId(2)]);
+/// assert!(!membership.contains(VertexId(1)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Membership {
+    bits: Vec<bool>,
+}
+
+impl Membership {
+    /// Creates an all-false membership map for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Membership { bits: vec![false; n] }
+    }
+
+    /// Marks every vertex in `members`.
+    pub fn mark(&mut self, members: &[VertexId]) {
+        for &v in members {
+            self.bits[v.index()] = true;
+        }
+    }
+
+    /// Clears every vertex in `members` (cheaper than zeroing the map).
+    pub fn clear(&mut self, members: &[VertexId]) {
+        for &v in members {
+            self.bits[v.index()] = false;
+        }
+    }
+
+    /// Whether `v` is currently marked.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.bits[v.index()]
+    }
+
+    /// Number of vertices this map covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the map covers zero vertices (never true for maps built for
+    /// a real tree).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+}
+
+/// Returns whether `members` induces a connected subtree of `tree`.
+///
+/// `membership` must already have exactly `members` marked.
+pub fn is_component(tree: &Tree, members: &[VertexId], membership: &Membership) -> bool {
+    if members.is_empty() {
+        return false;
+    }
+    let mut seen = vec![false; tree.len()];
+    let mut stack = vec![members[0]];
+    seen[members[0].index()] = true;
+    let mut count = 1usize;
+    while let Some(u) = stack.pop() {
+        for &(v, _) in tree.neighbors(u) {
+            if membership.contains(v) && !seen[v.index()] {
+                seen[v.index()] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == members.len()
+}
+
+/// The neighborhood `Γ[C]`: vertices outside `C` adjacent to some member.
+///
+/// `membership` must have exactly `members` marked. The result is sorted
+/// and duplicate-free.
+pub fn neighborhood(tree: &Tree, members: &[VertexId], membership: &Membership) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    for &u in members {
+        for &(v, _) in tree.neighbors(u) {
+            if !membership.contains(v) {
+                out.push(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Splits component `C` by removing `z ∈ C`: returns the vertex sets of the
+/// connected components of the induced subtree on `C \ {z}`.
+///
+/// `membership` must have exactly `members` marked. Components are returned
+/// in the order `z`'s incident edges are stored; each component is in
+/// DFS-discovery order.
+///
+/// # Panics
+///
+/// Panics if `z` is not marked in `membership`.
+pub fn split_at(
+    tree: &Tree,
+    members: &[VertexId],
+    membership: &Membership,
+    z: VertexId,
+) -> Vec<Vec<VertexId>> {
+    assert!(membership.contains(z), "split vertex {z} must belong to the component");
+    let mut seen = vec![false; tree.len()];
+    seen[z.index()] = true;
+    let mut comps = Vec::new();
+    let _ = members;
+    for &(start, _) in tree.neighbors(z) {
+        if !membership.contains(start) || seen[start.index()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for &(v, _) in tree.neighbors(u) {
+                if membership.contains(v) && !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Finds a **balancer** (centroid) of the component `C`: a vertex whose
+/// removal leaves pieces of size at most `⌊|C|/2⌋`.
+///
+/// Every component contains a balancer (observation in Section 4.2 of the
+/// paper). `membership` must have exactly `members` marked. Runs in
+/// `O(|C|)`.
+///
+/// # Panics
+///
+/// Panics if `members` is empty.
+pub fn find_balancer(tree: &Tree, members: &[VertexId], membership: &Membership) -> VertexId {
+    assert!(!members.is_empty(), "cannot find a balancer of an empty component");
+    let total = members.len();
+    if total == 1 {
+        return members[0];
+    }
+    // DFS from members[0] computing subtree sizes restricted to C, then
+    // descend towards the heaviest side until no side exceeds total/2.
+    let root = members[0];
+    // Order vertices so parents precede children (within C).
+    let mut parent: Vec<Option<VertexId>> = vec![None; tree.len()];
+    let mut order = Vec::with_capacity(total);
+    let mut seen = vec![false; tree.len()];
+    let mut stack = vec![root];
+    seen[root.index()] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &(v, _) in tree.neighbors(u) {
+            if membership.contains(v) && !seen[v.index()] {
+                seen[v.index()] = true;
+                parent[v.index()] = Some(u);
+                stack.push(v);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), total, "members must form a connected component");
+    let mut size = vec![1usize; tree.len()];
+    for &u in order.iter().rev() {
+        if let Some(p) = parent[u.index()] {
+            size[p.index()] += size[u.index()];
+        }
+    }
+    // Walk from the root to the centroid.
+    let half = total / 2;
+    let mut u = root;
+    'walk: loop {
+        for &(v, _) in tree.neighbors(u) {
+            if membership.contains(v) && parent[v.index()] == Some(u) && size[v.index()] > half {
+                u = v;
+                continue 'walk;
+            }
+        }
+        return u;
+    }
+}
+
+/// Checks that `z` is a balancer for `C`: every piece of `C \ {z}` has at
+/// most `⌊|C|/2⌋` vertices. Used by tests and decomposition verifiers.
+pub fn is_balancer(
+    tree: &Tree,
+    members: &[VertexId],
+    membership: &Membership,
+    z: VertexId,
+) -> bool {
+    let half = members.len() / 2;
+    split_at(tree, members, membership, z).iter().all(|c| c.len() <= half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(n: usize) -> Vec<VertexId> {
+        (0..n as u32).map(VertexId).collect()
+    }
+
+    #[test]
+    fn membership_marks_and_clears() {
+        let mut m = Membership::new(5);
+        assert_eq!(m.len(), 5);
+        assert!(!m.is_empty());
+        m.mark(&[VertexId(0), VertexId(3)]);
+        assert!(m.contains(VertexId(0)));
+        assert!(m.contains(VertexId(3)));
+        assert!(!m.contains(VertexId(1)));
+        m.clear(&[VertexId(0)]);
+        assert!(!m.contains(VertexId(0)));
+        assert!(m.contains(VertexId(3)));
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let t = Tree::line(5);
+        let mut m = Membership::new(5);
+        let comp = vec![VertexId(1), VertexId(2), VertexId(3)];
+        m.mark(&comp);
+        assert!(is_component(&t, &comp, &m));
+        m.clear(&comp);
+        let broken = vec![VertexId(0), VertexId(2)];
+        m.mark(&broken);
+        assert!(!is_component(&t, &broken, &m));
+    }
+
+    #[test]
+    fn neighborhood_of_interior_segment() {
+        let t = Tree::line(6);
+        let mut m = Membership::new(6);
+        let comp = vec![VertexId(2), VertexId(3)];
+        m.mark(&comp);
+        assert_eq!(neighborhood(&t, &comp, &m), vec![VertexId(1), VertexId(4)]);
+        m.clear(&comp);
+        let full = all(6);
+        m.mark(&full);
+        assert!(neighborhood(&t, &full, &m).is_empty());
+    }
+
+    #[test]
+    fn split_line_in_the_middle() {
+        let t = Tree::line(7);
+        let mut m = Membership::new(7);
+        let comp = all(7);
+        m.mark(&comp);
+        let mut parts = split_at(&t, &comp, &m, VertexId(3));
+        parts.iter_mut().for_each(|p| p.sort_unstable());
+        parts.sort();
+        assert_eq!(
+            parts,
+            vec![
+                vec![VertexId(0), VertexId(1), VertexId(2)],
+                vec![VertexId(4), VertexId(5), VertexId(6)],
+            ]
+        );
+    }
+
+    #[test]
+    fn split_star_center() {
+        let t = Tree::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let mut m = Membership::new(4);
+        let comp = all(4);
+        m.mark(&comp);
+        let parts = split_at(&t, &comp, &m, VertexId(0));
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must belong")]
+    fn split_requires_member() {
+        let t = Tree::line(3);
+        let mut m = Membership::new(3);
+        let comp = vec![VertexId(0), VertexId(1)];
+        m.mark(&comp);
+        let _ = split_at(&t, &comp, &m, VertexId(2));
+    }
+
+    #[test]
+    fn balancer_of_line_is_middle() {
+        let t = Tree::line(9);
+        let mut m = Membership::new(9);
+        let comp = all(9);
+        m.mark(&comp);
+        let z = find_balancer(&t, &comp, &m);
+        assert!(is_balancer(&t, &comp, &m, z));
+        assert_eq!(z, VertexId(4));
+        // The end vertex is not a balancer.
+        assert!(!is_balancer(&t, &comp, &m, VertexId(0)));
+    }
+
+    #[test]
+    fn balancer_of_star_is_center() {
+        let t = Tree::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        let mut m = Membership::new(6);
+        let comp = all(6);
+        m.mark(&comp);
+        assert_eq!(find_balancer(&t, &comp, &m), VertexId(0));
+    }
+
+    #[test]
+    fn balancer_of_sub_component() {
+        // Balancer restricted to a strict subset.
+        let t = Tree::line(10);
+        let mut m = Membership::new(10);
+        let comp: Vec<VertexId> = (3..8).map(VertexId).collect();
+        m.mark(&comp);
+        let z = find_balancer(&t, &comp, &m);
+        assert!(is_balancer(&t, &comp, &m, z));
+        assert_eq!(z, VertexId(5));
+    }
+
+    #[test]
+    fn balancer_of_singleton() {
+        let t = Tree::line(3);
+        let mut m = Membership::new(3);
+        let comp = vec![VertexId(1)];
+        m.mark(&comp);
+        assert_eq!(find_balancer(&t, &comp, &m), VertexId(1));
+        assert!(is_balancer(&t, &comp, &m, VertexId(1)));
+    }
+
+    #[test]
+    fn every_component_has_balancer_found() {
+        // Exhaustive over all sub-paths of a small caterpillar.
+        let t = Tree::from_edges(7, &[(0, 1), (1, 2), (2, 3), (1, 4), (2, 5), (3, 6)]).unwrap();
+        let mut m = Membership::new(7);
+        let full = all(7);
+        m.mark(&full);
+        let z = find_balancer(&t, &full, &m);
+        assert!(is_balancer(&t, &full, &m, z));
+    }
+}

@@ -1,0 +1,319 @@
+//! Random and structured tree families for tests and the experiment harness.
+//!
+//! The paper's bounds are worst-case over all tree shapes; the experiment
+//! harness exercises them across structurally extreme families (paths,
+//! stars, caterpillars, balanced trees, brooms, spiders) plus
+//! uniformly-random labeled trees via Prüfer sequences.
+
+use crate::{Tree, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A named tree family, so experiments can sweep shapes uniformly.
+///
+/// # Example
+///
+/// ```
+/// use treenet_graph::generators::TreeFamily;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let tree = TreeFamily::Caterpillar.generate(32, &mut rng);
+/// assert_eq!(tree.len(), 32);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TreeFamily {
+    /// The path `0-1-…-(n-1)` (a line-network).
+    Path,
+    /// A star centered at a random vertex.
+    Star,
+    /// A random caterpillar: a random-length spine with leaves attached.
+    Caterpillar,
+    /// A balanced binary tree (complete shape, random labels).
+    BalancedBinary,
+    /// A broom: a path whose far end fans out into leaves.
+    Broom,
+    /// A spider: several paths (legs) glued at a random center.
+    Spider,
+    /// A uniformly random labeled tree (Prüfer sequence).
+    Uniform,
+}
+
+impl TreeFamily {
+    /// All families, in a stable order, for experiment sweeps.
+    pub const ALL: [TreeFamily; 7] = [
+        TreeFamily::Path,
+        TreeFamily::Star,
+        TreeFamily::Caterpillar,
+        TreeFamily::BalancedBinary,
+        TreeFamily::Broom,
+        TreeFamily::Spider,
+        TreeFamily::Uniform,
+    ];
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeFamily::Path => "path",
+            TreeFamily::Star => "star",
+            TreeFamily::Caterpillar => "caterpillar",
+            TreeFamily::BalancedBinary => "binary",
+            TreeFamily::Broom => "broom",
+            TreeFamily::Spider => "spider",
+            TreeFamily::Uniform => "uniform",
+        }
+    }
+
+    /// Generates an `n`-vertex member of the family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate<R: Rng>(self, n: usize, rng: &mut R) -> Tree {
+        assert!(n > 0, "trees need at least one vertex");
+        match self {
+            TreeFamily::Path => Tree::line(n),
+            TreeFamily::Star => star(n, rng),
+            TreeFamily::Caterpillar => caterpillar(n, rng),
+            TreeFamily::BalancedBinary => balanced_binary(n, rng),
+            TreeFamily::Broom => broom(n, rng),
+            TreeFamily::Spider => spider(n, rng),
+            TreeFamily::Uniform => random_tree(n, rng),
+        }
+    }
+}
+
+/// A uniformly random labeled tree over `n` vertices via a random Prüfer
+/// sequence (uniform over all `n^(n-2)` labeled trees for `n ≥ 3`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Tree {
+    assert!(n > 0);
+    if n <= 2 {
+        return Tree::line(n);
+    }
+    let seq: Vec<u32> = (0..n - 2).map(|_| rng.gen_range(0..n as u32)).collect();
+    prufer_to_tree(n, &seq)
+}
+
+/// Decodes a Prüfer sequence of length `n - 2` into its labeled tree.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 2`, `seq.len() == n - 2` and every entry is `< n`.
+pub fn prufer_to_tree(n: usize, seq: &[u32]) -> Tree {
+    assert!(n >= 2, "Prüfer decoding needs at least two vertices");
+    assert_eq!(seq.len(), n - 2, "Prüfer sequence for n vertices has n-2 entries");
+    assert!(seq.iter().all(|&x| (x as usize) < n), "Prüfer entries must be < n");
+    let mut degree = vec![1u32; n];
+    for &x in seq {
+        degree[x as usize] += 1;
+    }
+    // Min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
+        .filter(|&v| degree[v as usize] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut edges = Vec::with_capacity(n - 1);
+    for &x in seq {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("a tree always has a leaf");
+        edges.push((leaf, x));
+        degree[x as usize] -= 1;
+        if degree[x as usize] == 1 {
+            leaves.push(std::cmp::Reverse(x));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = leaves.pop().expect("two leaves remain");
+    edges.push((a, b));
+    Tree::from_edges(n, &edges).expect("Prüfer decoding always yields a tree")
+}
+
+/// A star with a random center.
+pub fn star<R: Rng>(n: usize, rng: &mut R) -> Tree {
+    assert!(n > 0);
+    if n == 1 {
+        return Tree::from_edges(1, &[]).expect("singleton");
+    }
+    let center = rng.gen_range(0..n as u32);
+    let edges: Vec<(u32, u32)> =
+        (0..n as u32).filter(|&v| v != center).map(|v| (center, v)).collect();
+    Tree::from_edges(n, &edges).expect("star is a tree")
+}
+
+/// A caterpillar: a spine of length `~n/2` with remaining vertices attached
+/// to random spine positions.
+pub fn caterpillar<R: Rng>(n: usize, rng: &mut R) -> Tree {
+    assert!(n > 0);
+    let spine_len = (n / 2).max(1);
+    let mut edges = Vec::with_capacity(n - 1);
+    for i in 1..spine_len {
+        edges.push((i as u32 - 1, i as u32));
+    }
+    for v in spine_len..n {
+        let attach = rng.gen_range(0..spine_len) as u32;
+        edges.push((attach, v as u32));
+    }
+    Tree::from_edges(n, &edges).expect("caterpillar is a tree")
+}
+
+/// A complete-shape binary tree with randomly permuted labels.
+pub fn balanced_binary<R: Rng>(n: usize, rng: &mut R) -> Tree {
+    assert!(n > 0);
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    labels.shuffle(rng);
+    let mut edges = Vec::with_capacity(n - 1);
+    for i in 1..n {
+        edges.push((labels[(i - 1) / 2], labels[i]));
+    }
+    Tree::from_edges(n, &edges).expect("heap shape is a tree")
+}
+
+/// A broom: a handle path of `~n/2` vertices ending in a fan of leaves.
+pub fn broom<R: Rng>(n: usize, _rng: &mut R) -> Tree {
+    assert!(n > 0);
+    let handle = (n / 2).max(1);
+    let mut edges = Vec::with_capacity(n - 1);
+    for i in 1..handle {
+        edges.push((i as u32 - 1, i as u32));
+    }
+    for v in handle..n {
+        edges.push((handle as u32 - 1, v as u32));
+    }
+    Tree::from_edges(n, &edges).expect("broom is a tree")
+}
+
+/// A spider: `k ∈ [3, 6]` legs of near-equal length glued at vertex 0.
+pub fn spider<R: Rng>(n: usize, rng: &mut R) -> Tree {
+    assert!(n > 0);
+    if n <= 3 {
+        return Tree::line(n);
+    }
+    let k = rng.gen_range(3..=6usize.min(n - 1));
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut next = 1u32;
+    let mut tips: Vec<u32> = Vec::new();
+    // Start each leg at the center.
+    for _ in 0..k.min(n - 1) {
+        edges.push((0, next));
+        tips.push(next);
+        next += 1;
+    }
+    // Extend legs round-robin.
+    let mut leg = 0usize;
+    while (next as usize) < n {
+        edges.push((tips[leg], next));
+        tips[leg] = next;
+        next += 1;
+        leg = (leg + 1) % tips.len();
+    }
+    Tree::from_edges(n, &edges).expect("spider is a tree")
+}
+
+/// A uniformly random vertex of `tree`.
+pub fn random_vertex<R: Rng>(tree: &Tree, rng: &mut R) -> VertexId {
+    VertexId(rng.gen_range(0..tree.len() as u32))
+}
+
+/// Two distinct uniformly random vertices of `tree` (requires `n ≥ 2`).
+///
+/// # Panics
+///
+/// Panics if the tree has a single vertex.
+pub fn random_vertex_pair<R: Rng>(tree: &Tree, rng: &mut R) -> (VertexId, VertexId) {
+    assert!(tree.len() >= 2, "need at least two vertices for a demand");
+    let u = rng.gen_range(0..tree.len() as u32);
+    let mut v = rng.gen_range(0..tree.len() as u32 - 1);
+    if v >= u {
+        v += 1;
+    }
+    (VertexId(u), VertexId(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prufer_known_example() {
+        // Sequence (3, 3, 3, 4) over n = 6 yields the tree with edges
+        // 0-3, 1-3, 2-3, 3-4, 4-5 (classic textbook example).
+        let t = prufer_to_tree(6, &[3, 3, 3, 4]);
+        assert_eq!(t.degree(VertexId(3)), 4);
+        assert_eq!(t.degree(VertexId(4)), 2);
+        assert!(t.edge_between(VertexId(0), VertexId(3)).is_some());
+        assert!(t.edge_between(VertexId(4), VertexId(5)).is_some());
+    }
+
+    #[test]
+    fn prufer_two_vertices() {
+        let t = prufer_to_tree(2, &[]);
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n-2 entries")]
+    fn prufer_rejects_bad_length() {
+        let _ = prufer_to_tree(4, &[0]);
+    }
+
+    #[test]
+    fn all_families_generate_valid_trees() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for family in TreeFamily::ALL {
+            for n in [1usize, 2, 3, 5, 17, 64] {
+                let t = family.generate(n, &mut rng);
+                assert_eq!(t.len(), n, "{} n={}", family.name(), n);
+                assert_eq!(t.edge_count(), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            TreeFamily::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), TreeFamily::ALL.len());
+    }
+
+    #[test]
+    fn random_tree_is_deterministic_per_seed() {
+        let a = random_tree(20, &mut SmallRng::seed_from_u64(1));
+        let b = random_tree(20, &mut SmallRng::seed_from_u64(1));
+        let c = random_tree(20, &mut SmallRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should (a.s.) differ");
+    }
+
+    #[test]
+    fn random_pair_is_distinct() {
+        let t = Tree::line(5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (u, v) = random_vertex_pair(&t, &mut rng);
+            assert_ne!(u, v);
+            assert!(u.index() < 5 && v.index() < 5);
+        }
+        let v = random_vertex(&t, &mut rng);
+        assert!(v.index() < 5);
+    }
+
+    #[test]
+    fn star_has_single_center() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let t = star(10, &mut rng);
+        let centers = t.vertices().filter(|&v| t.degree(v) == 9).count();
+        assert_eq!(centers, 1);
+    }
+
+    #[test]
+    fn spider_center_has_legs() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let t = spider(20, &mut rng);
+        assert!(t.degree(VertexId(0)) >= 3);
+    }
+}

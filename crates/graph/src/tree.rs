@@ -1,0 +1,310 @@
+//! Validated undirected trees with stable edge identifiers.
+
+use crate::{EdgeId, VertexId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An undirected tree over the vertex set `{0, …, n-1}`.
+///
+/// The paper assumes every tree-network is connected and spans the common
+/// vertex set `V`; [`Tree::from_edges`] enforces exactly that (`n-1` edges,
+/// connected, no multi-edges or self-loops). Edge ids are the positions in
+/// the edge list passed to the constructor.
+///
+/// # Example
+///
+/// ```
+/// use treenet_graph::{Tree, VertexId, EdgeId};
+///
+/// # fn main() -> Result<(), treenet_graph::TreeError> {
+/// let star = Tree::from_edges(4, &[(0, 1), (0, 2), (0, 3)])?;
+/// assert_eq!(star.len(), 4);
+/// assert_eq!(star.degree(VertexId(0)), 3);
+/// assert_eq!(star.endpoints(EdgeId(1)), (VertexId(0), VertexId(2)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tree {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    adj: Vec<Vec<(VertexId, EdgeId)>>,
+}
+
+/// Error building a [`Tree`] from an edge list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// A tree over `n ≥ 1` vertices needs exactly `n - 1` edges.
+    WrongEdgeCount {
+        /// Number of vertices requested.
+        n: usize,
+        /// Number of edges supplied.
+        edges: usize,
+    },
+    /// An endpoint was `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: u32,
+        /// Number of vertices in the tree.
+        n: usize,
+    },
+    /// An edge connected a vertex to itself.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: u32,
+    },
+    /// The edge set does not connect all vertices (equivalently, with
+    /// `n - 1` edges, it contains a cycle).
+    Disconnected,
+    /// `n` was zero.
+    Empty,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::WrongEdgeCount { n, edges } => {
+                write!(f, "tree over {n} vertices needs {} edges, got {edges}", n - 1)
+            }
+            TreeError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for {n} vertices")
+            }
+            TreeError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            TreeError::Disconnected => write!(f, "edge set is not connected"),
+            TreeError::Empty => write!(f, "tree must have at least one vertex"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl Tree {
+    /// Builds a tree over `n` vertices from an edge list.
+    ///
+    /// Edge `i` of the list receives id [`EdgeId`]`(i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TreeError`] if `n == 0`, the list does not have exactly
+    /// `n - 1` entries, an endpoint is out of range or repeated, or the
+    /// edges do not connect all `n` vertices.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Self, TreeError> {
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        if edges.len() != n - 1 {
+            return Err(TreeError::WrongEdgeCount { n, edges: edges.len() });
+        }
+        let mut adj: Vec<Vec<(VertexId, EdgeId)>> = vec![Vec::new(); n];
+        let mut edge_list = Vec::with_capacity(edges.len());
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if u as usize >= n {
+                return Err(TreeError::VertexOutOfRange { vertex: u, n });
+            }
+            if v as usize >= n {
+                return Err(TreeError::VertexOutOfRange { vertex: v, n });
+            }
+            if u == v {
+                return Err(TreeError::SelfLoop { vertex: u });
+            }
+            let e = EdgeId(i as u32);
+            adj[u as usize].push((VertexId(v), e));
+            adj[v as usize].push((VertexId(u), e));
+            edge_list.push((VertexId(u), VertexId(v)));
+        }
+        let tree = Tree { n, edges: edge_list, adj };
+        if !tree.is_connected() {
+            return Err(TreeError::Disconnected);
+        }
+        Ok(tree)
+    }
+
+    /// Builds the path (line) `0 - 1 - … - (n-1)`.
+    ///
+    /// Edge `i` connects vertices `i` and `i + 1`, matching the paper's view
+    /// of a line-network as a timeline where edge `i` is timeslot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn line(n: usize) -> Self {
+        assert!(n > 0, "line needs at least one vertex");
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)).collect();
+        Tree::from_edges(n, &edges).expect("line edge list is always a valid tree")
+    }
+
+    fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![VertexId(0)];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &self.adj[u.index()] {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tree has exactly one vertex (it can never have zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of edges, always `n - 1`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The endpoints of edge `e` in construction order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e.index()]
+    }
+
+    /// The neighbors of `u` together with the connecting edge ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adj[u.index()]
+    }
+
+    /// Degree of vertex `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = VertexId> + '_ {
+        (0..self.n as u32).map(VertexId)
+    }
+
+    /// Iterator over `(EdgeId, endpoints)` pairs.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, (VertexId, VertexId))> + '_ {
+        self.edges.iter().enumerate().map(|(i, &uv)| (EdgeId(i as u32), uv))
+    }
+
+    /// The edge between `u` and `v`, if the vertices are adjacent.
+    pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        self.adj[u.index()].iter().find(|&&(w, _)| w == v).map(|&(_, e)| e)
+    }
+
+    /// True when the tree is the path `0 - 1 - … - (n-1)` with edge `i`
+    /// joining `i` and `i+1` (the canonical line-network layout).
+    pub fn is_canonical_line(&self) -> bool {
+        self.edges
+            .iter()
+            .enumerate()
+            .all(|(i, &(u, v))| u == VertexId(i as u32) && v == VertexId(i as u32 + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_tree() {
+        let t = Tree::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.degree(VertexId(1)), 3);
+        assert_eq!(t.endpoints(EdgeId(3)), (VertexId(3), VertexId(4)));
+        assert_eq!(t.edge_between(VertexId(1), VertexId(3)), Some(EdgeId(2)));
+        assert_eq!(t.edge_between(VertexId(0), VertexId(4)), None);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let t = Tree::from_edges(1, &[]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.degree(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Tree::from_edges(0, &[]), Err(TreeError::Empty));
+    }
+
+    #[test]
+    fn rejects_wrong_edge_count() {
+        assert_eq!(
+            Tree::from_edges(3, &[(0, 1)]),
+            Err(TreeError::WrongEdgeCount { n: 3, edges: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Tree::from_edges(2, &[(0, 5)]),
+            Err(TreeError::VertexOutOfRange { vertex: 5, n: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(Tree::from_edges(2, &[(1, 1)]), Err(TreeError::SelfLoop { vertex: 1 }));
+    }
+
+    #[test]
+    fn rejects_cycle_with_disconnection() {
+        // 4 vertices, 3 edges forming a triangle + isolated vertex 3.
+        assert_eq!(Tree::from_edges(4, &[(0, 1), (1, 2), (2, 0)]), Err(TreeError::Disconnected));
+    }
+
+    #[test]
+    fn line_layout_is_canonical() {
+        let l = Tree::line(6);
+        assert!(l.is_canonical_line());
+        assert_eq!(l.edge_count(), 5);
+        assert_eq!(l.endpoints(EdgeId(2)), (VertexId(2), VertexId(3)));
+        let t = Tree::from_edges(3, &[(1, 2), (0, 1)]).unwrap();
+        assert!(!t.is_canonical_line());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = Tree::from_edges(3, &[(0, 1)]).unwrap_err();
+        assert!(e.to_string().contains("needs 2 edges"));
+        assert!(TreeError::Disconnected.to_string().contains("not connected"));
+        assert!(TreeError::Empty.to_string().contains("at least one"));
+        assert!((TreeError::SelfLoop { vertex: 3 }).to_string().contains("self-loop"));
+        assert!(
+            (TreeError::VertexOutOfRange { vertex: 9, n: 2 }).to_string().contains("out of range")
+        );
+    }
+
+    #[test]
+    fn clone_eq_round_trip() {
+        let t = Tree::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let u = t.clone();
+        assert_eq!(t, u);
+    }
+}

@@ -1,0 +1,438 @@
+//! Central, round-faithful Luby MIS and the greedy baseline.
+
+/// The per-(vertex, iteration) random value used by Luby's algorithm,
+/// derived from public inputs by a SplitMix64-style hash.
+///
+/// All parties evaluating `luby_value` with the same arguments get the
+/// same value, so a distributed node can compute its neighbors' draws
+/// locally — this is the "common randomness" device that makes the
+/// centralized and message-passing executions identical (see the crate
+/// docs). Each output is computationally indistinguishable from an
+/// independent uniform `u64`, which is all Luby's analysis needs.
+///
+/// `tag` namespaces independent MIS computations (the scheduler uses one
+/// tag per (epoch, stage, step) tuple).
+#[inline]
+pub fn luby_value(seed: u64, tag: u64, vertex_key: u64, iteration: u64) -> u64 {
+    let mut x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(tag)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        .wrapping_add(vertex_key)
+        .wrapping_mul(0x94d0_49bb_1331_11eb)
+        .wrapping_add(iteration);
+    // SplitMix64 finalizer.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Result of a Luby run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LubyOutcome {
+    /// Local vertex indices in the MIS, sorted.
+    pub mis: Vec<u32>,
+    /// Number of Luby iterations executed (each costs a constant number
+    /// of communication rounds in the distributed implementation).
+    pub rounds: u64,
+}
+
+/// Whether vertex `v` beats vertex `w` in iteration `it` (strictly smaller
+/// value; ties broken by vertex key, which is unique).
+#[inline]
+fn beats(seed: u64, tag: u64, it: u64, v_key: u64, w_key: u64) -> bool {
+    let a = luby_value(seed, tag, v_key, it);
+    let b = luby_value(seed, tag, w_key, it);
+    (a, v_key) < (b, w_key)
+}
+
+/// Centralized, round-faithful simulation of Luby's MIS.
+///
+/// `adj[v]` lists the neighbors of local vertex `v` (indices into the same
+/// array); `keys[v]` is a globally unique stable key (e.g. the demand
+/// instance id) feeding the common-randomness hash.
+///
+/// Per iteration, every still-active vertex draws [`luby_value`]; local
+/// minima join the MIS and deactivate their neighborhood. Terminates in
+/// `O(log N)` iterations in expectation and at most `N` always (each
+/// iteration removes at least the globally smallest active vertex).
+///
+/// # Panics
+///
+/// Panics if `keys.len() != adj.len()` or a neighbor index is out of
+/// range.
+pub fn luby_mis(adj: &[Vec<u32>], keys: &[u64], seed: u64, tag: u64) -> LubyOutcome {
+    let n = adj.len();
+    assert_eq!(keys.len(), n, "one key per vertex");
+    let mut active = vec![true; n];
+    let mut remaining = n;
+    let mut mis = Vec::new();
+    let mut it = 0u64;
+    while remaining > 0 {
+        let mut winners = Vec::new();
+        for v in 0..n {
+            if !active[v] {
+                continue;
+            }
+            let wins = adj[v].iter().all(|&w| {
+                let w = w as usize;
+                !active[w] || beats(seed, tag, it, keys[v], keys[w])
+            });
+            if wins {
+                winners.push(v as u32);
+            }
+        }
+        debug_assert!(!winners.is_empty(), "the global minimum always wins");
+        for &v in &winners {
+            mis.push(v);
+            let v = v as usize;
+            if active[v] {
+                active[v] = false;
+                remaining -= 1;
+            }
+            for &w in &adj[v] {
+                let w = w as usize;
+                if active[w] {
+                    active[w] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+        it += 1;
+    }
+    mis.sort_unstable();
+    LubyOutcome { mis, rounds: it }
+}
+
+/// Which MIS algorithm the schedulers plug in for the `Time(MIS)` factor.
+///
+/// The paper's bounds are stated relative to a black-box MIS routine:
+/// Luby's randomized algorithm (`O(log N)` rounds) or a deterministic
+/// alternative (they cite the `2^O(√log N)` network-decomposition method;
+/// we provide the simpler deterministic *local-minimum* rule, whose round
+/// count is the longest decreasing-key chain — `O(N)` worst case, small
+/// in practice).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MisBackend {
+    /// Luby's randomized algorithm with common-randomness values.
+    #[default]
+    Luby,
+    /// Deterministic rule: a vertex joins when its key is the minimum
+    /// among still-active neighbors. Produces exactly the sequential
+    /// greedy-by-key MIS, distributedly.
+    DeterministicGreedy,
+}
+
+impl MisBackend {
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MisBackend::Luby => "luby",
+            MisBackend::DeterministicGreedy => "det-greedy",
+        }
+    }
+
+    /// Runs the selected algorithm (`seed`/`tag` ignored by the
+    /// deterministic backend).
+    pub fn run(self, adj: &[Vec<u32>], keys: &[u64], seed: u64, tag: u64) -> LubyOutcome {
+        match self {
+            MisBackend::Luby => luby_mis(adj, keys, seed, tag),
+            MisBackend::DeterministicGreedy => deterministic_mis(adj, keys),
+        }
+    }
+
+    /// Whether vertex with key `v_key` beats `w_key` in iteration `it`
+    /// under this backend — shared by the central simulations and the
+    /// message-passing nodes so executions stay bit-identical.
+    #[inline]
+    pub fn beats(self, seed: u64, tag: u64, it: u64, v_key: u64, w_key: u64) -> bool {
+        match self {
+            MisBackend::Luby => beats(seed, tag, it, v_key, w_key),
+            MisBackend::DeterministicGreedy => v_key < w_key,
+        }
+    }
+}
+
+/// Deterministic distributed MIS by the local-minimum-key rule,
+/// round-faithful: per iteration, every active vertex whose key is
+/// smaller than all active neighbors' keys joins; closed neighborhoods
+/// deactivate. Equals the sequential greedy MIS over keys in increasing
+/// order (tested), at a worst-case `O(N)` round cost — the deterministic
+/// trade-off the paper alludes to.
+///
+/// # Panics
+///
+/// Panics if `keys.len() != adj.len()`.
+pub fn deterministic_mis(adj: &[Vec<u32>], keys: &[u64]) -> LubyOutcome {
+    let n = adj.len();
+    assert_eq!(keys.len(), n, "one key per vertex");
+    let mut active = vec![true; n];
+    let mut remaining = n;
+    let mut mis = Vec::new();
+    let mut rounds = 0u64;
+    while remaining > 0 {
+        let mut winners = Vec::new();
+        for v in 0..n {
+            if !active[v] {
+                continue;
+            }
+            let wins = adj[v]
+                .iter()
+                .all(|&w| !active[w as usize] || keys[v] < keys[w as usize]);
+            if wins {
+                winners.push(v as u32);
+            }
+        }
+        debug_assert!(!winners.is_empty(), "the minimum key always wins");
+        for &v in &winners {
+            mis.push(v);
+            let v = v as usize;
+            if active[v] {
+                active[v] = false;
+                remaining -= 1;
+            }
+            for &w in &adj[v] {
+                if active[w as usize] {
+                    active[w as usize] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+        rounds += 1;
+    }
+    mis.sort_unstable();
+    LubyOutcome { mis, rounds }
+}
+
+/// Deterministic greedy MIS: scan vertices in index order, take any vertex
+/// whose neighbors are all untaken. The classic sequential baseline.
+pub fn greedy_mis(adj: &[Vec<u32>]) -> Vec<u32> {
+    let n = adj.len();
+    let mut taken = vec![false; n];
+    let mut blocked = vec![false; n];
+    let mut mis = Vec::new();
+    for v in 0..n {
+        if blocked[v] {
+            continue;
+        }
+        taken[v] = true;
+        mis.push(v as u32);
+        blocked[v] = true;
+        for &w in &adj[v] {
+            blocked[w as usize] = true;
+        }
+    }
+    let _ = taken;
+    mis
+}
+
+/// Checks that `mis` is independent and maximal in `adj`.
+pub fn verify_mis(adj: &[Vec<u32>], mis: &[u32]) -> bool {
+    let n = adj.len();
+    let mut in_mis = vec![false; n];
+    for &v in mis {
+        if v as usize >= n {
+            return false;
+        }
+        in_mis[v as usize] = true;
+    }
+    // Independent: no edge inside.
+    for &v in mis {
+        if adj[v as usize].iter().any(|&w| in_mis[w as usize]) {
+            return false;
+        }
+    }
+    // Maximal: every outside vertex has a neighbor inside.
+    (0..n).all(|v| in_mis[v] || adj[v].iter().any(|&w| in_mis[w as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|v| {
+                let mut nb = Vec::new();
+                if v > 0 {
+                    nb.push(v as u32 - 1);
+                }
+                if v + 1 < n {
+                    nb.push(v as u32 + 1);
+                }
+                nb
+            })
+            .collect()
+    }
+
+    #[test]
+    fn luby_on_path_is_valid() {
+        for n in [1usize, 2, 3, 10, 57] {
+            let adj = path_graph(n);
+            let keys: Vec<u64> = (0..n as u64).map(|k| k + 1000).collect();
+            for seed in 0..10u64 {
+                let out = luby_mis(&adj, &keys, seed, 7);
+                assert!(verify_mis(&adj, &out.mis), "n={n} seed={seed}");
+                assert!(out.rounds >= 1 || n == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn luby_is_deterministic_per_seed_and_tag() {
+        let adj = path_graph(20);
+        let keys: Vec<u64> = (0..20).collect();
+        let a = luby_mis(&adj, &keys, 5, 1);
+        let b = luby_mis(&adj, &keys, 5, 1);
+        assert_eq!(a, b);
+        let c = luby_mis(&adj, &keys, 5, 2);
+        // Different tags are independent draws; on a 20-path they almost
+        // surely differ.
+        assert_ne!(a.mis, c.mis);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let out = luby_mis(&[], &[], 1, 1);
+        assert!(out.mis.is_empty());
+        assert_eq!(out.rounds, 0);
+        let out = luby_mis(&[vec![]], &[9], 1, 1);
+        assert_eq!(out.mis, vec![0]);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn complete_graph_yields_single_vertex() {
+        let n = 8usize;
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|v| (0..n as u32).filter(|&w| w as usize != v).collect())
+            .collect();
+        let keys: Vec<u64> = (0..n as u64).collect();
+        let out = luby_mis(&adj, &keys, 3, 3);
+        assert_eq!(out.mis.len(), 1);
+        assert_eq!(out.rounds, 1);
+        assert!(verify_mis(&adj, &out.mis));
+    }
+
+    #[test]
+    fn greedy_is_valid_and_prefers_low_indices() {
+        let adj = path_graph(6);
+        let mis = greedy_mis(&adj);
+        assert_eq!(mis, vec![0, 2, 4]);
+        assert!(verify_mis(&adj, &mis));
+        assert_eq!(greedy_mis(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn verify_rejects_bad_sets() {
+        let adj = path_graph(4);
+        // Not independent.
+        assert!(!verify_mis(&adj, &[0, 1]));
+        // Not maximal.
+        assert!(!verify_mis(&adj, &[0]));
+        // Out of range.
+        assert!(!verify_mis(&adj, &[9]));
+        // Valid.
+        assert!(verify_mis(&adj, &[0, 2]) || verify_mis(&adj, &[0, 3]));
+    }
+
+    #[test]
+    fn luby_rounds_scale_logarithmically() {
+        // Average rounds on random-ish graphs stays near log2(n): we check
+        // a generous 4·log2(n) bound that holds with huge probability.
+        for exp in 3..10u32 {
+            let n = 1usize << exp;
+            let adj = path_graph(n);
+            let keys: Vec<u64> = (0..n as u64).collect();
+            let mut total = 0u64;
+            for seed in 0..20u64 {
+                total += luby_mis(&adj, &keys, seed, 0).rounds;
+            }
+            let avg = total as f64 / 20.0;
+            assert!(
+                avg <= 4.0 * (n as f64).log2().max(1.0),
+                "n={n}: avg Luby rounds {avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn luby_value_differs_across_inputs() {
+        let v = luby_value(1, 2, 3, 4);
+        assert_ne!(v, luby_value(1, 2, 3, 5));
+        assert_ne!(v, luby_value(1, 2, 4, 4));
+        assert_ne!(v, luby_value(1, 3, 3, 4));
+        assert_ne!(v, luby_value(2, 2, 3, 4));
+        assert_eq!(v, luby_value(1, 2, 3, 4));
+    }
+}
+
+#[cfg(test)]
+mod backend_tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|v| {
+                let mut nb = Vec::new();
+                if v > 0 {
+                    nb.push(v as u32 - 1);
+                }
+                if v + 1 < n {
+                    nb.push(v as u32 + 1);
+                }
+                nb
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_equals_sequential_greedy_by_key() {
+        // With keys = indices, the local-minimum rule reproduces the
+        // sequential greedy MIS exactly.
+        for n in [1usize, 2, 5, 12, 33] {
+            let adj = path_graph(n);
+            let keys: Vec<u64> = (0..n as u64).collect();
+            let det = deterministic_mis(&adj, &keys);
+            assert_eq!(det.mis, greedy_mis(&adj), "n={n}");
+            assert!(verify_mis(&adj, &det.mis));
+        }
+    }
+
+    #[test]
+    fn deterministic_respects_key_order_not_index_order() {
+        // Reversed keys flip the greedy orientation on a 3-path:
+        // keys (2,1,0) → vertex 2 wins, then vertex 0.
+        let adj = path_graph(3);
+        let det = deterministic_mis(&adj, &[2, 1, 0]);
+        assert_eq!(det.mis, vec![0, 2]);
+        // Decreasing chain realizes the worst-case round count: keys
+        // strictly decreasing along the path → one winner per round.
+        let n = 9;
+        let adj = path_graph(n);
+        let keys: Vec<u64> = (0..n as u64).rev().collect();
+        let det = deterministic_mis(&adj, &keys);
+        assert!(verify_mis(&adj, &det.mis));
+        assert_eq!(det.rounds, 5, "decreasing keys serialize the rounds");
+    }
+
+    #[test]
+    fn backend_dispatch() {
+        let adj = path_graph(8);
+        let keys: Vec<u64> = (0..8).collect();
+        let a = MisBackend::Luby.run(&adj, &keys, 3, 4);
+        let b = MisBackend::DeterministicGreedy.run(&adj, &keys, 3, 4);
+        assert!(verify_mis(&adj, &a.mis));
+        assert!(verify_mis(&adj, &b.mis));
+        assert_eq!(b.mis, greedy_mis(&adj));
+        assert_eq!(MisBackend::Luby.name(), "luby");
+        assert_eq!(MisBackend::DeterministicGreedy.name(), "det-greedy");
+        assert_eq!(MisBackend::default(), MisBackend::Luby);
+        // beats() agrees with the run outcomes' first-iteration logic.
+        assert!(MisBackend::DeterministicGreedy.beats(0, 0, 0, 1, 2));
+        assert!(!MisBackend::DeterministicGreedy.beats(0, 0, 0, 2, 1));
+    }
+}

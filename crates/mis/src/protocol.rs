@@ -1,0 +1,174 @@
+//! Luby's MIS as a message-passing protocol on [`treenet_netsim`].
+//!
+//! One node per conflict-graph vertex. Thanks to common randomness
+//! ([`crate::luby_value`]), a node computes every neighbor's draw locally;
+//! the only information that must travel is *liveness*: who joined the MIS
+//! (and therefore which neighborhoods die). Each Luby iteration costs two
+//! communication rounds:
+//!
+//! 1. winners (local minima among still-active neighbors) announce
+//!    `Joined`;
+//! 2. their neighbors announce `Died`, letting second-ring nodes update
+//!    their active-neighbor sets before the next draw.
+
+use crate::luby_value;
+use treenet_netsim::{Context, Envelope, MessageSize, Protocol};
+
+/// Messages of the Luby protocol.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LubyMsg {
+    /// The sender joined the MIS.
+    Joined,
+    /// The sender left the computation (a neighbor joined).
+    Died,
+}
+
+impl MessageSize for LubyMsg {
+    fn size_bits(&self) -> u64 {
+        // One bit of content plus a constant envelope.
+        8
+    }
+}
+
+/// Per-vertex state of the Luby protocol.
+///
+/// Build one node per conflict-graph vertex, with the *conflict graph* as
+/// the netsim topology; after [`treenet_netsim::Engine::run`], query
+/// [`LubyProtocol::in_mis`].
+#[derive(Clone, Debug)]
+pub struct LubyProtocol {
+    key: u64,
+    seed: u64,
+    tag: u64,
+    /// Keys of currently active neighbors, parallel to topology neighbor
+    /// order.
+    neighbor_keys: Vec<(usize, u64)>,
+    active_neighbors: Vec<bool>,
+    state: State,
+    iteration: u64,
+    /// Parity within an iteration: announce phase vs. cleanup phase.
+    phase: Phase,
+    death_announced: bool,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum State {
+    Active,
+    InMis,
+    Dead,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Phase {
+    Announce,
+    Cleanup,
+}
+
+impl LubyProtocol {
+    /// Creates the node for one conflict-graph vertex.
+    ///
+    /// `neighbor_keys` maps each topology neighbor (node id) to its stable
+    /// key, in any order.
+    pub fn new(key: u64, seed: u64, tag: u64, neighbor_keys: Vec<(usize, u64)>) -> Self {
+        let active = vec![true; neighbor_keys.len()];
+        LubyProtocol {
+            key,
+            seed,
+            tag,
+            neighbor_keys,
+            active_neighbors: active,
+            state: State::Active,
+            iteration: 0,
+            phase: Phase::Announce,
+            death_announced: false,
+        }
+    }
+
+    /// Whether this vertex ended up in the MIS.
+    pub fn in_mis(&self) -> bool {
+        self.state == State::InMis
+    }
+
+    /// Number of Luby iterations this node participated in.
+    pub fn iterations(&self) -> u64 {
+        self.iteration
+    }
+
+    fn wins_iteration(&self) -> bool {
+        let my = (luby_value(self.seed, self.tag, self.key, self.iteration), self.key);
+        self.neighbor_keys.iter().zip(&self.active_neighbors).all(|(&(_, wkey), &alive)| {
+            !alive || my < (luby_value(self.seed, self.tag, wkey, self.iteration), wkey)
+        })
+    }
+
+    fn mark_neighbor_dead(&mut self, node: usize) {
+        if let Some(i) = self.neighbor_keys.iter().position(|&(id, _)| id == node) {
+            self.active_neighbors[i] = false;
+        }
+    }
+
+    fn step(&mut self, inbox: &[Envelope<LubyMsg>], ctx: &mut Context<'_, LubyMsg>) {
+        // Process announcements from the previous half-round.
+        for env in inbox {
+            match env.msg {
+                LubyMsg::Joined => {
+                    self.mark_neighbor_dead(env.from);
+                    if self.state == State::Active {
+                        self.state = State::Dead;
+                    }
+                }
+                LubyMsg::Died => self.mark_neighbor_dead(env.from),
+            }
+        }
+        match self.phase {
+            Phase::Announce => {
+                if self.state == State::Active && self.wins_iteration() {
+                    self.state = State::InMis;
+                    ctx.broadcast(LubyMsg::Joined);
+                }
+                self.phase = Phase::Cleanup;
+            }
+            Phase::Cleanup => {
+                // A node that died this iteration tells the rest of its
+                // neighborhood (they must stop waiting on its value).
+                if self.state == State::Dead && !self.announced_death() {
+                    ctx.broadcast(LubyMsg::Died);
+                    self.death_announced = true;
+                }
+                self.phase = Phase::Announce;
+                self.iteration += 1;
+            }
+        }
+    }
+
+    fn announced_death(&self) -> bool {
+        self.death_announced
+    }
+}
+
+impl Protocol for LubyProtocol {
+    type Msg = LubyMsg;
+
+    fn on_start(&mut self, _ctx: &mut Context<'_, LubyMsg>) {}
+
+    fn on_round(&mut self, _round: u64, inbox: &[Envelope<LubyMsg>], ctx: &mut Context<'_, LubyMsg>) {
+        if self.state == State::Dead && self.announced_death() {
+            // Still consume inbox to keep neighbor bookkeeping exact.
+            for env in inbox {
+                match env.msg {
+                    LubyMsg::Joined | LubyMsg::Died => self.mark_neighbor_dead(env.from),
+                }
+            }
+            return;
+        }
+        self.step(inbox, ctx);
+    }
+
+    fn is_done(&self) -> bool {
+        match self.state {
+            State::InMis => true,
+            State::Dead => self.announced_death(),
+            State::Active => false,
+        }
+    }
+}

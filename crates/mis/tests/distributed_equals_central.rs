@@ -1,0 +1,87 @@
+//! The message-passing Luby protocol computes exactly the same MIS as the
+//! centralized simulation (common randomness makes the executions
+//! bit-identical), in two communication rounds per Luby iteration.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use treenet_mis::{luby_mis, verify_mis, LubyProtocol};
+use treenet_netsim::{Engine, Topology};
+
+fn random_graph(n: usize, p: f64, rng: &mut SmallRng) -> Vec<Vec<u32>> {
+    let mut adj = vec![Vec::new(); n];
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.gen_bool(p) {
+                adj[a].push(b as u32);
+                adj[b].push(a as u32);
+            }
+        }
+    }
+    adj
+}
+
+fn run_distributed(adj: &[Vec<u32>], keys: &[u64], seed: u64, tag: u64) -> (Vec<u32>, u64) {
+    let n = adj.len();
+    let topology =
+        Topology::from_adjacency(adj.iter().map(|l| l.iter().map(|&w| w as usize).collect()).collect());
+    let nodes: Vec<LubyProtocol> = (0..n)
+        .map(|v| {
+            let neighbor_keys =
+                adj[v].iter().map(|&w| (w as usize, keys[w as usize])).collect();
+            LubyProtocol::new(keys[v], seed, tag, neighbor_keys)
+        })
+        .collect();
+    let mut engine = Engine::new(nodes, topology);
+    let metrics = engine.run(10_000).expect("Luby quiesces");
+    let mis: Vec<u32> = engine
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, node)| node.in_mis())
+        .map(|(v, _)| v as u32)
+        .collect();
+    (mis, metrics.rounds)
+}
+
+#[test]
+fn matches_central_on_fixed_graphs() {
+    // Path, star, triangle-with-tail.
+    let cases: Vec<Vec<Vec<u32>>> = vec![
+        vec![vec![1], vec![0, 2], vec![1, 3], vec![2]],
+        vec![vec![1, 2, 3], vec![0], vec![0], vec![0]],
+        vec![vec![1, 2], vec![0, 2], vec![0, 1, 3], vec![2]],
+    ];
+    for adj in cases {
+        let n = adj.len();
+        let keys: Vec<u64> = (0..n as u64).map(|k| k * 17 + 3).collect();
+        for seed in 0..20u64 {
+            let central = luby_mis(&adj, &keys, seed, 9);
+            let (dist, rounds) = run_distributed(&adj, &keys, seed, 9);
+            assert_eq!(central.mis, dist, "seed {seed}");
+            assert!(verify_mis(&adj, &dist));
+            // Two communication rounds per Luby iteration (the last
+            // iteration may finish early once everyone is decided).
+            assert!(
+                rounds <= 2 * central.rounds + 2,
+                "rounds {rounds} vs iterations {}",
+                central.rounds
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matches_central_on_random_graphs(seed in 0u64..5000, n in 1usize..40, dens in 0u32..3) {
+        let p = [0.05, 0.2, 0.6][dens as usize];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let adj = random_graph(n, p, &mut rng);
+        let keys: Vec<u64> = (0..n as u64).map(|k| k + seed * 1000).collect();
+        let central = luby_mis(&adj, &keys, seed, 1);
+        let (dist, _) = run_distributed(&adj, &keys, seed, 1);
+        prop_assert_eq!(central.mis, dist);
+    }
+}

@@ -1,0 +1,244 @@
+//! Conflict graphs over demand instances — the input to MIS computations.
+//!
+//! Two demand instances are *conflicting* when they belong to the same
+//! demand or they overlap (same network, shared edge); a feasible
+//! unit-height solution is exactly an independent set in this graph
+//! (Section 2 of the paper).
+
+use crate::{InstanceId, Problem};
+
+/// A conflict graph over a subset of demand instances, with dense local
+/// vertex indices for MIS algorithms.
+///
+/// # Example
+///
+/// ```
+/// use treenet_graph::{Tree, VertexId};
+/// use treenet_model::{Demand, ProblemBuilder};
+/// use treenet_model::conflict::ConflictGraph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProblemBuilder::new();
+/// let t = b.add_network(Tree::line(5))?;
+/// b.add_demand(Demand::pair(VertexId(0), VertexId(3), 1.0), &[t])?;
+/// b.add_demand(Demand::pair(VertexId(2), VertexId(4), 1.0), &[t])?;
+/// let p = b.build()?;
+/// let ids: Vec<_> = p.instances().map(|d| d.id).collect();
+/// let g = ConflictGraph::build(&p, &ids);
+/// assert_eq!(g.len(), 2);
+/// assert_eq!(g.degree(0), 1); // the two instances overlap on edge 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConflictGraph {
+    ids: Vec<InstanceId>,
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl ConflictGraph {
+    /// Builds the conflict graph over `members` (order preserved; local
+    /// vertex `i` is `members[i]`).
+    ///
+    /// Pairwise tests are grouped by network and by demand, so the cost is
+    /// `O(Σ_T k_T² + Σ_a k_a²)` bitmask comparisons rather than a blind
+    /// `O(k²)` over everything.
+    pub fn build(problem: &Problem, members: &[InstanceId]) -> Self {
+        let k = members.len();
+        let mut local: std::collections::HashMap<InstanceId, u32> =
+            std::collections::HashMap::with_capacity(k);
+        for (i, &d) in members.iter().enumerate() {
+            local.insert(d, i as u32);
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut edge_count = 0usize;
+
+        // Group members by network for overlap tests.
+        let mut by_network: Vec<Vec<u32>> = vec![Vec::new(); problem.network_count()];
+        let mut by_demand: Vec<Vec<u32>> = vec![Vec::new(); problem.demand_count()];
+        for (i, &d) in members.iter().enumerate() {
+            let inst = problem.instance(d);
+            by_network[inst.network.index()].push(i as u32);
+            by_demand[inst.demand.index()].push(i as u32);
+        }
+        let push_edge = |adj: &mut Vec<Vec<u32>>, i: u32, j: u32| {
+            adj[i as usize].push(j);
+            adj[j as usize].push(i);
+        };
+        for group in &by_network {
+            for (x, &i) in group.iter().enumerate() {
+                let di = problem.instance(members[i as usize]);
+                for &j in &group[x + 1..] {
+                    let dj = problem.instance(members[j as usize]);
+                    // Same-demand pairs are handled below; skip to avoid
+                    // double edges.
+                    if di.demand == dj.demand {
+                        continue;
+                    }
+                    if di.overlaps(dj) {
+                        push_edge(&mut adj, i, j);
+                        edge_count += 1;
+                    }
+                }
+            }
+        }
+        for group in &by_demand {
+            for (x, &i) in group.iter().enumerate() {
+                for &j in &group[x + 1..] {
+                    push_edge(&mut adj, i, j);
+                    edge_count += 1;
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        ConflictGraph { ids: members.to_vec(), adj, edge_count }
+    }
+
+    /// Number of vertices (instances).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of conflict edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The instance id of local vertex `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn instance(&self, i: usize) -> InstanceId {
+        self.ids[i]
+    }
+
+    /// All instance ids in local-vertex order.
+    pub fn instances(&self) -> &[InstanceId] {
+        &self.ids
+    }
+
+    /// Neighbors of local vertex `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.adj[i]
+    }
+
+    /// Degree of local vertex `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Checks that `set` (local indices) is an independent set.
+    pub fn is_independent(&self, set: &[u32]) -> bool {
+        let mut marked = vec![false; self.len()];
+        for &i in set {
+            marked[i as usize] = true;
+        }
+        set.iter().all(|&i| self.adj[i as usize].iter().all(|&j| !marked[j as usize]))
+    }
+
+    /// Checks that `set` (local indices) is a *maximal* independent set:
+    /// independent, and every vertex outside has a neighbor inside.
+    pub fn is_maximal_independent(&self, set: &[u32]) -> bool {
+        if !self.is_independent(set) {
+            return false;
+        }
+        let mut marked = vec![false; self.len()];
+        for &i in set {
+            marked[i as usize] = true;
+        }
+        (0..self.len()).all(|v| {
+            marked[v] || self.adj[v].iter().any(|&j| marked[j as usize])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Demand, ProblemBuilder};
+    use treenet_graph::{Tree, VertexId};
+
+    fn sample() -> (Problem, Vec<InstanceId>) {
+        let mut b = ProblemBuilder::new();
+        let t0 = b.add_network(Tree::line(8)).unwrap();
+        let t1 = b.add_network(Tree::line(8)).unwrap();
+        // a0 on both networks, interval [0,4).
+        b.add_demand(Demand::pair(VertexId(0), VertexId(4), 1.0), &[t0, t1]).unwrap();
+        // a1 on t0 only, [3,6): overlaps a0's t0 instance.
+        b.add_demand(Demand::pair(VertexId(3), VertexId(6), 1.0), &[t0]).unwrap();
+        // a2 on t1 only, [5,7): overlaps nothing.
+        b.add_demand(Demand::pair(VertexId(5), VertexId(7), 1.0), &[t1]).unwrap();
+        let p = b.build().unwrap();
+        let ids: Vec<InstanceId> = p.instances().map(|d| d.id).collect();
+        (p, ids)
+    }
+
+    #[test]
+    fn builds_expected_edges() {
+        let (p, ids) = sample();
+        let g = ConflictGraph::build(&p, &ids);
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+        // Edges: (a0@t0, a0@t1) same demand; (a0@t0, a1@t0) overlap.
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.instance(3), ids[3]);
+        assert_eq!(g.instances(), ids.as_slice());
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn independence_checks() {
+        let (p, ids) = sample();
+        let g = ConflictGraph::build(&p, &ids);
+        assert!(g.is_independent(&[1, 3]));
+        assert!(!g.is_independent(&[0, 1]));
+        // {a0@t1, a1@t0, a2@t1}: wait, a0@t1 and a2@t1 don't overlap —
+        // {1, 2, 3} is independent and maximal (0 conflicts with 1 and 2).
+        assert!(g.is_maximal_independent(&[1, 2, 3]));
+        // {1, 3} is independent but not maximal (2 has no neighbor inside).
+        assert!(!g.is_maximal_independent(&[1, 3]));
+        assert!(!g.is_maximal_independent(&[0, 1]));
+    }
+
+    #[test]
+    fn subset_graphs_use_local_indices() {
+        let (p, ids) = sample();
+        let g = ConflictGraph::build(&p, &[ids[0], ids[2]]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 1); // overlap on t0
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.instance(1), ids[2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (p, _) = sample();
+        let g = ConflictGraph::build(&p, &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_independent(&[]));
+        assert!(g.is_maximal_independent(&[]));
+    }
+}

@@ -1,0 +1,712 @@
+//! Validated problem instances with materialized demand instances.
+
+use crate::demand::{Demand, DemandKind};
+use crate::{DemandId, InstanceId, NetworkId};
+use std::fmt;
+use treenet_graph::{EdgeId, RootedTree, Tree, TreePath, VertexId};
+
+/// A materialized demand instance `d`: one copy of a demand on one
+/// accessible network (Section 2 of the paper), with its routing path and a
+/// bitmask over the network's edges for `O(E/64)` overlap tests.
+#[derive(Clone, Debug)]
+pub struct DemandInstance {
+    /// Dense instance id (index into [`Problem::instances`]).
+    pub id: InstanceId,
+    /// The demand `a_d` this instance belongs to.
+    pub demand: DemandId,
+    /// The network the instance is scheduled on.
+    pub network: NetworkId,
+    /// The routing path `path(d)` in that network.
+    pub path: TreePath,
+    /// For window instances: the chosen start timeslot `s(d)`.
+    pub start: Option<u32>,
+    /// One bit per edge of the network: bit `e` set iff `d ∼ e`.
+    edge_mask: Vec<u64>,
+}
+
+impl DemandInstance {
+    fn new(
+        id: InstanceId,
+        demand: DemandId,
+        network: NetworkId,
+        path: TreePath,
+        start: Option<u32>,
+        words: usize,
+    ) -> Self {
+        let mut edge_mask = vec![0u64; words];
+        for &e in path.edges() {
+            edge_mask[e.index() / 64] |= 1 << (e.index() % 64);
+        }
+        DemandInstance { id, demand, network, path, start, edge_mask }
+    }
+
+    /// Whether the instance is active on edge `e` of its own network
+    /// (the paper's `d ∼ e`).
+    #[inline]
+    pub fn active_on(&self, e: EdgeId) -> bool {
+        self.edge_mask[e.index() / 64] & (1 << (e.index() % 64)) != 0
+    }
+
+    /// A globally unique key computable from *public* information
+    /// (demand id, network id, start slot) — unlike the dense
+    /// [`InstanceId`], a distributed processor can derive it without
+    /// global coordination. Used as the common-randomness key so the
+    /// logical and message-passing executions draw identical Luby values.
+    ///
+    /// Layout: `demand (32 bits) | network (12 bits) | start (20 bits)`.
+    #[inline]
+    pub fn canonical_key(&self) -> u64 {
+        debug_assert!(self.network.0 < (1 << 12), "at most 4096 networks");
+        debug_assert!(self.start.unwrap_or(0) < (1 << 20), "at most 2^20 timeslots");
+        ((self.demand.0 as u64) << 32)
+            | ((self.network.0 as u64) << 20)
+            | self.start.unwrap_or(0) as u64
+    }
+
+    /// Whether this instance and `other` are *overlapping*: same network
+    /// and at least one shared edge.
+    #[inline]
+    pub fn overlaps(&self, other: &DemandInstance) -> bool {
+        self.network == other.network
+            && self.edge_mask.iter().zip(&other.edge_mask).any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of edges on the routing path (the instance *length*
+    /// `len(d)`, which for window instances equals the processing time).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    /// True when the path uses no edges (never the case for valid demands).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.path.is_empty()
+    }
+}
+
+/// Error constructing a [`Problem`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// The problem needs at least one network.
+    NoNetworks,
+    /// All networks must span the same vertex set `V`.
+    VertexCountMismatch {
+        /// Vertex count of network 0.
+        expected: usize,
+        /// Vertex count of the offending network.
+        got: usize,
+        /// The offending network.
+        network: NetworkId,
+    },
+    /// A demand failed its own validation (profit/height/window shape).
+    InvalidDemand {
+        /// Index the demand would have received.
+        demand: DemandId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A demand end-point is not a vertex of the networks.
+    EndpointOutOfRange {
+        /// The offending demand.
+        demand: DemandId,
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+    /// Every processor must access at least one network.
+    EmptyAccess {
+        /// The offending demand/processor.
+        demand: DemandId,
+    },
+    /// An access list referenced a network id that was never added.
+    UnknownNetwork {
+        /// The offending demand/processor.
+        demand: DemandId,
+        /// The unknown network id.
+        network: NetworkId,
+    },
+    /// A window demand was given access to a network that is not a
+    /// canonical line (`Tree::line` layout), so timeslots are undefined.
+    WindowOnNonLine {
+        /// The offending demand.
+        demand: DemandId,
+        /// The non-line network.
+        network: NetworkId,
+    },
+    /// A window demand's deadline exceeds the timeline length.
+    WindowOutOfRange {
+        /// The offending demand.
+        demand: DemandId,
+        /// The deadline requested.
+        deadline: u32,
+        /// Number of timeslots available (edges of the line).
+        slots: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoNetworks => write!(f, "problem needs at least one network"),
+            ModelError::VertexCountMismatch { expected, got, network } => write!(
+                f,
+                "network {network} has {got} vertices, expected {expected} (all networks share V)"
+            ),
+            ModelError::InvalidDemand { demand, reason } => {
+                write!(f, "demand {demand} is invalid: {reason}")
+            }
+            ModelError::EndpointOutOfRange { demand, vertex } => {
+                write!(f, "demand {demand} end-point {vertex} is out of range")
+            }
+            ModelError::EmptyAccess { demand } => {
+                write!(f, "demand {demand} must access at least one network")
+            }
+            ModelError::UnknownNetwork { demand, network } => {
+                write!(f, "demand {demand} references unknown network {network}")
+            }
+            ModelError::WindowOnNonLine { demand, network } => {
+                write!(f, "window demand {demand} requires canonical line, network {network} is not")
+            }
+            ModelError::WindowOutOfRange { demand, deadline, slots } => {
+                write!(f, "window demand {demand} deadline {deadline} exceeds {slots} timeslots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Incremental builder for [`Problem`] (see the crate-level example).
+#[derive(Debug, Default)]
+pub struct ProblemBuilder {
+    networks: Vec<Tree>,
+    demands: Vec<Demand>,
+    access: Vec<Vec<NetworkId>>,
+}
+
+impl ProblemBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a network and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ModelError::VertexCountMismatch`] if the tree's vertex
+    /// count differs from previously added networks.
+    pub fn add_network(&mut self, tree: Tree) -> Result<NetworkId, ModelError> {
+        if let Some(first) = self.networks.first() {
+            if first.len() != tree.len() {
+                return Err(ModelError::VertexCountMismatch {
+                    expected: first.len(),
+                    got: tree.len(),
+                    network: NetworkId(self.networks.len() as u32),
+                });
+            }
+        }
+        let id = NetworkId(self.networks.len() as u32);
+        self.networks.push(tree);
+        Ok(id)
+    }
+
+    /// Adds a demand owned by a fresh processor with the given accessible
+    /// networks, returning the demand id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the demand is self-invalid, the access list is empty, or it
+    /// references an unknown network. (Range checks against the vertex set
+    /// happen in [`ProblemBuilder::build`].)
+    pub fn add_demand(
+        &mut self,
+        demand: Demand,
+        access: &[NetworkId],
+    ) -> Result<DemandId, ModelError> {
+        let id = DemandId(self.demands.len() as u32);
+        demand
+            .validate()
+            .map_err(|reason| ModelError::InvalidDemand { demand: id, reason })?;
+        if access.is_empty() {
+            return Err(ModelError::EmptyAccess { demand: id });
+        }
+        let mut acc: Vec<NetworkId> = access.to_vec();
+        acc.sort_unstable();
+        acc.dedup();
+        for &t in &acc {
+            if t.index() >= self.networks.len() {
+                return Err(ModelError::UnknownNetwork { demand: id, network: t });
+            }
+        }
+        self.demands.push(demand);
+        self.access.push(acc);
+        Ok(id)
+    }
+
+    /// Validates everything and materializes the demand instances.
+    ///
+    /// # Errors
+    ///
+    /// See [`ModelError`] for the conditions checked.
+    pub fn build(self) -> Result<Problem, ModelError> {
+        if self.networks.is_empty() {
+            return Err(ModelError::NoNetworks);
+        }
+        let n = self.networks[0].len();
+        let rooted: Vec<RootedTree> =
+            self.networks.iter().map(|t| RootedTree::new(t, VertexId(0))).collect();
+        let words_per_network: Vec<usize> =
+            self.networks.iter().map(|t| t.edge_count().div_ceil(64).max(1)).collect();
+
+        let mut instances: Vec<DemandInstance> = Vec::new();
+        let mut by_demand: Vec<Vec<InstanceId>> = vec![Vec::new(); self.demands.len()];
+        let mut by_network: Vec<Vec<InstanceId>> = vec![Vec::new(); self.networks.len()];
+
+        for (ai, demand) in self.demands.iter().enumerate() {
+            let a = DemandId(ai as u32);
+            match demand.kind {
+                DemandKind::Pair { u, v } => {
+                    for &vx in [u, v].iter() {
+                        if vx.index() >= n {
+                            return Err(ModelError::EndpointOutOfRange { demand: a, vertex: vx });
+                        }
+                    }
+                    for &t in &self.access[ai] {
+                        let path = rooted[t.index()].path(u, v);
+                        let id = InstanceId(instances.len() as u32);
+                        instances.push(DemandInstance::new(
+                            id,
+                            a,
+                            t,
+                            path,
+                            None,
+                            words_per_network[t.index()],
+                        ));
+                        by_demand[ai].push(id);
+                        by_network[t.index()].push(id);
+                    }
+                }
+                DemandKind::Window { release, deadline, processing } => {
+                    for &t in &self.access[ai] {
+                        let tree = &self.networks[t.index()];
+                        if !tree.is_canonical_line() {
+                            return Err(ModelError::WindowOnNonLine { demand: a, network: t });
+                        }
+                        let slots = tree.edge_count();
+                        if deadline as usize >= slots {
+                            return Err(ModelError::WindowOutOfRange {
+                                demand: a,
+                                deadline,
+                                slots,
+                            });
+                        }
+                        // One instance per feasible start timeslot: the
+                        // execution segment [s, s + ρ - 1] must fit inside
+                        // [release, deadline].
+                        for s in release..=(deadline + 1 - processing) {
+                            let vertices: Vec<VertexId> =
+                                (s..=s + processing).map(VertexId).collect();
+                            let edges: Vec<EdgeId> = (s..s + processing).map(EdgeId).collect();
+                            let path = TreePath::new(vertices, edges);
+                            let id = InstanceId(instances.len() as u32);
+                            instances.push(DemandInstance::new(
+                                id,
+                                a,
+                                t,
+                                path,
+                                Some(s),
+                                words_per_network[t.index()],
+                            ));
+                            by_demand[ai].push(id);
+                            by_network[t.index()].push(id);
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Problem {
+            networks: self.networks,
+            rooted,
+            demands: self.demands,
+            access: self.access,
+            instances,
+            by_demand,
+            by_network,
+        })
+    }
+}
+
+/// A validated problem instance: networks, demands with accessibility, and
+/// all materialized demand instances (the set `D` of the paper).
+#[derive(Clone, Debug)]
+pub struct Problem {
+    networks: Vec<Tree>,
+    rooted: Vec<RootedTree>,
+    demands: Vec<Demand>,
+    access: Vec<Vec<NetworkId>>,
+    instances: Vec<DemandInstance>,
+    by_demand: Vec<Vec<InstanceId>>,
+    by_network: Vec<Vec<InstanceId>>,
+}
+
+impl Problem {
+    /// Number of vertices `n` of the common vertex set.
+    pub fn vertex_count(&self) -> usize {
+        self.networks[0].len()
+    }
+
+    /// Number of networks `r`.
+    pub fn network_count(&self) -> usize {
+        self.networks.len()
+    }
+
+    /// Number of demands `m` (= number of processors).
+    pub fn demand_count(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Number of materialized demand instances `|D|`.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// The tree of network `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn network(&self, t: NetworkId) -> &Tree {
+        &self.networks[t.index()]
+    }
+
+    /// A rooted view (root = vertex 0) of network `t`, shared by all
+    /// processors for deterministic path and decomposition computations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn rooted(&self, t: NetworkId) -> &RootedTree {
+        &self.rooted[t.index()]
+    }
+
+    /// The demand `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn demand(&self, a: DemandId) -> &Demand {
+        &self.demands[a.index()]
+    }
+
+    /// The demand instance `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn instance(&self, d: InstanceId) -> &DemandInstance {
+        &self.instances[d.index()]
+    }
+
+    /// Iterator over all demand instances in id order.
+    pub fn instances(&self) -> impl ExactSizeIterator<Item = &DemandInstance> {
+        self.instances.iter()
+    }
+
+    /// Iterator over all demand ids.
+    pub fn demands(&self) -> impl ExactSizeIterator<Item = DemandId> {
+        (0..self.demands.len() as u32).map(DemandId)
+    }
+
+    /// Iterator over all network ids.
+    pub fn networks(&self) -> impl ExactSizeIterator<Item = NetworkId> {
+        (0..self.networks.len() as u32).map(NetworkId)
+    }
+
+    /// The instances of demand `a` (the paper's `Inst(a)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn instances_of(&self, a: DemandId) -> &[InstanceId] {
+        &self.by_demand[a.index()]
+    }
+
+    /// The instances on network `t` (the paper's `D(T)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn instances_on(&self, t: NetworkId) -> &[InstanceId] {
+        &self.by_network[t.index()]
+    }
+
+    /// The networks accessible to the processor owning demand `a`
+    /// (the paper's `Acc(P)`), sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn access(&self, a: DemandId) -> &[NetworkId] {
+        &self.access[a.index()]
+    }
+
+    /// Profit of instance `d` (same as its demand's profit).
+    #[inline]
+    pub fn profit_of(&self, d: InstanceId) -> f64 {
+        self.demands[self.instances[d.index()].demand.index()].profit
+    }
+
+    /// Height of instance `d` (same as its demand's height).
+    #[inline]
+    pub fn height_of(&self, d: InstanceId) -> f64 {
+        self.demands[self.instances[d.index()].demand.index()].height
+    }
+
+    /// `(pmin, pmax)` over all demands; `(0, 0)` when there are none.
+    pub fn profit_bounds(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for d in &self.demands {
+            lo = lo.min(d.profit);
+            hi = hi.max(d.profit);
+        }
+        if self.demands.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// `(Lmin, Lmax)` over all instance path lengths; `(0, 0)` when there
+    /// are no instances.
+    pub fn length_bounds(&self) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for inst in &self.instances {
+            lo = lo.min(inst.len());
+            hi = hi.max(inst.len());
+        }
+        if self.instances.is_empty() {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Minimum height over all demands (`hmin`); 1.0 when there are none.
+    pub fn min_height(&self) -> f64 {
+        self.demands.iter().map(|d| d.height).fold(1.0, f64::min)
+    }
+
+    /// Whether every demand has unit height.
+    pub fn is_unit_height(&self) -> bool {
+        self.demands.iter().all(Demand::is_unit_height)
+    }
+
+    /// Sum of all demand profits (an upper bound on any solution).
+    pub fn total_profit(&self) -> f64 {
+        self.demands.iter().map(|d| d.profit).sum()
+    }
+
+    /// The paper's *conflicting* relation: same demand, or overlapping
+    /// paths on the same network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn conflicting(&self, a: InstanceId, b: InstanceId) -> bool {
+        if a == b {
+            return true;
+        }
+        let da = &self.instances[a.index()];
+        let db = &self.instances[b.index()];
+        da.demand == db.demand || da.overlaps(db)
+    }
+
+    /// The processor communication graph: processors (demands) `P₁, P₂`
+    /// are adjacent iff `Acc(P₁) ∩ Acc(P₂) ≠ ∅`. Returned as sorted
+    /// adjacency lists indexed by demand.
+    pub fn communication_graph(&self) -> Vec<Vec<DemandId>> {
+        let m = self.demands.len();
+        let mut by_network: Vec<Vec<DemandId>> = vec![Vec::new(); self.networks.len()];
+        for (ai, acc) in self.access.iter().enumerate() {
+            for &t in acc {
+                by_network[t.index()].push(DemandId(ai as u32));
+            }
+        }
+        let mut adj: Vec<Vec<DemandId>> = vec![Vec::new(); m];
+        for members in &by_network {
+            for &p in members {
+                for &q in members {
+                    if p != q {
+                        adj[p.index()].push(q);
+                    }
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Demand;
+
+    fn two_line_problem() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let t0 = b.add_network(Tree::line(6)).unwrap();
+        let t1 = b.add_network(Tree::line(6)).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(3), 4.0), &[t0, t1]).unwrap();
+        b.add_demand(Demand::pair(VertexId(2), VertexId(5), 2.0), &[t0]).unwrap();
+        b.add_demand(Demand::pair(VertexId(4), VertexId(5), 1.0), &[t1]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_materializes_instances() {
+        let p = two_line_problem();
+        assert_eq!(p.vertex_count(), 6);
+        assert_eq!(p.network_count(), 2);
+        assert_eq!(p.demand_count(), 3);
+        // Demand 0 has two instances (both networks), 1 and 2 have one.
+        assert_eq!(p.instance_count(), 4);
+        assert_eq!(p.instances_of(DemandId(0)).len(), 2);
+        assert_eq!(p.instances_of(DemandId(1)).len(), 1);
+        assert_eq!(p.instances_on(NetworkId(0)).len(), 2);
+        assert_eq!(p.instances_on(NetworkId(1)).len(), 2);
+        assert_eq!(p.access(DemandId(0)), &[NetworkId(0), NetworkId(1)]);
+        assert!(p.is_unit_height());
+        assert_eq!(p.profit_bounds(), (1.0, 4.0));
+        assert_eq!(p.length_bounds(), (1, 3));
+        assert_eq!(p.total_profit(), 7.0);
+        assert_eq!(p.min_height(), 1.0);
+        assert_eq!(p.demands().count(), 3);
+        assert_eq!(p.networks().count(), 2);
+    }
+
+    #[test]
+    fn conflict_relation() {
+        let p = two_line_problem();
+        let d0 = p.instances_of(DemandId(0)); // on t0: [0,3); on t1: [0,3)
+        let d1 = p.instances_of(DemandId(1))[0]; // on t0: [2,5)
+        let d2 = p.instances_of(DemandId(2))[0]; // on t1: [4,5)
+        // Same demand conflicts.
+        assert!(p.conflicting(d0[0], d0[1]));
+        // Overlap on t0 (share edge 2).
+        assert!(p.conflicting(d0[0], d1));
+        // Different networks never overlap.
+        assert!(!p.conflicting(d1, d2));
+        // d0 on t1 covers edges 0..2, d2 covers edge 4: no conflict.
+        assert!(!p.conflicting(d0[1], d2));
+        // Reflexive by convention.
+        assert!(p.conflicting(d1, d1));
+    }
+
+    #[test]
+    fn active_on_matches_path() {
+        let p = two_line_problem();
+        let inst = p.instance(p.instances_of(DemandId(1))[0]);
+        assert!(inst.active_on(EdgeId(2)));
+        assert!(inst.active_on(EdgeId(4)));
+        assert!(!inst.active_on(EdgeId(0)));
+        assert_eq!(inst.len(), 3);
+        assert!(!inst.is_empty());
+    }
+
+    #[test]
+    fn window_demands_expand_to_start_times() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_network(Tree::line(11)).unwrap(); // 10 timeslots
+        b.add_demand(Demand::window(2, 6, 3, 1.0), &[t]).unwrap();
+        let p = b.build().unwrap();
+        // Starts 2, 3, 4 fit [s, s+2] inside [2, 6].
+        assert_eq!(p.instance_count(), 3);
+        let starts: Vec<u32> = p.instances().map(|d| d.start.unwrap()).collect();
+        assert_eq!(starts, vec![2, 3, 4]);
+        for inst in p.instances() {
+            assert_eq!(inst.len(), 3);
+            let s = inst.start.unwrap();
+            assert!(inst.active_on(EdgeId(s)));
+            assert!(inst.active_on(EdgeId(s + 2)));
+        }
+    }
+
+    #[test]
+    fn window_on_non_line_is_rejected() {
+        let mut b = ProblemBuilder::new();
+        let star = Tree::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let t = b.add_network(star).unwrap();
+        b.add_demand(Demand::window(0, 1, 1, 1.0), &[t]).unwrap();
+        assert!(matches!(b.build(), Err(ModelError::WindowOnNonLine { .. })));
+    }
+
+    #[test]
+    fn window_deadline_must_fit_timeline() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_network(Tree::line(5)).unwrap(); // 4 timeslots: 0..3
+        b.add_demand(Demand::window(1, 4, 2, 1.0), &[t]).unwrap();
+        assert!(matches!(b.build(), Err(ModelError::WindowOutOfRange { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_mismatched_vertex_counts() {
+        let mut b = ProblemBuilder::new();
+        b.add_network(Tree::line(4)).unwrap();
+        assert!(matches!(
+            b.add_network(Tree::line(5)),
+            Err(ModelError::VertexCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_bad_access() {
+        let mut b = ProblemBuilder::new();
+        let _ = b.add_network(Tree::line(4)).unwrap();
+        assert!(matches!(
+            b.add_demand(Demand::pair(VertexId(0), VertexId(1), 1.0), &[]),
+            Err(ModelError::EmptyAccess { .. })
+        ));
+        assert!(matches!(
+            b.add_demand(Demand::pair(VertexId(0), VertexId(1), 1.0), &[NetworkId(7)]),
+            Err(ModelError::UnknownNetwork { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_endpoints() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_network(Tree::line(4)).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(9), 1.0), &[t]).unwrap();
+        assert!(matches!(b.build(), Err(ModelError::EndpointOutOfRange { .. })));
+    }
+
+    #[test]
+    fn build_requires_networks() {
+        assert!(matches!(ProblemBuilder::new().build(), Err(ModelError::NoNetworks)));
+    }
+
+    #[test]
+    fn communication_graph_links_shared_access() {
+        let p = two_line_problem();
+        let g = p.communication_graph();
+        // Demand 0 shares t0 with demand 1 and t1 with demand 2.
+        assert_eq!(g[0], vec![DemandId(1), DemandId(2)]);
+        assert_eq!(g[1], vec![DemandId(0)]);
+        assert_eq!(g[2], vec![DemandId(0)]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ModelError::EmptyAccess { demand: DemandId(3) };
+        assert!(e.to_string().contains("a3"));
+        let e = ModelError::WindowOutOfRange { demand: DemandId(0), deadline: 9, slots: 5 };
+        assert!(e.to_string().contains("9"));
+    }
+}

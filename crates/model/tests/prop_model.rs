@@ -1,0 +1,114 @@
+//! Property-based tests for the problem model.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treenet_model::conflict::ConflictGraph;
+use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
+use treenet_model::{Solution, SolutionTracker};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated problems are internally consistent: instance indexes agree
+    /// with the per-demand and per-network lookup tables, and every
+    /// instance's path connects its demand's end-points within one network.
+    #[test]
+    fn workload_problems_are_consistent(seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = TreeWorkload::new(24, 20).with_networks(3);
+        let p = cfg.generate(&mut rng);
+        let mut seen = 0usize;
+        for a in p.demands() {
+            for &d in p.instances_of(a) {
+                let inst = p.instance(d);
+                prop_assert_eq!(inst.demand, a);
+                prop_assert!(p.access(a).contains(&inst.network));
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, p.instance_count());
+        for t in p.networks() {
+            for &d in p.instances_on(t) {
+                prop_assert_eq!(p.instance(d).network, t);
+            }
+        }
+    }
+
+    /// The conflict relation is symmetric and matches the path-overlap
+    /// definition; the conflict graph encodes exactly that relation.
+    #[test]
+    fn conflict_graph_matches_predicate(seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = TreeWorkload::new(16, 12).with_networks(2);
+        let p = cfg.generate(&mut rng);
+        let ids: Vec<_> = p.instances().map(|d| d.id).collect();
+        let g = ConflictGraph::build(&p, &ids);
+        for i in 0..ids.len() {
+            for j in 0..ids.len() {
+                let edge = g.neighbors(i).contains(&(j as u32));
+                let conflict = i != j && p.conflicting(ids[i], ids[j]);
+                prop_assert_eq!(edge, conflict, "i={} j={}", i, j);
+                prop_assert_eq!(p.conflicting(ids[i], ids[j]), p.conflicting(ids[j], ids[i]));
+            }
+        }
+    }
+
+    /// Greedily packing instances with the tracker always yields a feasible
+    /// solution, including with fractional heights.
+    #[test]
+    fn tracker_builds_feasible_solutions(seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = TreeWorkload::new(20, 25)
+            .with_networks(2)
+            .with_heights(HeightMode::Uniform { hmin: 0.2 });
+        let p = cfg.generate(&mut rng);
+        let mut tracker = SolutionTracker::new(&p);
+        for d in p.instances().map(|i| i.id) {
+            let _ = tracker.try_add(d);
+        }
+        let s = tracker.into_solution();
+        prop_assert!(s.verify(&p).is_ok());
+        prop_assert!(!s.is_empty());
+    }
+
+    /// Window instances stay inside their windows and have the demanded
+    /// processing time.
+    #[test]
+    fn window_instances_respect_windows(seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = LineWorkload::new(30, 15).with_window_slack(4).with_len_range(1, 5);
+        let p = cfg.generate(&mut rng);
+        for inst in p.instances() {
+            let demand = p.demand(inst.demand);
+            if let treenet_model::DemandKind::Window { release, deadline, processing } =
+                demand.kind
+            {
+                let s = inst.start.expect("window instances carry a start");
+                prop_assert!(s >= release);
+                prop_assert!(s + processing - 1 <= deadline);
+                prop_assert_eq!(inst.len() as u32, processing);
+            } else {
+                prop_assert!(false, "line workload generates window demands");
+            }
+        }
+    }
+
+    /// A singleton solution of any instance is feasible; adding a
+    /// same-demand sibling never is.
+    #[test]
+    fn singletons_feasible_siblings_conflict(seed in 0u64..300) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = TreeWorkload::new(12, 8).with_networks(3);
+        let p = cfg.generate(&mut rng);
+        for a in p.demands() {
+            let insts = p.instances_of(a);
+            let single = Solution::new(vec![insts[0]]);
+            prop_assert!(single.verify(&p).is_ok());
+            if insts.len() > 1 {
+                let pair = Solution::new(vec![insts[0], insts[1]]);
+                prop_assert!(pair.verify(&p).is_err());
+            }
+        }
+    }
+}

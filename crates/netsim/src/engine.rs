@@ -1,0 +1,448 @@
+//! The synchronous round engine.
+
+use crate::{MessageSize, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A received message with its sender.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// The sending node.
+    pub from: usize,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Per-round send interface handed to protocol nodes.
+///
+/// Sends are restricted to topology neighbors, matching the paper's model
+/// where a processor talks only to processors sharing a resource.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    node: usize,
+    neighbors: &'a [usize],
+    out: Vec<(usize, M)>,
+}
+
+impl<M> Context<'_, M> {
+    /// The id of the node this context belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The node's topology neighbors, sorted.
+    pub fn neighbors(&self) -> &[usize] {
+        self.neighbors
+    }
+
+    /// Queues `msg` for delivery to `to` at the start of the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is not a topology neighbor — single-hop communication
+    /// is a model invariant, so violating it is a programming error.
+    pub fn send(&mut self, to: usize, msg: M) {
+        assert!(
+            self.neighbors.binary_search(&to).is_ok(),
+            "node {} cannot send to non-neighbor {}",
+            self.node,
+            to
+        );
+        self.out.push((to, msg));
+    }
+
+    /// Sends a clone of `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for &w in self.neighbors {
+            self.out.push((w, msg.clone()));
+        }
+    }
+}
+
+/// A node of a synchronous distributed protocol.
+pub trait Protocol {
+    /// The message type exchanged by this protocol.
+    type Msg: Clone + MessageSize;
+
+    /// Called once before the first round; typically seeds initial sends.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// One synchronous round: `inbox` holds everything sent to this node
+    /// in the previous round.
+    fn on_round(&mut self, round: u64, inbox: &[Envelope<Self::Msg>], ctx: &mut Context<'_, Self::Msg>);
+
+    /// Local termination flag. The engine stops once every node is done
+    /// *and* no messages are in flight.
+    fn is_done(&self) -> bool;
+}
+
+/// Communication metrics of one engine run — the quantities the paper's
+/// theorems bound.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Number of synchronous rounds executed.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total delivered payload size in bits (via [`MessageSize`]).
+    pub bits: u64,
+    /// Largest single-message size observed, in bits.
+    pub max_message_bits: u64,
+    /// Messages discarded by fault injection (see [`FaultPlan`]).
+    pub dropped: u64,
+    /// Extra deliveries created by fault injection.
+    pub duplicated: u64,
+}
+
+/// Fault injection for simulator robustness testing.
+///
+/// The paper's model assumes reliable synchronous delivery and the
+/// scheduling protocols are **not** fault-tolerant — injection exists to
+/// exercise the engine's bookkeeping and to demonstrate how sensitive the
+/// model is to message loss (see the engine tests), not to claim
+/// resilience.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability each message is silently dropped.
+    pub drop_probability: f64,
+    /// Probability each delivered message is delivered twice.
+    pub duplicate_probability: f64,
+    /// Seed of the fault RNG (faults are reproducible).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A reliable plan (no faults) — the default behaviour.
+    pub fn reliable() -> Self {
+        FaultPlan { drop_probability: 0.0, duplicate_probability: 0.0, seed: 0 }
+    }
+
+    /// Drops each message independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn dropping(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
+        FaultPlan { drop_probability: p, duplicate_probability: 0.0, seed }
+    }
+
+    /// Duplicates each message independently with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn duplicating(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
+        FaultPlan { drop_probability: 0.0, duplicate_probability: p, seed }
+    }
+}
+
+/// Engine failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The round budget was exhausted before quiescence.
+    RoundLimitExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not quiesce within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Drives a set of [`Protocol`] nodes over a [`Topology`] in synchronous
+/// rounds (see the crate-level example).
+#[derive(Debug)]
+pub struct Engine<P: Protocol> {
+    nodes: Vec<P>,
+    topology: Topology,
+    mailboxes: Vec<Vec<Envelope<P::Msg>>>,
+    metrics: Metrics,
+    started: bool,
+    faults: Option<(FaultPlan, SmallRng)>,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Creates an engine; `nodes[i]` sits at topology node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count differs from the topology size.
+    pub fn new(nodes: Vec<P>, topology: Topology) -> Self {
+        assert_eq!(nodes.len(), topology.len(), "one protocol node per topology node");
+        let n = nodes.len();
+        Engine {
+            nodes,
+            topology,
+            mailboxes: vec![Vec::new(); n],
+            metrics: Metrics::default(),
+            started: false,
+            faults: None,
+        }
+    }
+
+    /// Enables fault injection (builder style). See [`FaultPlan`].
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some((plan, SmallRng::seed_from_u64(plan.seed)));
+        self
+    }
+
+    /// Immutable access to the protocol nodes (e.g. to read results).
+    pub fn nodes(&self) -> &[P] {
+        &self.nodes
+    }
+
+    /// Mutable access to the protocol nodes (e.g. to reconfigure between
+    /// phases).
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.nodes
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Runs `on_start` (once) and then rounds until quiescence — all nodes
+    /// done and no in-flight messages — or until `max_rounds` is hit.
+    ///
+    /// Returns the accumulated metrics on success. Can be called again
+    /// after new work is injected via [`Engine::nodes_mut`]; metrics keep
+    /// accumulating.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::RoundLimitExceeded`] if the protocol does not
+    /// quiesce in time (metrics keep whatever was accumulated).
+    pub fn run(&mut self, max_rounds: u64) -> Result<Metrics, EngineError> {
+        if !self.started {
+            self.started = true;
+            let mut outs: Vec<Vec<(usize, P::Msg)>> = Vec::with_capacity(self.nodes.len());
+            for (v, node) in self.nodes.iter_mut().enumerate() {
+                let mut ctx =
+                    Context { node: v, neighbors: self.topology.neighbors(v), out: Vec::new() };
+                node.on_start(&mut ctx);
+                outs.push(ctx.out);
+            }
+            self.deliver(outs);
+        }
+        let mut executed = 0u64;
+        while !self.quiescent() {
+            if executed >= max_rounds {
+                return Err(EngineError::RoundLimitExceeded { limit: max_rounds });
+            }
+            self.step();
+            executed += 1;
+        }
+        Ok(self.metrics)
+    }
+
+    /// Executes exactly one synchronous round.
+    pub fn step(&mut self) {
+        let round = self.metrics.rounds;
+        let inboxes: Vec<Vec<Envelope<P::Msg>>> =
+            self.mailboxes.iter_mut().map(std::mem::take).collect();
+        let mut outs: Vec<Vec<(usize, P::Msg)>> = Vec::with_capacity(self.nodes.len());
+        for (v, node) in self.nodes.iter_mut().enumerate() {
+            let mut ctx =
+                Context { node: v, neighbors: self.topology.neighbors(v), out: Vec::new() };
+            node.on_round(round, &inboxes[v], &mut ctx);
+            outs.push(ctx.out);
+        }
+        self.deliver(outs);
+        self.metrics.rounds += 1;
+    }
+
+    fn deliver(&mut self, outs: Vec<Vec<(usize, P::Msg)>>) {
+        for (from, out) in outs.into_iter().enumerate() {
+            for (to, msg) in out {
+                if let Some((plan, rng)) = self.faults.as_mut() {
+                    if plan.drop_probability > 0.0 && rng.gen_bool(plan.drop_probability) {
+                        self.metrics.dropped += 1;
+                        continue;
+                    }
+                    if plan.duplicate_probability > 0.0
+                        && rng.gen_bool(plan.duplicate_probability)
+                    {
+                        self.metrics.duplicated += 1;
+                        self.mailboxes[to].push(Envelope { from, msg: msg.clone() });
+                    }
+                }
+                let bits = msg.size_bits();
+                self.metrics.messages += 1;
+                self.metrics.bits += bits;
+                self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+                self.mailboxes[to].push(Envelope { from, msg });
+            }
+        }
+    }
+
+    /// Whether every node is done and no message is in flight.
+    pub fn quiescent(&self) -> bool {
+        self.nodes.iter().all(Protocol::is_done)
+            && self.mailboxes.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts messages received; sends `k` pings on start and stops.
+    struct Pinger {
+        to_send: u64,
+        received: u64,
+    }
+
+    impl Protocol for Pinger {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            for i in 0..self.to_send {
+                if !ctx.neighbors().is_empty() {
+                    let target = ctx.neighbors()[i as usize % ctx.neighbors().len()];
+                    ctx.send(target, i);
+                }
+            }
+        }
+        fn on_round(&mut self, _round: u64, inbox: &[Envelope<u64>], _ctx: &mut Context<'_, u64>) {
+            self.received += inbox.len() as u64;
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn delivers_messages_and_counts_metrics() {
+        let mut topology = Topology::new(2);
+        topology.add_edge(0, 1);
+        let nodes = vec![Pinger { to_send: 3, received: 0 }, Pinger { to_send: 0, received: 0 }];
+        let mut engine = Engine::new(nodes, topology);
+        let metrics = engine.run(10).unwrap();
+        assert_eq!(engine.nodes()[1].received, 3);
+        assert_eq!(metrics.messages, 3);
+        assert_eq!(metrics.bits, 3 * 64);
+        assert_eq!(metrics.max_message_bits, 64);
+        // One round to drain the start messages.
+        assert_eq!(metrics.rounds, 1);
+    }
+
+    /// Relays a token along a path; node i forwards to i+1.
+    struct Relay {
+        id: usize,
+        last: usize,
+        got: bool,
+    }
+
+    impl Protocol for Relay {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if self.id == 0 {
+                ctx.send(1, 42);
+            }
+        }
+        fn on_round(&mut self, _round: u64, inbox: &[Envelope<u64>], ctx: &mut Context<'_, u64>) {
+            if inbox.iter().any(|e| e.msg == 42) {
+                self.got = true;
+                if self.id < self.last {
+                    ctx.send(self.id + 1, 42);
+                }
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn token_takes_one_round_per_hop() {
+        let n = 6;
+        let mut topology = Topology::new(n);
+        for i in 0..n - 1 {
+            topology.add_edge(i, i + 1);
+        }
+        let nodes = (0..n).map(|id| Relay { id, last: n - 1, got: false }).collect();
+        let mut engine = Engine::new(nodes, topology);
+        let metrics = engine.run(20).unwrap();
+        assert!(engine.nodes().iter().skip(1).all(|r| r.got));
+        // n-1 hops, one round each.
+        assert_eq!(metrics.rounds, (n - 1) as u64);
+        assert_eq!(metrics.messages, (n - 1) as u64);
+    }
+
+    /// Never finishes: tests the round limit.
+    struct Chatter;
+    impl Protocol for Chatter {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            ctx.broadcast(0);
+        }
+        fn on_round(&mut self, _round: u64, _inbox: &[Envelope<u64>], ctx: &mut Context<'_, u64>) {
+            ctx.broadcast(0);
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let topology = Topology::complete(3);
+        let mut engine = Engine::new(vec![Chatter, Chatter, Chatter], topology);
+        let err = engine.run(5).unwrap_err();
+        assert_eq!(err, EngineError::RoundLimitExceeded { limit: 5 });
+        assert!(err.to_string().contains("5 rounds"));
+    }
+
+    /// Ignores the topology and fires at node 1 directly — a model
+    /// violation the engine must reject.
+    struct BadSender;
+    impl Protocol for BadSender {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            ctx.send(1, 0);
+        }
+        fn on_round(&mut self, _r: u64, _i: &[Envelope<u64>], _c: &mut Context<'_, u64>) {}
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sends_to_non_neighbors_panic() {
+        let topology = Topology::new(2); // no edges
+        let mut engine = Engine::new(vec![BadSender, BadSender], topology);
+        let _ = engine.run(5);
+    }
+
+    #[test]
+    fn multi_phase_runs_accumulate_metrics() {
+        let mut topology = Topology::new(2);
+        topology.add_edge(0, 1);
+        let nodes = vec![Pinger { to_send: 2, received: 0 }, Pinger { to_send: 0, received: 0 }];
+        let mut engine = Engine::new(nodes, topology);
+        let m1 = engine.run(10).unwrap();
+        // Inject more work.
+        engine.nodes_mut()[0].to_send = 0;
+        let m2 = engine.run(10).unwrap();
+        assert_eq!(m1.messages, 2);
+        assert_eq!(m2.messages, 2, "no new messages sent in phase 2");
+        assert_eq!(engine.metrics().messages, 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Communication topologies: who may exchange messages with whom.
+
+/// An undirected communication graph over nodes `0..n`.
+///
+/// In the scheduling problem the nodes are processors and an edge exists
+/// iff two processors share an accessible resource (`Acc(P₁) ∩ Acc(P₂) ≠
+/// ∅`). The [`crate::Engine`] rejects sends along non-edges — the model
+/// permits single-hop communication only.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// An edgeless topology over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Topology { adj: vec![Vec::new(); n] }
+    }
+
+    /// Builds a topology from sorted-or-not adjacency lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a neighbor index is out of range or self-referential.
+    pub fn from_adjacency(adj: Vec<Vec<usize>>) -> Self {
+        let n = adj.len();
+        let mut topology = Topology { adj };
+        for (v, list) in topology.adj.iter_mut().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            for &w in list.iter() {
+                assert!(w < n, "neighbor {w} out of range");
+                assert_ne!(w, v, "self-loops are not allowed");
+            }
+        }
+        topology
+    }
+
+    /// Adds the undirected edge `{a, b}` (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `a == b`.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        let n = self.adj.len();
+        assert!(a < n && b < n, "edge endpoints must be < {n}");
+        assert_ne!(a, b, "self-loops are not allowed");
+        if let Err(pos) = self.adj[a].binary_search(&b) {
+            self.adj[a].insert(pos, b);
+        }
+        if let Err(pos) = self.adj[b].binary_search(&a) {
+            self.adj[b].insert(pos, a);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the topology has zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Neighbors of `v`, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Whether `{a, b}` is an edge.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&b).is_ok()
+    }
+
+    /// A complete topology over `n` nodes (every pair connected).
+    pub fn complete(n: usize) -> Self {
+        let adj = (0..n)
+            .map(|v| (0..n).filter(|&w| w != v).collect())
+            .collect();
+        Topology { adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_is_idempotent_and_symmetric() {
+        let mut t = Topology::new(4);
+        t.add_edge(0, 2);
+        t.add_edge(2, 0);
+        t.add_edge(1, 2);
+        assert_eq!(t.edge_count(), 2);
+        assert!(t.has_edge(0, 2));
+        assert!(t.has_edge(2, 0));
+        assert!(!t.has_edge(0, 1));
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn from_adjacency_normalizes() {
+        let t = Topology::from_adjacency(vec![vec![2, 1, 1], vec![0], vec![0]]);
+        assert_eq!(t.neighbors(0), &[1, 2]);
+        assert_eq!(t.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut t = Topology::new(2);
+        t.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let t = Topology::from_adjacency(vec![vec![5]]);
+        let _ = t;
+    }
+
+    #[test]
+    fn complete_topology() {
+        let t = Topology::complete(4);
+        assert_eq!(t.edge_count(), 6);
+        assert!(t.has_edge(1, 3));
+    }
+}

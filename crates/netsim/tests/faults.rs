@@ -1,0 +1,103 @@
+//! Fault-injection tests: the engine's bookkeeping under message drops
+//! and duplication, and a demonstration that the paper's synchronous
+//! model genuinely depends on reliable delivery.
+
+use treenet_netsim::{Context, Engine, Envelope, FaultPlan, Protocol, Topology};
+
+/// Floods the maximum id; robust to duplication (idempotent) but not to
+/// drops.
+struct MaxFlood {
+    best: u64,
+    changed: bool,
+}
+
+impl Protocol for MaxFlood {
+    type Msg = u64;
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        ctx.broadcast(self.best);
+    }
+    fn on_round(&mut self, _round: u64, inbox: &[Envelope<u64>], ctx: &mut Context<'_, u64>) {
+        self.changed = false;
+        for env in inbox {
+            if env.msg > self.best {
+                self.best = env.msg;
+                self.changed = true;
+            }
+        }
+        if self.changed {
+            ctx.broadcast(self.best);
+        }
+    }
+    fn is_done(&self) -> bool {
+        !self.changed
+    }
+}
+
+fn line_topology(n: usize) -> Topology {
+    let mut t = Topology::new(n);
+    for i in 0..n - 1 {
+        t.add_edge(i, i + 1);
+    }
+    t
+}
+
+fn flood_nodes(n: usize) -> Vec<MaxFlood> {
+    (0..n).map(|i| MaxFlood { best: i as u64, changed: true }).collect()
+}
+
+#[test]
+fn reliable_plan_changes_nothing() {
+    let n = 6;
+    let mut plain = Engine::new(flood_nodes(n), line_topology(n));
+    let m1 = plain.run(100).unwrap();
+    let mut reliable =
+        Engine::new(flood_nodes(n), line_topology(n)).with_faults(FaultPlan::reliable());
+    let m2 = reliable.run(100).unwrap();
+    assert_eq!(m1, m2);
+    assert_eq!(m2.dropped, 0);
+    assert_eq!(m2.duplicated, 0);
+    assert!(reliable.nodes().iter().all(|x| x.best == (n - 1) as u64));
+}
+
+#[test]
+fn duplication_preserves_idempotent_protocols() {
+    let n = 8;
+    let mut engine = Engine::new(flood_nodes(n), line_topology(n))
+        .with_faults(FaultPlan::duplicating(0.5, 42));
+    let metrics = engine.run(200).unwrap();
+    assert!(metrics.duplicated > 0, "duplication should have fired");
+    // MaxFlood is idempotent: the result is unchanged.
+    assert!(engine.nodes().iter().all(|x| x.best == (n - 1) as u64));
+}
+
+#[test]
+fn heavy_drops_break_convergence_to_the_true_maximum() {
+    // With every message dropped, no node learns anything: the paper's
+    // synchronous model assumes reliable links, and this documents that
+    // assumption is load-bearing.
+    let n = 6;
+    let mut engine = Engine::new(flood_nodes(n), line_topology(n))
+        .with_faults(FaultPlan::dropping(1.0, 7));
+    let metrics = engine.run(100).unwrap();
+    assert_eq!(metrics.messages, 0);
+    assert!(metrics.dropped > 0);
+    let stale = engine.nodes().iter().filter(|x| x.best != (n - 1) as u64).count();
+    assert_eq!(stale, n - 1, "nobody but the max node knows the max");
+}
+
+#[test]
+fn drop_metrics_are_consistent() {
+    let n = 10;
+    let mut engine = Engine::new(flood_nodes(n), line_topology(n))
+        .with_faults(FaultPlan::dropping(0.3, 99));
+    let metrics = engine.run(500).unwrap();
+    // Delivered + dropped = attempted; bits only counted for deliveries.
+    assert!(metrics.dropped > 0);
+    assert_eq!(metrics.bits, metrics.messages * 64);
+}
+
+#[test]
+#[should_panic(expected = "probability")]
+fn rejects_bad_probability() {
+    let _ = FaultPlan::dropping(1.5, 0);
+}

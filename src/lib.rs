@@ -1,0 +1,40 @@
+//! # treenet
+//!
+//! A production-quality reproduction of **"Distributed Algorithms for
+//! Scheduling on Line and Tree Networks"** (Chakaravarthy, Roy, Sabharwal —
+//! PODC 2012, arXiv:1205.1924).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `treenet-graph` | trees, LCA, paths, generators |
+//! | [`model`] | `treenet-model` | demands, instances, feasibility |
+//! | [`decomp`] | `treenet-decomp` | tree & layered decompositions (Section 4) |
+//! | [`core`] | `treenet-core` | primal-dual framework & schedulers (Sections 3, 5–7) |
+//! | [`netsim`] | `treenet-netsim` | synchronous message-passing simulator |
+//! | [`mis`] | `treenet-mis` | Luby's maximal independent set |
+//! | [`dist`] | `treenet-dist` | message-passing scheduler |
+//! | [`baseline`] | `treenet-baseline` | Panconesi–Sozio, exact solvers, greedy |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use treenet::graph::Tree;
+//!
+//! let line = Tree::line(8);
+//! assert_eq!(line.edge_count(), 7);
+//! ```
+//!
+//! See `examples/quickstart.rs` for an end-to-end scheduling run.
+
+#![forbid(unsafe_code)]
+
+pub use treenet_baseline as baseline;
+pub use treenet_core as core;
+pub use treenet_decomp as decomp;
+pub use treenet_dist as dist;
+pub use treenet_graph as graph;
+pub use treenet_mis as mis;
+pub use treenet_model as model;
+pub use treenet_netsim as netsim;

@@ -1,0 +1,59 @@
+//! Integration: the message-passing scheduler reproduces the logical one
+//! across problem shapes, and its communication metrics respect the
+//! paper's model (single-hop messages of O(M) bits).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treenet::core::{solve_tree_unit, SolverConfig};
+use treenet::dist::{run_distributed_tree_unit, DistConfig};
+use treenet::model::workload::TreeWorkload;
+
+#[test]
+fn distributed_equals_logical_across_shapes() {
+    use treenet::graph::generators::TreeFamily;
+    for family in [TreeFamily::Path, TreeFamily::Star, TreeFamily::Uniform] {
+        let p = TreeWorkload::new(9, 7)
+            .with_networks(2)
+            .with_family(family)
+            .with_profit_ratio(4.0)
+            .generate(&mut SmallRng::seed_from_u64(17));
+        let cfg = SolverConfig::default().with_epsilon(0.35).with_seed(17);
+        let logical = solve_tree_unit(&p, &cfg).unwrap();
+        let distributed = run_distributed_tree_unit(&p, &DistConfig::from(&cfg)).unwrap();
+        assert!(!distributed.luby_incomplete);
+        assert!(!distributed.final_unsatisfied);
+        assert_eq!(logical.solution, distributed.solution, "{}", family.name());
+        distributed.solution.verify(&p).unwrap();
+    }
+}
+
+#[test]
+fn distributed_round_count_follows_fixed_schedule() {
+    let p = TreeWorkload::new(8, 6)
+        .with_networks(2)
+        .with_profit_ratio(4.0)
+        .generate(&mut SmallRng::seed_from_u64(3));
+    let cfg = DistConfig { epsilon: 0.4, ..DistConfig::default() };
+    let out = run_distributed_tree_unit(&p, &cfg).unwrap();
+    // Engine rounds = schedule length + drain (≤ 2 extra rounds).
+    assert!(out.metrics.rounds >= out.schedule.total_rounds());
+    assert!(out.metrics.rounds <= out.schedule.total_rounds() + 2);
+    // λ reached the (1-ε) target.
+    assert!(out.lambda >= 1.0 - 0.4 - 1e-9);
+}
+
+#[test]
+fn solo_processor_runs_clean() {
+    // m = 1: no neighbors, no messages, still correct.
+    let mut b = treenet::model::ProblemBuilder::new();
+    let t = b.add_network(treenet::graph::Tree::line(5)).unwrap();
+    b.add_demand(
+        treenet::model::Demand::pair(treenet::graph::VertexId(1), treenet::graph::VertexId(4), 3.0),
+        &[t],
+    )
+    .unwrap();
+    let p = b.build().unwrap();
+    let out = run_distributed_tree_unit(&p, &DistConfig::default()).unwrap();
+    assert_eq!(out.solution.len(), 1);
+    assert_eq!(out.metrics.messages, 0);
+}
