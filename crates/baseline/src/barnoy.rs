@@ -179,8 +179,7 @@ pub fn barnoy_line_arbitrary(problem: &Problem) -> (Solution, BarNoyOutcome, Bar
     }
     let wide = sequential_pass(problem, RaiseRule::Unit, &wide_ids);
     let narrow = sequential_pass(problem, RaiseRule::Narrow, &narrow_ids);
-    let combined =
-        treenet_core::combine_by_network(problem, &wide.solution, &narrow.solution);
+    let combined = treenet_core::combine_by_network(problem, &wide.solution, &narrow.solution);
     (combined, wide, narrow)
 }
 
@@ -238,7 +237,10 @@ mod tests {
             let p = LineWorkload::new(30, 18)
                 .with_resources(2)
                 .with_len_range(1, 8)
-                .with_heights(HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.2 })
+                .with_heights(HeightMode::Bimodal {
+                    narrow_frac: 0.5,
+                    hmin: 0.2,
+                })
                 .generate(&mut SmallRng::seed_from_u64(seed));
             let (combined, wide, narrow) = barnoy_line_arbitrary(&p);
             assert!(combined.verify(&p).is_ok(), "seed {seed}");
@@ -279,8 +281,7 @@ mod tests {
     #[should_panic(expected = "canonical line")]
     fn rejects_tree_networks() {
         let mut b = treenet_model::ProblemBuilder::new();
-        let star =
-            treenet_graph::Tree::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let star = treenet_graph::Tree::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
         let t = b.add_network(star).unwrap();
         b.add_demand(
             treenet_model::Demand::pair(

@@ -70,7 +70,9 @@ impl Search<'_> {
     fn dfs(&mut self, pos: usize, profit: f64) -> Result<(), ExactError> {
         self.nodes += 1;
         if self.nodes > self.budget {
-            return Err(ExactError::BudgetExhausted { budget: self.budget });
+            return Err(ExactError::BudgetExhausted {
+                budget: self.budget,
+            });
         }
         if profit > self.best_profit {
             self.best_profit = profit;
@@ -130,8 +132,7 @@ pub fn exact_max_profit(problem: &Problem, budget: u64) -> Result<Solution, Exac
     });
     let mut suffix = vec![0.0f64; order.len() + 1];
     for i in (0..order.len()).rev() {
-        suffix[i] =
-            suffix[i + 1] + problem.demand(treenet_model::DemandId(order[i])).profit;
+        suffix[i] = suffix[i + 1] + problem.demand(treenet_model::DemandId(order[i])).profit;
     }
     let mut search = Search {
         problem,
@@ -172,7 +173,9 @@ pub fn weighted_interval_dp(problem: &Problem) -> Result<Solution, ExactError> {
         });
     }
     if !problem.is_unit_height() {
-        return Err(ExactError::NotAnIntervalInstance { reason: "non-unit heights".into() });
+        return Err(ExactError::NotAnIntervalInstance {
+            reason: "non-unit heights".into(),
+        });
     }
     for a in problem.demands() {
         if problem.instances_of(a).len() != 1 {
@@ -312,9 +315,12 @@ mod tests {
         // [0,2] and [2,4] share slot 2: not both.
         let mut b = ProblemBuilder::new();
         let t = b.add_network(Tree::line(7)).unwrap();
-        b.add_demand(Demand::pair(VertexId(0), VertexId(3), 2.0), &[t]).unwrap();
-        b.add_demand(Demand::pair(VertexId(3), VertexId(6), 3.0), &[t]).unwrap();
-        b.add_demand(Demand::pair(VertexId(2), VertexId(5), 4.0), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(3), 2.0), &[t])
+            .unwrap();
+        b.add_demand(Demand::pair(VertexId(3), VertexId(6), 3.0), &[t])
+            .unwrap();
+        b.add_demand(Demand::pair(VertexId(2), VertexId(5), 4.0), &[t])
+            .unwrap();
         let p = b.build().unwrap();
         let dp = weighted_interval_dp(&p).unwrap();
         // Best: {0,1} = 5.0 > {2} = 4.0.
@@ -324,7 +330,9 @@ mod tests {
     #[test]
     fn dp_rejects_invalid_shapes() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let two = LineWorkload::new(20, 6).with_resources(2).generate(&mut rng);
+        let two = LineWorkload::new(20, 6)
+            .with_resources(2)
+            .generate(&mut rng);
         assert!(matches!(
             weighted_interval_dp(&two),
             Err(ExactError::NotAnIntervalInstance { .. })
@@ -343,7 +351,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ExactError::BudgetExhausted { budget: 7 }.to_string().contains("7"));
+        assert!(ExactError::BudgetExhausted { budget: 7 }
+            .to_string()
+            .contains("7"));
         let e = ExactError::NotAnIntervalInstance { reason: "x".into() };
         assert!(e.to_string().contains("x"));
     }

@@ -41,7 +41,9 @@ pub fn greedy_profit(problem: &Problem, order: GreedyOrder) -> Solution {
         GreedyOrder::Density => ids.sort_by(|&a, &b| {
             let da = problem.profit_of(a) / problem.instance(a).len().max(1) as f64;
             let db = problem.profit_of(b) / problem.instance(b).len().max(1) as f64;
-            db.partial_cmp(&da).expect("finite densities").then(a.cmp(&b))
+            db.partial_cmp(&da)
+                .expect("finite densities")
+                .then(a.cmp(&b))
         }),
         GreedyOrder::Shortest => ids.sort_by(|&a, &b| {
             problem
@@ -78,7 +80,11 @@ mod tests {
                 .with_networks(2)
                 .with_heights(HeightMode::Uniform { hmin: 0.25 })
                 .generate(&mut SmallRng::seed_from_u64(seed));
-            for order in [GreedyOrder::Profit, GreedyOrder::Density, GreedyOrder::Shortest] {
+            for order in [
+                GreedyOrder::Profit,
+                GreedyOrder::Density,
+                GreedyOrder::Shortest,
+            ] {
                 let s = greedy_profit(&p, order);
                 assert!(s.verify(&p).is_ok(), "seed {seed} {order:?}");
                 assert!(!s.is_empty());

@@ -23,7 +23,11 @@ pub struct PsConfig {
 
 impl Default for PsConfig {
     fn default() -> Self {
-        PsConfig { epsilon: 0.1, seed: 0xba5e, max_steps_per_epoch: 1_000_000 }
+        PsConfig {
+            epsilon: 0.1,
+            seed: 0xba5e,
+            max_steps_per_epoch: 1_000_000,
+        }
     }
 }
 
@@ -119,8 +123,9 @@ pub fn single_stage_two_phase(
                 "PS epoch diverged — broken decomposition"
             );
             let graph = ConflictGraph::build(problem, &unsatisfied);
-            let adj: Vec<Vec<u32>> =
-                (0..graph.len()).map(|v| graph.neighbors(v).to_vec()).collect();
+            let adj: Vec<Vec<u32>> = (0..graph.len())
+                .map(|v| graph.neighbors(v).to_vec())
+                .collect();
             let keys: Vec<u64> = graph
                 .instances()
                 .iter()
@@ -128,8 +133,11 @@ pub fn single_stage_two_phase(
                 .collect();
             let outcome = luby_mis(&adj, &keys, config.seed, mis_tag(k, 1, steps_this_epoch));
             mis_rounds += outcome.rounds;
-            let raised: Vec<InstanceId> =
-                outcome.mis.iter().map(|&v| graph.instance(v as usize)).collect();
+            let raised: Vec<InstanceId> = outcome
+                .mis
+                .iter()
+                .map(|&v| graph.instance(v as usize))
+                .collect();
             for &d in &raised {
                 // PS raise to tightness with the same δ rules.
                 let inst = problem.instance(d);
@@ -215,10 +223,7 @@ pub fn ps_line_unit(problem: &Problem, config: &PsConfig) -> PsOutcome {
 /// # Panics
 ///
 /// Panics if some network is not a canonical line.
-pub fn ps_line_arbitrary(
-    problem: &Problem,
-    config: &PsConfig,
-) -> (Solution, PsOutcome, PsOutcome) {
+pub fn ps_line_arbitrary(problem: &Problem, config: &PsConfig) -> (Solution, PsOutcome, PsOutcome) {
     let layers = LayeredDecomposition::for_lines(problem);
     let mut wide_ids = Vec::new();
     let mut narrow_ids = Vec::new();
@@ -229,10 +234,8 @@ pub fn ps_line_arbitrary(
         }
     }
     let wide = single_stage_two_phase(problem, &layers, RaiseRule::Unit, config, &wide_ids);
-    let narrow =
-        single_stage_two_phase(problem, &layers, RaiseRule::Narrow, config, &narrow_ids);
-    let combined =
-        treenet_core::combine_by_network(problem, &wide.solution, &narrow.solution);
+    let narrow = single_stage_two_phase(problem, &layers, RaiseRule::Narrow, config, &narrow_ids);
+    let combined = treenet_core::combine_by_network(problem, &wide.solution, &narrow.solution);
     (combined, wide, narrow)
 }
 
@@ -254,7 +257,11 @@ mod tests {
             let out = ps_line_unit(&p, &PsConfig::default());
             assert!(out.solution.verify(&p).is_ok(), "seed {seed}");
             // Everything at least 1/(5+ε)-satisfied.
-            assert!(out.lambda >= 1.0 / 5.1 - 1e-9, "seed {seed}: λ = {}", out.lambda);
+            assert!(
+                out.lambda >= 1.0 / 5.1 - 1e-9,
+                "seed {seed}: λ = {}",
+                out.lambda
+            );
             // Certified ratio within the PS guarantee 4·(5+ε).
             assert!(
                 out.certified_ratio(&p) <= 4.0 * 5.1 + 1e-6,
@@ -274,11 +281,8 @@ mod tests {
             .with_len_range(2, 10)
             .generate(&mut SmallRng::seed_from_u64(9));
         let ps = ps_line_unit(&p, &PsConfig::default());
-        let ours = treenet_core::solve_line_unit(
-            &p,
-            &treenet_core::SolverConfig::default(),
-        )
-        .unwrap();
+        let ours =
+            treenet_core::solve_line_unit(&p, &treenet_core::SolverConfig::default()).unwrap();
         assert!(ours.lambda >= 0.9 - 1e-9);
         assert!(ps.lambda < ours.lambda);
     }
@@ -289,7 +293,10 @@ mod tests {
             let p = LineWorkload::new(30, 16)
                 .with_resources(2)
                 .with_len_range(1, 8)
-                .with_heights(HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.2 })
+                .with_heights(HeightMode::Bimodal {
+                    narrow_frac: 0.5,
+                    hmin: 0.2,
+                })
                 .generate(&mut SmallRng::seed_from_u64(seed));
             let (combined, wide, narrow) = ps_line_arbitrary(&p, &PsConfig::default());
             assert!(combined.verify(&p).is_ok(), "seed {seed}");

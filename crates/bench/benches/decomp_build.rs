@@ -13,11 +13,9 @@ fn bench_decompositions(c: &mut Criterion) {
     for n in [64usize, 256, 1024] {
         let tree = random_tree(n, &mut SmallRng::seed_from_u64(7));
         for strategy in Strategy::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), n),
-                &tree,
-                |b, tree| b.iter(|| std::hint::black_box(strategy.build(tree))),
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), n), &tree, |b, tree| {
+                b.iter(|| std::hint::black_box(strategy.build(tree)))
+            });
         }
     }
     group.finish();

@@ -24,9 +24,11 @@ fn bench_mis(c: &mut Criterion) {
     group.sample_size(10);
     for n in [64usize, 256, 1024] {
         let (adj, keys) = conflict_adj(n, 5);
-        group.bench_with_input(BenchmarkId::new("luby", n), &(adj.clone(), keys), |b, (adj, keys)| {
-            b.iter(|| luby_mis(adj, keys, 9, 0))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("luby", n),
+            &(adj.clone(), keys),
+            |b, (adj, keys)| b.iter(|| luby_mis(adj, keys, 9, 0)),
+        );
         group.bench_with_input(BenchmarkId::new("greedy", n), &adj, |b, adj| {
             b.iter(|| greedy_mis(adj))
         });

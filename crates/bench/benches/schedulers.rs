@@ -29,7 +29,10 @@ fn bench_tree_arbitrary(c: &mut Criterion) {
     for n in [32usize, 64] {
         let p = TreeWorkload::new(n, 2 * n)
             .with_networks(2)
-            .with_heights(HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.25 })
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: 0.25,
+            })
             .generate(&mut SmallRng::seed_from_u64(2));
         group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
             b.iter(|| solve_tree_arbitrary(p, &SolverConfig::default()).unwrap())
@@ -68,5 +71,11 @@ fn bench_sequential(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tree_unit, bench_tree_arbitrary, bench_line_unit, bench_sequential);
+criterion_group!(
+    benches,
+    bench_tree_unit,
+    bench_tree_arbitrary,
+    bench_line_unit,
+    bench_sequential
+);
 criterion_main!(benches);

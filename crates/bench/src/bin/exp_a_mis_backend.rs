@@ -21,7 +21,14 @@ fn main() {
     let ns: Vec<usize> = scale.pick(vec![32, 128], vec![32, 128, 512]);
     let mut table = Table::new(
         "A-MIS — scheduler behaviour under each MIS backend (tree unit, m = 2n)",
-        &["n", "backend", "MIS iters (mean)", "comm rounds (mean)", "certified mean", "λ min"],
+        &[
+            "n",
+            "backend",
+            "MIS iters (mean)",
+            "comm rounds (mean)",
+            "certified mean",
+            "λ min",
+        ],
     );
     for &n in &ns {
         for backend in [MisBackend::Luby, MisBackend::DeterministicGreedy] {
@@ -35,7 +42,9 @@ fn main() {
                     .generate(&mut SmallRng::seed_from_u64(seed));
                 let out = solve_tree_unit(
                     &p,
-                    &SolverConfig::default().with_seed(seed).with_mis_backend(backend),
+                    &SolverConfig::default()
+                        .with_seed(seed)
+                        .with_mis_backend(backend),
                 )
                 .unwrap();
                 out.solution.verify(&p).unwrap();

@@ -41,7 +41,10 @@ fn main() {
             &p,
             &layers,
             RaiseRule::Unit,
-            &PsConfig { seed, ..PsConfig::default() },
+            &PsConfig {
+                seed,
+                ..PsConfig::default()
+            },
             &all,
         );
         ps.solution.verify(&p).unwrap();
@@ -69,7 +72,13 @@ fn main() {
     ]);
     table.print();
     let gap = summarize(&single_cert).mean / summarize(&multi_cert).mean;
-    println!("certified-bound gap (single/multi) = {} — the multi-stage refinement alone", f3(gap));
+    println!(
+        "certified-bound gap (single/multi) = {} — the multi-stage refinement alone",
+        f3(gap)
+    );
     assert!(summarize(&multi_lambda).min >= 0.9 - 1e-9);
-    assert!(gap > 1.5, "multi-stage should certify substantially tighter");
+    assert!(
+        gap > 1.5,
+        "multi-stage should certify substantially tighter"
+    );
 }

@@ -25,7 +25,15 @@ fn main() {
     let ns: Vec<usize> = scale.pick(vec![32, 128], vec![32, 128, 512]);
     let mut table = Table::new(
         "A-strategy — the scheduler under each tree decomposition (unit height, m = 2n)",
-        &["n", "strategy", "Δ", "epochs (mean)", "comm rounds (mean)", "guarantee (Δ+1)/λ", "certified (mean)"],
+        &[
+            "n",
+            "strategy",
+            "Δ",
+            "epochs (mean)",
+            "comm rounds (mean)",
+            "guarantee (Δ+1)/λ",
+            "certified (mean)",
+        ],
     );
     for &n in &ns {
         for strategy in Strategy::ALL {
@@ -40,7 +48,9 @@ fn main() {
                     .generate(&mut SmallRng::seed_from_u64(seed));
                 let out = solve_tree_unit(
                     &p,
-                    &SolverConfig::default().with_strategy(strategy).with_seed(seed),
+                    &SolverConfig::default()
+                        .with_strategy(strategy)
+                        .with_seed(seed),
                 )
                 .unwrap();
                 out.solution.verify(&p).unwrap();

@@ -19,10 +19,22 @@ fn main() {
     let scale = Scale::from_env();
     let ns: Vec<usize> = scale.pick(vec![16, 64, 256], vec![16, 64, 256, 1024, 4096, 8192]);
     let runs = seeds(scale.pick(2, 5));
-    let families = [TreeFamily::Path, TreeFamily::Star, TreeFamily::Caterpillar, TreeFamily::Uniform];
+    let families = [
+        TreeFamily::Path,
+        TreeFamily::Star,
+        TreeFamily::Caterpillar,
+        TreeFamily::Uniform,
+    ];
     let mut table = Table::new(
         "F-decomp — tree-decomposition parameters (max over families × seeds)",
-        &["n", "strategy", "depth (max)", "pivot θ (max)", "depth bound", "θ bound"],
+        &[
+            "n",
+            "strategy",
+            "depth (max)",
+            "pivot θ (max)",
+            "depth bound",
+            "θ bound",
+        ],
     );
     for &n in &ns {
         for strategy in Strategy::ALL {
@@ -53,8 +65,16 @@ fn main() {
                 depth_bound.to_string(),
                 pivot_bound.to_string(),
             ]);
-            assert!(depth_max <= depth_bound, "{} depth bound at n={n}", strategy.name());
-            assert!(pivot_max <= pivot_bound, "{} pivot bound at n={n}", strategy.name());
+            assert!(
+                depth_max <= depth_bound,
+                "{} depth bound at n={n}",
+                strategy.name()
+            );
+            assert!(
+                pivot_max <= pivot_bound,
+                "{} pivot bound at n={n}",
+                strategy.name()
+            );
         }
     }
     table.print();

@@ -14,10 +14,22 @@ use treenet_model::workload::TreeWorkload;
 fn main() {
     let scale = Scale::from_env();
     let runs = seeds(scale.pick(3, 8));
-    let sizes: Vec<(usize, usize)> = scale.pick(vec![(8, 6), (12, 10)], vec![(8, 6), (12, 10), (16, 14), (24, 20)]);
+    let sizes: Vec<(usize, usize)> = scale.pick(
+        vec![(8, 6), (12, 10)],
+        vec![(8, 6), (12, 10), (16, 14), (24, 20)],
+    );
     let mut table = Table::new(
         "F-dist — message-passing vs logical execution (tree unit, ε = 0.3)",
-        &["n", "m", "seed", "solutions equal", "λ equal (bitwise)", "rounds", "messages", "max msg [bits]"],
+        &[
+            "n",
+            "m",
+            "seed",
+            "solutions equal",
+            "λ equal (bitwise)",
+            "rounds",
+            "messages",
+            "max msg [bits]",
+        ],
     );
     let mut all_equal = true;
     for &(n, m) in &sizes {
@@ -28,8 +40,7 @@ fn main() {
                 .generate(&mut SmallRng::seed_from_u64(seed));
             let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
             let logical = solve_tree_unit(&p, &cfg).unwrap();
-            let distributed =
-                run_distributed_tree_unit(&p, &DistConfig::from(&cfg)).unwrap();
+            let distributed = run_distributed_tree_unit(&p, &DistConfig::from(&cfg)).unwrap();
             assert!(!distributed.luby_incomplete && !distributed.final_unsatisfied);
             let sol_eq = logical.solution == distributed.solution;
             let lam_eq = logical.lambda.to_bits() == distributed.lambda.to_bits();
@@ -47,7 +58,10 @@ fn main() {
         }
     }
     table.print();
-    assert!(all_equal, "distributed execution diverged from the logical one");
+    assert!(
+        all_equal,
+        "distributed execution diverged from the logical one"
+    );
     println!(
         "every run: identical solutions and bit-identical duals; max message size \
          stays at one demand descriptor (the paper's O(M) bits). λ achieved: {}.",

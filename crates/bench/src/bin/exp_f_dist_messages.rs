@@ -18,7 +18,14 @@ fn main() {
     let ms: Vec<usize> = scale.pick(vec![4, 8, 16], vec![4, 8, 16, 32, 48]);
     let mut table = Table::new(
         "F-dist-messages — distributed traffic vs processor count (tree unit, n = 10, ε = 0.3)",
-        &["m", "rounds", "messages (mean)", "kbits (mean)", "max msg [bits]", "msgs/processor/round"],
+        &[
+            "m",
+            "rounds",
+            "messages (mean)",
+            "kbits (mean)",
+            "max msg [bits]",
+            "msgs/processor/round",
+        ],
     );
     for &m in &ms {
         let mut rounds = Vec::new();
@@ -32,7 +39,11 @@ fn main() {
                 .generate(&mut SmallRng::seed_from_u64(seed));
             let out = run_distributed_tree_unit(
                 &p,
-                &DistConfig { epsilon: 0.3, seed, ..DistConfig::default() },
+                &DistConfig {
+                    epsilon: 0.3,
+                    seed,
+                    ..DistConfig::default()
+                },
             )
             .unwrap();
             assert!(!out.luby_incomplete && !out.final_unsatisfied);

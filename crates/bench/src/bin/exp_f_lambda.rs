@@ -27,10 +27,19 @@ fn main() {
             .with_window_slack(2)
             .with_len_range(1, 12)
             .generate(&mut SmallRng::seed_from_u64(seed));
-        let ours =
-            solve_line_unit(&p, &SolverConfig::default().with_epsilon(eps).with_seed(seed))
-                .unwrap();
-        let ps = ps_line_unit(&p, &PsConfig { epsilon: eps, seed, ..PsConfig::default() });
+        let ours = solve_line_unit(
+            &p,
+            &SolverConfig::default().with_epsilon(eps).with_seed(seed),
+        )
+        .unwrap();
+        let ps = ps_line_unit(
+            &p,
+            &PsConfig {
+                epsilon: eps,
+                seed,
+                ..PsConfig::default()
+            },
+        );
         ours_lambda.push(ours.lambda);
         ps_lambda.push(ps.lambda);
         ours_cert.push(ours.certified_ratio(&p));
@@ -38,7 +47,14 @@ fn main() {
     }
     let mut table = Table::new(
         "F-lambda — measured slackness λ and certified ratios (line unit, ε = 0.1)",
-        &["algorithm", "target λ", "λ min", "λ mean", "certified ratio mean", "certified ratio max"],
+        &[
+            "algorithm",
+            "target λ",
+            "λ min",
+            "λ mean",
+            "certified ratio mean",
+            "certified ratio max",
+        ],
     );
     let o = summarize(&ours_lambda);
     let p = summarize(&ps_lambda);

@@ -14,7 +14,15 @@ fn main() {
     let runs = seeds(scale.pick(4, 12));
     let mut table = Table::new(
         "F-delta — layered decomposition parameters",
-        &["setting", "n / slots", "Δ (max)", "Δ bound", "groups (max)", "groups bound", "property"],
+        &[
+            "setting",
+            "n / slots",
+            "Δ (max)",
+            "Δ bound",
+            "groups (max)",
+            "groups bound",
+            "property",
+        ],
     );
 
     for &n in &scale.pick(vec![16, 64, 256], vec![16, 64, 256, 1024]) {
@@ -39,7 +47,11 @@ fn main() {
             "6".into(),
             groups.to_string(),
             ideal_depth_bound(n).to_string(),
-            if verified { "ok".into() } else { "VIOLATED".into() },
+            if verified {
+                "ok".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
         assert!(delta <= 6 && verified);
         assert!(groups as u32 <= ideal_depth_bound(n));
@@ -72,7 +84,11 @@ fn main() {
             "3".into(),
             groups.to_string(),
             bound.to_string(),
-            if verified { "ok".into() } else { "VIOLATED".into() },
+            if verified {
+                "ok".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
         assert!(delta <= 3 && groups <= bound && verified);
     }

@@ -30,7 +30,14 @@ fn main() {
     let runs = seeds(scale.pick(5, 20));
     let mut table = Table::new(
         "F-MIS — Luby iterations vs graph size",
-        &["graph", "N", "avg degree", "Luby iters mean", "Luby iters max", "4·log2 N"],
+        &[
+            "graph",
+            "N",
+            "avg degree",
+            "Luby iters mean",
+            "Luby iters max",
+            "4·log2 N",
+        ],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();

@@ -14,11 +14,21 @@ use treenet_model::workload::{HeightMode, TreeWorkload};
 fn main() {
     let scale = Scale::from_env();
     let runs = seeds(scale.pick(4, 12));
-    let hmins: Vec<f64> = scale.pick(vec![0.5, 0.25, 0.125], vec![0.5, 0.25, 0.125, 0.0625, 0.03125]);
+    let hmins: Vec<f64> = scale.pick(
+        vec![0.5, 0.25, 0.125],
+        vec![0.5, 0.25, 0.125, 0.0625, 0.03125],
+    );
     let eps = 0.1;
     let mut table = Table::new(
         "F-narrow-wide — arbitrary heights on trees (n = 24, m = 30, ε = 0.1)",
-        &["hmin", "stages/epoch (ξ=c/(c+hmin))", "certified ratio mean", "certified ratio max", "80/(1-ε)", "combine gain mean [%]"],
+        &[
+            "hmin",
+            "stages/epoch (ξ=c/(c+hmin))",
+            "certified ratio mean",
+            "certified ratio max",
+            "80/(1-ε)",
+            "combine gain mean [%]",
+        ],
     );
     for &hmin in &hmins {
         let stages = stages_for(eps, narrow_xi(6, hmin));
@@ -27,7 +37,10 @@ fn main() {
         for &seed in &runs {
             let p = TreeWorkload::new(24, 30)
                 .with_networks(2)
-                .with_heights(HeightMode::Bimodal { narrow_frac: 0.6, hmin })
+                .with_heights(HeightMode::Bimodal {
+                    narrow_frac: 0.6,
+                    hmin,
+                })
                 .generate(&mut SmallRng::seed_from_u64(seed));
             let out = solve_tree_arbitrary(
                 &p,
@@ -51,7 +64,10 @@ fn main() {
             f3(bound),
             f2(summarize(&gain).mean),
         ]);
-        assert!(r.max <= bound + 1e-6, "Theorem 6.3 bound violated at hmin = {hmin}");
+        assert!(
+            r.max <= bound + 1e-6,
+            "Theorem 6.3 bound violated at hmin = {hmin}"
+        );
     }
     table.print();
     println!(

@@ -12,13 +12,22 @@ use treenet_model::workload::TreeWorkload;
 
 fn main() {
     let scale = Scale::from_env();
-    let epsilons: Vec<f64> =
-        scale.pick(vec![0.5, 0.3, 0.1, 0.05], vec![0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01]);
+    let epsilons: Vec<f64> = scale.pick(
+        vec![0.5, 0.3, 0.1, 0.05],
+        vec![0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01],
+    );
     let runs = seeds(scale.pick(3, 10));
     let xi = 14.0 / 15.0;
     let mut table = Table::new(
         "F-rounds-eps — rounds and certified ratio vs ε (tree unit, n = 32, m = 64)",
-        &["ε", "stages/epoch = ceil(log_ξ ε)", "λ (min)", "certified ratio (max)", "7/(1-ε)", "comm rounds (mean)"],
+        &[
+            "ε",
+            "stages/epoch = ceil(log_ξ ε)",
+            "λ (min)",
+            "certified ratio (max)",
+            "7/(1-ε)",
+            "comm rounds (mean)",
+        ],
     );
     for &eps in &epsilons {
         let mut lambdas = Vec::new();

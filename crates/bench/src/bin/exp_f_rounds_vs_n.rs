@@ -15,11 +15,22 @@ use treenet_model::workload::TreeWorkload;
 
 fn main() {
     let scale = Scale::from_env();
-    let ns: Vec<usize> = scale.pick(vec![16, 32, 64, 128, 256], vec![16, 32, 64, 128, 256, 512, 1024]);
+    let ns: Vec<usize> = scale.pick(
+        vec![16, 32, 64, 128, 256],
+        vec![16, 32, 64, 128, 256, 512, 1024],
+    );
     let runs = seeds(scale.pick(3, 10));
     let mut table = Table::new(
         "F-rounds-n — round complexity vs n (tree unit, ε = 0.1, pmax/pmin = 8, m = 2n demands)",
-        &["n", "2*ceil(log2 n)+1", "epochs (mean)", "steps (mean)", "MIS iters (mean)", "comm rounds (mean)", "rounds/log2(n)"],
+        &[
+            "n",
+            "2*ceil(log2 n)+1",
+            "epochs (mean)",
+            "steps (mean)",
+            "MIS iters (mean)",
+            "comm rounds (mean)",
+            "rounds/log2(n)",
+        ],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -33,8 +44,7 @@ fn main() {
                 .with_networks(3)
                 .with_profit_ratio(8.0)
                 .generate(&mut SmallRng::seed_from_u64(seed));
-            let out =
-                solve_tree_unit(&p, &SolverConfig::default().with_seed(seed)).unwrap();
+            let out = solve_tree_unit(&p, &SolverConfig::default().with_seed(seed)).unwrap();
             out.solution.verify(&p).unwrap();
             epochs.push(out.stats.epochs as f64);
             steps.push(out.stats.steps as f64);

@@ -52,7 +52,13 @@ fn main() {
     );
     let mut table = Table::new(
         "F-rounds-profits (random) — Lemma 5.1 bound on random tree workloads (n = 32, m = 64)",
-        &["pmax/pmin", "Lemma 5.1 bound", "max steps/stage", "steps (mean)", "comm rounds (mean)"],
+        &[
+            "pmax/pmin",
+            "Lemma 5.1 bound",
+            "max steps/stage",
+            "steps (mean)",
+            "comm rounds (mean)",
+        ],
     );
     for &ratio in &ratios {
         let mut max_stage = Vec::new();
@@ -63,8 +69,7 @@ fn main() {
                 .with_networks(3)
                 .with_profit_ratio(ratio)
                 .generate(&mut SmallRng::seed_from_u64(seed));
-            let out =
-                solve_tree_unit(&p, &SolverConfig::default().with_seed(seed)).unwrap();
+            let out = solve_tree_unit(&p, &SolverConfig::default().with_seed(seed)).unwrap();
             max_stage.push(out.stats.max_steps_in_stage as f64);
             steps.push(out.stats.steps as f64);
             rounds.push(out.stats.comm_rounds as f64);
@@ -91,7 +96,14 @@ fn main() {
     // Part 2: adversarial clique — realize the kill chain.
     let mut table = Table::new(
         "F-rounds-profits (adversarial) — doubling-profit clique (k demands, pmax/pmin = 2^(k-1))",
-        &["k", "log2(pmax/pmin)", "Lemma 5.1 bound", "max steps/stage", "total steps", "within bound"],
+        &[
+            "k",
+            "log2(pmax/pmin)",
+            "Lemma 5.1 bound",
+            "max steps/stage",
+            "total steps",
+            "within bound",
+        ],
     );
     let ks: Vec<usize> = scale.pick(vec![2, 4, 8, 12], vec![2, 4, 6, 8, 10, 12, 14, 16]);
     for &k in &ks {
@@ -100,8 +112,7 @@ fn main() {
         let mut total = 0u64;
         for &seed in &runs {
             let p = adversarial_clique(k);
-            let out =
-                solve_line_unit(&p, &SolverConfig::default().with_seed(seed)).unwrap();
+            let out = solve_line_unit(&p, &SolverConfig::default().with_seed(seed)).unwrap();
             out.solution.verify(&p).unwrap();
             worst = worst.max(out.stats.max_steps_in_stage as f64);
             total = total.max(out.stats.steps);
@@ -114,9 +125,16 @@ fn main() {
             f2(bound),
             f2(worst),
             total.to_string(),
-            if worst <= bound { "yes".into() } else { "VIOLATED".to_string() },
+            if worst <= bound {
+                "yes".into()
+            } else {
+                "VIOLATED".to_string()
+            },
         ]);
-        assert!(worst <= bound, "Lemma 5.1 violated on the adversarial clique k={k}");
+        assert!(
+            worst <= bound,
+            "Lemma 5.1 violated on the adversarial clique k={k}"
+        );
     }
     table.print();
     println!(

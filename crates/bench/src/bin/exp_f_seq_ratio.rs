@@ -18,7 +18,15 @@ fn main() {
     let runs = seeds(scale.pick(6, 25));
     let mut table = Table::new(
         "F-seq — sequential Appendix-A algorithm (n = 20, m = 12)",
-        &["networks r", "guarantee", "certified mean", "certified max", "OPT/profit mean", "OPT/profit max", "raises mean"],
+        &[
+            "networks r",
+            "guarantee",
+            "certified mean",
+            "certified max",
+            "OPT/profit mean",
+            "OPT/profit max",
+            "raises mean",
+        ],
     );
     for &r in &[1usize, 2, 4] {
         let mut certified = Vec::new();
@@ -50,8 +58,14 @@ fn main() {
             f3(o.max),
             f3(summarize(&raises).mean),
         ]);
-        assert!(c.max <= guarantee + 1e-6, "Appendix A bound violated at r = {r}");
-        assert!(o.max <= guarantee + 1e-6, "exact ratio exceeded the guarantee at r = {r}");
+        assert!(
+            c.max <= guarantee + 1e-6,
+            "Appendix A bound violated at r = {r}"
+        );
+        assert!(
+            o.max <= guarantee + 1e-6,
+            "exact ratio exceeded the guarantee at r = {r}"
+        );
     }
     table.print();
     println!(

@@ -33,9 +33,14 @@ fn main() {
                 .with_window_slack(2)
                 .with_len_range(1, 10)
                 .generate(&mut SmallRng::seed_from_u64(seed));
-            let ours =
-                solve_line_unit(&p, &SolverConfig::default().with_seed(seed)).unwrap();
-            let ps = ps_line_unit(&p, &PsConfig { seed, ..PsConfig::default() });
+            let ours = solve_line_unit(&p, &SolverConfig::default().with_seed(seed)).unwrap();
+            let ps = ps_line_unit(
+                &p,
+                &PsConfig {
+                    seed,
+                    ..PsConfig::default()
+                },
+            );
             let greedy = greedy_profit(&p, GreedyOrder::Density);
             let po = ours.profit(&p);
             let pp = ps.profit(&p);

@@ -16,7 +16,10 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use treenet_baseline::{barnoy_line_arbitrary, barnoy_line_unit, exact_max_profit, ps_line_arbitrary, ps_line_unit, PsConfig};
+use treenet_baseline::{
+    barnoy_line_arbitrary, barnoy_line_unit, exact_max_profit, ps_line_arbitrary, ps_line_unit,
+    PsConfig,
+};
 use treenet_bench::report::f3;
 use treenet_bench::{seeds, Scale, Table};
 use treenet_core::{
@@ -60,16 +63,76 @@ fn main() {
     let runs = seeds(scale.pick(5, 20));
     let cfg = SolverConfig::default().with_epsilon(eps);
     let mut rows: Vec<Row> = vec![
-        Row { setting: "line unit", algorithm: "ours (4+eps)", guarantee: 4.0 / (1.0 - eps), certified: vec![], vs_opt: vec![] },
-        Row { setting: "line unit", algorithm: "PS (20+eps)", guarantee: 4.0 * (5.0 + eps), certified: vec![], vs_opt: vec![] },
-        Row { setting: "line arbitrary", algorithm: "ours (23+eps)", guarantee: 23.0 / (1.0 - eps), certified: vec![], vs_opt: vec![] },
-        Row { setting: "line arbitrary", algorithm: "PS-style (55+eps)", guarantee: 55.0, certified: vec![], vs_opt: vec![] },
-        Row { setting: "line unit (sequential)", algorithm: "Bar-Noy et al. (2)", guarantee: 2.0, certified: vec![], vs_opt: vec![] },
-        Row { setting: "line arbitrary (sequential)", algorithm: "Bar-Noy et al. (5)", guarantee: 5.0, certified: vec![], vs_opt: vec![] },
-        Row { setting: "tree unit", algorithm: "ours (7+eps)", guarantee: 7.0 / (1.0 - eps), certified: vec![], vs_opt: vec![] },
-        Row { setting: "tree arbitrary", algorithm: "ours (80+eps)", guarantee: 80.0 / (1.0 - eps), certified: vec![], vs_opt: vec![] },
-        Row { setting: "tree sequential", algorithm: "Appendix A (3)", guarantee: 3.0, certified: vec![], vs_opt: vec![] },
-        Row { setting: "single-tree sequential", algorithm: "Appendix A (2)", guarantee: 2.0, certified: vec![], vs_opt: vec![] },
+        Row {
+            setting: "line unit",
+            algorithm: "ours (4+eps)",
+            guarantee: 4.0 / (1.0 - eps),
+            certified: vec![],
+            vs_opt: vec![],
+        },
+        Row {
+            setting: "line unit",
+            algorithm: "PS (20+eps)",
+            guarantee: 4.0 * (5.0 + eps),
+            certified: vec![],
+            vs_opt: vec![],
+        },
+        Row {
+            setting: "line arbitrary",
+            algorithm: "ours (23+eps)",
+            guarantee: 23.0 / (1.0 - eps),
+            certified: vec![],
+            vs_opt: vec![],
+        },
+        Row {
+            setting: "line arbitrary",
+            algorithm: "PS-style (55+eps)",
+            guarantee: 55.0,
+            certified: vec![],
+            vs_opt: vec![],
+        },
+        Row {
+            setting: "line unit (sequential)",
+            algorithm: "Bar-Noy et al. (2)",
+            guarantee: 2.0,
+            certified: vec![],
+            vs_opt: vec![],
+        },
+        Row {
+            setting: "line arbitrary (sequential)",
+            algorithm: "Bar-Noy et al. (5)",
+            guarantee: 5.0,
+            certified: vec![],
+            vs_opt: vec![],
+        },
+        Row {
+            setting: "tree unit",
+            algorithm: "ours (7+eps)",
+            guarantee: 7.0 / (1.0 - eps),
+            certified: vec![],
+            vs_opt: vec![],
+        },
+        Row {
+            setting: "tree arbitrary",
+            algorithm: "ours (80+eps)",
+            guarantee: 80.0 / (1.0 - eps),
+            certified: vec![],
+            vs_opt: vec![],
+        },
+        Row {
+            setting: "tree sequential",
+            algorithm: "Appendix A (3)",
+            guarantee: 3.0,
+            certified: vec![],
+            vs_opt: vec![],
+        },
+        Row {
+            setting: "single-tree sequential",
+            algorithm: "Appendix A (2)",
+            guarantee: 2.0,
+            certified: vec![],
+            vs_opt: vec![],
+        },
     ];
 
     // One worker per seed: exact branch-and-bound dominates, so spread it.
@@ -85,7 +148,13 @@ fn main() {
         let ours = solve_line_unit(&lp, &cfg.clone().with_seed(seed)).unwrap();
         ours.solution.verify(&lp).unwrap();
         entries.push((0, ours.certified_ratio(&lp), vs_opt(&lp, ours.profit(&lp))));
-        let ps = ps_line_unit(&lp, &PsConfig { seed, ..PsConfig::default() });
+        let ps = ps_line_unit(
+            &lp,
+            &PsConfig {
+                seed,
+                ..PsConfig::default()
+            },
+        );
         ps.solution.verify(&lp).unwrap();
         entries.push((1, ps.certified_ratio(&lp), vs_opt(&lp, ps.profit(&lp))));
 
@@ -93,19 +162,31 @@ fn main() {
         let la = LineWorkload::new(36, 12)
             .with_resources(2)
             .with_len_range(1, 8)
-            .with_heights(HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.2 })
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: 0.2,
+            })
             .generate(&mut rng);
         let ours = solve_line_arbitrary(&la, &cfg.clone().with_seed(seed)).unwrap();
         ours.solution.verify(&la).unwrap();
         entries.push((2, ours.certified_ratio(&la), vs_opt(&la, ours.profit(&la))));
-        let (ps_sol, ps_w, ps_n) =
-            ps_line_arbitrary(&la, &PsConfig { seed, ..PsConfig::default() });
+        let (ps_sol, ps_w, ps_n) = ps_line_arbitrary(
+            &la,
+            &PsConfig {
+                seed,
+                ..PsConfig::default()
+            },
+        );
         ps_sol.verify(&la).unwrap();
         let ps_bound = ps_w.opt_upper_bound() + ps_n.opt_upper_bound();
         let ps_profit = ps_sol.profit(&la);
         entries.push((
             3,
-            if ps_profit > 0.0 { ps_bound / ps_profit } else { 1.0 },
+            if ps_profit > 0.0 {
+                ps_bound / ps_profit
+            } else {
+                1.0
+            },
             vs_opt(&la, ps_profit),
         ));
 
@@ -119,12 +200,18 @@ fn main() {
         let bn_profit = bn_sol.profit(&la);
         entries.push((
             5,
-            if bn_profit > 0.0 { bn_bound / bn_profit } else { 1.0 },
+            if bn_profit > 0.0 {
+                bn_bound / bn_profit
+            } else {
+                1.0
+            },
             vs_opt(&la, bn_profit),
         ));
 
         // Trees (unit).
-        let tp = TreeWorkload::new(24, 12).with_networks(2).generate(&mut rng);
+        let tp = TreeWorkload::new(24, 12)
+            .with_networks(2)
+            .generate(&mut rng);
         let ours = solve_tree_unit(&tp, &cfg.clone().with_seed(seed)).unwrap();
         ours.solution.verify(&tp).unwrap();
         entries.push((6, ours.certified_ratio(&tp), vs_opt(&tp, ours.profit(&tp))));
@@ -132,7 +219,10 @@ fn main() {
         // Trees (arbitrary heights).
         let ta = TreeWorkload::new(20, 11)
             .with_networks(2)
-            .with_heights(HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.2 })
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: 0.2,
+            })
             .generate(&mut rng);
         let ours = solve_tree_arbitrary(&ta, &cfg.clone().with_seed(seed)).unwrap();
         ours.solution.verify(&ta).unwrap();
@@ -142,10 +232,16 @@ fn main() {
         let seq = solve_sequential_tree(&tp);
         seq.solution.verify(&tp).unwrap();
         entries.push((8, seq.certified_ratio(&tp), vs_opt(&tp, seq.profit(&tp))));
-        let single = TreeWorkload::new(20, 10).with_networks(1).generate(&mut rng);
+        let single = TreeWorkload::new(20, 10)
+            .with_networks(1)
+            .generate(&mut rng);
         let seq1 = solve_sequential_tree(&single);
         seq1.solution.verify(&single).unwrap();
-        entries.push((9, seq1.certified_ratio(&single), vs_opt(&single, seq1.profit(&single))));
+        entries.push((
+            9,
+            seq1.certified_ratio(&single),
+            vs_opt(&single, seq1.profit(&single)),
+        ));
         SeedResult { entries }
     });
     for result in results {
@@ -168,8 +264,8 @@ fn main() {
         } else {
             Some(treenet_bench::stats::summarize(&row.vs_opt))
         };
-        let ok = cert.max <= row.guarantee + 1e-6
-            && opt.map_or(true, |o| o.max <= row.guarantee + 1e-6);
+        let ok =
+            cert.max <= row.guarantee + 1e-6 && opt.is_none_or(|o| o.max <= row.guarantee + 1e-6);
         table.row(&[
             row.setting.into(),
             row.algorithm.into(),
@@ -180,7 +276,11 @@ fn main() {
             opt.map_or("-".into(), |o| f3(o.max)),
             if ok { "yes".into() } else { "VIOLATED".into() },
         ]);
-        assert!(ok, "{} / {}: guarantee violated", row.setting, row.algorithm);
+        assert!(
+            ok,
+            "{} / {}: guarantee violated",
+            row.setting, row.algorithm
+        );
     }
     table.print();
     println!("runs per row: {}", runs.len());

@@ -75,37 +75,44 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4);
-    let mut results: Vec<Option<R>> = Vec::new();
-    results.resize_with(items.len(), || None);
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = crossbeam::queue::SegQueue::new();
-    for item in work {
-        queue.push(item);
-    }
-    let slots = parking_slots(&mut results);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
-                while let Some((i, item)) = queue.pop() {
-                    let out = f(item);
-                    // Each index is popped exactly once, so the unsafe-free
-                    // mutex-per-slot write below is contention-free.
-                    let mut guard = slots[i].lock().expect("slot lock");
-                    *guard = Some(out);
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
+    let n = items.len();
+    let work: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|item| std::sync::Mutex::new(Some(item)))
+        .collect();
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                // Each index is claimed exactly once, so the mutex-per-slot
+                // accesses below are contention-free.
+                let item = work[i]
+                    .lock()
+                    .expect("work lock")
+                    .take()
+                    .expect("item unclaimed");
+                let out = f(item);
+                *slots[i].lock().expect("slot lock") = Some(out);
             });
         }
-    })
-    .expect("worker threads never panic");
+    });
     slots
-        .iter()
-        .map(|slot| slot.lock().expect("slot lock").take().expect("every slot filled"))
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every slot filled")
+        })
         .collect()
-}
-
-fn parking_slots<R>(results: &mut Vec<Option<R>>) -> Vec<std::sync::Mutex<Option<R>>> {
-    results.drain(..).map(std::sync::Mutex::new).collect()
 }
 
 #[cfg(test)]

@@ -26,7 +26,11 @@ pub fn summarize(sample: &[f64]) -> Summary {
         max = max.max(x);
         sum += x;
     }
-    Summary { mean: sum / sample.len() as f64, min, max }
+    Summary {
+        mean: sum / sample.len() as f64,
+        min,
+        max,
+    }
 }
 
 /// Least-squares slope of `y` against `x` — used to check claimed

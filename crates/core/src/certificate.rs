@@ -62,7 +62,9 @@ impl Certificate {
         let profit = outcome.solution.profit(problem);
         let feasible = outcome.solution.verify(problem).is_ok();
         let dual_value = dual.value();
-        let lambda = dual.min_satisfaction(problem, participants).min(1.0).max(f64::MIN_POSITIVE);
+        let lambda = dual
+            .min_satisfaction(problem, participants)
+            .clamp(f64::MIN_POSITIVE, 1.0);
         let opt_upper_bound = dual_value / lambda;
         let certified_ratio = if profit > 0.0 {
             opt_upper_bound / profit

@@ -9,8 +9,8 @@
 //!
 //! and `d` is `ξ`-*satisfied* when the LHS reaches `ξ·p(d)`.
 
-use treenet_model::{DemandId, InstanceId, NetworkId, Problem};
 use treenet_graph::EdgeId;
+use treenet_model::{DemandId, InstanceId, NetworkId, Problem};
 
 /// Which LP/raising scheme is in force.
 ///
@@ -78,8 +78,12 @@ impl DualState {
     /// LHS of the dual constraint of instance `d`.
     pub fn lhs(&self, problem: &Problem, d: InstanceId) -> f64 {
         let inst = problem.instance(d);
-        let beta_sum: f64 =
-            inst.path.edges().iter().map(|&e| self.beta[inst.network.index()][e.index()]).sum();
+        let beta_sum: f64 = inst
+            .path
+            .edges()
+            .iter()
+            .map(|&e| self.beta[inst.network.index()][e.index()])
+            .sum();
         let scale = match self.form {
             DualForm::Unit => 1.0,
             DualForm::Capacitated => problem.height_of(d),
@@ -136,8 +140,13 @@ mod tests {
     fn problem() -> Problem {
         let mut b = ProblemBuilder::new();
         let t = b.add_network(Tree::line(5)).unwrap();
-        b.add_demand(Demand::pair(VertexId(0), VertexId(2), 4.0), &[t]).unwrap();
-        b.add_demand(Demand::pair(VertexId(1), VertexId(4), 6.0).with_height(0.5), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(2), 4.0), &[t])
+            .unwrap();
+        b.add_demand(
+            Demand::pair(VertexId(1), VertexId(4), 6.0).with_height(0.5),
+            &[t],
+        )
+        .unwrap();
         b.build().unwrap()
     }
 

@@ -19,11 +19,11 @@
 //! greedily extracts a feasible solution.
 
 use crate::dual::{DualForm, DualState};
+use std::fmt;
 use treenet_decomp::LayeredDecomposition;
 use treenet_mis::MisBackend;
 use treenet_model::conflict::ConflictGraph;
 use treenet_model::{InstanceId, Problem, Solution, SolutionTracker};
-use std::fmt;
 
 /// How dual variables are raised for a demand instance with slack `s` and
 /// critical set `π(d)` (Sections 3.2 and 6.1).
@@ -312,9 +312,7 @@ pub fn run_two_phase(
                 let unsatisfied: Vec<InstanceId> = members
                     .iter()
                     .copied()
-                    .filter(|&d| {
-                        dual.satisfaction(problem, d) < threshold - SATISFACTION_GUARD
-                    })
+                    .filter(|&d| dual.satisfaction(problem, d) < threshold - SATISFACTION_GUARD)
                     .collect();
                 if unsatisfied.is_empty() {
                     break;
@@ -327,8 +325,9 @@ pub fn run_two_phase(
                 // MIS of the conflict graph on U, with common randomness
                 // tagged by (epoch, stage, step).
                 let graph = ConflictGraph::build(problem, &unsatisfied);
-                let adj: Vec<Vec<u32>> =
-                    (0..graph.len()).map(|v| graph.neighbors(v).to_vec()).collect();
+                let adj: Vec<Vec<u32>> = (0..graph.len())
+                    .map(|v| graph.neighbors(v).to_vec())
+                    .collect();
                 // Canonical keys (not dense ids) so the message-passing
                 // implementation draws identical common randomness.
                 let keys: Vec<u64> = graph
@@ -341,8 +340,11 @@ pub fn run_two_phase(
                 stats.mis_rounds += outcome.rounds;
                 // Raise every MIS member; they are pairwise non-conflicting
                 // so the raises commute (the parallelism of the framework).
-                let raised: Vec<InstanceId> =
-                    outcome.mis.iter().map(|&v| graph.instance(v as usize)).collect();
+                let raised: Vec<InstanceId> = outcome
+                    .mis
+                    .iter()
+                    .map(|&v| graph.instance(v as usize))
+                    .collect();
                 for &d in &raised {
                     let delta = rule.raise(problem, &mut dual, d, layers.critical_of(d));
                     stats.raises += 1;
@@ -354,7 +356,10 @@ pub fn run_two_phase(
                         });
                     }
                 }
-                stack.push(StackEntry { at: (k, j, steps_this_stage), instances: raised });
+                stack.push(StackEntry {
+                    at: (k, j, steps_this_stage),
+                    instances: raised,
+                });
                 // Communication accounting: 2 rounds per Luby iteration +
                 // 1 round broadcasting the raised duals.
                 stats.comm_rounds += 2 * outcome.rounds + 1;
@@ -428,7 +433,11 @@ pub fn check_interference(
             if !d1.overlaps(d2) {
                 continue;
             }
-            if !layers.critical_of(first.instance).iter().any(|&e| d2.active_on(e)) {
+            if !layers
+                .critical_of(first.instance)
+                .iter()
+                .any(|&e| d2.active_on(e))
+            {
                 return Some((first.instance, second.instance));
             }
         }
@@ -453,7 +462,11 @@ mod tests {
 
     fn run(problem: &Problem, seed: u64) -> (LayeredDecomposition, Outcome) {
         let layers = LayeredDecomposition::for_trees(problem, Strategy::Ideal);
-        let config = FrameworkConfig { seed, record_trace: true, ..FrameworkConfig::default() };
+        let config = FrameworkConfig {
+            seed,
+            record_trace: true,
+            ..FrameworkConfig::default()
+        };
         let participants: Vec<InstanceId> = problem.instances().map(|d| d.id).collect();
         let outcome =
             run_two_phase(problem, &layers, RaiseRule::Unit, &config, &participants).unwrap();
@@ -562,7 +575,11 @@ mod tests {
         let layers = LayeredDecomposition::for_trees(&p, Strategy::Ideal);
         let participants: Vec<InstanceId> = p.instances().map(|d| d.id).collect();
         for (eps, xi) in [(0.0, 0.9), (1.0, 0.9), (0.1, 0.0), (0.1, 1.0)] {
-            let config = FrameworkConfig { epsilon: eps, xi, ..FrameworkConfig::default() };
+            let config = FrameworkConfig {
+                epsilon: eps,
+                xi,
+                ..FrameworkConfig::default()
+            };
             assert!(matches!(
                 run_two_phase(&p, &layers, RaiseRule::Unit, &config, &participants),
                 Err(FrameworkError::BadParameters { .. })

@@ -116,7 +116,10 @@ pub fn unit_xi(delta: usize) -> f64 {
 /// `ξ = c/(c+hmin)` — restoring the profit-doubling chain of Lemma 5.1
 /// with `O((1/hmin)·log(1/ε))` stages per epoch.
 pub fn narrow_xi(delta: usize, hmin: f64) -> f64 {
-    assert!(hmin > 0.0 && hmin <= 0.5, "narrow instances have hmin ∈ (0, 1/2]");
+    assert!(
+        hmin > 0.0 && hmin <= 0.5,
+        "narrow instances have hmin ∈ (0, 1/2]"
+    );
     let c = 2.0 * (delta as f64) * (delta as f64) + 1.0;
     c / (c + hmin)
 }
@@ -259,11 +262,7 @@ fn narrow_hmin(problem: &Problem, participants: &[InstanceId]) -> f64 {
 /// Per-network combiner of Theorem 6.3: for each network keep whichever of
 /// the two solutions earns more profit there. Feasible because the two
 /// runs partition the demands by height class.
-pub fn combine_by_network(
-    problem: &Problem,
-    wide: &Solution,
-    narrow: &Solution,
-) -> Solution {
+pub fn combine_by_network(problem: &Problem, wide: &Solution, narrow: &Solution) -> Solution {
     let mut selected = Vec::new();
     for t in problem.networks() {
         let profit_of = |s: &Solution| -> f64 {
@@ -273,9 +272,16 @@ pub fn combine_by_network(
                 .map(|&d| problem.profit_of(d))
                 .sum()
         };
-        let pick = if profit_of(wide) >= profit_of(narrow) { wide } else { narrow };
+        let pick = if profit_of(wide) >= profit_of(narrow) {
+            wide
+        } else {
+            narrow
+        };
         selected.extend(
-            pick.selected().iter().copied().filter(|&d| problem.instance(d).network == t),
+            pick.selected()
+                .iter()
+                .copied()
+                .filter(|&d| problem.instance(d).network == t),
         );
     }
     Solution::new(selected)
@@ -320,7 +326,11 @@ fn solve_arbitrary(
         &narrow_ids,
     )?;
     let solution = combine_by_network(problem, &wide.solution, &narrow.solution);
-    Ok(CombinedOutcome { solution, wide, narrow })
+    Ok(CombinedOutcome {
+        solution,
+        wide,
+        narrow,
+    })
 }
 
 /// Distributed scheduler for the **arbitrary height case on
@@ -411,7 +421,10 @@ mod tests {
             assert!(outcome.solution.verify(&p).is_ok());
             assert!(outcome.delta <= 3);
             // Theorem 7.1 bound: 4/(1-ε).
-            assert!(outcome.certified_ratio(&p) <= 4.0 / 0.9 + 1e-6, "seed {seed}");
+            assert!(
+                outcome.certified_ratio(&p) <= 4.0 / 0.9 + 1e-6,
+                "seed {seed}"
+            );
         }
     }
 
@@ -420,7 +433,10 @@ mod tests {
         for seed in 0..4u64 {
             let p = TreeWorkload::new(16, 20)
                 .with_networks(2)
-                .with_heights(HeightMode::Bimodal { narrow_frac: 0.6, hmin: 0.2 })
+                .with_heights(HeightMode::Bimodal {
+                    narrow_frac: 0.6,
+                    hmin: 0.2,
+                })
                 .generate(&mut SmallRng::seed_from_u64(seed));
             let combined = solve_tree_arbitrary(&p, &SolverConfig::default()).unwrap();
             assert!(combined.solution.verify(&p).is_ok(), "seed {seed}");
@@ -428,11 +444,19 @@ mod tests {
             assert!(combined.narrow.solution.verify(&p).is_ok());
             // The combination is at least as good as each side.
             let pc = combined.profit(&p);
-            assert!(pc + 1e-9 >= combined.wide.solution.profit(&p).max(
-                combined.narrow.solution.profit(&p)
-            ));
+            assert!(
+                pc + 1e-9
+                    >= combined
+                        .wide
+                        .solution
+                        .profit(&p)
+                        .max(combined.narrow.solution.profit(&p))
+            );
             // Theorem 6.3 bound: 80/(1-ε).
-            assert!(combined.certified_ratio(&p) <= 80.0 / 0.9 + 1e-6, "seed {seed}");
+            assert!(
+                combined.certified_ratio(&p) <= 80.0 / 0.9 + 1e-6,
+                "seed {seed}"
+            );
         }
     }
 
@@ -448,7 +472,10 @@ mod tests {
             let combined = solve_line_arbitrary(&p, &SolverConfig::default()).unwrap();
             assert!(combined.solution.verify(&p).is_ok(), "seed {seed}");
             // Theorem 7.2 bound: 23/(1-ε).
-            assert!(combined.certified_ratio(&p) <= 23.0 / 0.9 + 1e-6, "seed {seed}");
+            assert!(
+                combined.certified_ratio(&p) <= 23.0 / 0.9 + 1e-6,
+                "seed {seed}"
+            );
         }
     }
 
@@ -492,8 +519,7 @@ mod hmin_tests {
             .with_heights(HeightMode::Uniform { hmin: 0.3 })
             .generate(&mut rng);
         // Valid: every height ≥ 0.3 ≥ 0.25.
-        let out =
-            solve_tree_arbitrary(&p, &SolverConfig::default().with_hmin(0.25)).unwrap();
+        let out = solve_tree_arbitrary(&p, &SolverConfig::default().with_hmin(0.25)).unwrap();
         assert!(out.solution.verify(&p).is_ok());
         // Invalid: demanding hmin = 0.6 while narrow demands go down to
         // 0.3 violates the a-priori assumption.
@@ -512,10 +538,8 @@ mod hmin_tests {
         let p = TreeWorkload::new(12, 10)
             .with_heights(HeightMode::Uniform { hmin: 0.4 })
             .generate(&mut rng);
-        let coarse =
-            solve_tree_arbitrary(&p, &SolverConfig::default().with_hmin(0.4)).unwrap();
-        let fine =
-            solve_tree_arbitrary(&p, &SolverConfig::default().with_hmin(0.05)).unwrap();
+        let coarse = solve_tree_arbitrary(&p, &SolverConfig::default().with_hmin(0.4)).unwrap();
+        let fine = solve_tree_arbitrary(&p, &SolverConfig::default().with_hmin(0.05)).unwrap();
         assert!(fine.narrow.stats.stages >= coarse.narrow.stats.stages);
         assert!(coarse.solution.verify(&p).is_ok());
         assert!(fine.solution.verify(&p).is_ok());
@@ -582,32 +606,50 @@ impl AutoOutcome {
 /// assert_eq!(out.choice, AutoChoice::LineArbitrary);
 /// assert!(out.solution.verify(&problem).is_ok());
 /// ```
-pub fn solve_auto(
-    problem: &Problem,
-    config: &SolverConfig,
-) -> Result<AutoOutcome, FrameworkError> {
-    let all_lines =
-        problem.networks().all(|t| problem.network(t).is_canonical_line());
+pub fn solve_auto(problem: &Problem, config: &SolverConfig) -> Result<AutoOutcome, FrameworkError> {
+    let all_lines = problem
+        .networks()
+        .all(|t| problem.network(t).is_canonical_line());
     let unit = problem.is_unit_height();
     let (choice, solution, bound) = match (all_lines, unit) {
         (true, true) => {
             let out = solve_line_unit(problem, config)?;
-            (AutoChoice::LineUnit, out.solution.clone(), out.opt_upper_bound())
+            (
+                AutoChoice::LineUnit,
+                out.solution.clone(),
+                out.opt_upper_bound(),
+            )
         }
         (true, false) => {
             let out = solve_line_arbitrary(problem, config)?;
-            (AutoChoice::LineArbitrary, out.solution.clone(), out.opt_upper_bound())
+            (
+                AutoChoice::LineArbitrary,
+                out.solution.clone(),
+                out.opt_upper_bound(),
+            )
         }
         (false, true) => {
             let out = solve_tree_unit(problem, config)?;
-            (AutoChoice::TreeUnit, out.solution.clone(), out.opt_upper_bound())
+            (
+                AutoChoice::TreeUnit,
+                out.solution.clone(),
+                out.opt_upper_bound(),
+            )
         }
         (false, false) => {
             let out = solve_tree_arbitrary(problem, config)?;
-            (AutoChoice::TreeArbitrary, out.solution.clone(), out.opt_upper_bound())
+            (
+                AutoChoice::TreeArbitrary,
+                out.solution.clone(),
+                out.opt_upper_bound(),
+            )
         }
     };
-    Ok(AutoOutcome { solution, choice, opt_upper_bound: bound })
+    Ok(AutoOutcome {
+        solution,
+        choice,
+        opt_upper_bound: bound,
+    })
 }
 
 #[cfg(test)]

@@ -41,11 +41,7 @@ pub fn bending_point(rooted: &RootedTree, path: &TreePath, u: VertexId) -> Verte
 /// The critical edge set `π(d)` of Lemma 4.2: wings of the capture node
 /// plus wings of the bending points w.r.t. each pivot of the capture
 /// node's component. Sorted and deduplicated; size at most `2(θ + 1)`.
-pub fn critical_edges(
-    h: &TreeDecomposition,
-    rooted: &RootedTree,
-    path: &TreePath,
-) -> Vec<EdgeId> {
+pub fn critical_edges(h: &TreeDecomposition, rooted: &RootedTree, path: &TreePath) -> Vec<EdgeId> {
     let mu = capture_node(h, path);
     let mut critical = path.wings(mu);
     for &u in h.pivot(mu) {

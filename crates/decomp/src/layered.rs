@@ -60,8 +60,10 @@ impl LayeredDecomposition {
     /// For the ideal strategy this guarantees `Δ ≤ 6` and at most
     /// `2⌈log n⌉ + 1` groups.
     pub fn for_trees(problem: &Problem, strategy: Strategy) -> Self {
-        let decompositions: Vec<TreeDecomposition> =
-            problem.networks().map(|t| strategy.build(problem.network(t))).collect();
+        let decompositions: Vec<TreeDecomposition> = problem
+            .networks()
+            .map(|t| strategy.build(problem.network(t)))
+            .collect();
         Self::from_decompositions(problem, &decompositions)
     }
 
@@ -72,16 +74,16 @@ impl LayeredDecomposition {
     ///
     /// Panics if the number of decompositions differs from the number of
     /// networks.
-    pub fn from_decompositions(
-        problem: &Problem,
-        decompositions: &[TreeDecomposition],
-    ) -> Self {
+    pub fn from_decompositions(problem: &Problem, decompositions: &[TreeDecomposition]) -> Self {
         assert_eq!(
             decompositions.len(),
             problem.network_count(),
             "one decomposition per network"
         );
-        let depths: Vec<u32> = decompositions.iter().map(TreeDecomposition::depth).collect();
+        let depths: Vec<u32> = decompositions
+            .iter()
+            .map(TreeDecomposition::depth)
+            .collect();
         let mut group = vec![0u32; problem.instance_count()];
         let mut critical = vec![Vec::new(); problem.instance_count()];
         for inst in problem.instances() {
@@ -96,7 +98,12 @@ impl LayeredDecomposition {
         }
         let num_groups = group.iter().copied().max().unwrap_or(0) as usize;
         let delta = critical.iter().map(Vec::len).max().unwrap_or(0);
-        LayeredDecomposition { group, critical, num_groups, delta }
+        LayeredDecomposition {
+            group,
+            critical,
+            num_groups,
+            delta,
+        }
     }
 
     /// Builds the line-network layered decomposition of Section 7
@@ -113,7 +120,12 @@ impl LayeredDecomposition {
     pub(crate) fn from_parts(group: Vec<u32>, critical: Vec<Vec<EdgeId>>) -> Self {
         let num_groups = group.iter().copied().max().unwrap_or(0) as usize;
         let delta = critical.iter().map(Vec::len).max().unwrap_or(0);
-        LayeredDecomposition { group, critical, num_groups, delta }
+        LayeredDecomposition {
+            group,
+            critical,
+            num_groups,
+            delta,
+        }
     }
 
     /// Builds a decomposition from raw parts **without any validity
@@ -223,16 +235,28 @@ mod tests {
 
     fn workload(seed: u64, family: TreeFamily) -> Problem {
         let mut rng = SmallRng::seed_from_u64(seed);
-        TreeWorkload::new(24, 30).with_networks(3).with_family(family).generate(&mut rng)
+        TreeWorkload::new(24, 30)
+            .with_networks(3)
+            .with_family(family)
+            .generate(&mut rng)
     }
 
     #[test]
     fn tree_layers_have_delta_at_most_six() {
-        for family in [TreeFamily::Uniform, TreeFamily::Path, TreeFamily::Caterpillar] {
+        for family in [
+            TreeFamily::Uniform,
+            TreeFamily::Path,
+            TreeFamily::Caterpillar,
+        ] {
             for seed in 0..5u64 {
                 let p = workload(seed, family);
                 let layers = LayeredDecomposition::for_trees(&p, Strategy::Ideal);
-                assert!(layers.delta() <= 6, "{}: Δ = {}", family.name(), layers.delta());
+                assert!(
+                    layers.delta() <= 6,
+                    "{}: Δ = {}",
+                    family.name(),
+                    layers.delta()
+                );
                 assert!(layers.verify(&p).is_ok(), "{}", family.name());
             }
         }
@@ -262,8 +286,9 @@ mod tests {
             }
         }
         // group_members partitions the instance set.
-        let total: usize =
-            (1..=layers.num_groups() as u32).map(|k| layers.group_members(k).len()).sum();
+        let total: usize = (1..=layers.num_groups() as u32)
+            .map(|k| layers.group_members(k).len())
+            .sum();
         assert_eq!(total, p.instance_count());
     }
 
@@ -296,7 +321,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = LayeredError { d1: InstanceId(1), d2: InstanceId(2) };
+        let e = LayeredError {
+            d1: InstanceId(1),
+            d2: InstanceId(2),
+        };
         assert!(e.to_string().contains("d1"));
         assert!(e.to_string().contains("d2"));
     }

@@ -63,9 +63,9 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+    use treenet_graph::{Tree, VertexId};
     use treenet_model::workload::LineWorkload;
     use treenet_model::{Demand, ProblemBuilder};
-    use treenet_graph::{Tree, VertexId};
 
     #[test]
     fn delta_is_at_most_three() {
@@ -85,20 +85,30 @@ mod tests {
     #[test]
     fn group_count_is_log_length_ratio() {
         let mut rng = SmallRng::seed_from_u64(42);
-        let p = LineWorkload::new(128, 60).with_len_range(1, 64).generate(&mut rng);
+        let p = LineWorkload::new(128, 60)
+            .with_len_range(1, 64)
+            .generate(&mut rng);
         let layers = line_layers(&p);
         let (lmin, lmax) = p.length_bounds();
         let bound = ((lmax as f64 / lmin as f64).log2().floor() as usize) + 1;
-        assert!(layers.num_groups() <= bound, "{} > {}", layers.num_groups(), bound);
+        assert!(
+            layers.num_groups() <= bound,
+            "{} > {}",
+            layers.num_groups(),
+            bound
+        );
     }
 
     #[test]
     fn same_length_instances_share_group() {
         let mut b = ProblemBuilder::new();
         let t = b.add_network(Tree::line(30)).unwrap();
-        b.add_demand(Demand::pair(VertexId(0), VertexId(4), 1.0), &[t]).unwrap();
-        b.add_demand(Demand::pair(VertexId(10), VertexId(14), 1.0), &[t]).unwrap();
-        b.add_demand(Demand::pair(VertexId(0), VertexId(20), 1.0), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(4), 1.0), &[t])
+            .unwrap();
+        b.add_demand(Demand::pair(VertexId(10), VertexId(14), 1.0), &[t])
+            .unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(20), 1.0), &[t])
+            .unwrap();
         let p = b.build().unwrap();
         let layers = line_layers(&p);
         let g: Vec<u32> = p.instances().map(|d| layers.group_of(d.id)).collect();
@@ -111,7 +121,8 @@ mod tests {
         let mut b = ProblemBuilder::new();
         let t = b.add_network(Tree::line(30)).unwrap();
         // Slots 4..=12 (vertices 4 ↝ 13).
-        b.add_demand(Demand::pair(VertexId(4), VertexId(13), 1.0), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(4), VertexId(13), 1.0), &[t])
+            .unwrap();
         let p = b.build().unwrap();
         let layers = line_layers(&p);
         assert_eq!(
@@ -124,10 +135,14 @@ mod tests {
     fn unit_length_instance_has_single_critical_slot() {
         let mut b = ProblemBuilder::new();
         let t = b.add_network(Tree::line(10)).unwrap();
-        b.add_demand(Demand::pair(VertexId(3), VertexId(4), 1.0), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(3), VertexId(4), 1.0), &[t])
+            .unwrap();
         let p = b.build().unwrap();
         let layers = line_layers(&p);
-        assert_eq!(layers.critical_of(treenet_model::InstanceId(0)), &[EdgeId(3)]);
+        assert_eq!(
+            layers.critical_of(treenet_model::InstanceId(0)),
+            &[EdgeId(3)]
+        );
         assert_eq!(layers.group_of(treenet_model::InstanceId(0)), 1);
     }
 
@@ -137,7 +152,8 @@ mod tests {
         let mut b = ProblemBuilder::new();
         let star = Tree::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
         let t = b.add_network(star).unwrap();
-        b.add_demand(Demand::pair(VertexId(1), VertexId(2), 1.0), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(1), VertexId(2), 1.0), &[t])
+            .unwrap();
         let p = b.build().unwrap();
         let _ = line_layers(&p);
     }

@@ -28,8 +28,7 @@ use treenet_graph::{RootedTree, Tree, VertexId};
 /// Panics if `root` is out of range.
 pub fn root_fixing(tree: &Tree, root: VertexId) -> TreeDecomposition {
     let rooted = RootedTree::new(tree, root);
-    let parent: Vec<Option<VertexId>> =
-        tree.vertices().map(|v| rooted.parent(v)).collect();
+    let parent: Vec<Option<VertexId>> = tree.vertices().map(|v| rooted.parent(v)).collect();
     TreeDecomposition::from_parents(tree, parent)
 }
 

@@ -85,8 +85,8 @@ impl TreeDecomposition {
         assert_eq!(parent.len(), n, "one parent entry per vertex");
         let mut children: Vec<Vec<VertexId>> = vec![Vec::new(); n];
         let mut root = None;
-        for v in 0..n {
-            match parent[v] {
+        for (v, entry) in parent.iter().enumerate() {
+            match entry {
                 None => {
                     assert!(root.is_none(), "exactly one root expected");
                     root = Some(VertexId(v as u32));
@@ -122,10 +122,20 @@ impl TreeDecomposition {
                 stack.pop();
             }
         }
-        assert_eq!(visited, n, "parent pointers must reach every vertex (no cycles)");
+        assert_eq!(
+            visited, n,
+            "parent pointers must reach every vertex (no cycles)"
+        );
 
-        let mut decomposition =
-            TreeDecomposition { root, parent, depth, children, tin, tout, pivot: Vec::new() };
+        let mut decomposition = TreeDecomposition {
+            root,
+            parent,
+            depth,
+            children,
+            tin,
+            tout,
+            pivot: Vec::new(),
+        };
         decomposition.pivot = decomposition.compute_pivots(tree);
         decomposition
     }
@@ -390,6 +400,8 @@ mod tests {
     fn error_display() {
         let e = DecompositionError::ComponentDisconnected { node: VertexId(3) };
         assert!(e.to_string().contains("v3"));
-        assert!(DecompositionError::NotATree.to_string().contains("rooted tree"));
+        assert!(DecompositionError::NotATree
+            .to_string()
+            .contains("rooted tree"));
     }
 }

@@ -36,9 +36,14 @@ fn ideal_decomposition_on_all_trees_up_to_six() {
         let mut count = 0usize;
         for_all_trees(n, |tree| {
             let (h, _) = ideal_with_stats(&tree);
-            assert!(h.pivot_size() <= 2, "n={n} tree #{count}: pivot {}", h.pivot_size());
+            assert!(
+                h.pivot_size() <= 2,
+                "n={n} tree #{count}: pivot {}",
+                h.pivot_size()
+            );
             assert!(h.depth() <= ideal_depth_bound(n), "n={n} tree #{count}");
-            h.verify(&tree).unwrap_or_else(|e| panic!("n={n} tree #{count}: {e}"));
+            h.verify(&tree)
+                .unwrap_or_else(|e| panic!("n={n} tree #{count}: {e}"));
             count += 1;
         });
         assert_eq!(count, n.pow(n as u32 - 2), "all labeled trees enumerated");
@@ -64,7 +69,10 @@ fn ideal_decomposition_on_all_trees_of_seven() {
     // can share a split piece, so Case 2(b) never fires — the junction
     // logic is exercised at larger sizes instead (see
     // `junction_case_fires_on_branching_trees` in the ideal module).
-    assert_eq!(junctions_seen, 0, "junction at n = 7 would contradict the size analysis");
+    assert_eq!(
+        junctions_seen, 0,
+        "junction at n = 7 would contradict the size analysis"
+    );
 }
 
 #[test]

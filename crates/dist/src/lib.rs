@@ -1,0 +1,487 @@
+//! The message-passing scheduler: the paper's distributed algorithm
+//! (Section 5, Figure 7) executed on `treenet-netsim`'s synchronous
+//! engine, one protocol node per processor.
+//!
+//! [`run_distributed_tree_unit`] runs the **unit-height tree scheduler**
+//! (Theorem 5.3) as a real message-passing computation and is provably
+//! equivalent to the logical execution `treenet_core::solve_tree_unit`:
+//! same solution, bit-identical duals (`λ` matches `to_bits()`-exactly).
+//! The equivalence rests on three design points, shared with the logical
+//! runner:
+//!
+//! 1. **Common randomness** — Luby draws come from the seeded hash
+//!    [`treenet_mis::luby_value`] over *canonical keys* computable from
+//!    public information, so every processor evaluates any instance's
+//!    draw locally.
+//! 2. **Local dual tracking** — a processor tracks `β(e)` for exactly the
+//!    edges on its own paths; every raise touching such an edge comes
+//!    from an overlapping instance, whose owner is a communication
+//!    neighbor, so the announcement always arrives. Summation orders
+//!    mirror `DualState`, making the floats bit-identical.
+//! 3. **A public schedule** — epochs, stages and step boundaries are
+//!    globally known (the paper's synchronous-model assumption); the
+//!    driver supplies exactly this timing signal between rounds and
+//!    nothing else. All data flows through single-hop messages of at most
+//!    one demand descriptor — the paper's `O(M)` bits.
+//!
+//! Round accounting matches `RunStats::comm_rounds`: per step, one
+//! boundary round (participation announcements) plus two rounds per Luby
+//! iteration (`Joined` raises, then `Died` cleanups), plus one round per
+//! phase-2 stack pop; the engine additionally spends one setup round
+//! exchanging demand descriptors.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use treenet_core::{solve_tree_unit, SolverConfig};
+//! use treenet_dist::{run_distributed_tree_unit, DistConfig};
+//! use treenet_model::workload::TreeWorkload;
+//!
+//! let problem = TreeWorkload::new(10, 8).generate(&mut SmallRng::seed_from_u64(5));
+//! let config = SolverConfig::default().with_epsilon(0.3).with_seed(5);
+//! let logical = solve_tree_unit(&problem, &config).unwrap();
+//! let distributed = run_distributed_tree_unit(&problem, &DistConfig::from(&config)).unwrap();
+//! assert_eq!(logical.solution, distributed.solution);
+//! assert_eq!(logical.lambda.to_bits(), distributed.lambda.to_bits());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+
+use std::fmt;
+use std::sync::Arc;
+
+use node::{Mode, ProcessorNode, PublicInfo, SATISFACTION_GUARD};
+use treenet_core::{mis_tag, stages_for, unit_xi, SolverConfig};
+use treenet_decomp::{LayeredDecomposition, Strategy};
+use treenet_graph::{RootedTree, VertexId};
+use treenet_mis::MisBackend;
+use treenet_model::{Problem, Solution};
+use treenet_netsim::{Engine, Metrics, Topology};
+
+pub use node::{Descriptor, DistMsg};
+
+/// Configuration of a distributed run. [`DistConfig::from`] a
+/// [`SolverConfig`] yields the settings under which the distributed
+/// execution reproduces the logical one exactly.
+#[derive(Clone, Debug)]
+pub struct DistConfig {
+    /// Slackness target: phase 1 ends with everything `(1-ε)`-satisfied.
+    pub epsilon: f64,
+    /// Seed of the common-randomness hash.
+    pub seed: u64,
+    /// Tree-decomposition strategy (public knowledge).
+    pub strategy: Strategy,
+    /// MIS backend supplying the `Time(MIS)` factor.
+    pub mis_backend: MisBackend,
+    /// Abort when a stage exceeds this many steps (`None` disables).
+    pub max_steps_per_stage: Option<u64>,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            epsilon: 0.1,
+            seed: 0x7ee5,
+            strategy: Strategy::Ideal,
+            mis_backend: MisBackend::Luby,
+            max_steps_per_stage: Some(1_000_000),
+        }
+    }
+}
+
+impl From<&SolverConfig> for DistConfig {
+    fn from(config: &SolverConfig) -> Self {
+        DistConfig {
+            epsilon: config.epsilon,
+            seed: config.seed,
+            strategy: config.strategy,
+            mis_backend: config.mis_backend,
+            ..DistConfig::default()
+        }
+    }
+}
+
+/// One framework step as executed: its schedule coordinates and the
+/// number of Luby iterations its MIS computation took.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Epoch (1-based).
+    pub epoch: u32,
+    /// Stage within the epoch (1-based).
+    pub stage: u32,
+    /// Step within the stage (0-based).
+    pub step: u64,
+    /// Luby iterations of this step's MIS (2 communication rounds each).
+    pub luby_rounds: u64,
+}
+
+/// The executed schedule: phase-1 steps plus phase-2 pops. Its
+/// [`DistSchedule::total_rounds`] is the paper's communication-round
+/// count (the same quantity `RunStats::comm_rounds` reports for the
+/// logical run); the engine adds one setup round on top.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DistSchedule {
+    /// Phase-1 steps in execution order (= framework stack order).
+    pub steps: Vec<StepRecord>,
+    /// Phase-2 stack pops (one communication round each).
+    pub pops: u64,
+}
+
+impl DistSchedule {
+    /// Scheduled communication rounds: `Σ_steps (2·luby + 1) + pops`.
+    pub fn total_rounds(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| 2 * s.luby_rounds + 1)
+            .sum::<u64>()
+            + self.pops
+    }
+
+    /// Number of phase-1 steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistOutcome {
+    /// The feasible solution extracted by the distributed second phase.
+    pub solution: Solution,
+    /// Measured slackness: the minimum satisfaction ratio, bit-identical
+    /// to the logical run's λ.
+    pub lambda: f64,
+    /// True if an MIS computation failed to converge within its iteration
+    /// budget (never happens for the shipped backends; kept as a
+    /// soft-failure signal).
+    pub luby_incomplete: bool,
+    /// True if some instance ended phase 1 below `(1-ε)`-satisfaction.
+    pub final_unsatisfied: bool,
+    /// Engine communication metrics (rounds, messages, bits, max bits).
+    pub metrics: Metrics,
+    /// The executed epoch/stage/step schedule.
+    pub schedule: DistSchedule,
+}
+
+/// Distributed-run failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DistError {
+    /// `ε` outside `(0, 1)`.
+    BadParameters {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A stage exceeded [`DistConfig::max_steps_per_stage`].
+    StageDiverged {
+        /// Epoch (1-based).
+        epoch: u32,
+        /// Stage (1-based).
+        stage: u32,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::BadParameters { reason } => write!(f, "bad parameters: {reason}"),
+            DistError::StageDiverged { epoch, stage } => {
+                write!(f, "stage {stage} of epoch {epoch} exceeded the step budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+fn descriptor_of(problem: &Problem, a: treenet_model::DemandId) -> Descriptor {
+    Descriptor {
+        id: a,
+        demand: *problem.demand(a),
+        access: problem.access(a).to_vec(),
+    }
+}
+
+/// Runs the unit-height tree scheduler (Theorem 5.3) as a synchronous
+/// message-passing computation and returns the solution, the measured
+/// slackness λ and the communication metrics.
+///
+/// Under `DistConfig::from(&solver_config)` the result equals
+/// [`treenet_core::solve_tree_unit`] exactly: identical solutions and
+/// bit-identical λ (see the crate docs for why).
+///
+/// # Errors
+///
+/// [`DistError::BadParameters`] for an out-of-range `ε`;
+/// [`DistError::StageDiverged`] if a stage exceeds the step budget.
+pub fn run_distributed_tree_unit(
+    problem: &Problem,
+    config: &DistConfig,
+) -> Result<DistOutcome, DistError> {
+    if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
+        return Err(DistError::BadParameters {
+            reason: format!("epsilon must lie in (0,1), got {}", config.epsilon),
+        });
+    }
+    // Public schedule parameters, derivable by every processor: the tree
+    // decompositions fix Δ, Δ fixes ξ, ξ and ε fix the stage count.
+    let decomps: Vec<_> = problem
+        .networks()
+        .map(|t| config.strategy.build(problem.network(t)))
+        .collect();
+    let layers = LayeredDecomposition::from_decompositions(problem, &decomps);
+    let xi = unit_xi(layers.delta());
+    let stages_per_epoch = stages_for(config.epsilon, xi);
+    let num_groups = layers.num_groups() as u32;
+    let public = Arc::new(PublicInfo {
+        rooted: problem
+            .networks()
+            .map(|t| RootedTree::new(problem.network(t), VertexId(0)))
+            .collect(),
+        depths: decomps.iter().map(|h| h.depth()).collect(),
+        decomps,
+        seed: config.seed,
+        backend: config.mis_backend,
+    });
+
+    let nodes: Vec<ProcessorNode> = problem
+        .demands()
+        .map(|a| {
+            ProcessorNode::new(
+                Arc::clone(&public),
+                descriptor_of(problem, a),
+                problem.instances_of(a).to_vec(),
+            )
+        })
+        .collect();
+    let topology = Topology::from_adjacency(
+        problem
+            .communication_graph()
+            .into_iter()
+            .map(|list| list.into_iter().map(|d| d.index()).collect())
+            .collect(),
+    );
+    let mut engine = Engine::new(nodes, topology);
+
+    // Setup round: every processor broadcasts its demand descriptor to
+    // its communication neighbors (one O(M)-bit message each).
+    engine.step();
+
+    // ---- Phase 1: epochs / stages / steps (Figure 7). ----
+    let mut schedule = DistSchedule::default();
+    let mut luby_incomplete = false;
+    'phase1: for epoch in 1..=num_groups {
+        if !engine.nodes().iter().any(|n| n.has_group(epoch)) {
+            continue;
+        }
+        for stage in 1..=stages_per_epoch {
+            let threshold = 1.0 - xi.powi(stage as i32);
+            let mut step_in_stage = 0u64;
+            loop {
+                let unsatisfied: usize = engine
+                    .nodes()
+                    .iter()
+                    .map(|n| n.count_unsatisfied(epoch, threshold))
+                    .sum();
+                if unsatisfied == 0 {
+                    break;
+                }
+                if let Some(limit) = config.max_steps_per_stage {
+                    if step_in_stage >= limit {
+                        return Err(DistError::StageDiverged { epoch, stage });
+                    }
+                }
+                // Step boundary (public schedule): participation announce.
+                let tag = mis_tag(epoch, stage, step_in_stage);
+                let global_step = schedule.steps.len() as u32;
+                for n in engine.nodes_mut() {
+                    n.begin_step(epoch, tag, threshold, global_step);
+                }
+                engine.step();
+                // Luby iterations: two rounds each, until quiescent.
+                let mut luby_rounds = 0u64;
+                let budget = unsatisfied as u64 + 4;
+                loop {
+                    for n in engine.nodes_mut() {
+                        n.mode = Mode::LubyEval;
+                    }
+                    engine.step();
+                    for n in engine.nodes_mut() {
+                        n.mode = Mode::LubyCleanup;
+                    }
+                    engine.step();
+                    luby_rounds += 1;
+                    if !engine.nodes().iter().any(|n| n.has_active()) {
+                        break;
+                    }
+                    if luby_rounds >= budget {
+                        // Every shipped backend removes at least one vertex
+                        // per iteration, so this is unreachable; bail out
+                        // softly instead of spinning if it ever regresses.
+                        luby_incomplete = true;
+                        schedule.steps.push(StepRecord {
+                            epoch,
+                            stage,
+                            step: step_in_stage,
+                            luby_rounds,
+                        });
+                        break 'phase1;
+                    }
+                }
+                schedule.steps.push(StepRecord {
+                    epoch,
+                    stage,
+                    step: step_in_stage,
+                    luby_rounds,
+                });
+                step_in_stage += 1;
+            }
+        }
+    }
+
+    // ---- Phase 2: pop the framework stack, one round per entry. ----
+    schedule.pops = schedule.steps.len() as u64;
+    for step in (0..schedule.steps.len() as u32).rev() {
+        for n in engine.nodes_mut() {
+            n.mode = Mode::Pop(step);
+        }
+        engine.step();
+    }
+
+    // ---- Collect results (instance-id order mirrors the logical run).
+    let mut selected = Vec::new();
+    for node in engine.nodes() {
+        selected.extend_from_slice(node.selected());
+    }
+    let solution = Solution::new(selected);
+
+    let mut lambda = 1.0f64;
+    let mut final_unsatisfied = false;
+    for a in problem.demands() {
+        let node = &engine.nodes()[a.index()];
+        for local in 0..problem.instances_of(a).len() {
+            let satisfaction = node.satisfaction(local);
+            lambda = lambda.min(satisfaction);
+            if satisfaction < 1.0 - config.epsilon - SATISFACTION_GUARD {
+                final_unsatisfied = true;
+            }
+        }
+    }
+
+    Ok(DistOutcome {
+        solution,
+        lambda,
+        luby_incomplete,
+        final_unsatisfied,
+        metrics: engine.metrics(),
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use treenet_core::solve_tree_unit;
+    use treenet_model::workload::TreeWorkload;
+
+    fn problem(seed: u64) -> Problem {
+        TreeWorkload::new(10, 8)
+            .with_networks(2)
+            .with_profit_ratio(4.0)
+            .generate(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn equals_logical_execution_bitwise() {
+        for seed in 0..8u64 {
+            let p = problem(seed);
+            let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
+            let logical = solve_tree_unit(&p, &cfg).unwrap();
+            let distributed = run_distributed_tree_unit(&p, &DistConfig::from(&cfg)).unwrap();
+            assert_eq!(logical.solution, distributed.solution, "seed {seed}");
+            assert_eq!(
+                logical.lambda.to_bits(),
+                distributed.lambda.to_bits(),
+                "seed {seed}: λ {} vs {}",
+                logical.lambda,
+                distributed.lambda
+            );
+            assert!(!distributed.luby_incomplete);
+            assert!(!distributed.final_unsatisfied);
+            distributed.solution.verify(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn comm_rounds_match_logical_accounting() {
+        // The logical RunStats::comm_rounds equals the schedule's round
+        // count, and the engine spends exactly one extra setup round.
+        for seed in 0..4u64 {
+            let p = problem(seed);
+            let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
+            let logical = solve_tree_unit(&p, &cfg).unwrap();
+            let distributed = run_distributed_tree_unit(&p, &DistConfig::from(&cfg)).unwrap();
+            assert_eq!(
+                distributed.schedule.total_rounds(),
+                logical.stats.comm_rounds,
+                "seed {seed}"
+            );
+            assert_eq!(
+                distributed.metrics.rounds,
+                distributed.schedule.total_rounds() + 1
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem(3);
+        let a = run_distributed_tree_unit(&p, &DistConfig::default()).unwrap();
+        let b = run_distributed_tree_unit(&p, &DistConfig::default()).unwrap();
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        let p = problem(0);
+        for eps in [0.0, 1.0, -0.5, 2.0] {
+            let cfg = DistConfig {
+                epsilon: eps,
+                ..DistConfig::default()
+            };
+            assert!(matches!(
+                run_distributed_tree_unit(&p, &cfg),
+                Err(DistError::BadParameters { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn deterministic_backend_also_reproduces_logical_run() {
+        let p = problem(5);
+        let cfg = SolverConfig::default()
+            .with_epsilon(0.3)
+            .with_seed(5)
+            .with_mis_backend(MisBackend::DeterministicGreedy);
+        let logical = solve_tree_unit(&p, &cfg).unwrap();
+        let distributed = run_distributed_tree_unit(&p, &DistConfig::from(&cfg)).unwrap();
+        assert_eq!(logical.solution, distributed.solution);
+        assert_eq!(logical.lambda.to_bits(), distributed.lambda.to_bits());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DistError::StageDiverged { epoch: 2, stage: 3 };
+        assert!(e.to_string().contains("stage 3"));
+        let e = DistError::BadParameters { reason: "x".into() };
+        assert!(e.to_string().contains("x"));
+    }
+}

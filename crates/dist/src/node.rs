@@ -1,0 +1,607 @@
+//! The per-processor protocol node.
+//!
+//! One node per processor (= demand). A node knows only
+//!
+//! * **public information**: the networks, their tree decompositions, the
+//!   schedule parameters (`ε`, `ξ`, seed, MIS backend) — wrapped in
+//!   [`PublicInfo`];
+//! * **its own demand**, from which it derives its demand instances,
+//!   their paths, canonical keys, epoch groups and critical edges;
+//! * **what neighbors told it**: demand descriptors exchanged in the
+//!   setup round (one `O(M)`-bit message each), and the per-round
+//!   liveness/raise/selection announcements of the protocol proper.
+//!
+//! From raise announcements a node tracks the dual values `β(e)` for
+//! exactly the edges on its own paths — sufficient because any raise
+//! touching such an edge comes from an overlapping instance, whose owner
+//! shares a network and is therefore a communication neighbor.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use treenet_decomp::{capture_node, critical_edges, TreeDecomposition};
+use treenet_graph::{EdgeId, RootedTree, TreePath, VertexId};
+use treenet_mis::MisBackend;
+use treenet_model::{Demand, DemandId, DemandKind, InstanceId, NetworkId};
+use treenet_netsim::{Context, Envelope, MessageSize, Protocol};
+
+/// Satisfaction comparison guard — must equal the framework's
+/// `SATISFACTION_GUARD` so participation decisions are bit-identical.
+pub(crate) const SATISFACTION_GUARD: f64 = 1e-9;
+
+/// Public knowledge shared by every processor: the networks (rooted views
+/// and tree decompositions) plus the schedule parameters. Everything here
+/// is a deterministic function of inputs the paper assumes are known to
+/// all processors.
+#[derive(Debug)]
+pub(crate) struct PublicInfo {
+    pub rooted: Vec<RootedTree>,
+    pub decomps: Vec<TreeDecomposition>,
+    pub depths: Vec<u32>,
+    pub seed: u64,
+    pub backend: MisBackend,
+}
+
+impl PublicInfo {
+    /// Derives the instance views of a demand descriptor, in the canonical
+    /// order (accessible networks ascending, window starts ascending) that
+    /// both the owner and every receiver reproduce independently.
+    pub fn views(&self, descriptor: &Descriptor) -> Vec<InstView> {
+        let mut views = Vec::new();
+        for &t in &descriptor.access {
+            match descriptor.demand.kind {
+                DemandKind::Pair { u, v } => {
+                    let path = self.rooted[t.index()].path(u, v);
+                    views.push(self.make_view(descriptor, t, path, None));
+                }
+                DemandKind::Window {
+                    release,
+                    deadline,
+                    processing,
+                } => {
+                    for s in release..=(deadline + 1 - processing) {
+                        let vertices: Vec<VertexId> = (s..=s + processing).map(VertexId).collect();
+                        let edges: Vec<EdgeId> = (s..s + processing).map(EdgeId).collect();
+                        let path = TreePath::new(vertices, edges);
+                        views.push(self.make_view(descriptor, t, path, Some(s)));
+                    }
+                }
+            }
+        }
+        views
+    }
+
+    fn make_view(
+        &self,
+        descriptor: &Descriptor,
+        network: NetworkId,
+        path: TreePath,
+        start: Option<u32>,
+    ) -> InstView {
+        let q = network.index();
+        let mu = capture_node(&self.decomps[q], &path);
+        let group = self.depths[q] - self.decomps[q].node_depth(mu) + 1;
+        let critical = critical_edges(&self.decomps[q], &self.rooted[q], &path);
+        let key = treenet_model::canonical_instance_key(descriptor.id, network, start);
+        let mut sorted_edges: Vec<EdgeId> = path.edges().to_vec();
+        sorted_edges.sort_unstable();
+        InstView {
+            key,
+            network,
+            edges: path.edges().to_vec(),
+            sorted_edges,
+            group,
+            critical,
+            height: descriptor.demand.height,
+            profit: descriptor.demand.profit,
+        }
+    }
+}
+
+/// A demand descriptor — the `O(M)` bits of the paper's message bound:
+/// one demand (kind, profit, height) plus its accessible networks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Descriptor {
+    /// The public id of the owning processor/demand.
+    pub id: DemandId,
+    /// The demand itself.
+    pub demand: Demand,
+    /// Accessible networks, ascending.
+    pub access: Vec<NetworkId>,
+}
+
+/// Everything derivable about one demand instance from its owner's
+/// descriptor plus public information.
+#[derive(Clone, Debug)]
+pub(crate) struct InstView {
+    /// Canonical common-randomness key (matches
+    /// `DemandInstance::canonical_key`).
+    pub key: u64,
+    pub network: NetworkId,
+    /// Path edges in path order (the dual-LHS summation order).
+    pub edges: Vec<EdgeId>,
+    /// Path edges sorted, for overlap tests.
+    pub sorted_edges: Vec<EdgeId>,
+    /// 1-based epoch group.
+    pub group: u32,
+    /// Critical edges `π(d)`, sorted.
+    pub critical: Vec<EdgeId>,
+    pub height: f64,
+    pub profit: f64,
+}
+
+impl InstView {
+    /// Whether the two views overlap: same network and a shared edge.
+    pub fn overlaps(&self, other: &InstView) -> bool {
+        if self.network != other.network {
+            return false;
+        }
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted_edges.len() && j < other.sorted_edges.len() {
+            match self.sorted_edges[i].cmp(&other.sorted_edges[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+/// Protocol messages. Every payload is bounded by one demand descriptor —
+/// the paper's `O(M)` bits.
+#[derive(Clone, Debug)]
+pub enum DistMsg {
+    /// Setup round: the sender's demand descriptor.
+    Descriptor(Descriptor),
+    /// Step boundary: which of the sender's instances (canonical order,
+    /// bit `i` = instance `i`) participate in this step's MIS.
+    Active {
+        /// Participation bitmask over the sender's instances.
+        mask: u64,
+    },
+    /// The sender's instance `idx` joined the MIS and was raised by
+    /// `delta` (α of its demand, β on its critical edges).
+    Joined {
+        /// Canonical instance index within the sender.
+        idx: u8,
+        /// The raise amount `δ(d)`.
+        delta: f64,
+    },
+    /// The sender's instance `idx` left this step's MIS computation.
+    Died {
+        /// Canonical instance index within the sender.
+        idx: u8,
+    },
+    /// Phase 2: the sender's instance `idx` entered the solution.
+    Selected {
+        /// Canonical instance index within the sender.
+        idx: u8,
+    },
+}
+
+impl MessageSize for DistMsg {
+    fn size_bits(&self) -> u64 {
+        match self {
+            // kind/id header + profit + height, plus one word per
+            // accessible network — one demand descriptor, the paper's M.
+            DistMsg::Descriptor(d) => 160 + 64 * d.access.len() as u64,
+            DistMsg::Active { .. } => 72,
+            DistMsg::Joined { .. } => 80,
+            DistMsg::Died { .. } => 16,
+            DistMsg::Selected { .. } => 16,
+        }
+    }
+}
+
+/// What the driver schedules for the next synchronous round. The paper's
+/// model assumes the epoch/stage/step schedule is globally known; the
+/// driver supplies exactly that timing signal (and nothing else) by
+/// setting the mode before each engine round.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Mode {
+    /// Broadcast the own demand descriptor.
+    Setup,
+    /// Step boundary: decide participation, broadcast `Active`.
+    Announce,
+    /// Luby iteration, first half: evaluate wins, winners broadcast
+    /// `Joined` and apply their raise.
+    LubyEval,
+    /// Luby iteration, second half: apply received raises, the newly dead
+    /// broadcast `Died`.
+    LubyCleanup,
+    /// Phase 2: pop the given global step index of the framework stack.
+    Pop(u32),
+}
+
+/// Per-instance state within the current step's MIS computation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum MisState {
+    Out,
+    Active,
+    InMis,
+    Dead,
+}
+
+struct OwnInstance {
+    /// Dense instance id, carried only for reporting the final solution.
+    id: InstanceId,
+    view: InstView,
+    state: MisState,
+    /// Raised at these global step indices (phase-2 pop schedule).
+    raised_at: Vec<u32>,
+}
+
+/// One processor of the message-passing scheduler.
+pub(crate) struct ProcessorNode {
+    public: Arc<PublicInfo>,
+    descriptor: Descriptor,
+    own: Vec<OwnInstance>,
+    /// α of the own demand.
+    alpha: f64,
+    /// β(e) for every edge on an own path, keyed by (network, edge).
+    beta: HashMap<(u32, u32), f64>,
+    /// Phase-2 residual capacity for every edge on an own path.
+    residual: HashMap<(u32, u32), f64>,
+    /// Neighbor views, derived from received descriptors.
+    neighbors: HashMap<usize, Vec<InstView>>,
+    /// Instances of neighbors participating in the current step's MIS.
+    neighbor_active: HashMap<(usize, u8), bool>,
+    /// Deaths to announce in the next cleanup round.
+    pending_died: Vec<u8>,
+    /// Luby iteration counter within the current step.
+    iteration: u64,
+    /// MIS namespace tag of the current step.
+    tag: u64,
+    /// Current stage threshold `1 - ξ^j`.
+    threshold: f64,
+    /// Epoch of the current step.
+    epoch: u32,
+    /// Global index of the current step (phase-1 stack position).
+    global_step: u32,
+    /// Whether this node's demand already entered the solution.
+    demand_used: bool,
+    selected: Vec<InstanceId>,
+    pub(crate) mode: Mode,
+}
+
+impl ProcessorNode {
+    pub fn new(public: Arc<PublicInfo>, descriptor: Descriptor, ids: Vec<InstanceId>) -> Self {
+        let views = public.views(&descriptor);
+        assert_eq!(
+            views.len(),
+            ids.len(),
+            "canonical enumeration matches the problem"
+        );
+        assert!(
+            views.len() <= 64,
+            "at most 64 instances per processor (mask width)"
+        );
+        let mut beta = HashMap::new();
+        let mut residual = HashMap::new();
+        for view in &views {
+            for &e in &view.edges {
+                beta.insert((view.network.0, e.0), 0.0f64);
+                residual.insert((view.network.0, e.0), 1.0f64);
+            }
+        }
+        let own = ids
+            .into_iter()
+            .zip(views)
+            .map(|(id, view)| OwnInstance {
+                id,
+                view,
+                state: MisState::Out,
+                raised_at: Vec::new(),
+            })
+            .collect();
+        ProcessorNode {
+            public,
+            descriptor,
+            own,
+            alpha: 0.0,
+            beta,
+            residual,
+            neighbors: HashMap::new(),
+            neighbor_active: HashMap::new(),
+            pending_died: Vec::new(),
+            iteration: 0,
+            tag: 0,
+            threshold: 0.0,
+            epoch: 0,
+            global_step: 0,
+            demand_used: false,
+            selected: Vec::new(),
+            mode: Mode::Setup,
+        }
+    }
+
+    /// The dual LHS of own instance `i` — same summation order as the
+    /// logical `DualState::lhs`, so the float result is bit-identical.
+    fn lhs(&self, i: usize) -> f64 {
+        let view = &self.own[i].view;
+        let beta_sum: f64 = view
+            .edges
+            .iter()
+            .map(|e| self.beta[&(view.network.0, e.0)])
+            .sum();
+        self.alpha + beta_sum
+    }
+
+    /// Satisfaction ratio of own instance `i`.
+    pub fn satisfaction(&self, i: usize) -> f64 {
+        self.lhs(i) / self.own[i].view.profit
+    }
+
+    /// Whether any own instance belongs to epoch group `k`.
+    pub fn has_group(&self, k: u32) -> bool {
+        self.own.iter().any(|inst| inst.view.group == k)
+    }
+
+    /// Number of own group-`k` instances below `threshold`-satisfaction —
+    /// the same predicate the announce round uses.
+    pub fn count_unsatisfied(&self, k: u32, threshold: f64) -> usize {
+        (0..self.own.len())
+            .filter(|&i| {
+                self.own[i].view.group == k && self.satisfaction(i) < threshold - SATISFACTION_GUARD
+            })
+            .count()
+    }
+
+    /// Whether any own instance is still undecided in the current MIS.
+    pub fn has_active(&self) -> bool {
+        self.own.iter().any(|inst| inst.state == MisState::Active)
+    }
+
+    /// Instances selected by phase 2, with their demand-local index.
+    pub fn selected(&self) -> &[InstanceId] {
+        &self.selected
+    }
+
+    /// The driver's step-boundary signal (public schedule only).
+    pub fn begin_step(&mut self, epoch: u32, tag: u64, threshold: f64, global_step: u32) {
+        self.epoch = epoch;
+        self.tag = tag;
+        self.threshold = threshold;
+        self.global_step = global_step;
+        self.iteration = 0;
+        self.neighbor_active.clear();
+        self.pending_died.clear();
+        for inst in &mut self.own {
+            inst.state = MisState::Out;
+        }
+        self.mode = Mode::Announce;
+    }
+
+    fn neighbor_view(&self, node: usize, idx: u8) -> Option<&InstView> {
+        self.neighbors
+            .get(&node)
+            .and_then(|views| views.get(idx as usize))
+    }
+
+    /// Applies a raise announced by a neighbor: β on the raised instance's
+    /// critical edges, restricted to the edges this node tracks.
+    fn apply_neighbor_raise(&mut self, node: usize, idx: u8, delta: f64) {
+        let Some(view) = self.neighbor_view(node, idx) else {
+            return;
+        };
+        let network = view.network.0;
+        let critical: Vec<u32> = view.critical.iter().map(|e| e.0).collect();
+        for e in critical {
+            if let Some(slot) = self.beta.get_mut(&(network, e)) {
+                *slot += delta;
+            }
+        }
+    }
+
+    /// Kills own active instances conflicting with a neighbor's MIS
+    /// winner; the deaths are announced in the next cleanup round.
+    fn kill_conflicting_with(&mut self, node: usize, idx: u8) {
+        let Some(winner) = self.neighbor_view(node, idx) else {
+            return;
+        };
+        let winner = winner.clone();
+        for (i, inst) in self.own.iter_mut().enumerate() {
+            if inst.state == MisState::Active && inst.view.overlaps(&winner) {
+                inst.state = MisState::Dead;
+                self.pending_died.push(i as u8);
+            }
+        }
+    }
+
+    /// Win test for own instance `i` against the frozen activity view —
+    /// exactly the central `luby_mis`/`deterministic_mis` predicate.
+    fn wins(&self, i: usize) -> bool {
+        let backend = self.public.backend;
+        let (seed, tag, it) = (self.public.seed, self.tag, self.iteration);
+        let my_key = self.own[i].view.key;
+        // Own siblings always conflict (same demand).
+        for (j, other) in self.own.iter().enumerate() {
+            if j != i
+                && other.state == MisState::Active
+                && !backend.beats(seed, tag, it, my_key, other.view.key)
+            {
+                return false;
+            }
+        }
+        // Active neighbor instances that overlap.
+        for (&(node, idx), _) in self.neighbor_active.iter().filter(|(_, &alive)| alive) {
+            let Some(view) = self.neighbor_view(node, idx) else {
+                continue;
+            };
+            if self.own[i].view.overlaps(view) && !backend.beats(seed, tag, it, my_key, view.key) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn round_setup(&mut self, ctx: &mut Context<'_, DistMsg>) {
+        ctx.broadcast(DistMsg::Descriptor(self.descriptor.clone()));
+    }
+
+    fn round_announce(&mut self, inbox: &[Envelope<DistMsg>], ctx: &mut Context<'_, DistMsg>) {
+        // The first announce round carries the setup descriptors; later
+        // ones only see stale end-of-step `Died` messages, which the
+        // `begin_step` reset already made irrelevant.
+        for env in inbox {
+            if let DistMsg::Descriptor(descriptor) = &env.msg {
+                let views = self.public.views(descriptor);
+                self.neighbors.insert(env.from, views);
+            }
+        }
+        let mut mask = 0u64;
+        for i in 0..self.own.len() {
+            if self.own[i].view.group == self.epoch
+                && self.satisfaction(i) < self.threshold - SATISFACTION_GUARD
+            {
+                self.own[i].state = MisState::Active;
+                mask |= 1 << i;
+            }
+        }
+        if mask != 0 {
+            ctx.broadcast(DistMsg::Active { mask });
+        }
+    }
+
+    fn round_luby_eval(&mut self, inbox: &[Envelope<DistMsg>], ctx: &mut Context<'_, DistMsg>) {
+        for env in inbox {
+            match &env.msg {
+                DistMsg::Active { mask } => {
+                    if let Some(views) = self.neighbors.get(&env.from) {
+                        for idx in 0..views.len().min(64) {
+                            if mask & (1 << idx) != 0 {
+                                self.neighbor_active.insert((env.from, idx as u8), true);
+                            }
+                        }
+                    }
+                }
+                DistMsg::Died { idx } => {
+                    self.neighbor_active.insert((env.from, *idx), false);
+                }
+                _ => {}
+            }
+        }
+        // Frozen-snapshot evaluation: collect all winners first.
+        let winners: Vec<usize> = (0..self.own.len())
+            .filter(|&i| self.own[i].state == MisState::Active && self.wins(i))
+            .collect();
+        for &i in &winners {
+            self.own[i].state = MisState::InMis;
+            self.own[i].raised_at.push(self.global_step);
+            // The unit raising rule: δ = slack / (|π| + 1).
+            let slack = self.own[i].view.profit - self.lhs(i);
+            let delta = slack / (self.own[i].view.critical.len() as f64 + 1.0);
+            self.alpha += delta;
+            let network = self.own[i].view.network.0;
+            let critical: Vec<u32> = self.own[i].view.critical.iter().map(|e| e.0).collect();
+            for e in critical {
+                *self
+                    .beta
+                    .get_mut(&(network, e))
+                    .expect("critical edges lie on own paths") += delta;
+            }
+            ctx.broadcast(DistMsg::Joined {
+                idx: i as u8,
+                delta,
+            });
+            // Siblings always conflict with a winner; they die now and
+            // announce it in the cleanup round.
+            for j in 0..self.own.len() {
+                if j != i && self.own[j].state == MisState::Active {
+                    self.own[j].state = MisState::Dead;
+                    self.pending_died.push(j as u8);
+                }
+            }
+        }
+    }
+
+    fn round_luby_cleanup(&mut self, inbox: &[Envelope<DistMsg>], ctx: &mut Context<'_, DistMsg>) {
+        for env in inbox {
+            if let DistMsg::Joined { idx, delta } = env.msg {
+                self.neighbor_active.insert((env.from, idx), false);
+                self.apply_neighbor_raise(env.from, idx, delta);
+                self.kill_conflicting_with(env.from, idx);
+            }
+        }
+        for idx in std::mem::take(&mut self.pending_died) {
+            ctx.broadcast(DistMsg::Died { idx });
+        }
+        self.iteration += 1;
+    }
+
+    fn round_pop(
+        &mut self,
+        step: u32,
+        inbox: &[Envelope<DistMsg>],
+        ctx: &mut Context<'_, DistMsg>,
+    ) {
+        for env in inbox {
+            if let DistMsg::Selected { idx } = env.msg {
+                let Some(view) = self.neighbor_view(env.from, idx) else {
+                    continue;
+                };
+                let (network, height) = (view.network.0, view.height);
+                let edges: Vec<u32> = view.edges.iter().map(|e| e.0).collect();
+                for e in edges {
+                    if let Some(slot) = self.residual.get_mut(&(network, e)) {
+                        *slot -= height;
+                    }
+                }
+            }
+        }
+        for i in 0..self.own.len() {
+            if !self.own[i].raised_at.contains(&step) {
+                continue;
+            }
+            // The tracker's `fits` test on the locally tracked residuals.
+            let view = &self.own[i].view;
+            let fits = !self.demand_used
+                && view.edges.iter().all(|e| {
+                    self.residual[&(view.network.0, e.0)] + treenet_model::EPS >= view.height
+                });
+            if fits {
+                self.demand_used = true;
+                let id = self.own[i].id;
+                if !self.selected.contains(&id) {
+                    self.selected.push(id);
+                }
+                let network = view.network.0;
+                let height = view.height;
+                let edges: Vec<u32> = view.edges.iter().map(|e| e.0).collect();
+                for e in edges {
+                    *self
+                        .residual
+                        .get_mut(&(network, e))
+                        .expect("own path edges are tracked") -= height;
+                }
+                ctx.broadcast(DistMsg::Selected { idx: i as u8 });
+            }
+        }
+    }
+}
+
+impl Protocol for ProcessorNode {
+    type Msg = DistMsg;
+
+    fn on_start(&mut self, _ctx: &mut Context<'_, DistMsg>) {}
+
+    fn on_round(
+        &mut self,
+        _round: u64,
+        inbox: &[Envelope<DistMsg>],
+        ctx: &mut Context<'_, DistMsg>,
+    ) {
+        match self.mode.clone() {
+            Mode::Setup => self.round_setup(ctx),
+            Mode::Announce => self.round_announce(inbox, ctx),
+            Mode::LubyEval => self.round_luby_eval(inbox, ctx),
+            Mode::LubyCleanup => self.round_luby_cleanup(inbox, ctx),
+            Mode::Pop(step) => self.round_pop(step, inbox, ctx),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        true
+    }
+}

@@ -1,0 +1,136 @@
+//! Communication-metrics coverage for the message-passing scheduler:
+//! traffic exists whenever processors share resources, every message
+//! respects the paper's `O(M)`-bit bound (one demand descriptor), and the
+//! engine's round count follows the schedule the `FrameworkConfig`
+//! parameters fix.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treenet_dist::{run_distributed_tree_unit, DistConfig};
+use treenet_graph::generators::TreeFamily;
+use treenet_model::workload::TreeWorkload;
+
+/// One demand descriptor: kind/id header + profit + height (160 bits)
+/// plus one word per accessible network — the paper's `M`.
+fn descriptor_bound(networks: usize) -> u64 {
+    160 + 64 * networks as u64
+}
+
+#[test]
+fn messages_flow_and_respect_the_descriptor_bound() {
+    // The same workload shapes as tests/distributed_pipeline.rs.
+    for family in [TreeFamily::Path, TreeFamily::Star, TreeFamily::Uniform] {
+        let p = TreeWorkload::new(9, 7)
+            .with_networks(2)
+            .with_family(family)
+            .with_profit_ratio(4.0)
+            .generate(&mut SmallRng::seed_from_u64(17));
+        let out = run_distributed_tree_unit(&p, &DistConfig::default()).unwrap();
+        assert!(
+            !out.luby_incomplete && !out.final_unsatisfied,
+            "{}",
+            family.name()
+        );
+        // Several processors share two networks: traffic must exist.
+        assert!(out.metrics.messages > 0, "{}: no messages", family.name());
+        assert!(out.metrics.bits > 0, "{}", family.name());
+        // O(M) bits: no message exceeds one demand descriptor.
+        assert!(
+            out.metrics.max_message_bits <= descriptor_bound(p.network_count()),
+            "{}: {} bits > descriptor bound",
+            family.name(),
+            out.metrics.max_message_bits
+        );
+        // The reliable engine never drops or duplicates.
+        assert_eq!(out.metrics.dropped, 0);
+        assert_eq!(out.metrics.duplicated, 0);
+    }
+}
+
+#[test]
+fn message_size_does_not_grow_with_processor_count() {
+    let mut max_bits = Vec::new();
+    for m in [4usize, 8, 16, 32] {
+        let p = TreeWorkload::new(10, m)
+            .with_networks(2)
+            .with_profit_ratio(4.0)
+            .generate(&mut SmallRng::seed_from_u64(5));
+        let out = run_distributed_tree_unit(&p, &DistConfig::default()).unwrap();
+        assert!(
+            out.metrics.max_message_bits <= descriptor_bound(2),
+            "m = {m}"
+        );
+        max_bits.push(out.metrics.max_message_bits);
+    }
+    // Flat in m: the maximum stays one descriptor regardless of scale
+    // (it may sit below the bound when no demand accesses every network).
+    let ceiling = *max_bits.iter().max().unwrap();
+    assert!(
+        ceiling <= descriptor_bound(2),
+        "ceiling grew with m: {max_bits:?}"
+    );
+}
+
+#[test]
+fn rounds_follow_the_framework_schedule() {
+    for seed in [3u64, 11, 29] {
+        let p = TreeWorkload::new(8, 6)
+            .with_networks(2)
+            .with_profit_ratio(4.0)
+            .generate(&mut SmallRng::seed_from_u64(seed));
+        let cfg = DistConfig {
+            epsilon: 0.4,
+            seed,
+            ..DistConfig::default()
+        };
+        let out = run_distributed_tree_unit(&p, &cfg).unwrap();
+        // Schedule arithmetic: one boundary round plus two rounds per Luby
+        // iteration per step, one round per phase-2 pop.
+        let steps: u64 = out
+            .schedule
+            .steps
+            .iter()
+            .map(|s| 2 * s.luby_rounds + 1)
+            .sum();
+        assert_eq!(out.schedule.total_rounds(), steps + out.schedule.pops);
+        assert_eq!(out.schedule.pops, out.schedule.num_steps() as u64);
+        // The engine executes the schedule plus at most two extra rounds
+        // (descriptor setup / drain).
+        assert!(
+            out.metrics.rounds >= out.schedule.total_rounds(),
+            "seed {seed}"
+        );
+        assert!(
+            out.metrics.rounds <= out.schedule.total_rounds() + 2,
+            "seed {seed}"
+        );
+        // Steps are recorded in schedule order: epochs ascend, stages
+        // ascend within an epoch, step indices count from zero.
+        for pair in out.schedule.steps.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(
+                a.epoch < b.epoch
+                    || (a.epoch == b.epoch && a.stage < b.stage)
+                    || (a.epoch == b.epoch && a.stage == b.stage && a.step + 1 == b.step),
+                "schedule out of order: {a:?} then {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn solo_processor_is_silent() {
+    let mut b = treenet_model::ProblemBuilder::new();
+    let t = b.add_network(treenet_graph::Tree::line(6)).unwrap();
+    b.add_demand(
+        treenet_model::Demand::pair(treenet_graph::VertexId(0), treenet_graph::VertexId(5), 2.0),
+        &[t],
+    )
+    .unwrap();
+    let p = b.build().unwrap();
+    let out = run_distributed_tree_unit(&p, &DistConfig::default()).unwrap();
+    assert_eq!(out.metrics.messages, 0);
+    assert_eq!(out.metrics.bits, 0);
+    assert_eq!(out.metrics.max_message_bits, 0);
+    assert_eq!(out.solution.len(), 1);
+}

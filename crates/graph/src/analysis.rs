@@ -31,7 +31,12 @@ pub fn tree_stats(tree: &Tree) -> TreeStats {
     let (_, diameter) = far(a);
     let max_degree = tree.vertices().map(|v| tree.degree(v)).max().unwrap_or(0);
     let leaves = tree.vertices().filter(|&v| tree.degree(v) == 1).count();
-    TreeStats { n, diameter, max_degree, leaves }
+    TreeStats {
+        n,
+        diameter,
+        max_degree,
+        leaves,
+    }
 }
 
 /// Renders the tree in Graphviz DOT format (undirected), with optional
@@ -67,9 +72,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generators::{random_tree, TreeFamily};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use crate::generators::{random_tree, TreeFamily};
 
     #[test]
     fn line_stats() {

@@ -46,7 +46,9 @@ pub struct Membership {
 impl Membership {
     /// Creates an all-false membership map for `n` vertices.
     pub fn new(n: usize) -> Self {
-        Membership { bits: vec![false; n] }
+        Membership {
+            bits: vec![false; n],
+        }
     }
 
     /// Marks every vertex in `members`.
@@ -140,7 +142,10 @@ pub fn split_at(
     membership: &Membership,
     z: VertexId,
 ) -> Vec<Vec<VertexId>> {
-    assert!(membership.contains(z), "split vertex {z} must belong to the component");
+    assert!(
+        membership.contains(z),
+        "split vertex {z} must belong to the component"
+    );
     let mut seen = vec![false; tree.len()];
     seen[z.index()] = true;
     let mut comps = Vec::new();
@@ -177,7 +182,10 @@ pub fn split_at(
 ///
 /// Panics if `members` is empty.
 pub fn find_balancer(tree: &Tree, members: &[VertexId], membership: &Membership) -> VertexId {
-    assert!(!members.is_empty(), "cannot find a balancer of an empty component");
+    assert!(
+        !members.is_empty(),
+        "cannot find a balancer of an empty component"
+    );
     let total = members.len();
     if total == 1 {
         return members[0];
@@ -201,7 +209,11 @@ pub fn find_balancer(tree: &Tree, members: &[VertexId], membership: &Membership)
             }
         }
     }
-    debug_assert_eq!(order.len(), total, "members must form a connected component");
+    debug_assert_eq!(
+        order.len(),
+        total,
+        "members must form a connected component"
+    );
     let mut size = vec![1usize; tree.len()];
     for &u in order.iter().rev() {
         if let Some(p) = parent[u.index()] {
@@ -231,7 +243,9 @@ pub fn is_balancer(
     z: VertexId,
 ) -> bool {
     let half = members.len() / 2;
-    split_at(tree, members, membership, z).iter().all(|c| c.len() <= half)
+    split_at(tree, members, membership, z)
+        .iter()
+        .all(|c| c.len() <= half)
 }
 
 #[cfg(test)]

@@ -105,8 +105,15 @@ pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Tree {
 /// Panics unless `n ≥ 2`, `seq.len() == n - 2` and every entry is `< n`.
 pub fn prufer_to_tree(n: usize, seq: &[u32]) -> Tree {
     assert!(n >= 2, "Prüfer decoding needs at least two vertices");
-    assert_eq!(seq.len(), n - 2, "Prüfer sequence for n vertices has n-2 entries");
-    assert!(seq.iter().all(|&x| (x as usize) < n), "Prüfer entries must be < n");
+    assert_eq!(
+        seq.len(),
+        n - 2,
+        "Prüfer sequence for n vertices has n-2 entries"
+    );
+    assert!(
+        seq.iter().all(|&x| (x as usize) < n),
+        "Prüfer entries must be < n"
+    );
     let mut degree = vec![1u32; n];
     for &x in seq {
         degree[x as usize] += 1;
@@ -138,8 +145,10 @@ pub fn star<R: Rng>(n: usize, rng: &mut R) -> Tree {
         return Tree::from_edges(1, &[]).expect("singleton");
     }
     let center = rng.gen_range(0..n as u32);
-    let edges: Vec<(u32, u32)> =
-        (0..n as u32).filter(|&v| v != center).map(|v| (center, v)).collect();
+    let edges: Vec<(u32, u32)> = (0..n as u32)
+        .filter(|&v| v != center)
+        .map(|v| (center, v))
+        .collect();
     Tree::from_edges(n, &edges).expect("star is a tree")
 }
 

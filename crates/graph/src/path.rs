@@ -40,7 +40,10 @@ impl TreePath {
     /// Panics unless `vertices.len() == edges.len() + 1` and the sequence is
     /// non-empty — a path always contains at least its source vertex.
     pub fn new(vertices: Vec<VertexId>, edges: Vec<EdgeId>) -> Self {
-        assert!(!vertices.is_empty(), "a tree path contains at least one vertex");
+        assert!(
+            !vertices.is_empty(),
+            "a tree path contains at least one vertex"
+        );
         assert_eq!(
             vertices.len(),
             edges.len() + 1,

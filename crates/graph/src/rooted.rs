@@ -51,7 +51,10 @@ impl RootedTree {
     /// Panics if `root` is out of range for `tree`.
     pub fn new(tree: &Tree, root: VertexId) -> Self {
         let n = tree.len();
-        assert!(root.index() < n, "root {root} out of range for {n} vertices");
+        assert!(
+            root.index() < n,
+            "root {root} out of range for {n} vertices"
+        );
         let mut parent = vec![None; n];
         let mut parent_edge = vec![None; n];
         let mut depth = vec![0u32; n];
@@ -94,8 +97,9 @@ impl RootedTree {
         let levels = usize::BITS as usize - (n.max(2) - 1).leading_zeros() as usize;
         let levels = levels.max(1);
         let mut up: Vec<Vec<VertexId>> = Vec::with_capacity(levels);
-        let base: Vec<VertexId> =
-            (0..n).map(|v| parent[v].unwrap_or(VertexId(v as u32))).collect();
+        let base: Vec<VertexId> = (0..n)
+            .map(|v| parent[v].unwrap_or(VertexId(v as u32)))
+            .collect();
         up.push(base);
         for k in 1..levels {
             let prev = &up[k - 1];
@@ -103,7 +107,16 @@ impl RootedTree {
             up.push(next);
         }
 
-        RootedTree { root, parent, parent_edge, depth, tin, tout, up, order }
+        RootedTree {
+            root,
+            parent,
+            parent_edge,
+            depth,
+            tin,
+            tout,
+            up,
+            order,
+        }
     }
 
     /// The root vertex.
@@ -407,8 +420,14 @@ mod tests {
         // Figure 6 narrative: w.r.t. node 3 (v2), the bending point of the
         // demand ⟨4,13⟩ (v3 ↝ v12) is node 2 (v1); w.r.t. node 9 (v8) it is
         // node 5 (v4).
-        assert_eq!(r.median(VertexId(3), VertexId(12), VertexId(2)), VertexId(1));
-        assert_eq!(r.median(VertexId(3), VertexId(12), VertexId(8)), VertexId(4));
+        assert_eq!(
+            r.median(VertexId(3), VertexId(12), VertexId(2)),
+            VertexId(1)
+        );
+        assert_eq!(
+            r.median(VertexId(3), VertexId(12), VertexId(8)),
+            VertexId(4)
+        );
     }
 
     #[test]
@@ -425,8 +444,13 @@ mod tests {
     fn order_puts_parents_first() {
         let t = figure6_tree();
         let r = RootedTree::new(&t, VertexId(4));
-        let pos: std::collections::HashMap<VertexId, usize> =
-            r.order().iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+        let pos: std::collections::HashMap<VertexId, usize> = r
+            .order()
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, v)| (v, i))
+            .collect();
         for v in t.vertices() {
             if let Some(p) = r.parent(v) {
                 assert!(pos[&p] < pos[&v]);

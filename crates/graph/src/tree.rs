@@ -64,7 +64,11 @@ impl fmt::Display for TreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TreeError::WrongEdgeCount { n, edges } => {
-                write!(f, "tree over {n} vertices needs {} edges, got {edges}", n - 1)
+                write!(
+                    f,
+                    "tree over {n} vertices needs {} edges, got {edges}",
+                    n - 1
+                )
             }
             TreeError::VertexOutOfRange { vertex, n } => {
                 write!(f, "vertex {vertex} out of range for {n} vertices")
@@ -93,7 +97,10 @@ impl Tree {
             return Err(TreeError::Empty);
         }
         if edges.len() != n - 1 {
-            return Err(TreeError::WrongEdgeCount { n, edges: edges.len() });
+            return Err(TreeError::WrongEdgeCount {
+                n,
+                edges: edges.len(),
+            });
         }
         let mut adj: Vec<Vec<(VertexId, EdgeId)>> = vec![Vec::new(); n];
         let mut edge_list = Vec::with_capacity(edges.len());
@@ -112,7 +119,11 @@ impl Tree {
             adj[v as usize].push((VertexId(u), e));
             edge_list.push((VertexId(u), VertexId(v)));
         }
-        let tree = Tree { n, edges: edge_list, adj };
+        let tree = Tree {
+            n,
+            edges: edge_list,
+            adj,
+        };
         if !tree.is_connected() {
             return Err(TreeError::Disconnected);
         }
@@ -129,7 +140,9 @@ impl Tree {
     /// Panics if `n == 0`.
     pub fn line(n: usize) -> Self {
         assert!(n > 0, "line needs at least one vertex");
-        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)).collect();
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1))
+            .map(|i| (i as u32, i as u32 + 1))
+            .collect();
         Tree::from_edges(n, &edges).expect("line edge list is always a valid tree")
     }
 
@@ -205,12 +218,18 @@ impl Tree {
 
     /// Iterator over `(EdgeId, endpoints)` pairs.
     pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, (VertexId, VertexId))> + '_ {
-        self.edges.iter().enumerate().map(|(i, &uv)| (EdgeId(i as u32), uv))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &uv)| (EdgeId(i as u32), uv))
     }
 
     /// The edge between `u` and `v`, if the vertices are adjacent.
     pub fn edge_between(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
-        self.adj[u.index()].iter().find(|&&(w, _)| w == v).map(|&(_, e)| e)
+        self.adj[u.index()]
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, e)| e)
     }
 
     /// True when the tree is the path `0 - 1 - … - (n-1)` with edge `i`
@@ -270,13 +289,19 @@ mod tests {
 
     #[test]
     fn rejects_self_loop() {
-        assert_eq!(Tree::from_edges(2, &[(1, 1)]), Err(TreeError::SelfLoop { vertex: 1 }));
+        assert_eq!(
+            Tree::from_edges(2, &[(1, 1)]),
+            Err(TreeError::SelfLoop { vertex: 1 })
+        );
     }
 
     #[test]
     fn rejects_cycle_with_disconnection() {
         // 4 vertices, 3 edges forming a triangle + isolated vertex 3.
-        assert_eq!(Tree::from_edges(4, &[(0, 1), (1, 2), (2, 0)]), Err(TreeError::Disconnected));
+        assert_eq!(
+            Tree::from_edges(4, &[(0, 1), (1, 2), (2, 0)]),
+            Err(TreeError::Disconnected)
+        );
     }
 
     #[test]
@@ -293,12 +318,16 @@ mod tests {
     fn error_messages_are_informative() {
         let e = Tree::from_edges(3, &[(0, 1)]).unwrap_err();
         assert!(e.to_string().contains("needs 2 edges"));
-        assert!(TreeError::Disconnected.to_string().contains("not connected"));
+        assert!(TreeError::Disconnected
+            .to_string()
+            .contains("not connected"));
         assert!(TreeError::Empty.to_string().contains("at least one"));
-        assert!((TreeError::SelfLoop { vertex: 3 }).to_string().contains("self-loop"));
-        assert!(
-            (TreeError::VertexOutOfRange { vertex: 9, n: 2 }).to_string().contains("out of range")
-        );
+        assert!((TreeError::SelfLoop { vertex: 3 })
+            .to_string()
+            .contains("self-loop"));
+        assert!((TreeError::VertexOutOfRange { vertex: 9, n: 2 })
+            .to_string()
+            .contains("out of range"));
     }
 
     #[test]

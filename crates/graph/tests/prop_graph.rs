@@ -10,9 +10,7 @@ use treenet_graph::generators::{prufer_to_tree, random_tree, TreeFamily};
 use treenet_graph::{RootedTree, VertexId};
 
 fn arb_prufer(max_n: usize) -> impl Strategy<Value = (usize, Vec<u32>)> {
-    (3usize..max_n).prop_flat_map(|n| {
-        (Just(n), proptest::collection::vec(0u32..(n as u32), n - 2))
-    })
+    (3usize..max_n).prop_flat_map(|n| (Just(n), proptest::collection::vec(0u32..(n as u32), n - 2)))
 }
 
 proptest! {

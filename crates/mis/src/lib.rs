@@ -37,7 +37,9 @@
 mod luby;
 mod protocol;
 
-pub use luby::{deterministic_mis, greedy_mis, luby_mis, luby_value, verify_mis, LubyOutcome, MisBackend};
+pub use luby::{
+    deterministic_mis, greedy_mis, luby_mis, luby_value, verify_mis, LubyOutcome, MisBackend,
+};
 pub use protocol::{LubyMsg, LubyProtocol};
 
 #[cfg(test)]

@@ -95,10 +95,16 @@ impl LubyProtocol {
     }
 
     fn wins_iteration(&self) -> bool {
-        let my = (luby_value(self.seed, self.tag, self.key, self.iteration), self.key);
-        self.neighbor_keys.iter().zip(&self.active_neighbors).all(|(&(_, wkey), &alive)| {
-            !alive || my < (luby_value(self.seed, self.tag, wkey, self.iteration), wkey)
-        })
+        let my = (
+            luby_value(self.seed, self.tag, self.key, self.iteration),
+            self.key,
+        );
+        self.neighbor_keys
+            .iter()
+            .zip(&self.active_neighbors)
+            .all(|(&(_, wkey), &alive)| {
+                !alive || my < (luby_value(self.seed, self.tag, wkey, self.iteration), wkey)
+            })
     }
 
     fn mark_neighbor_dead(&mut self, node: usize) {
@@ -151,7 +157,12 @@ impl Protocol for LubyProtocol {
 
     fn on_start(&mut self, _ctx: &mut Context<'_, LubyMsg>) {}
 
-    fn on_round(&mut self, _round: u64, inbox: &[Envelope<LubyMsg>], ctx: &mut Context<'_, LubyMsg>) {
+    fn on_round(
+        &mut self,
+        _round: u64,
+        inbox: &[Envelope<LubyMsg>],
+        ctx: &mut Context<'_, LubyMsg>,
+    ) {
         if self.state == State::Dead && self.announced_death() {
             // Still consume inbox to keep neighbor bookkeeping exact.
             for env in inbox {

@@ -23,12 +23,17 @@ fn random_graph(n: usize, p: f64, rng: &mut SmallRng) -> Vec<Vec<u32>> {
 
 fn run_distributed(adj: &[Vec<u32>], keys: &[u64], seed: u64, tag: u64) -> (Vec<u32>, u64) {
     let n = adj.len();
-    let topology =
-        Topology::from_adjacency(adj.iter().map(|l| l.iter().map(|&w| w as usize).collect()).collect());
+    let topology = Topology::from_adjacency(
+        adj.iter()
+            .map(|l| l.iter().map(|&w| w as usize).collect())
+            .collect(),
+    );
     let nodes: Vec<LubyProtocol> = (0..n)
         .map(|v| {
-            let neighbor_keys =
-                adj[v].iter().map(|&w| (w as usize, keys[w as usize])).collect();
+            let neighbor_keys = adj[v]
+                .iter()
+                .map(|&w| (w as usize, keys[w as usize]))
+                .collect();
             LubyProtocol::new(keys[v], seed, tag, neighbor_keys)
         })
         .collect();

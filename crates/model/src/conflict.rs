@@ -95,7 +95,11 @@ impl ConflictGraph {
             list.sort_unstable();
             list.dedup();
         }
-        ConflictGraph { ids: members.to_vec(), adj, edge_count }
+        ConflictGraph {
+            ids: members.to_vec(),
+            adj,
+            edge_count,
+        }
     }
 
     /// Number of vertices (instances).
@@ -151,7 +155,8 @@ impl ConflictGraph {
         for &i in set {
             marked[i as usize] = true;
         }
-        set.iter().all(|&i| self.adj[i as usize].iter().all(|&j| !marked[j as usize]))
+        set.iter()
+            .all(|&i| self.adj[i as usize].iter().all(|&j| !marked[j as usize]))
     }
 
     /// Checks that `set` (local indices) is a *maximal* independent set:
@@ -164,9 +169,7 @@ impl ConflictGraph {
         for &i in set {
             marked[i as usize] = true;
         }
-        (0..self.len()).all(|v| {
-            marked[v] || self.adj[v].iter().any(|&j| marked[j as usize])
-        })
+        (0..self.len()).all(|v| marked[v] || self.adj[v].iter().any(|&j| marked[j as usize]))
     }
 }
 
@@ -181,11 +184,14 @@ mod tests {
         let t0 = b.add_network(Tree::line(8)).unwrap();
         let t1 = b.add_network(Tree::line(8)).unwrap();
         // a0 on both networks, interval [0,4).
-        b.add_demand(Demand::pair(VertexId(0), VertexId(4), 1.0), &[t0, t1]).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(4), 1.0), &[t0, t1])
+            .unwrap();
         // a1 on t0 only, [3,6): overlaps a0's t0 instance.
-        b.add_demand(Demand::pair(VertexId(3), VertexId(6), 1.0), &[t0]).unwrap();
+        b.add_demand(Demand::pair(VertexId(3), VertexId(6), 1.0), &[t0])
+            .unwrap();
         // a2 on t1 only, [5,7): overlaps nothing.
-        b.add_demand(Demand::pair(VertexId(5), VertexId(7), 1.0), &[t1]).unwrap();
+        b.add_demand(Demand::pair(VertexId(5), VertexId(7), 1.0), &[t1])
+            .unwrap();
         let p = b.build().unwrap();
         let ids: Vec<InstanceId> = p.instances().map(|d| d.id).collect();
         (p, ids)

@@ -69,13 +69,25 @@ pub enum HeightClass {
 impl Demand {
     /// A unit-height demand between two vertices.
     pub fn pair(u: VertexId, v: VertexId, profit: f64) -> Self {
-        Demand { kind: DemandKind::Pair { u, v }, profit, height: 1.0 }
+        Demand {
+            kind: DemandKind::Pair { u, v },
+            profit,
+            height: 1.0,
+        }
     }
 
     /// A unit-height window demand: execute `processing` consecutive
     /// timeslots within `[release, deadline]` (inclusive timeslots).
     pub fn window(release: u32, deadline: u32, processing: u32, profit: f64) -> Self {
-        Demand { kind: DemandKind::Window { release, deadline, processing }, profit, height: 1.0 }
+        Demand {
+            kind: DemandKind::Window {
+                release,
+                deadline,
+                processing,
+            },
+            profit,
+            height: 1.0,
+        }
     }
 
     /// Sets the height (builder style).
@@ -102,7 +114,10 @@ impl Demand {
     /// Validates profit, height and (for windows) the window shape.
     pub(crate) fn validate(&self) -> Result<(), String> {
         if !(self.profit > 0.0 && self.profit.is_finite()) {
-            return Err(format!("profit must be positive and finite, got {}", self.profit));
+            return Err(format!(
+                "profit must be positive and finite, got {}",
+                self.profit
+            ));
         }
         if !(self.height > 0.0 && self.height <= 1.0) {
             return Err(format!("height must lie in (0, 1], got {}", self.height));
@@ -113,7 +128,11 @@ impl Demand {
                     return Err(format!("demand end-points must differ, got {u} twice"));
                 }
             }
-            DemandKind::Window { release, deadline, processing } => {
+            DemandKind::Window {
+                release,
+                deadline,
+                processing,
+            } => {
                 if processing == 0 {
                     return Err("processing time must be at least one timeslot".into());
                 }
@@ -147,23 +166,41 @@ mod tests {
     #[test]
     fn narrow_wide_boundary_is_half() {
         assert_eq!(
-            Demand::pair(VertexId(0), VertexId(1), 1.0).with_height(0.5).height_class(),
+            Demand::pair(VertexId(0), VertexId(1), 1.0)
+                .with_height(0.5)
+                .height_class(),
             HeightClass::Narrow
         );
         assert_eq!(
-            Demand::pair(VertexId(0), VertexId(1), 1.0).with_height(0.500001).height_class(),
+            Demand::pair(VertexId(0), VertexId(1), 1.0)
+                .with_height(0.500001)
+                .height_class(),
             HeightClass::Wide
         );
     }
 
     #[test]
     fn validation_rejects_bad_demands() {
-        assert!(Demand::pair(VertexId(0), VertexId(0), 1.0).validate().is_err());
-        assert!(Demand::pair(VertexId(0), VertexId(1), 0.0).validate().is_err());
-        assert!(Demand::pair(VertexId(0), VertexId(1), -3.0).validate().is_err());
-        assert!(Demand::pair(VertexId(0), VertexId(1), f64::NAN).validate().is_err());
-        assert!(Demand::pair(VertexId(0), VertexId(1), 1.0).with_height(0.0).validate().is_err());
-        assert!(Demand::pair(VertexId(0), VertexId(1), 1.0).with_height(1.5).validate().is_err());
+        assert!(Demand::pair(VertexId(0), VertexId(0), 1.0)
+            .validate()
+            .is_err());
+        assert!(Demand::pair(VertexId(0), VertexId(1), 0.0)
+            .validate()
+            .is_err());
+        assert!(Demand::pair(VertexId(0), VertexId(1), -3.0)
+            .validate()
+            .is_err());
+        assert!(Demand::pair(VertexId(0), VertexId(1), f64::NAN)
+            .validate()
+            .is_err());
+        assert!(Demand::pair(VertexId(0), VertexId(1), 1.0)
+            .with_height(0.0)
+            .validate()
+            .is_err());
+        assert!(Demand::pair(VertexId(0), VertexId(1), 1.0)
+            .with_height(1.5)
+            .validate()
+            .is_err());
         // Window too short for its processing time.
         assert!(Demand::window(5, 6, 3, 1.0).validate().is_err());
         // Zero processing time.

@@ -15,15 +15,24 @@ pub fn figure1() -> (Problem, [DemandId; 3]) {
     let t = b.add_network(Tree::line(11)).expect("line");
     // A: slots [0, 5] with height 0.5 — overlaps B on [3, 5].
     let a = b
-        .add_demand(Demand::pair(VertexId(0), VertexId(6), 5.0).with_height(0.5), &[t])
+        .add_demand(
+            Demand::pair(VertexId(0), VertexId(6), 5.0).with_height(0.5),
+            &[t],
+        )
         .expect("A");
     // B: slots [3, 9] with height 0.7.
     let bd = b
-        .add_demand(Demand::pair(VertexId(3), VertexId(10), 7.0).with_height(0.7), &[t])
+        .add_demand(
+            Demand::pair(VertexId(3), VertexId(10), 7.0).with_height(0.7),
+            &[t],
+        )
         .expect("B");
     // C: slots [0, 2] with height 0.4 — overlaps A only.
     let c = b
-        .add_demand(Demand::pair(VertexId(0), VertexId(3), 4.0).with_height(0.4), &[t])
+        .add_demand(
+            Demand::pair(VertexId(0), VertexId(3), 4.0).with_height(0.4),
+            &[t],
+        )
         .expect("C");
     (b.build().expect("figure 1 problem"), [a, bd, c])
 }
@@ -187,7 +196,9 @@ mod tests {
         // 0.7 + 0.3 fills the edge exactly — still feasible.
         assert!(Solution::new(vec![inst(d2), inst(d3)]).verify(&p).is_ok());
         // All three together overflow.
-        assert!(Solution::new(vec![inst(d1), inst(d2), inst(d3)]).verify(&p).is_err());
+        assert!(Solution::new(vec![inst(d1), inst(d2), inst(d3)])
+            .verify(&p)
+            .is_err());
     }
 
     #[test]

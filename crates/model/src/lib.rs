@@ -58,7 +58,7 @@ pub mod spec;
 pub mod workload;
 
 pub use demand::{Demand, DemandKind, HeightClass};
-pub use problem::{DemandInstance, ModelError, Problem, ProblemBuilder};
+pub use problem::{canonical_instance_key, DemandInstance, ModelError, Problem, ProblemBuilder};
 pub use solution::{FeasibilityError, Solution, SolutionTracker};
 
 use serde::{Deserialize, Serialize};

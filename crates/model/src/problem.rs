@@ -37,7 +37,14 @@ impl DemandInstance {
         for &e in path.edges() {
             edge_mask[e.index() / 64] |= 1 << (e.index() % 64);
         }
-        DemandInstance { id, demand, network, path, start, edge_mask }
+        DemandInstance {
+            id,
+            demand,
+            network,
+            path,
+            start,
+            edge_mask,
+        }
     }
 
     /// Whether the instance is active on edge `e` of its own network
@@ -56,11 +63,7 @@ impl DemandInstance {
     /// Layout: `demand (32 bits) | network (12 bits) | start (20 bits)`.
     #[inline]
     pub fn canonical_key(&self) -> u64 {
-        debug_assert!(self.network.0 < (1 << 12), "at most 4096 networks");
-        debug_assert!(self.start.unwrap_or(0) < (1 << 20), "at most 2^20 timeslots");
-        ((self.demand.0 as u64) << 32)
-            | ((self.network.0 as u64) << 20)
-            | self.start.unwrap_or(0) as u64
+        canonical_instance_key(self.demand, self.network, self.start)
     }
 
     /// Whether this instance and `other` are *overlapping*: same network
@@ -68,7 +71,11 @@ impl DemandInstance {
     #[inline]
     pub fn overlaps(&self, other: &DemandInstance) -> bool {
         self.network == other.network
-            && self.edge_mask.iter().zip(&other.edge_mask).any(|(a, b)| a & b != 0)
+            && self
+                .edge_mask
+                .iter()
+                .zip(&other.edge_mask)
+                .any(|(a, b)| a & b != 0)
     }
 
     /// Number of edges on the routing path (the instance *length*
@@ -83,6 +90,22 @@ impl DemandInstance {
     pub fn is_empty(&self) -> bool {
         self.path.is_empty()
     }
+}
+
+/// The canonical common-randomness key of a demand instance, computable
+/// from *public* information alone (demand id, network id, start slot).
+/// This is the single definition shared by the logical schedulers (via
+/// [`DemandInstance::canonical_key`]) and the message-passing processors
+/// in `treenet-dist`, which derive neighbor keys from received demand
+/// descriptors — both sides must pack identically for the executions to
+/// draw the same Luby values.
+///
+/// Layout: `demand (32 bits) | network (12 bits) | start (20 bits)`.
+#[inline]
+pub fn canonical_instance_key(demand: DemandId, network: NetworkId, start: Option<u32>) -> u64 {
+    debug_assert!(network.0 < (1 << 12), "at most 4096 networks");
+    debug_assert!(start.unwrap_or(0) < (1 << 20), "at most 2^20 timeslots");
+    ((demand.0 as u64) << 32) | ((network.0 as u64) << 20) | start.unwrap_or(0) as u64
 }
 
 /// Error constructing a [`Problem`].
@@ -148,7 +171,11 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::NoNetworks => write!(f, "problem needs at least one network"),
-            ModelError::VertexCountMismatch { expected, got, network } => write!(
+            ModelError::VertexCountMismatch {
+                expected,
+                got,
+                network,
+            } => write!(
                 f,
                 "network {network} has {got} vertices, expected {expected} (all networks share V)"
             ),
@@ -165,10 +192,20 @@ impl fmt::Display for ModelError {
                 write!(f, "demand {demand} references unknown network {network}")
             }
             ModelError::WindowOnNonLine { demand, network } => {
-                write!(f, "window demand {demand} requires canonical line, network {network} is not")
+                write!(
+                    f,
+                    "window demand {demand} requires canonical line, network {network} is not"
+                )
             }
-            ModelError::WindowOutOfRange { demand, deadline, slots } => {
-                write!(f, "window demand {demand} deadline {deadline} exceeds {slots} timeslots")
+            ModelError::WindowOutOfRange {
+                demand,
+                deadline,
+                slots,
+            } => {
+                write!(
+                    f,
+                    "window demand {demand} deadline {deadline} exceeds {slots} timeslots"
+                )
             }
         }
     }
@@ -236,7 +273,10 @@ impl ProblemBuilder {
         acc.dedup();
         for &t in &acc {
             if t.index() >= self.networks.len() {
-                return Err(ModelError::UnknownNetwork { demand: id, network: t });
+                return Err(ModelError::UnknownNetwork {
+                    demand: id,
+                    network: t,
+                });
             }
         }
         self.demands.push(demand);
@@ -254,10 +294,16 @@ impl ProblemBuilder {
             return Err(ModelError::NoNetworks);
         }
         let n = self.networks[0].len();
-        let rooted: Vec<RootedTree> =
-            self.networks.iter().map(|t| RootedTree::new(t, VertexId(0))).collect();
-        let words_per_network: Vec<usize> =
-            self.networks.iter().map(|t| t.edge_count().div_ceil(64).max(1)).collect();
+        let rooted: Vec<RootedTree> = self
+            .networks
+            .iter()
+            .map(|t| RootedTree::new(t, VertexId(0)))
+            .collect();
+        let words_per_network: Vec<usize> = self
+            .networks
+            .iter()
+            .map(|t| t.edge_count().div_ceil(64).max(1))
+            .collect();
 
         let mut instances: Vec<DemandInstance> = Vec::new();
         let mut by_demand: Vec<Vec<InstanceId>> = vec![Vec::new(); self.demands.len()];
@@ -269,7 +315,10 @@ impl ProblemBuilder {
                 DemandKind::Pair { u, v } => {
                     for &vx in [u, v].iter() {
                         if vx.index() >= n {
-                            return Err(ModelError::EndpointOutOfRange { demand: a, vertex: vx });
+                            return Err(ModelError::EndpointOutOfRange {
+                                demand: a,
+                                vertex: vx,
+                            });
                         }
                     }
                     for &t in &self.access[ai] {
@@ -287,11 +336,18 @@ impl ProblemBuilder {
                         by_network[t.index()].push(id);
                     }
                 }
-                DemandKind::Window { release, deadline, processing } => {
+                DemandKind::Window {
+                    release,
+                    deadline,
+                    processing,
+                } => {
                     for &t in &self.access[ai] {
                         let tree = &self.networks[t.index()];
                         if !tree.is_canonical_line() {
-                            return Err(ModelError::WindowOnNonLine { demand: a, network: t });
+                            return Err(ModelError::WindowOnNonLine {
+                                demand: a,
+                                network: t,
+                            });
                         }
                         let slots = tree.edge_count();
                         if deadline as usize >= slots {
@@ -563,9 +619,12 @@ mod tests {
         let mut b = ProblemBuilder::new();
         let t0 = b.add_network(Tree::line(6)).unwrap();
         let t1 = b.add_network(Tree::line(6)).unwrap();
-        b.add_demand(Demand::pair(VertexId(0), VertexId(3), 4.0), &[t0, t1]).unwrap();
-        b.add_demand(Demand::pair(VertexId(2), VertexId(5), 2.0), &[t0]).unwrap();
-        b.add_demand(Demand::pair(VertexId(4), VertexId(5), 1.0), &[t1]).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(3), 4.0), &[t0, t1])
+            .unwrap();
+        b.add_demand(Demand::pair(VertexId(2), VertexId(5), 2.0), &[t0])
+            .unwrap();
+        b.add_demand(Demand::pair(VertexId(4), VertexId(5), 1.0), &[t1])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -597,7 +656,7 @@ mod tests {
         let d0 = p.instances_of(DemandId(0)); // on t0: [0,3); on t1: [0,3)
         let d1 = p.instances_of(DemandId(1))[0]; // on t0: [2,5)
         let d2 = p.instances_of(DemandId(2))[0]; // on t1: [4,5)
-        // Same demand conflicts.
+                                                 // Same demand conflicts.
         assert!(p.conflicting(d0[0], d0[1]));
         // Overlap on t0 (share edge 2).
         assert!(p.conflicting(d0[0], d1));
@@ -652,7 +711,10 @@ mod tests {
         let mut b = ProblemBuilder::new();
         let t = b.add_network(Tree::line(5)).unwrap(); // 4 timeslots: 0..3
         b.add_demand(Demand::window(1, 4, 2, 1.0), &[t]).unwrap();
-        assert!(matches!(b.build(), Err(ModelError::WindowOutOfRange { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::WindowOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -683,13 +745,20 @@ mod tests {
     fn builder_rejects_out_of_range_endpoints() {
         let mut b = ProblemBuilder::new();
         let t = b.add_network(Tree::line(4)).unwrap();
-        b.add_demand(Demand::pair(VertexId(0), VertexId(9), 1.0), &[t]).unwrap();
-        assert!(matches!(b.build(), Err(ModelError::EndpointOutOfRange { .. })));
+        b.add_demand(Demand::pair(VertexId(0), VertexId(9), 1.0), &[t])
+            .unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::EndpointOutOfRange { .. })
+        ));
     }
 
     #[test]
     fn build_requires_networks() {
-        assert!(matches!(ProblemBuilder::new().build(), Err(ModelError::NoNetworks)));
+        assert!(matches!(
+            ProblemBuilder::new().build(),
+            Err(ModelError::NoNetworks)
+        ));
     }
 
     #[test]
@@ -704,9 +773,15 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = ModelError::EmptyAccess { demand: DemandId(3) };
+        let e = ModelError::EmptyAccess {
+            demand: DemandId(3),
+        };
         assert!(e.to_string().contains("a3"));
-        let e = ModelError::WindowOutOfRange { demand: DemandId(0), deadline: 9, slots: 5 };
+        let e = ModelError::WindowOutOfRange {
+            demand: DemandId(0),
+            deadline: 9,
+            slots: 5,
+        };
         assert!(e.to_string().contains("9"));
     }
 }

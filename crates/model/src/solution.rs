@@ -67,10 +67,18 @@ impl fmt::Display for FeasibilityError {
             FeasibilityError::UnknownInstance { instance } => {
                 write!(f, "instance {instance} does not exist")
             }
-            FeasibilityError::DuplicateDemand { demand, first, second } => {
+            FeasibilityError::DuplicateDemand {
+                demand,
+                first,
+                second,
+            } => {
                 write!(f, "demand {demand} selected twice ({first} and {second})")
             }
-            FeasibilityError::CapacityExceeded { network, edge, load } => {
+            FeasibilityError::CapacityExceeded {
+                network,
+                edge,
+                load,
+            } => {
                 write!(f, "edge {edge} of {network} overloaded: {load} > 1")
             }
         }
@@ -287,9 +295,12 @@ mod tests {
         let mut b = ProblemBuilder::new();
         let t = b.add_network(Tree::line(6)).unwrap();
         // Demands [0,3], [2,5], [4,5] on one resource.
-        b.add_demand(Demand::pair(VertexId(0), VertexId(3), 3.0), &[t]).unwrap();
-        b.add_demand(Demand::pair(VertexId(2), VertexId(5), 2.0), &[t]).unwrap();
-        b.add_demand(Demand::pair(VertexId(4), VertexId(5), 1.0), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(3), 3.0), &[t])
+            .unwrap();
+        b.add_demand(Demand::pair(VertexId(2), VertexId(5), 2.0), &[t])
+            .unwrap();
+        b.add_demand(Demand::pair(VertexId(4), VertexId(5), 1.0), &[t])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -310,7 +321,10 @@ mod tests {
         let p = overlapping_problem();
         // Instances 0 and 1 share edge 2.
         let s = Solution::new(vec![InstanceId(0), InstanceId(1)]);
-        assert!(matches!(s.verify(&p), Err(FeasibilityError::CapacityExceeded { .. })));
+        assert!(matches!(
+            s.verify(&p),
+            Err(FeasibilityError::CapacityExceeded { .. })
+        ));
     }
 
     #[test]
@@ -318,17 +332,24 @@ mod tests {
         let mut b = ProblemBuilder::new();
         let t0 = b.add_network(Tree::line(4)).unwrap();
         let t1 = b.add_network(Tree::line(4)).unwrap();
-        b.add_demand(Demand::pair(VertexId(0), VertexId(1), 1.0), &[t0, t1]).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(1), 1.0), &[t0, t1])
+            .unwrap();
         let p = b.build().unwrap();
         let s = Solution::new(vec![InstanceId(0), InstanceId(1)]);
-        assert!(matches!(s.verify(&p), Err(FeasibilityError::DuplicateDemand { .. })));
+        assert!(matches!(
+            s.verify(&p),
+            Err(FeasibilityError::DuplicateDemand { .. })
+        ));
     }
 
     #[test]
     fn verify_rejects_unknown_instance() {
         let p = overlapping_problem();
         let s = Solution::new(vec![InstanceId(99)]);
-        assert!(matches!(s.verify(&p), Err(FeasibilityError::UnknownInstance { .. })));
+        assert!(matches!(
+            s.verify(&p),
+            Err(FeasibilityError::UnknownInstance { .. })
+        ));
     }
 
     #[test]
@@ -336,14 +357,20 @@ mod tests {
         let mut b = ProblemBuilder::new();
         let t = b.add_network(Tree::line(4)).unwrap();
         for _ in 0..3 {
-            b.add_demand(Demand::pair(VertexId(0), VertexId(3), 1.0).with_height(0.4), &[t])
-                .unwrap();
+            b.add_demand(
+                Demand::pair(VertexId(0), VertexId(3), 1.0).with_height(0.4),
+                &[t],
+            )
+            .unwrap();
         }
         let p = b.build().unwrap();
         let two = Solution::new(vec![InstanceId(0), InstanceId(1)]);
         assert!(two.verify(&p).is_ok());
         let three = Solution::new(vec![InstanceId(0), InstanceId(1), InstanceId(2)]);
-        assert!(matches!(three.verify(&p), Err(FeasibilityError::CapacityExceeded { .. })));
+        assert!(matches!(
+            three.verify(&p),
+            Err(FeasibilityError::CapacityExceeded { .. })
+        ));
     }
 
     #[test]
@@ -373,7 +400,9 @@ mod tests {
 
     #[test]
     fn from_iterator_dedups() {
-        let s: Solution = vec![InstanceId(2), InstanceId(0), InstanceId(2)].into_iter().collect();
+        let s: Solution = vec![InstanceId(2), InstanceId(0), InstanceId(2)]
+            .into_iter()
+            .collect();
         assert_eq!(s.selected(), &[InstanceId(0), InstanceId(2)]);
         assert_eq!(Solution::empty().len(), 0);
     }

@@ -113,8 +113,7 @@ impl ProblemSpec {
             ids.push(builder.add_network(tree)?);
         }
         for spec in &self.demands {
-            let access: Vec<_> =
-                spec.access.iter().map(|&i| crate::NetworkId(i)).collect();
+            let access: Vec<_> = spec.access.iter().map(|&i| crate::NetworkId(i)).collect();
             builder.add_demand(spec.demand, &access)?;
         }
         Ok(builder.build()?)
@@ -151,7 +150,9 @@ mod tests {
     #[test]
     fn round_trip_through_serde() {
         let mut rng = SmallRng::seed_from_u64(12);
-        let p = LineWorkload::new(20, 8).with_window_slack(2).generate(&mut rng);
+        let p = LineWorkload::new(20, 8)
+            .with_window_slack(2)
+            .generate(&mut rng);
         let spec = ProblemSpec::from_problem(&p);
         // serde_json is a dev-dependency of the workspace root, not this
         // crate; exercise the Serialize impl through the derive round trip

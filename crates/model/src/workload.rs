@@ -38,7 +38,7 @@ impl HeightMode {
                 if rng.gen_bool(narrow_frac) {
                     rng.gen_range(hmin..=0.5)
                 } else {
-                    rng.gen_range(0.5..=1.0f64).max(0.5000001).min(1.0)
+                    rng.gen_range(0.5..=1.0f64).clamp(0.5000001, 1.0)
                 }
             }
         }
@@ -153,12 +153,17 @@ impl TreeWorkload {
             let height = self.heights.sample(rng);
             let demand = Demand::pair(u, v, profit).with_height(height);
             // Random non-empty access set.
-            let mut access: Vec<_> =
-                nets.iter().copied().filter(|_| rng.gen_bool(self.access_prob)).collect();
+            let mut access: Vec<_> = nets
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(self.access_prob))
+                .collect();
             if access.is_empty() {
                 access.push(nets[rng.gen_range(0..nets.len())]);
             }
-            builder.add_demand(demand, &access).expect("generated demand is valid");
+            builder
+                .add_demand(demand, &access)
+                .expect("generated demand is valid");
         }
         builder.build().expect("generated problem is valid")
     }
@@ -179,8 +184,11 @@ fn local_pair<R: Rng>(tree: &Tree, radius: usize, rng: &mut R) -> (VertexId, Ver
     let steps = rng.gen_range(1..=radius);
     for _ in 0..steps {
         let neighbors = tree.neighbors(current);
-        let candidates: Vec<VertexId> =
-            neighbors.iter().map(|&(v, _)| v).filter(|&v| Some(v) != prev).collect();
+        let candidates: Vec<VertexId> = neighbors
+            .iter()
+            .map(|&(v, _)| v)
+            .filter(|&v| Some(v) != prev)
+            .collect();
         let pool = if candidates.is_empty() {
             neighbors.iter().map(|&(v, _)| v).collect::<Vec<_>>()
         } else {
@@ -284,10 +292,17 @@ impl LineWorkload {
         assert!(self.slots >= 1);
         assert!(self.r >= 1);
         let (lo, hi) = self.len_range;
-        assert!(lo >= 1 && lo <= hi && hi as usize <= self.slots, "bad length range");
+        assert!(
+            lo >= 1 && lo <= hi && hi as usize <= self.slots,
+            "bad length range"
+        );
         let mut builder = ProblemBuilder::new();
         let nets: Vec<_> = (0..self.r)
-            .map(|_| builder.add_network(Tree::line(self.slots + 1)).expect("lines share n"))
+            .map(|_| {
+                builder
+                    .add_network(Tree::line(self.slots + 1))
+                    .expect("lines share n")
+            })
             .collect();
         for _ in 0..self.m {
             let rho = rng.gen_range(lo..=hi);
@@ -297,12 +312,17 @@ impl LineWorkload {
             let profit = sample_profit(self.profit_ratio, rng);
             let height = self.heights.sample(rng);
             let demand = Demand::window(release, deadline, rho, profit).with_height(height);
-            let mut access: Vec<_> =
-                nets.iter().copied().filter(|_| rng.gen_bool(self.access_prob)).collect();
+            let mut access: Vec<_> = nets
+                .iter()
+                .copied()
+                .filter(|_| rng.gen_bool(self.access_prob))
+                .collect();
             if access.is_empty() {
                 access.push(nets[rng.gen_range(0..nets.len())]);
             }
-            builder.add_demand(demand, &access).expect("generated demand is valid");
+            builder
+                .add_demand(demand, &access)
+                .expect("generated demand is valid");
         }
         builder.build().expect("generated problem is valid")
     }
@@ -338,8 +358,10 @@ mod tests {
         let p = cfg.generate(&mut rng);
         assert!(!p.is_unit_height());
         assert!(p.min_height() >= 0.25);
-        let cfg = TreeWorkload::new(16, 30)
-            .with_heights(HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.1 });
+        let cfg = TreeWorkload::new(16, 30).with_heights(HeightMode::Bimodal {
+            narrow_frac: 0.5,
+            hmin: 0.1,
+        });
         let p = cfg.generate(&mut rng);
         assert!(p.min_height() >= 0.1);
     }
@@ -379,7 +401,9 @@ mod tests {
     #[test]
     fn line_workload_without_windows_is_one_start_per_resource() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let cfg = LineWorkload::new(30, 10).with_resources(1).with_window_slack(0);
+        let cfg = LineWorkload::new(30, 10)
+            .with_resources(1)
+            .with_window_slack(0);
         let p = cfg.generate(&mut rng);
         assert_eq!(p.instance_count(), 10);
     }

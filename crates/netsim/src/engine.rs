@@ -73,7 +73,12 @@ pub trait Protocol {
 
     /// One synchronous round: `inbox` holds everything sent to this node
     /// in the previous round.
-    fn on_round(&mut self, round: u64, inbox: &[Envelope<Self::Msg>], ctx: &mut Context<'_, Self::Msg>);
+    fn on_round(
+        &mut self,
+        round: u64,
+        inbox: &[Envelope<Self::Msg>],
+        ctx: &mut Context<'_, Self::Msg>,
+    );
 
     /// Local termination flag. The engine stops once every node is done
     /// *and* no messages are in flight.
@@ -118,7 +123,11 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A reliable plan (no faults) — the default behaviour.
     pub fn reliable() -> Self {
-        FaultPlan { drop_probability: 0.0, duplicate_probability: 0.0, seed: 0 }
+        FaultPlan {
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            seed: 0,
+        }
     }
 
     /// Drops each message independently with probability `p`.
@@ -128,7 +137,11 @@ impl FaultPlan {
     /// Panics unless `0 ≤ p ≤ 1`.
     pub fn dropping(p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
-        FaultPlan { drop_probability: p, duplicate_probability: 0.0, seed }
+        FaultPlan {
+            drop_probability: p,
+            duplicate_probability: 0.0,
+            seed,
+        }
     }
 
     /// Duplicates each message independently with probability `p`.
@@ -138,7 +151,11 @@ impl FaultPlan {
     /// Panics unless `0 ≤ p ≤ 1`.
     pub fn duplicating(p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
-        FaultPlan { drop_probability: 0.0, duplicate_probability: p, seed }
+        FaultPlan {
+            drop_probability: 0.0,
+            duplicate_probability: p,
+            seed,
+        }
     }
 }
 
@@ -183,7 +200,11 @@ impl<P: Protocol> Engine<P> {
     ///
     /// Panics if the node count differs from the topology size.
     pub fn new(nodes: Vec<P>, topology: Topology) -> Self {
-        assert_eq!(nodes.len(), topology.len(), "one protocol node per topology node");
+        assert_eq!(
+            nodes.len(),
+            topology.len(),
+            "one protocol node per topology node"
+        );
         let n = nodes.len();
         Engine {
             nodes,
@@ -234,8 +255,11 @@ impl<P: Protocol> Engine<P> {
             self.started = true;
             let mut outs: Vec<Vec<(usize, P::Msg)>> = Vec::with_capacity(self.nodes.len());
             for (v, node) in self.nodes.iter_mut().enumerate() {
-                let mut ctx =
-                    Context { node: v, neighbors: self.topology.neighbors(v), out: Vec::new() };
+                let mut ctx = Context {
+                    node: v,
+                    neighbors: self.topology.neighbors(v),
+                    out: Vec::new(),
+                };
                 node.on_start(&mut ctx);
                 outs.push(ctx.out);
             }
@@ -259,8 +283,11 @@ impl<P: Protocol> Engine<P> {
             self.mailboxes.iter_mut().map(std::mem::take).collect();
         let mut outs: Vec<Vec<(usize, P::Msg)>> = Vec::with_capacity(self.nodes.len());
         for (v, node) in self.nodes.iter_mut().enumerate() {
-            let mut ctx =
-                Context { node: v, neighbors: self.topology.neighbors(v), out: Vec::new() };
+            let mut ctx = Context {
+                node: v,
+                neighbors: self.topology.neighbors(v),
+                out: Vec::new(),
+            };
             node.on_round(round, &inboxes[v], &mut ctx);
             outs.push(ctx.out);
         }
@@ -276,11 +303,13 @@ impl<P: Protocol> Engine<P> {
                         self.metrics.dropped += 1;
                         continue;
                     }
-                    if plan.duplicate_probability > 0.0
-                        && rng.gen_bool(plan.duplicate_probability)
+                    if plan.duplicate_probability > 0.0 && rng.gen_bool(plan.duplicate_probability)
                     {
                         self.metrics.duplicated += 1;
-                        self.mailboxes[to].push(Envelope { from, msg: msg.clone() });
+                        self.mailboxes[to].push(Envelope {
+                            from,
+                            msg: msg.clone(),
+                        });
                     }
                 }
                 let bits = msg.size_bits();
@@ -294,8 +323,7 @@ impl<P: Protocol> Engine<P> {
 
     /// Whether every node is done and no message is in flight.
     pub fn quiescent(&self) -> bool {
-        self.nodes.iter().all(Protocol::is_done)
-            && self.mailboxes.iter().all(Vec::is_empty)
+        self.nodes.iter().all(Protocol::is_done) && self.mailboxes.iter().all(Vec::is_empty)
     }
 }
 
@@ -331,7 +359,16 @@ mod tests {
     fn delivers_messages_and_counts_metrics() {
         let mut topology = Topology::new(2);
         topology.add_edge(0, 1);
-        let nodes = vec![Pinger { to_send: 3, received: 0 }, Pinger { to_send: 0, received: 0 }];
+        let nodes = vec![
+            Pinger {
+                to_send: 3,
+                received: 0,
+            },
+            Pinger {
+                to_send: 0,
+                received: 0,
+            },
+        ];
         let mut engine = Engine::new(nodes, topology);
         let metrics = engine.run(10).unwrap();
         assert_eq!(engine.nodes()[1].received, 3);
@@ -376,7 +413,13 @@ mod tests {
         for i in 0..n - 1 {
             topology.add_edge(i, i + 1);
         }
-        let nodes = (0..n).map(|id| Relay { id, last: n - 1, got: false }).collect();
+        let nodes = (0..n)
+            .map(|id| Relay {
+                id,
+                last: n - 1,
+                got: false,
+            })
+            .collect();
         let mut engine = Engine::new(nodes, topology);
         let metrics = engine.run(20).unwrap();
         assert!(engine.nodes().iter().skip(1).all(|r| r.got));
@@ -435,7 +478,16 @@ mod tests {
     fn multi_phase_runs_accumulate_metrics() {
         let mut topology = Topology::new(2);
         topology.add_edge(0, 1);
-        let nodes = vec![Pinger { to_send: 2, received: 0 }, Pinger { to_send: 0, received: 0 }];
+        let nodes = vec![
+            Pinger {
+                to_send: 2,
+                received: 0,
+            },
+            Pinger {
+                to_send: 0,
+                received: 0,
+            },
+        ];
         let mut engine = Engine::new(nodes, topology);
         let m1 = engine.run(10).unwrap();
         // Inject more work.

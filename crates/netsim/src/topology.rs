@@ -14,7 +14,9 @@ pub struct Topology {
 impl Topology {
     /// An edgeless topology over `n` nodes.
     pub fn new(n: usize) -> Self {
-        Topology { adj: vec![Vec::new(); n] }
+        Topology {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a topology from sorted-or-not adjacency lists.

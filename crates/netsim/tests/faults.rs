@@ -42,7 +42,12 @@ fn line_topology(n: usize) -> Topology {
 }
 
 fn flood_nodes(n: usize) -> Vec<MaxFlood> {
-    (0..n).map(|i| MaxFlood { best: i as u64, changed: true }).collect()
+    (0..n)
+        .map(|i| MaxFlood {
+            best: i as u64,
+            changed: true,
+        })
+        .collect()
 }
 
 #[test]
@@ -62,8 +67,8 @@ fn reliable_plan_changes_nothing() {
 #[test]
 fn duplication_preserves_idempotent_protocols() {
     let n = 8;
-    let mut engine = Engine::new(flood_nodes(n), line_topology(n))
-        .with_faults(FaultPlan::duplicating(0.5, 42));
+    let mut engine =
+        Engine::new(flood_nodes(n), line_topology(n)).with_faults(FaultPlan::duplicating(0.5, 42));
     let metrics = engine.run(200).unwrap();
     assert!(metrics.duplicated > 0, "duplication should have fired");
     // MaxFlood is idempotent: the result is unchanged.
@@ -76,20 +81,24 @@ fn heavy_drops_break_convergence_to_the_true_maximum() {
     // synchronous model assumes reliable links, and this documents that
     // assumption is load-bearing.
     let n = 6;
-    let mut engine = Engine::new(flood_nodes(n), line_topology(n))
-        .with_faults(FaultPlan::dropping(1.0, 7));
+    let mut engine =
+        Engine::new(flood_nodes(n), line_topology(n)).with_faults(FaultPlan::dropping(1.0, 7));
     let metrics = engine.run(100).unwrap();
     assert_eq!(metrics.messages, 0);
     assert!(metrics.dropped > 0);
-    let stale = engine.nodes().iter().filter(|x| x.best != (n - 1) as u64).count();
+    let stale = engine
+        .nodes()
+        .iter()
+        .filter(|x| x.best != (n - 1) as u64)
+        .count();
     assert_eq!(stale, n - 1, "nobody but the max node knows the max");
 }
 
 #[test]
 fn drop_metrics_are_consistent() {
     let n = 10;
-    let mut engine = Engine::new(flood_nodes(n), line_topology(n))
-        .with_faults(FaultPlan::dropping(0.3, 99));
+    let mut engine =
+        Engine::new(flood_nodes(n), line_topology(n)).with_faults(FaultPlan::dropping(0.3, 99));
     let metrics = engine.run(500).unwrap();
     // Delivered + dropped = attempted; bits only counted for deliveries.
     assert!(metrics.dropped > 0);

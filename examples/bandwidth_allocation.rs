@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let outcome = solve_tree_arbitrary(&problem, &SolverConfig::default().with_seed(11))?;
     outcome.solution.verify(&problem)?;
-    println!("\nadmitted {} flows, value {:.2}", outcome.solution.len(), outcome.profit(&problem));
+    println!(
+        "\nadmitted {} flows, value {:.2}",
+        outcome.solution.len(),
+        outcome.profit(&problem)
+    );
     println!(
         "  wide sub-solution: {:.2}; narrow sub-solution: {:.2}; combined: {:.2}",
         outcome.wide.solution.profit(&problem),

@@ -30,7 +30,11 @@ fn main() {
 
     // The running example: demand ⟨4, 13⟩ routes 4-2-5-8-13.
     let path = rooted.path(paper_vertex(4), paper_vertex(13));
-    let labels: Vec<String> = path.vertices().iter().map(|&v| label(v).to_string()).collect();
+    let labels: Vec<String> = path
+        .vertices()
+        .iter()
+        .map(|&v| label(v).to_string())
+        .collect();
     println!("demand ⟨4, 13⟩ routes along {}", labels.join("-"));
 
     for strategy in Strategy::ALL {
@@ -40,13 +44,8 @@ fn main() {
         println!("depth = {}, pivot size θ = {}", h.depth(), h.pivot_size());
 
         // Print H as an indented tree.
-        fn dump(
-            h: &treenet::decomp::TreeDecomposition,
-            z: VertexId,
-            indent: usize,
-        ) {
-            let pivots: Vec<String> =
-                h.pivot(z).iter().map(|&u| label(u).to_string()).collect();
+        fn dump(h: &treenet::decomp::TreeDecomposition, z: VertexId, indent: usize) {
+            let pivots: Vec<String> = h.pivot(z).iter().map(|&u| label(u).to_string()).collect();
             println!(
                 "{}{}  χ = {{{}}}",
                 "  ".repeat(indent),

@@ -44,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rng.gen_range(0.15..0.5)
         };
         // Jobs can run on a random subset of machines.
-        let mut eligible: Vec<_> =
-            pool.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
+        let mut eligible: Vec<_> = pool.iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
         if eligible.is_empty() {
             eligible.push(pool[rng.gen_range(0..pool.len())]);
         }
@@ -64,14 +63,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Ours: (23+ε)-approximation (Theorem 7.2) vs the PS-style baseline.
     let ours = solve_line_arbitrary(&problem, &SolverConfig::default().with_seed(5))?;
     ours.solution.verify(&problem)?;
-    let (ps_solution, ps_wide, ps_narrow) =
-        ps_line_arbitrary(&problem, &PsConfig::default());
+    let (ps_solution, ps_wide, ps_narrow) = ps_line_arbitrary(&problem, &PsConfig::default());
     ps_solution.verify(&problem)?;
 
     println!("\nours (Theorem 7.2):");
-    println!("  scheduled {} jobs, profit {:.1}", ours.solution.len(), ours.profit(&problem));
-    println!("  certified ratio {:.3} (bound 23/(1-ε) = {:.2})",
-        ours.certified_ratio(&problem), 23.0 / 0.9);
+    println!(
+        "  scheduled {} jobs, profit {:.1}",
+        ours.solution.len(),
+        ours.profit(&problem)
+    );
+    println!(
+        "  certified ratio {:.3} (bound 23/(1-ε) = {:.2})",
+        ours.certified_ratio(&problem),
+        23.0 / 0.9
+    );
     println!(
         "  wide sub-run: {} jobs; narrow sub-run: {} jobs",
         ours.wide.solution.len(),
@@ -81,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ps_bound = ps_wide.opt_upper_bound() + ps_narrow.opt_upper_bound();
     let ps_profit = ps_solution.profit(&problem);
     println!("\nPanconesi–Sozio style baseline (distributed, single-stage):");
-    println!("  scheduled {} jobs, profit {:.1}", ps_solution.len(), ps_profit);
+    println!(
+        "  scheduled {} jobs, profit {:.1}",
+        ps_solution.len(),
+        ps_profit
+    );
     println!("  certified ratio {:.3}", ps_bound / ps_profit.max(1e-9));
 
     // The sequential state of the art the paper starts from: Bar-Noy et
@@ -91,7 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bn_bound = bn_wide.opt_upper_bound() + bn_narrow.opt_upper_bound();
     let bn_profit = bn_solution.profit(&problem);
     println!("\nBar-Noy et al. baseline (sequential 5-approx):");
-    println!("  scheduled {} jobs, profit {:.1}", bn_solution.len(), bn_profit);
+    println!(
+        "  scheduled {} jobs, profit {:.1}",
+        bn_solution.len(),
+        bn_profit
+    );
     println!(
         "  certified ratio {:.3} after {} serialized raises",
         bn_bound / bn_profit.max(1e-9),

@@ -45,8 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nselected instances:");
     for &d in outcome.solution.selected() {
         let inst = problem.instance(d);
-        let path_str: Vec<String> =
-            inst.path.vertices().iter().map(|v| v.0.to_string()).collect();
+        let path_str: Vec<String> = inst
+            .path
+            .vertices()
+            .iter()
+            .map(|v| v.0.to_string())
+            .collect();
         println!(
             "  demand {} on {}: route {} (profit {})",
             inst.demand,
@@ -58,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nprofit p(S)            = {:.2}", outcome.profit(&problem));
     println!("dual bound on OPT      = {:.2}", outcome.opt_upper_bound());
-    println!("certified approx ratio = {:.3}  (Theorem 5.3 guarantees ≤ {:.3})",
+    println!(
+        "certified approx ratio = {:.3}  (Theorem 5.3 guarantees ≤ {:.3})",
         outcome.certified_ratio(&problem),
         7.0 / 0.9,
     );

@@ -43,15 +43,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             v += 1;
         }
         let revenue = rng.gen_range(1.0..16.0f64);
-        let mut tunable: Vec<_> =
-            lambdas.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+        let mut tunable: Vec<_> = lambdas
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.5))
+            .collect();
         if tunable.is_empty() {
             tunable.push(lambdas[rng.gen_range(0..lambdas.len())]);
         }
-        builder.add_demand(
-            Demand::pair(u.into(), v.into(), revenue),
-            &tunable,
-        )?;
+        builder.add_demand(Demand::pair(u.into(), v.into(), revenue), &tunable)?;
     }
     let problem = builder.build()?;
     println!(
@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let greedy = greedy_profit(&problem, GreedyOrder::Profit);
 
     let total: f64 = problem.total_profit();
-    println!("\n{:<28}{:>10}{:>12}{:>16}", "algorithm", "revenue", "requests", "certified ratio");
+    println!(
+        "\n{:<28}{:>10}{:>12}{:>16}",
+        "algorithm", "revenue", "requests", "certified ratio"
+    );
     println!(
         "{:<28}{:>10.1}{:>12}{:>16.3}",
         "distributed (7+eps)",

@@ -56,8 +56,9 @@ fn parse(args: &[String]) -> Result<Args, String> {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if let Some(key) = arg.strip_prefix("--") {
-            let value =
-                it.next().ok_or_else(|| format!("flag --{key} needs a value"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
             flags.insert(key.to_string(), value.clone());
         } else {
             positional.push(arg.clone());
@@ -70,12 +71,17 @@ impl Args {
     fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| format!("bad value for --{key}: {raw}")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("bad value for --{key}: {raw}")),
         }
     }
 
     fn str(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }
 
@@ -98,19 +104,27 @@ fn load(path: &str) -> Result<Problem, String> {
 }
 
 fn generate(args: &Args) -> Result<(), String> {
-    let out = args.positional.first().ok_or("generate needs an output path")?;
+    let out = args
+        .positional
+        .first()
+        .ok_or("generate needs an output path")?;
     let kind = args.str("kind", "tree");
     let n: usize = args.get("n", 32)?;
     let m: usize = args.get("m", 2 * n)?;
     let seed: u64 = args.get("seed", 7)?;
     let heights = match args.str("heights", "unit").as_str() {
         "unit" => HeightMode::Unit,
-        "mixed" => HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.2 },
+        "mixed" => HeightMode::Bimodal {
+            narrow_frac: 0.5,
+            hmin: 0.2,
+        },
         other => return Err(format!("unknown height mode {other}")),
     };
     let mut rng = SmallRng::seed_from_u64(seed);
     let problem = match kind.as_str() {
-        "tree" => TreeWorkload::new(n, m).with_heights(heights).generate(&mut rng),
+        "tree" => TreeWorkload::new(n, m)
+            .with_heights(heights)
+            .generate(&mut rng),
         "line" => LineWorkload::new(n, m)
             .with_window_slack(3)
             .with_len_range(1, (n / 4).max(1) as u32)
@@ -132,10 +146,19 @@ fn generate(args: &Args) -> Result<(), String> {
 }
 
 fn print_solution(problem: &Problem, solution: &Solution) {
-    println!("selected {} instances, profit {:.4}:", solution.len(), solution.profit(problem));
+    println!(
+        "selected {} instances, profit {:.4}:",
+        solution.len(),
+        solution.profit(problem)
+    );
     for &d in solution.selected() {
         let inst = problem.instance(d);
-        let route: Vec<String> = inst.path.vertices().iter().map(|v| v.0.to_string()).collect();
+        let route: Vec<String> = inst
+            .path
+            .vertices()
+            .iter()
+            .map(|v| v.0.to_string())
+            .collect();
         println!(
             "  {} ← demand {} on {} via {}",
             d,
@@ -147,12 +170,17 @@ fn print_solution(problem: &Problem, solution: &Solution) {
 }
 
 fn solve(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("solve needs a problem file")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("solve needs a problem file")?;
     let problem = load(path)?;
     let algorithm = args.str("algorithm", "tree-unit");
     let epsilon: f64 = args.get("epsilon", 0.1)?;
     let seed: u64 = args.get("seed", 0x7ee5)?;
-    let cfg = SolverConfig::default().with_epsilon(epsilon).with_seed(seed);
+    let cfg = SolverConfig::default()
+        .with_epsilon(epsilon)
+        .with_seed(seed);
     let all: Vec<InstanceId> = problem.instances().map(|d| d.id).collect();
     match algorithm.as_str() {
         "tree-unit" | "line-unit" => {
@@ -177,7 +205,10 @@ fn solve(args: &Args) -> Result<(), String> {
             }
             .map_err(|e| e.to_string())?;
             print_solution(&problem, &combined.solution);
-            println!("certified ratio = {:.4}", combined.certified_ratio(&problem));
+            println!(
+                "certified ratio = {:.4}",
+                combined.certified_ratio(&problem)
+            );
         }
         "sequential" => {
             let outcome = solve_sequential_tree(&problem);
@@ -185,7 +216,14 @@ fn solve(args: &Args) -> Result<(), String> {
             println!("certified ratio = {:.4}", outcome.certified_ratio(&problem));
         }
         "ps-line" => {
-            let outcome = ps_line_unit(&problem, &PsConfig { epsilon, seed, ..PsConfig::default() });
+            let outcome = ps_line_unit(
+                &problem,
+                &PsConfig {
+                    epsilon,
+                    seed,
+                    ..PsConfig::default()
+                },
+            );
             print_solution(&problem, &outcome.solution);
             println!(
                 "certified ratio = {:.4} (λ = {:.4})",
@@ -199,7 +237,10 @@ fn solve(args: &Args) -> Result<(), String> {
 }
 
 fn decompose(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("decompose needs a problem file")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("decompose needs a problem file")?;
     let problem = load(path)?;
     let strategy = match args.str("strategy", "ideal").as_str() {
         "ideal" => Strategy::Ideal,
@@ -209,7 +250,8 @@ fn decompose(args: &Args) -> Result<(), String> {
     };
     let tree = problem.network(treenet::model::NetworkId(0));
     let h = strategy.build(tree);
-    h.verify(tree).map_err(|e| format!("invalid decomposition: {e}"))?;
+    h.verify(tree)
+        .map_err(|e| format!("invalid decomposition: {e}"))?;
     eprintln!(
         "{} decomposition of network T0: depth {}, pivot size {}",
         strategy.name(),
@@ -220,7 +262,12 @@ fn decompose(args: &Args) -> Result<(), String> {
     println!("digraph decomposition {{");
     for v in tree.vertices() {
         let pivots: Vec<String> = h.pivot(v).iter().map(|u| u.0.to_string()).collect();
-        println!("  {} [label=\"{} | χ={{{}}}\"];", v.0, v.0, pivots.join(","));
+        println!(
+            "  {} [label=\"{} | χ={{{}}}\"];",
+            v.0,
+            v.0,
+            pivots.join(",")
+        );
         if let Some(parent) = h.parent(v) {
             println!("  {} -> {};", parent.0, v.0);
         }

@@ -17,24 +17,42 @@ fn generate_solve_decompose_pipeline() {
     let dir = tempdir();
     let spec = dir.join("tree.json");
     let out = bin()
-        .args(["generate", "--kind", "tree", "--n", "12", "--m", "14", "--seed", "5"])
+        .args([
+            "generate", "--kind", "tree", "--n", "12", "--m", "14", "--seed", "5",
+        ])
         .arg(&spec)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(spec.exists());
 
-    let out = bin().args(["solve", "--algorithm", "tree-unit"]).arg(&spec).output().unwrap();
+    let out = bin()
+        .args(["solve", "--algorithm", "tree-unit"])
+        .arg(&spec)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("certificate:"), "{stdout}");
     assert!(stdout.contains("VALID"));
 
-    let out = bin().args(["solve", "--algorithm", "sequential"]).arg(&spec).output().unwrap();
+    let out = bin()
+        .args(["solve", "--algorithm", "sequential"])
+        .arg(&spec)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("certified ratio"));
 
-    let out = bin().args(["decompose", "--strategy", "ideal"]).arg(&spec).output().unwrap();
+    let out = bin()
+        .args(["decompose", "--strategy", "ideal"])
+        .arg(&spec)
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let dot = String::from_utf8_lossy(&out.stdout);
     assert!(dot.contains("digraph decomposition"));
@@ -46,15 +64,28 @@ fn line_workloads_and_ps_baseline() {
     let dir = tempdir();
     let spec = dir.join("line.json");
     let out = bin()
-        .args(["generate", "--kind", "line", "--n", "24", "--m", "10", "--seed", "2"])
+        .args([
+            "generate", "--kind", "line", "--n", "24", "--m", "10", "--seed", "2",
+        ])
         .arg(&spec)
         .output()
         .unwrap();
     assert!(out.status.success());
     for algo in ["line-unit", "line-arbitrary", "ps-line"] {
-        let out = bin().args(["solve", "--algorithm", algo]).arg(&spec).output().unwrap();
-        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
-        assert!(String::from_utf8_lossy(&out.stdout).contains("certified"), "{algo}");
+        let out = bin()
+            .args(["solve", "--algorithm", algo])
+            .arg(&spec)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("certified"),
+            "{algo}"
+        );
     }
 }
 
@@ -65,10 +96,16 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
     // Missing file.
-    let out = bin().args(["solve", "/nonexistent/x.json"]).output().unwrap();
+    let out = bin()
+        .args(["solve", "/nonexistent/x.json"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     // Bad flag value.
-    let out = bin().args(["generate", "--n", "not-a-number", "/tmp/x.json"]).output().unwrap();
+    let out = bin()
+        .args(["generate", "--n", "not-a-number", "/tmp/x.json"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad value"));
     // Flag without value.
@@ -82,14 +119,30 @@ fn mixed_heights_route_to_arbitrary_solver() {
     let spec = dir.join("mixed.json");
     let out = bin()
         .args([
-            "generate", "--kind", "tree", "--n", "10", "--m", "12", "--heights", "mixed",
-            "--seed", "4",
+            "generate",
+            "--kind",
+            "tree",
+            "--n",
+            "10",
+            "--m",
+            "12",
+            "--heights",
+            "mixed",
+            "--seed",
+            "4",
         ])
         .arg(&spec)
         .output()
         .unwrap();
     assert!(out.status.success());
-    let out =
-        bin().args(["solve", "--algorithm", "tree-arbitrary"]).arg(&spec).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["solve", "--algorithm", "tree-arbitrary"])
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

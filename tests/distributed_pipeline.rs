@@ -33,7 +33,10 @@ fn distributed_round_count_follows_fixed_schedule() {
         .with_networks(2)
         .with_profit_ratio(4.0)
         .generate(&mut SmallRng::seed_from_u64(3));
-    let cfg = DistConfig { epsilon: 0.4, ..DistConfig::default() };
+    let cfg = DistConfig {
+        epsilon: 0.4,
+        ..DistConfig::default()
+    };
     let out = run_distributed_tree_unit(&p, &cfg).unwrap();
     // Engine rounds = schedule length + drain (≤ 2 extra rounds).
     assert!(out.metrics.rounds >= out.schedule.total_rounds());
@@ -48,7 +51,11 @@ fn solo_processor_runs_clean() {
     let mut b = treenet::model::ProblemBuilder::new();
     let t = b.add_network(treenet::graph::Tree::line(5)).unwrap();
     b.add_demand(
-        treenet::model::Demand::pair(treenet::graph::VertexId(1), treenet::graph::VertexId(4), 3.0),
+        treenet::model::Demand::pair(
+            treenet::graph::VertexId(1),
+            treenet::graph::VertexId(4),
+            3.0,
+        ),
         &[t],
     )
     .unwrap();

@@ -58,7 +58,8 @@ fn two_vertex_network() {
     let mut b = ProblemBuilder::new();
     let t = b.add_network(Tree::line(2)).unwrap();
     for i in 0..3 {
-        b.add_demand(Demand::pair(VertexId(0), VertexId(1), (i + 1) as f64), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(1), (i + 1) as f64), &[t])
+            .unwrap();
     }
     let p = b.build().unwrap();
     let out = solve_tree_unit(&p, &SolverConfig::default()).unwrap();
@@ -75,7 +76,8 @@ fn fully_saturated_clique_workload() {
     let mut b = ProblemBuilder::new();
     let t = b.add_network(Tree::line(6)).unwrap();
     for i in 0..10 {
-        b.add_demand(Demand::pair(VertexId(0), VertexId(5), 1.0 + i as f64), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(5), 1.0 + i as f64), &[t])
+            .unwrap();
     }
     let p = b.build().unwrap();
     let out = solve_tree_unit(&p, &SolverConfig::default()).unwrap();
@@ -94,7 +96,8 @@ fn identical_profits_break_ties_deterministically() {
     let mut b = ProblemBuilder::new();
     let t = b.add_network(Tree::line(8)).unwrap();
     for s in 0..4 {
-        b.add_demand(Demand::pair(VertexId(s), VertexId(s + 4), 1.0), &[t]).unwrap();
+        b.add_demand(Demand::pair(VertexId(s), VertexId(s + 4), 1.0), &[t])
+            .unwrap();
     }
     let p = b.build().unwrap();
     let a = solve_tree_unit(&p, &SolverConfig::default().with_seed(5)).unwrap();
@@ -110,9 +113,12 @@ fn star_network_hub_contention() {
     let star = Tree::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
     let mut b = ProblemBuilder::new();
     let t = b.add_network(star).unwrap();
-    b.add_demand(Demand::pair(VertexId(1), VertexId(2), 3.0), &[t]).unwrap();
-    b.add_demand(Demand::pair(VertexId(3), VertexId(4), 2.0), &[t]).unwrap();
-    b.add_demand(Demand::pair(VertexId(1), VertexId(5), 1.0), &[t]).unwrap();
+    b.add_demand(Demand::pair(VertexId(1), VertexId(2), 3.0), &[t])
+        .unwrap();
+    b.add_demand(Demand::pair(VertexId(3), VertexId(4), 2.0), &[t])
+        .unwrap();
+    b.add_demand(Demand::pair(VertexId(1), VertexId(5), 1.0), &[t])
+        .unwrap();
     let p = b.build().unwrap();
     let out = solve_tree_unit(&p, &SolverConfig::default()).unwrap();
     out.solution.verify(&p).unwrap();

@@ -48,9 +48,15 @@ fn tree_unit_certified_against_exact_optimum() {
         out.solution.verify(&p).unwrap();
         let opt = exact_max_profit(&p, 20_000_000).unwrap();
         let ratio = opt.profit(&p) / out.profit(&p).max(1e-9);
-        assert!(ratio <= 7.0 / 0.9 + 1e-6, "seed {seed}: exact ratio {ratio}");
+        assert!(
+            ratio <= 7.0 / 0.9 + 1e-6,
+            "seed {seed}: exact ratio {ratio}"
+        );
         // The dual bound really does upper-bound OPT (weak duality).
-        assert!(out.opt_upper_bound() + 1e-6 >= opt.profit(&p), "seed {seed}");
+        assert!(
+            out.opt_upper_bound() + 1e-6 >= opt.profit(&p),
+            "seed {seed}"
+        );
     }
 }
 
@@ -68,7 +74,13 @@ fn line_unit_certified_against_dp_optimum() {
         assert!(ratio <= 4.0 / 0.9 + 1e-6, "seed {seed}: {ratio}");
         assert!(out.opt_upper_bound() + 1e-6 >= opt.profit(&p));
         // PS also stays within its (weaker) bound.
-        let ps = ps_line_unit(&p, &PsConfig { seed, ..PsConfig::default() });
+        let ps = ps_line_unit(
+            &p,
+            &PsConfig {
+                seed,
+                ..PsConfig::default()
+            },
+        );
         let ps_ratio = opt.profit(&p) / ps.profit(&p).max(1e-9);
         assert!(ps_ratio <= 4.0 * 5.1 + 1e-6, "seed {seed}: PS {ps_ratio}");
     }
@@ -86,7 +98,13 @@ fn our_certified_bound_beats_ps_substantially() {
             .with_len_range(1, 10)
             .generate(&mut SmallRng::seed_from_u64(seed));
         let ours = solve_line_unit(&p, &SolverConfig::default().with_seed(seed)).unwrap();
-        let ps = ps_line_unit(&p, &PsConfig { seed, ..PsConfig::default() });
+        let ps = ps_line_unit(
+            &p,
+            &PsConfig {
+                seed,
+                ..PsConfig::default()
+            },
+        );
         ours_total += ours.certified_ratio(&p);
         ps_total += ps.certified_ratio(&p);
     }
@@ -101,7 +119,10 @@ fn arbitrary_height_stack() {
     for seed in 0..4u64 {
         let p = TreeWorkload::new(16, 18)
             .with_networks(2)
-            .with_heights(HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.15 })
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: 0.15,
+            })
             .generate(&mut SmallRng::seed_from_u64(seed));
         let combined = solve_tree_arbitrary(&p, &SolverConfig::default().with_seed(seed)).unwrap();
         combined.solution.verify(&p).unwrap();
@@ -118,7 +139,11 @@ fn all_solvers_handle_single_demand() {
     let mut b = treenet::model::ProblemBuilder::new();
     let t = b.add_network(treenet::graph::Tree::line(4)).unwrap();
     b.add_demand(
-        treenet::model::Demand::pair(treenet::graph::VertexId(0), treenet::graph::VertexId(3), 2.0),
+        treenet::model::Demand::pair(
+            treenet::graph::VertexId(0),
+            treenet::graph::VertexId(3),
+            2.0,
+        ),
         &[t],
     )
     .unwrap();

@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use treenet::core::{
-    check_interference, run_two_phase, FrameworkConfig, RaiseRule, SolverConfig,
-};
+use treenet::core::{check_interference, run_two_phase, FrameworkConfig, RaiseRule, SolverConfig};
 use treenet::decomp::{LayeredDecomposition, Strategy};
 use treenet::model::workload::{HeightMode, LineWorkload, TreeWorkload};
 use treenet::model::InstanceId;

@@ -36,8 +36,10 @@ fn layered_verifier_rejects_shuffled_groups() {
     let max_group = layers.num_groups() as u32;
     // Rebuild with inverted group indices and *empty-ish* critical sets:
     // keep only the first critical edge of each instance.
-    let group: Vec<u32> =
-        p.instances().map(|d| max_group + 1 - layers.group_of(d.id)).collect();
+    let group: Vec<u32> = p
+        .instances()
+        .map(|d| max_group + 1 - layers.group_of(d.id))
+        .collect();
     let critical: Vec<Vec<treenet::graph::EdgeId>> = p
         .instances()
         .map(|d| layers.critical_of(d.id).iter().copied().take(1).collect())
@@ -46,7 +48,10 @@ fn layered_verifier_rejects_shuffled_groups() {
     // The original verifies; the mutation must not (on workloads with
     // real cross-group overlap, which this seed has).
     assert!(layers.verify(&p).is_ok());
-    assert!(mutated.verify(&p).is_err(), "mutated decomposition accepted");
+    assert!(
+        mutated.verify(&p).is_err(),
+        "mutated decomposition accepted"
+    );
 }
 
 #[test]
@@ -65,10 +70,8 @@ fn interference_checker_rejects_fabricated_traces() {
     'outer: for a in p.instances() {
         for b in p.instances() {
             if a.id != b.id && a.overlaps(b) {
-                let a_covers_b =
-                    layers.critical_of(a.id).iter().any(|&e| b.active_on(e));
-                let b_covers_a =
-                    layers.critical_of(b.id).iter().any(|&e| a.active_on(e));
+                let a_covers_b = layers.critical_of(a.id).iter().any(|&e| b.active_on(e));
+                let b_covers_a = layers.critical_of(b.id).iter().any(|&e| a.active_on(e));
                 if a_covers_b && !b_covers_a {
                     found = Some((b.id, a.id)); // raising b first violates
                     break 'outer;
@@ -78,14 +81,28 @@ fn interference_checker_rejects_fabricated_traces() {
     }
     if let Some((first, second)) = found {
         let trace = vec![
-            RaiseEvent { instance: first, delta: 1.0, at: (1, 1, 0) },
-            RaiseEvent { instance: second, delta: 1.0, at: (1, 1, 1) },
+            RaiseEvent {
+                instance: first,
+                delta: 1.0,
+                at: (1, 1, 0),
+            },
+            RaiseEvent {
+                instance: second,
+                delta: 1.0,
+                at: (1, 1, 1),
+            },
         ];
-        assert_eq!(check_interference(&p, &layers, &trace), Some((first, second)));
+        assert_eq!(
+            check_interference(&p, &layers, &trace),
+            Some((first, second))
+        );
     }
     // Regardless: the real trace from a real run passes.
     let out = solve_tree_unit(&p, &SolverConfig::default().with_trace(true)).unwrap();
-    assert_eq!(check_interference(&p, &layers, out.trace.as_ref().unwrap()), None);
+    assert_eq!(
+        check_interference(&p, &layers, out.trace.as_ref().unwrap()),
+        None
+    );
 }
 
 #[test]

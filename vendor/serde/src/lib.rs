@@ -1,0 +1,312 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! Instead of upstream serde's visitor architecture, this implementation
+//! uses a simple value-tree model: [`Serialize`] lowers a type into a
+//! [`Value`], [`Deserialize`] rebuilds it from one. The derive macros
+//! (re-exported from the vendored `serde_derive`) generate field-wise
+//! impls for the struct/enum shapes used in this workspace, and the
+//! vendored `serde_json` renders and parses [`Value`] as JSON.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically typed serialization tree (JSON data model).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (all workspace numbers fit `f64` exactly).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value under key `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `self` is not an object or lacks the key.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected object with `{name}`, found {other:?}"
+            ))),
+        }
+    }
+
+    /// The `i`-th array element.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `self` is not an array or is too short.
+    pub fn element(&self, i: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(i)
+                .ok_or_else(|| Error::new(format!("missing array element {i}"))),
+            other => Err(Error::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.field(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        self.element(i).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::Str(s) if s == other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Num(n) if n == other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        matches!(self, Value::Num(n) if *n == *other as f64)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        matches!(self, Value::Num(n) if *n == *other as f64)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers a type into a [`Value`].
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuilds a type from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `value` into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the value shape does not match the type.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! num_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(Error::new(format!(
+                        "expected number, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+num_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::new(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (*self).serialize_value()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($t:ident : $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                Ok(($($t::deserialize_value(value.element($idx)?)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Num(1.0)),
+            ("b".into(), Value::Array(vec![Value::Str("x".into())])),
+        ]);
+        assert_eq!(v["a"], 1.0f64);
+        assert_eq!(v["b"][0], "x");
+        assert_eq!(v["missing"], Value::Null);
+        assert!(v.field("missing").is_err());
+        assert!(v.element(0).is_err());
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        let v = 42u32.serialize_value();
+        assert_eq!(u32::deserialize_value(&v).unwrap(), 42);
+        let v = (1u32, 2.5f64).serialize_value();
+        assert_eq!(<(u32, f64)>::deserialize_value(&v).unwrap(), (1, 2.5));
+        let v = vec![1u64, 2, 3].serialize_value();
+        assert_eq!(Vec::<u64>::deserialize_value(&v).unwrap(), vec![1, 2, 3]);
+        assert!(u32::deserialize_value(&Value::Null).is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports exactly the shapes used in this workspace: non-generic named
+//! structs, tuple structs, and enums whose variants are unit, single-field
+//! tuple, or named-field. Anything else fails the build with a clear
+//! message — extend the parser when a new shape appears.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// `struct S { f1: T1, ... }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(T1, ...);`
+    TupleStruct { name: String, arity: usize },
+    /// `enum E { V1 {..}, V2(T), V3 }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2; // `#` + bracket group
+        } else if i < tokens.len() && is_ident(&tokens[i], "pub") {
+            i += 1;
+            if i < tokens.len() {
+                if let TokenTree::Group(g) = &tokens[i] {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        } else {
+            return i;
+        }
+    }
+}
+
+/// Splits a token slice on top-level commas.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for tt in tokens {
+        if is_punct(tt, ',') {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        } else {
+            cur.push(tt.clone());
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field body.
+fn named_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    split_commas(&tokens)
+        .into_iter()
+        .map(|field| {
+            let i = skip_meta(&field, 0);
+            match &field[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!(
+            "derive supports only structs and enums, found {}",
+            tokens[i]
+        );
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("the vendored serde derive does not support generic types");
+    }
+    let group = match &tokens[i] {
+        TokenTree::Group(g) => g,
+        other => panic!("expected type body, found {other}"),
+    };
+    if is_enum {
+        let body: Vec<TokenTree> = group.stream().into_iter().collect();
+        let variants = split_commas(&body)
+            .into_iter()
+            .map(|vt| {
+                let j = skip_meta(&vt, 0);
+                let vname = match &vt[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("expected variant name, found {other}"),
+                };
+                let shape = match vt.get(j + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        VariantShape::Named(named_fields(&g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        VariantShape::Tuple(split_commas(&inner).len())
+                    }
+                    _ => VariantShape::Unit,
+                };
+                Variant { name: vname, shape }
+            })
+            .collect();
+        Shape::Enum { name, variants }
+    } else if group.delimiter() == Delimiter::Brace {
+        Shape::NamedStruct {
+            name,
+            fields: named_fields(&group.stream()),
+        }
+    } else {
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        Shape::TupleStruct {
+            name,
+            arity: split_commas(&inner).len(),
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{}])\n}}\n}}",
+                pairs.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::serialize_value(&self.0)\n}}\n}}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::serialize_value(&self.{k})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Array(vec![{}])\n}}\n}}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::serialize_value(x0))])"
+                        ),
+                        VariantShape::Tuple(k) => {
+                            let binds: Vec<String> =
+                                (0..*k).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*k)
+                                .map(|i| {
+                                    format!("::serde::Serialize::serialize_value(x{i})")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))])",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n}}\n}}",
+                arms.join(",\n")
+            )
+        }
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(__v.field(\"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name} {{ {} }})\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             Ok({name}(::serde::Deserialize::deserialize_value(__v)?))\n}}\n}}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|k| {
+                    format!("::serde::Deserialize::deserialize_value(__v.element({k})?)?")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name}({}))\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0})", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::deserialize_value(__inner)?))"
+                        )),
+                        VariantShape::Tuple(k) => {
+                            let inits: Vec<String> = (0..*k)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_value(__inner.element({i})?)?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => return Ok({name}::{vn}({}))",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{f}: ::serde::Deserialize::deserialize_value(__inner.field(\"{f}\")?)?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => return Ok({name}::{vn} {{ {} }})",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::serde::Value::Str(__s) = __v {{\n\
+                   match __s.as_str() {{ {unit} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::serde::Value::Object(__pairs) = __v {{\n\
+                   if __pairs.len() == 1 {{\n\
+                     let (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1);\n\
+                     match __tag.as_str() {{ {tagged} _ => {{}} }}\n\
+                   }}\n\
+                 }}\n\
+                 Err(::serde::Error::new(format!(\"no variant of {name} matches {{:?}}\", __v)))\n\
+                 }}\n}}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                tagged = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", tagged_arms.join(",\n"))
+                },
+            )
+        }
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
