@@ -1,0 +1,389 @@
+//! **Experiment perf-phase1** — the repo's performance baseline for the
+//! incremental phase-1 engine: times end-to-end `run_two_phase` solves
+//! against the preserved from-scratch reference
+//! (`run_two_phase_reference`) across a tree/line × size × ε scenario
+//! grid, asserts the two engines stay bit-identical while the clock
+//! runs, and writes the results to `BENCH_phase1.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p treenet-bench --bin exp_perf_phase1            # full grid
+//! cargo run --release -p treenet-bench --bin exp_perf_phase1 -- --smoke
+//! cargo run --release -p treenet-bench --bin exp_perf_phase1 -- --out path.json
+//! ```
+//!
+//! `--smoke` runs only the small scenarios and then re-reads the emitted
+//! JSON through the typed schema, exiting non-zero if it is malformed —
+//! the CI guard keeping the bench trajectory alive on every PR.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use treenet_bench::report::f2;
+use treenet_bench::Table;
+use treenet_core::{
+    run_two_phase, run_two_phase_reference, unit_xi, FrameworkConfig, Outcome, RaiseRule,
+};
+use treenet_decomp::{LayeredDecomposition, Strategy};
+use treenet_model::workload::{LineWorkload, TreeWorkload};
+use treenet_model::{InstanceId, Problem};
+
+/// Schema tag checked by the smoke validation (bump on layout changes).
+const SCHEMA: &str = "treenet-bench/phase1/v1";
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Family {
+    Tree,
+    Line,
+}
+
+impl Family {
+    fn name(self) -> &'static str {
+        match self {
+            Family::Tree => "tree",
+            Family::Line => "line",
+        }
+    }
+}
+
+/// One point of the scenario grid.
+struct Scenario {
+    name: &'static str,
+    family: Family,
+    n: usize,
+    m: usize,
+    epsilon: f64,
+    /// Whether the smoke grid includes this scenario.
+    smoke: bool,
+}
+
+/// The grid: both network families, three sizes, two slackness targets.
+/// Ordered by cost; the last entry is "the largest scenario" the
+/// ≥5×-speedup goal refers to.
+const GRID: &[Scenario] = &[
+    Scenario {
+        name: "tree-small-e3",
+        family: Family::Tree,
+        n: 16,
+        m: 14,
+        epsilon: 0.3,
+        smoke: true,
+    },
+    Scenario {
+        name: "line-small-e3",
+        family: Family::Line,
+        n: 32,
+        m: 20,
+        epsilon: 0.3,
+        smoke: true,
+    },
+    Scenario {
+        name: "tree-small-e1",
+        family: Family::Tree,
+        n: 16,
+        m: 14,
+        epsilon: 0.1,
+        smoke: false,
+    },
+    Scenario {
+        name: "line-small-e1",
+        family: Family::Line,
+        n: 32,
+        m: 20,
+        epsilon: 0.1,
+        smoke: false,
+    },
+    Scenario {
+        name: "tree-mid-e3",
+        family: Family::Tree,
+        n: 48,
+        m: 120,
+        epsilon: 0.3,
+        smoke: false,
+    },
+    Scenario {
+        name: "line-mid-e3",
+        family: Family::Line,
+        n: 96,
+        m: 120,
+        epsilon: 0.3,
+        smoke: false,
+    },
+    Scenario {
+        name: "tree-mid-e1",
+        family: Family::Tree,
+        n: 48,
+        m: 120,
+        epsilon: 0.1,
+        smoke: false,
+    },
+    Scenario {
+        name: "line-mid-e1",
+        family: Family::Line,
+        n: 96,
+        m: 120,
+        epsilon: 0.1,
+        smoke: false,
+    },
+    Scenario {
+        name: "line-large-e1",
+        family: Family::Line,
+        n: 160,
+        m: 320,
+        epsilon: 0.1,
+        smoke: false,
+    },
+    Scenario {
+        name: "tree-large-e1",
+        family: Family::Tree,
+        n: 96,
+        m: 400,
+        epsilon: 0.1,
+        smoke: false,
+    },
+    Scenario {
+        name: "line-xl-e1",
+        family: Family::Line,
+        n: 320,
+        m: 1200,
+        epsilon: 0.1,
+        smoke: false,
+    },
+    Scenario {
+        name: "tree-xl-e1",
+        family: Family::Tree,
+        n: 192,
+        m: 1600,
+        epsilon: 0.1,
+        smoke: false,
+    },
+    Scenario {
+        name: "line-xxl-e1",
+        family: Family::Line,
+        n: 640,
+        m: 4800,
+        epsilon: 0.1,
+        smoke: false,
+    },
+    Scenario {
+        name: "tree-xxl-e1",
+        family: Family::Tree,
+        n: 384,
+        m: 6400,
+        epsilon: 0.1,
+        smoke: false,
+    },
+];
+
+/// Per-scenario measurements as persisted to `BENCH_phase1.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ScenarioReport {
+    name: String,
+    family: String,
+    n: u64,
+    m: u64,
+    epsilon: f64,
+    instances: u64,
+    steps: u64,
+    reference_ms: f64,
+    incremental_ms: f64,
+    speedup: f64,
+}
+
+/// The file-level report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Phase1Report {
+    schema: String,
+    mode: String,
+    repeats: u64,
+    scenarios: Vec<ScenarioReport>,
+    /// The last — and, in full mode, most expensive — scenario of the
+    /// executed grid; the ≥5× headline number refers to this row of a
+    /// full run (a smoke run only covers the small scenarios).
+    final_scenario: String,
+    final_speedup: f64,
+}
+
+fn problem_for(s: &Scenario) -> Problem {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_ba5e);
+    match s.family {
+        Family::Tree => TreeWorkload::new(s.n, s.m)
+            .with_networks(2)
+            .with_profit_ratio(8.0)
+            .generate(&mut rng),
+        Family::Line => LineWorkload::new(s.n, s.m)
+            .with_resources(2)
+            .with_window_slack(2)
+            .with_len_range(2, (s.n as u32 / 8).max(3))
+            .generate(&mut rng),
+    }
+}
+
+fn layers_for(problem: &Problem, family: Family) -> LayeredDecomposition {
+    match family {
+        Family::Tree => LayeredDecomposition::for_trees(problem, Strategy::Ideal),
+        Family::Line => LayeredDecomposition::for_lines(problem),
+    }
+}
+
+/// Best-of-`repeats` wall time in milliseconds, plus the last outcome.
+fn time_best(repeats: u32, mut run: impl FnMut() -> Outcome) -> (f64, Outcome) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let outcome = run();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(outcome);
+    }
+    (best, last.expect("repeats >= 1"))
+}
+
+fn run_scenario(s: &Scenario, repeats: u32) -> ScenarioReport {
+    let problem = problem_for(s);
+    let layers = layers_for(&problem, s.family);
+    let config = FrameworkConfig {
+        epsilon: s.epsilon,
+        xi: unit_xi(layers.delta()),
+        seed: 0x7ee5,
+        ..FrameworkConfig::default()
+    };
+    let participants: Vec<InstanceId> = problem.instances().map(|d| d.id).collect();
+    let (reference_ms, oracle) = time_best(repeats, || {
+        run_two_phase_reference(&problem, &layers, RaiseRule::Unit, &config, &participants)
+            .expect("reference run")
+    });
+    let (incremental_ms, fast) = time_best(repeats, || {
+        run_two_phase(&problem, &layers, RaiseRule::Unit, &config, &participants)
+            .expect("incremental run")
+    });
+    // The clock only counts if the engines stay bit-identical.
+    assert_eq!(
+        fast.solution, oracle.solution,
+        "{}: solutions diverged",
+        s.name
+    );
+    assert_eq!(fast.stack, oracle.stack, "{}: stacks diverged", s.name);
+    assert_eq!(fast.stats, oracle.stats, "{}: stats diverged", s.name);
+    assert_eq!(
+        fast.lambda.to_bits(),
+        oracle.lambda.to_bits(),
+        "{}: λ diverged",
+        s.name
+    );
+    ScenarioReport {
+        name: s.name.to_string(),
+        family: s.family.name().to_string(),
+        n: s.n as u64,
+        m: s.m as u64,
+        epsilon: s.epsilon,
+        instances: problem.instance_count() as u64,
+        steps: fast.stats.steps,
+        reference_ms,
+        incremental_ms,
+        speedup: reference_ms / incremental_ms,
+    }
+}
+
+/// Re-reads the emitted file through the typed schema; any shape drift
+/// (missing field, wrong type, bad tag) fails loudly.
+fn validate_json(path: &str) -> Result<Phase1Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report: Phase1Report =
+        serde_json::from_str(&text).map_err(|e| format!("malformed {path}: {e}"))?;
+    if report.schema != SCHEMA {
+        return Err(format!(
+            "schema tag mismatch in {path}: {} != {SCHEMA}",
+            report.schema
+        ));
+    }
+    if report.scenarios.is_empty() {
+        return Err(format!("{path} contains no scenarios"));
+    }
+    for s in &report.scenarios {
+        if !(s.speedup.is_finite() && s.speedup > 0.0) {
+            return Err(format!("{path}: scenario {} has bad speedup", s.name));
+        }
+        if s.reference_ms < 0.0 || s.incremental_ms < 0.0 {
+            return Err(format!("{path}: scenario {} has negative timing", s.name));
+        }
+    }
+    Ok(report)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_phase1.json".to_string());
+
+    let repeats: u32 = if smoke { 1 } else { 3 };
+    let scenarios: Vec<&Scenario> = GRID.iter().filter(|s| !smoke || s.smoke).collect();
+
+    let mut table = Table::new(
+        "perf-phase1 — incremental engine vs from-scratch reference",
+        &[
+            "scenario",
+            "family",
+            "n",
+            "m",
+            "eps",
+            "instances",
+            "steps",
+            "reference [ms]",
+            "incremental [ms]",
+            "speedup",
+        ],
+    );
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        let row = run_scenario(s, repeats);
+        table.row(&[
+            row.name.clone(),
+            row.family.clone(),
+            row.n.to_string(),
+            row.m.to_string(),
+            format!("{}", row.epsilon),
+            row.instances.to_string(),
+            row.steps.to_string(),
+            f2(row.reference_ms),
+            f2(row.incremental_ms),
+            format!("{:.2}x", row.speedup),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+
+    let last = rows.last().expect("grid is non-empty");
+    let report = Phase1Report {
+        schema: SCHEMA.to_string(),
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        repeats: repeats as u64,
+        final_scenario: last.name.clone(),
+        final_speedup: last.speedup,
+        scenarios: rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json).expect("write BENCH_phase1.json");
+    println!("wrote {out_path}");
+
+    match validate_json(&out_path) {
+        Ok(read_back) => println!(
+            "schema ok ({} scenarios); final {} scenario {}: {:.2}x speedup",
+            read_back.scenarios.len(),
+            read_back.mode,
+            read_back.final_scenario,
+            read_back.final_speedup
+        ),
+        Err(e) => {
+            eprintln!("BENCH_phase1.json failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -21,6 +21,7 @@
 //! | `exp_f_mis_rounds` | Luby `Time(MIS) = O(log N)` |
 //! | `exp_f_dist_equiv` | message-passing ≡ logical; `O(M)`-bit messages |
 //! | `exp_f_seq_ratio` | sequential 3- and 2-approximations (Appendix A) |
+//! | `exp_perf_phase1` | incremental phase-1 engine vs from-scratch reference; writes `BENCH_phase1.json` |
 //!
 //! Running `cargo run --release -p treenet-bench --bin <name>` prints a
 //! markdown table; `EXP_SCALE=small|full` adjusts sizes (default small).

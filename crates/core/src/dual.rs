@@ -25,12 +25,29 @@ pub enum DualForm {
     Capacitated,
 }
 
-/// The dual variable assignment `⟨α, β⟩`.
+/// The dual variable assignment `⟨α, β⟩`, with an optional per-instance
+/// cache of the dual LHS values.
+///
+/// The cache exists for the incremental phase-1 engine: instead of
+/// re-walking every instance's path edges on every step, the engine
+/// marks exactly the instances a raise touches as *stale* (found through
+/// [`Problem::instances_using`] — an `O(1)` flag per instance) and
+/// recomputes lazily at the next read, at most once per instance per
+/// step no matter how many raises touched it. Refreshing *recomputes*
+/// the LHS with the same summation order as [`DualState::lhs`], so cached
+/// values are bit-identical to a from-scratch evaluation — the property
+/// that keeps the logical and message-passing executions equal.
 #[derive(Clone, Debug)]
 pub struct DualState {
     form: DualForm,
     alpha: Vec<f64>,
     beta: Vec<Vec<f64>>,
+    /// Cached LHS per instance; empty until [`DualState::enable_cache`].
+    lhs_cache: Vec<f64>,
+    /// Parallel staleness flags: `dirty[d]` means `lhs_cache[d]` predates
+    /// a raise that touched `d`'s constraint and must be recomputed
+    /// before use.
+    dirty: Vec<bool>,
 }
 
 impl DualState {
@@ -43,6 +60,8 @@ impl DualState {
                 .networks()
                 .map(|t| vec![0.0; problem.network(t).edge_count()])
                 .collect(),
+            lhs_cache: Vec::new(),
+            dirty: Vec::new(),
         }
     }
 
@@ -100,6 +119,115 @@ impl DualState {
     /// this reaches `ξ` (Section 3.2).
     pub fn satisfaction(&self, problem: &Problem, d: InstanceId) -> f64 {
         self.lhs(problem, d) / problem.profit_of(d)
+    }
+
+    /// Enables (or resets) the per-instance LHS cache by evaluating
+    /// [`DualState::lhs`] for every instance once. After a raise, mark
+    /// the touched instances with [`DualState::mark_stale`] and refresh
+    /// them before the next read ([`DualState::refresh_if_stale`]).
+    pub fn enable_cache(&mut self, problem: &Problem) {
+        self.lhs_cache = problem
+            .instances()
+            .map(|inst| self.lhs(problem, inst.id))
+            .collect();
+        self.dirty.clear();
+        self.dirty.resize(self.lhs_cache.len(), false);
+    }
+
+    /// Whether the LHS cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        !self.lhs_cache.is_empty()
+    }
+
+    /// Flags instance `d`'s cached LHS as stale — `O(1)`, no path walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is disabled or `d` is out of range.
+    #[inline]
+    pub fn mark_stale(&mut self, d: InstanceId) {
+        self.dirty[d.index()] = true;
+    }
+
+    /// Whether instance `d`'s cached LHS is currently stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is disabled or `d` is out of range.
+    #[inline]
+    pub fn is_stale(&self, d: InstanceId) -> bool {
+        self.dirty[d.index()]
+    }
+
+    /// Recomputes the cached LHS of `d` if (and only if) it is stale —
+    /// the same summation order as [`DualState::lhs`], hence bitwise
+    /// equal to a from-scratch evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is disabled or `d` is out of range.
+    #[inline]
+    pub fn refresh_if_stale(&mut self, problem: &Problem, d: InstanceId) {
+        if self.dirty[d.index()] {
+            self.refresh_cached_lhs(problem, d);
+        }
+    }
+
+    /// Unconditionally recomputes and stores the cached LHS of instance
+    /// `d`, clearing its staleness flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is disabled or `d` is out of range.
+    #[inline]
+    pub fn refresh_cached_lhs(&mut self, problem: &Problem, d: InstanceId) {
+        self.lhs_cache[d.index()] = self.lhs(problem, d);
+        self.dirty[d.index()] = false;
+    }
+
+    /// The cached LHS of instance `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is disabled or `d` is out of range. Debug
+    /// builds additionally assert the entry is fresh.
+    #[inline]
+    pub fn cached_lhs(&self, d: InstanceId) -> f64 {
+        debug_assert!(!self.dirty[d.index()], "stale cache read for {d}");
+        self.lhs_cache[d.index()]
+    }
+
+    /// The satisfaction ratio of `d` from the cache — bitwise equal to
+    /// [`DualState::satisfaction`] whenever the entry is fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is disabled or `d` is out of range. Debug
+    /// builds additionally assert the entry is fresh.
+    #[inline]
+    pub fn cached_satisfaction(&self, problem: &Problem, d: InstanceId) -> f64 {
+        debug_assert!(!self.dirty[d.index()], "stale cache read for {d}");
+        self.lhs_cache[d.index()] / problem.profit_of(d)
+    }
+
+    /// [`DualState::min_satisfaction`] read off the cache instead of
+    /// re-walking every path — the memoized λ of the first phase.
+    /// Refreshes stale entries on the way (hence `&mut`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is disabled.
+    pub fn min_satisfaction_cached<'a, I>(&mut self, problem: &Problem, instances: I) -> f64
+    where
+        I: IntoIterator<Item = &'a InstanceId>,
+    {
+        instances
+            .into_iter()
+            .map(|&d| {
+                self.refresh_if_stale(problem, d);
+                self.cached_satisfaction(problem, d)
+            })
+            .fold(1.0f64, f64::min)
     }
 
     /// The dual objective `val(α, β) = Σ_a α(a) + Σ_e β(e)`.
@@ -199,6 +327,45 @@ mod tests {
         assert!((dual.opt_upper_bound(0.5) - 14.0).abs() < 1e-12);
         // Empty set → 1.0 by convention.
         assert_eq!(dual.min_satisfaction(&p, &[]), 1.0);
+    }
+
+    #[test]
+    fn cache_tracks_recomputation_bitwise() {
+        let p = problem();
+        let mut dual = DualState::new(&p, DualForm::Unit);
+        assert!(!dual.cache_enabled());
+        dual.enable_cache(&p);
+        assert!(dual.cache_enabled());
+        assert_eq!(dual.cached_lhs(InstanceId(0)), 0.0);
+        dual.raise_alpha(DemandId(0), 1.25);
+        dual.raise_beta(NetworkId(0), EdgeId(1), 0.375);
+        for d in [InstanceId(0), InstanceId(1)] {
+            assert!(!dual.is_stale(d));
+            dual.mark_stale(d);
+            assert!(dual.is_stale(d));
+            dual.refresh_if_stale(&p, d);
+            assert!(!dual.is_stale(d));
+            // A second refresh_if_stale is a no-op; the unconditional
+            // variant recomputes to the same bits.
+            dual.refresh_if_stale(&p, d);
+            dual.refresh_cached_lhs(&p, d);
+            assert_eq!(
+                dual.cached_lhs(d).to_bits(),
+                dual.lhs(&p, d).to_bits(),
+                "{d}"
+            );
+            assert_eq!(
+                dual.cached_satisfaction(&p, d).to_bits(),
+                dual.satisfaction(&p, d).to_bits(),
+                "{d}"
+            );
+        }
+        let ids = [InstanceId(0), InstanceId(1)];
+        assert_eq!(
+            dual.min_satisfaction_cached(&p, &ids).to_bits(),
+            dual.min_satisfaction(&p, &ids).to_bits()
+        );
+        assert_eq!(dual.min_satisfaction_cached(&p, &[]), 1.0);
     }
 
     #[test]

@@ -17,12 +17,45 @@
 //! `treenet-dist`) and raises all its members simultaneously, pushing the
 //! set onto the framework stack. The second phase pops the stack and
 //! greedily extracts a feasible solution.
+//!
+//! # The incremental phase-1 engine
+//!
+//! [`run_two_phase`] does *not* rebuild its MIS input from scratch on
+//! every step. It builds one CSR [`ConflictGraph`] per epoch group,
+//! filters it through a reusable [`ActiveSubgraph`] view, and tracks
+//! satisfaction through the [`DualState`] LHS cache refreshed via the
+//! [`Problem::instances_using`] inverted index. Per-step work is
+//! proportional to the *active* set, not the group. Three invariants
+//! keep the execution bit-identical to the from-scratch formulation
+//! (preserved as [`run_two_phase_reference`]) and therefore to the
+//! message-passing run in `treenet-dist`:
+//!
+//! 1. **Order-preserving relabeling.** The active view assigns step-local
+//!    indices in ascending epoch order, so its adjacency is byte-identical
+//!    to `ConflictGraph::build` over the filtered member subsequence;
+//!    MIS draws depend only on canonical keys and adjacency content, so
+//!    every draw — and the order of the raised set — is unchanged.
+//! 2. **Refresh-by-recompute.** A raise never *adds deltas into* a cached
+//!    LHS; it re-evaluates [`DualState::lhs`] (same summation order as
+//!    the distributed nodes) for exactly the instances whose constraint
+//!    the raise touched: the demand's siblings (α) and the instances
+//!    using a raised critical edge (β). All other cached values are
+//!    untouched and remain exact because their constraint is unchanged.
+//! 3. **Monotone activity.** Duals only grow, so a member leaves the
+//!    unsatisfied set and never returns within a stage; stage boundaries
+//!    re-sweep the cached satisfactions against the new threshold — the
+//!    same predicate, same guard, same float compares as the reference.
+//!
+//! λ is read off the cache at the end of phase 1
+//! ([`DualState::min_satisfaction_cached`]) instead of re-walking every
+//! path, and communication rounds are accounted through the shared
+//! [`step_comm_rounds`] formula also used by `treenet-dist`.
 
 use crate::dual::{DualForm, DualState};
 use std::fmt;
 use treenet_decomp::LayeredDecomposition;
-use treenet_mis::MisBackend;
-use treenet_model::conflict::ConflictGraph;
+use treenet_mis::{CsrAdjacency, MisBackend, MisScratch};
+use treenet_model::conflict::{ActiveSubgraph, ConflictGraph};
 use treenet_model::{InstanceId, Problem, Solution, SolutionTracker};
 
 /// How dual variables are raised for a demand instance with slack `s` and
@@ -57,7 +90,10 @@ impl RaiseRule {
     }
 
     /// Raises instance `d` to tightness; returns `δ(d)`.
-    fn raise(
+    ///
+    /// Public so oracle tests and alternative runners can replay the
+    /// exact raising arithmetic of the framework.
+    pub fn raise(
         self,
         problem: &Problem,
         dual: &mut DualState,
@@ -254,7 +290,20 @@ impl std::error::Error for FrameworkError {}
 /// Tolerance for satisfaction comparisons: an instance counts as
 /// `ξ`-unsatisfied only if its LHS is below `ξ·p(d)` by more than this
 /// relative guard, keeping float jitter from spinning the step loop.
-const SATISFACTION_GUARD: f64 = 1e-9;
+/// Public because the message-passing nodes in `treenet-dist` must apply
+/// the *same* guard for participation decisions to be bit-identical.
+pub const SATISFACTION_GUARD: f64 = 1e-9;
+
+/// Communication rounds of one framework step: two per Luby iteration
+/// (`Joined` raises, then `Died` cleanups) plus one step-boundary round
+/// broadcasting participation. This is the single definition shared by
+/// [`RunStats::comm_rounds`] accounting here and by
+/// `treenet-dist`'s schedule accounting, so the two can't silently
+/// diverge.
+#[inline]
+pub fn step_comm_rounds(luby_rounds: u64) -> u64 {
+    2 * luby_rounds + 1
+}
 
 /// Runs the two-phase framework over `participants` (pass all instances
 /// for the plain algorithm; subsets are used by the wide/narrow combiner).
@@ -271,6 +320,214 @@ pub fn run_two_phase(
     config: &FrameworkConfig,
     participants: &[InstanceId],
 ) -> Result<Outcome, FrameworkError> {
+    validate(config)?;
+    // b = smallest integer with ξ^b ≤ ε.
+    let stages_per_epoch = stages_for(config.epsilon, config.xi);
+
+    let mut dual = DualState::new(problem, rule.dual_form());
+    dual.enable_cache(problem);
+    let mut stats = RunStats::default();
+    let mut stack: Vec<StackEntry> = Vec::new();
+    let mut trace: Option<Vec<RaiseEvent>> = config.record_trace.then(Vec::new);
+
+    let num_groups = layers.num_groups() as u32;
+    let groups = group_members(layers, participants, num_groups);
+
+    // Scratch shared across every epoch/stage/step — after the first
+    // steps at the high-water mark, the steady-state step loop performs
+    // no allocation beyond the raised sets it hands to the stack.
+    let mut view = ActiveSubgraph::new();
+    let mut mis_scratch = MisScratch::default();
+    let mut mis_buf: Vec<u32> = Vec::new();
+    let mut epoch_keys: Vec<u64> = Vec::new();
+    let mut is_unsat: Vec<bool> = Vec::new();
+    let mut member_of: Vec<u32> = vec![OUTSIDE; problem.instance_count()];
+    // Current-epoch members whose cached LHS went stale during the step;
+    // refreshed (once each) and re-bucketed at the step boundary.
+    let mut stale_members: Vec<u32> = Vec::new();
+    // Members that can still participate in the current epoch (below the
+    // final stage threshold at epoch start).
+    let mut active_members: Vec<InstanceId> = Vec::new();
+
+    // ---- First phase: epochs / stages / steps (Figure 7). ----
+    for k in 1..=num_groups {
+        let members = &groups[k as usize];
+        if members.is_empty() {
+            continue;
+        }
+        stats.epochs += 1;
+        // Epoch filter: satisfaction only ever grows, so a member already
+        // `(1-ξ^b)`-satisfied (the *final* stage threshold) can never be
+        // unsatisfied at any stage of this epoch — raises from earlier
+        // epochs typically retire most of a group before it starts. Only
+        // the potential participants enter the epoch graph.
+        let final_threshold = 1.0 - config.xi.powi(stages_per_epoch as i32);
+        active_members.clear();
+        for &d in members {
+            dual.refresh_if_stale(problem, d);
+            if dual.cached_satisfaction(problem, d) < final_threshold - SATISFACTION_GUARD {
+                active_members.push(d);
+            }
+        }
+        // Epoch setup — one conflict-graph build, one key table, one
+        // member index for the whole epoch; every step below is a filter.
+        let graph = ConflictGraph::build(problem, &active_members);
+        epoch_keys.clear();
+        epoch_keys.extend(
+            active_members
+                .iter()
+                .map(|&d| problem.instance(d).canonical_key()),
+        );
+        for (i, &d) in active_members.iter().enumerate() {
+            member_of[d.index()] = i as u32;
+        }
+        is_unsat.clear();
+        is_unsat.resize(active_members.len(), false);
+
+        for j in 1..=stages_per_epoch {
+            stats.stages += 1;
+            let threshold = 1.0 - config.xi.powi(j as i32);
+            // Stage sweep: one pass over cached satisfactions re-buckets
+            // the potential participants against the new threshold — no
+            // path walks (the cache is fresh for epoch members).
+            let mut unsat_count = 0usize;
+            for (i, &d) in active_members.iter().enumerate() {
+                let unsat = dual.cached_satisfaction(problem, d) < threshold - SATISFACTION_GUARD;
+                is_unsat[i] = unsat;
+                unsat_count += unsat as usize;
+            }
+            let mut steps_this_stage = 0u64;
+            while unsat_count > 0 {
+                if let Some(limit) = config.max_steps_per_stage {
+                    if steps_this_stage >= limit {
+                        return Err(FrameworkError::StageDiverged { epoch: k, stage: j });
+                    }
+                }
+                // MIS of the active subgraph (the still-unsatisfied
+                // members), with common randomness tagged by
+                // (epoch, stage, step). The view's adjacency and
+                // canonical-key table are byte-identical to a
+                // from-scratch build over the filtered members.
+                view.rebuild(&graph, &epoch_keys, &is_unsat);
+                let tag = mis_tag(k, j, steps_this_stage);
+                let rounds = config.mis_backend.run_with(
+                    &CsrAdjacency::new(view.offsets(), view.adjacency()),
+                    view.keys(),
+                    config.seed,
+                    tag,
+                    &mut mis_scratch,
+                    &mut mis_buf,
+                );
+                stats.mis_rounds += rounds;
+                // Raise every MIS member; they are pairwise non-conflicting
+                // so the raises commute (the parallelism of the framework).
+                let raised: Vec<InstanceId> = mis_buf
+                    .iter()
+                    .map(|&v| active_members[view.base_vertex(v as usize)])
+                    .collect();
+                for &d in &raised {
+                    let critical = layers.critical_of(d);
+                    let delta = rule.raise(problem, &mut dual, d, critical);
+                    stats.raises += 1;
+                    if let Some(t) = trace.as_mut() {
+                        t.push(RaiseEvent {
+                            instance: d,
+                            delta,
+                            at: (k, j, steps_this_stage),
+                        });
+                    }
+                    // Mark exactly the constraints this raise touched as
+                    // stale — the demand's siblings (α) and every
+                    // instance using a raised critical edge (β). Marking
+                    // is an O(1) flag; the path re-walk happens at most
+                    // once per instance per step, in the boundary sweep
+                    // below.
+                    let inst = problem.instance(d);
+                    let network = inst.network;
+                    for &sib in problem.instances_of(inst.demand) {
+                        mark_stale(&mut dual, &member_of, &mut stale_members, sib);
+                    }
+                    for &e in critical {
+                        for &user in problem.instances_using(network, e) {
+                            mark_stale(&mut dual, &member_of, &mut stale_members, user);
+                        }
+                    }
+                }
+                // Step-boundary sweep: refresh each stale member once and
+                // move it between the unsatisfied/satisfied buckets.
+                // (Non-members stay flagged and refresh lazily at their
+                // epoch's stage sweep or the final λ read.)
+                for &idx in &stale_members {
+                    let d = active_members[idx as usize];
+                    dual.refresh_if_stale(problem, d);
+                    let now = dual.cached_satisfaction(problem, d) < threshold - SATISFACTION_GUARD;
+                    let was = &mut is_unsat[idx as usize];
+                    if *was != now {
+                        *was = now;
+                        if now {
+                            unsat_count += 1;
+                        } else {
+                            unsat_count -= 1;
+                        }
+                    }
+                }
+                stale_members.clear();
+                stack.push(StackEntry {
+                    at: (k, j, steps_this_stage),
+                    instances: raised,
+                });
+                stats.comm_rounds += step_comm_rounds(rounds);
+                steps_this_stage += 1;
+            }
+            stats.steps += steps_this_stage;
+            stats.max_steps_in_stage = stats.max_steps_in_stage.max(steps_this_stage);
+        }
+        // Release the member index for the next epoch.
+        for &d in &active_members {
+            member_of[d.index()] = OUTSIDE;
+        }
+    }
+
+    let solution = extract_solution(problem, &stack, &mut stats);
+    // λ memoized from the cache — bitwise equal to re-walking every path.
+    let lambda = dual.min_satisfaction_cached(problem, participants);
+    Ok(Outcome {
+        solution,
+        dual,
+        stats,
+        lambda,
+        delta: layers.delta(),
+        objective_cap: rule.objective_cap(layers.delta()),
+        trace,
+        stack,
+    })
+}
+
+/// Sentinel in the epoch member index for instances outside the current
+/// epoch group.
+const OUTSIDE: u32 = u32::MAX;
+
+/// Flags `d`'s cached LHS as stale after a raise; when `d` belongs to the
+/// current epoch group (and was not already flagged this step), its
+/// member index is queued for the step-boundary refresh sweep.
+#[inline]
+fn mark_stale(
+    dual: &mut DualState,
+    member_of: &[u32],
+    stale_members: &mut Vec<u32>,
+    d: InstanceId,
+) {
+    if dual.is_stale(d) {
+        return;
+    }
+    dual.mark_stale(d);
+    let idx = member_of[d.index()];
+    if idx != OUTSIDE {
+        stale_members.push(idx);
+    }
+}
+
+fn validate(config: &FrameworkConfig) -> Result<(), FrameworkError> {
     if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
         return Err(FrameworkError::BadParameters {
             reason: format!("epsilon must lie in (0,1), got {}", config.epsilon),
@@ -281,7 +538,55 @@ pub fn run_two_phase(
             reason: format!("xi must lie in (0,1), got {}", config.xi),
         });
     }
-    // b = smallest integer with ξ^b ≤ ε.
+    Ok(())
+}
+
+/// Buckets `participants` into their epoch groups (index 0 unused).
+fn group_members(
+    layers: &LayeredDecomposition,
+    participants: &[InstanceId],
+    num_groups: u32,
+) -> Vec<Vec<InstanceId>> {
+    let mut groups: Vec<Vec<InstanceId>> = vec![Vec::new(); num_groups as usize + 1];
+    for &d in participants {
+        groups[layers.group_of(d) as usize].push(d);
+    }
+    groups
+}
+
+/// The second phase: reverse greedy over the stack, one communication
+/// round per pop.
+fn extract_solution(problem: &Problem, stack: &[StackEntry], stats: &mut RunStats) -> Solution {
+    let mut tracker = SolutionTracker::new(problem);
+    for entry in stack.iter().rev() {
+        for &d in &entry.instances {
+            let _ = tracker.try_add(d);
+        }
+        stats.comm_rounds += 1;
+    }
+    tracker.into_solution()
+}
+
+/// The from-scratch formulation of the first phase, kept as the
+/// executable specification of [`run_two_phase`]: every step rebuilds
+/// the conflict graph of the unsatisfied members and rescans the whole
+/// group's satisfaction by re-walking path edges. Produces bit-identical
+/// outcomes (solutions, duals, λ, stack, stats) at a per-step cost
+/// proportional to the *group* rather than the active set — the
+/// `exp_perf_phase1` benchmark measures the gap, and the proptest in
+/// `crates/core/tests/incremental_oracle.rs` pins the equivalence.
+///
+/// # Errors
+///
+/// Same contract as [`run_two_phase`].
+pub fn run_two_phase_reference(
+    problem: &Problem,
+    layers: &LayeredDecomposition,
+    rule: RaiseRule,
+    config: &FrameworkConfig,
+    participants: &[InstanceId],
+) -> Result<Outcome, FrameworkError> {
+    validate(config)?;
     let stages_per_epoch = stages_for(config.epsilon, config.xi);
 
     let mut dual = DualState::new(problem, rule.dual_form());
@@ -289,14 +594,9 @@ pub fn run_two_phase(
     let mut stack: Vec<StackEntry> = Vec::new();
     let mut trace: Option<Vec<RaiseEvent>> = config.record_trace.then(Vec::new);
 
-    // Group members once.
     let num_groups = layers.num_groups() as u32;
-    let mut groups: Vec<Vec<InstanceId>> = vec![Vec::new(); num_groups as usize + 1];
-    for &d in participants {
-        groups[layers.group_of(d) as usize].push(d);
-    }
+    let groups = group_members(layers, participants, num_groups);
 
-    // ---- First phase: epochs / stages / steps (Figure 7). ----
     for k in 1..=num_groups {
         let members = &groups[k as usize];
         if members.is_empty() {
@@ -322,8 +622,6 @@ pub fn run_two_phase(
                         return Err(FrameworkError::StageDiverged { epoch: k, stage: j });
                     }
                 }
-                // MIS of the conflict graph on U, with common randomness
-                // tagged by (epoch, stage, step).
                 let graph = ConflictGraph::build(problem, &unsatisfied);
                 let adj: Vec<Vec<u32>> = (0..graph.len())
                     .map(|v| graph.neighbors(v).to_vec())
@@ -338,8 +636,6 @@ pub fn run_two_phase(
                 let tag = mis_tag(k, j, steps_this_stage);
                 let outcome = config.mis_backend.run(&adj, &keys, config.seed, tag);
                 stats.mis_rounds += outcome.rounds;
-                // Raise every MIS member; they are pairwise non-conflicting
-                // so the raises commute (the parallelism of the framework).
                 let raised: Vec<InstanceId> = outcome
                     .mis
                     .iter()
@@ -360,9 +656,7 @@ pub fn run_two_phase(
                     at: (k, j, steps_this_stage),
                     instances: raised,
                 });
-                // Communication accounting: 2 rounds per Luby iteration +
-                // 1 round broadcasting the raised duals.
-                stats.comm_rounds += 2 * outcome.rounds + 1;
+                stats.comm_rounds += step_comm_rounds(outcome.rounds);
                 steps_this_stage += 1;
             }
             stats.steps += steps_this_stage;
@@ -370,16 +664,7 @@ pub fn run_two_phase(
         }
     }
 
-    // ---- Second phase: reverse greedy over the stack. ----
-    let mut tracker = SolutionTracker::new(problem);
-    for entry in stack.iter().rev() {
-        for &d in &entry.instances {
-            let _ = tracker.try_add(d);
-        }
-        stats.comm_rounds += 1;
-    }
-    let solution = tracker.into_solution();
-
+    let solution = extract_solution(problem, &stack, &mut stats);
     let lambda = dual.min_satisfaction(problem, participants);
     Ok(Outcome {
         solution,
@@ -603,6 +888,59 @@ mod tests {
         assert_eq!(outcome.stats.raises, 0);
         assert_eq!(outcome.lambda, 1.0);
         assert_eq!(outcome.certified_ratio(&p), 1.0);
+    }
+
+    #[test]
+    fn incremental_equals_reference_bitwise() {
+        // The executable spec: the incremental engine reproduces the
+        // from-scratch formulation exactly — stack, stats, solution, and
+        // bit-identical λ.
+        for seed in 0..10u64 {
+            let p = small_problem(seed);
+            let layers = LayeredDecomposition::for_trees(&p, Strategy::Ideal);
+            let config = FrameworkConfig {
+                seed,
+                record_trace: true,
+                ..FrameworkConfig::default()
+            };
+            let participants: Vec<InstanceId> = p.instances().map(|d| d.id).collect();
+            let fast = run_two_phase(&p, &layers, RaiseRule::Unit, &config, &participants).unwrap();
+            let oracle =
+                run_two_phase_reference(&p, &layers, RaiseRule::Unit, &config, &participants)
+                    .unwrap();
+            assert_eq!(fast.solution, oracle.solution, "seed {seed}");
+            assert_eq!(fast.stats, oracle.stats, "seed {seed}");
+            assert_eq!(fast.stack, oracle.stack, "seed {seed}");
+            assert_eq!(fast.trace, oracle.trace, "seed {seed}");
+            assert_eq!(
+                fast.lambda.to_bits(),
+                oracle.lambda.to_bits(),
+                "seed {seed}: λ {} vs {}",
+                fast.lambda,
+                oracle.lambda
+            );
+            assert_eq!(fast.dual.value().to_bits(), oracle.dual.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn comm_round_formula_is_shared() {
+        // One step = 2 rounds per Luby iteration + 1 boundary broadcast.
+        assert_eq!(step_comm_rounds(0), 1);
+        assert_eq!(step_comm_rounds(1), 3);
+        assert_eq!(step_comm_rounds(5), 11);
+        // The accounting in RunStats::comm_rounds follows the formula:
+        // a run's total equals Σ steps step_comm_rounds(luby) + pops, so
+        // with the stack length known we can cross-check one run.
+        let p = small_problem(2);
+        let (_, outcome) = run(&p, 2);
+        let pops = outcome.stack.len() as u64;
+        let steps = outcome.stats.steps;
+        // comm_rounds = Σ (2·luby_i + 1) + pops = 2·mis_rounds + steps + pops.
+        assert_eq!(
+            outcome.stats.comm_rounds,
+            2 * outcome.stats.mis_rounds + steps + pops
+        );
     }
 
     #[test]

@@ -133,11 +133,14 @@ pub struct DistSchedule {
 }
 
 impl DistSchedule {
-    /// Scheduled communication rounds: `Σ_steps (2·luby + 1) + pops`.
+    /// Scheduled communication rounds: `Σ_steps step_comm_rounds(luby) +
+    /// pops` — the per-step formula is [`treenet_core::step_comm_rounds`],
+    /// shared with the logical runner's `RunStats::comm_rounds` accounting
+    /// so the two implementations cannot silently diverge.
     pub fn total_rounds(&self) -> u64 {
         self.steps
             .iter()
-            .map(|s| 2 * s.luby_rounds + 1)
+            .map(|s| treenet_core::step_comm_rounds(s.luby_rounds))
             .sum::<u64>()
             + self.pops
     }

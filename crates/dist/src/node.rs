@@ -25,9 +25,9 @@ use treenet_mis::MisBackend;
 use treenet_model::{Demand, DemandId, DemandKind, InstanceId, NetworkId};
 use treenet_netsim::{Context, Envelope, MessageSize, Protocol};
 
-/// Satisfaction comparison guard — must equal the framework's
-/// `SATISFACTION_GUARD` so participation decisions are bit-identical.
-pub(crate) const SATISFACTION_GUARD: f64 = 1e-9;
+/// Satisfaction comparison guard — imported from the framework so
+/// participation decisions are bit-identical by construction.
+pub(crate) use treenet_core::SATISFACTION_GUARD;
 
 /// Public knowledge shared by every processor: the networks (rooted views
 /// and tree decompositions) plus the schedule parameters. Everything here
@@ -214,6 +214,19 @@ pub(crate) enum Mode {
     Pop(u32),
 }
 
+/// Resolves a neighbor's instance view from the received-descriptor map.
+/// A free function over the field (rather than a `&self` method) so call
+/// sites keep disjoint mutable borrows of the node's other fields.
+fn neighbor_view(
+    neighbors: &HashMap<usize, Vec<InstView>>,
+    node: usize,
+    idx: u8,
+) -> Option<&InstView> {
+    neighbors
+        .get(&node)
+        .and_then(|views| views.get(idx as usize))
+}
+
 /// Per-instance state within the current step's MIS computation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 enum MisState {
@@ -249,6 +262,9 @@ pub(crate) struct ProcessorNode {
     neighbor_active: HashMap<(usize, u8), bool>,
     /// Deaths to announce in the next cleanup round.
     pending_died: Vec<u8>,
+    /// Reusable winner buffer for the Luby evaluation rounds (steady-state
+    /// rounds allocate nothing).
+    scratch_winners: Vec<usize>,
     /// Luby iteration counter within the current step.
     iteration: u64,
     /// MIS namespace tag of the current step.
@@ -305,6 +321,7 @@ impl ProcessorNode {
             neighbors: HashMap::new(),
             neighbor_active: HashMap::new(),
             pending_died: Vec::new(),
+            scratch_winners: Vec::new(),
             iteration: 0,
             tag: 0,
             threshold: 0.0,
@@ -373,22 +390,17 @@ impl ProcessorNode {
         self.mode = Mode::Announce;
     }
 
-    fn neighbor_view(&self, node: usize, idx: u8) -> Option<&InstView> {
-        self.neighbors
-            .get(&node)
-            .and_then(|views| views.get(idx as usize))
-    }
-
     /// Applies a raise announced by a neighbor: β on the raised instance's
     /// critical edges, restricted to the edges this node tracks.
+    /// (Field-disjoint borrows of `neighbors` and `beta` keep this loop
+    /// allocation-free.)
     fn apply_neighbor_raise(&mut self, node: usize, idx: u8, delta: f64) {
-        let Some(view) = self.neighbor_view(node, idx) else {
+        let Some(view) = neighbor_view(&self.neighbors, node, idx) else {
             return;
         };
         let network = view.network.0;
-        let critical: Vec<u32> = view.critical.iter().map(|e| e.0).collect();
-        for e in critical {
-            if let Some(slot) = self.beta.get_mut(&(network, e)) {
+        for &e in &view.critical {
+            if let Some(slot) = self.beta.get_mut(&(network, e.0)) {
                 *slot += delta;
             }
         }
@@ -397,12 +409,11 @@ impl ProcessorNode {
     /// Kills own active instances conflicting with a neighbor's MIS
     /// winner; the deaths are announced in the next cleanup round.
     fn kill_conflicting_with(&mut self, node: usize, idx: u8) {
-        let Some(winner) = self.neighbor_view(node, idx) else {
+        let Some(winner) = neighbor_view(&self.neighbors, node, idx) else {
             return;
         };
-        let winner = winner.clone();
         for (i, inst) in self.own.iter_mut().enumerate() {
-            if inst.state == MisState::Active && inst.view.overlaps(&winner) {
+            if inst.state == MisState::Active && inst.view.overlaps(winner) {
                 inst.state = MisState::Dead;
                 self.pending_died.push(i as u8);
             }
@@ -426,7 +437,7 @@ impl ProcessorNode {
         }
         // Active neighbor instances that overlap.
         for (&(node, idx), _) in self.neighbor_active.iter().filter(|(_, &alive)| alive) {
-            let Some(view) = self.neighbor_view(node, idx) else {
+            let Some(view) = neighbor_view(&self.neighbors, node, idx) else {
                 continue;
             };
             if self.own[i].view.overlaps(view) && !backend.beats(seed, tag, it, my_key, view.key) {
@@ -482,10 +493,14 @@ impl ProcessorNode {
                 _ => {}
             }
         }
-        // Frozen-snapshot evaluation: collect all winners first.
-        let winners: Vec<usize> = (0..self.own.len())
-            .filter(|&i| self.own[i].state == MisState::Active && self.wins(i))
-            .collect();
+        // Frozen-snapshot evaluation: collect all winners first, into the
+        // reusable scratch buffer (take/put-back keeps the borrow checker
+        // happy without reallocating).
+        let mut winners = std::mem::take(&mut self.scratch_winners);
+        winners.clear();
+        winners.extend(
+            (0..self.own.len()).filter(|&i| self.own[i].state == MisState::Active && self.wins(i)),
+        );
         for &i in &winners {
             self.own[i].state = MisState::InMis;
             self.own[i].raised_at.push(self.global_step);
@@ -494,11 +509,10 @@ impl ProcessorNode {
             let delta = slack / (self.own[i].view.critical.len() as f64 + 1.0);
             self.alpha += delta;
             let network = self.own[i].view.network.0;
-            let critical: Vec<u32> = self.own[i].view.critical.iter().map(|e| e.0).collect();
-            for e in critical {
+            for &e in &self.own[i].view.critical {
                 *self
                     .beta
-                    .get_mut(&(network, e))
+                    .get_mut(&(network, e.0))
                     .expect("critical edges lie on own paths") += delta;
             }
             ctx.broadcast(DistMsg::Joined {
@@ -514,6 +528,7 @@ impl ProcessorNode {
                 }
             }
         }
+        self.scratch_winners = winners;
     }
 
     fn round_luby_cleanup(&mut self, inbox: &[Envelope<DistMsg>], ctx: &mut Context<'_, DistMsg>) {
@@ -524,9 +539,13 @@ impl ProcessorNode {
                 self.kill_conflicting_with(env.from, idx);
             }
         }
-        for idx in std::mem::take(&mut self.pending_died) {
+        // Drain without dropping the buffer's capacity.
+        let mut died = std::mem::take(&mut self.pending_died);
+        for &idx in &died {
             ctx.broadcast(DistMsg::Died { idx });
         }
+        died.clear();
+        self.pending_died = died;
         self.iteration += 1;
     }
 
@@ -538,13 +557,12 @@ impl ProcessorNode {
     ) {
         for env in inbox {
             if let DistMsg::Selected { idx } = env.msg {
-                let Some(view) = self.neighbor_view(env.from, idx) else {
+                let Some(view) = neighbor_view(&self.neighbors, env.from, idx) else {
                     continue;
                 };
                 let (network, height) = (view.network.0, view.height);
-                let edges: Vec<u32> = view.edges.iter().map(|e| e.0).collect();
-                for e in edges {
-                    if let Some(slot) = self.residual.get_mut(&(network, e)) {
+                for &e in &view.edges {
+                    if let Some(slot) = self.residual.get_mut(&(network, e.0)) {
                         *slot -= height;
                     }
                 }
@@ -568,11 +586,10 @@ impl ProcessorNode {
                 }
                 let network = view.network.0;
                 let height = view.height;
-                let edges: Vec<u32> = view.edges.iter().map(|e| e.0).collect();
-                for e in edges {
+                for &e in &self.own[i].view.edges {
                     *self
                         .residual
-                        .get_mut(&(network, e))
+                        .get_mut(&(network, e.0))
                         .expect("own path edges are tracked") -= height;
                 }
                 ctx.broadcast(DistMsg::Selected { idx: i as u8 });

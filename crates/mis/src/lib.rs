@@ -38,7 +38,8 @@ mod luby;
 mod protocol;
 
 pub use luby::{
-    deterministic_mis, greedy_mis, luby_mis, luby_value, verify_mis, LubyOutcome, MisBackend,
+    deterministic_mis, deterministic_mis_with, greedy_mis, luby_mis, luby_mis_with, luby_value,
+    verify_mis, Adjacency, CsrAdjacency, LubyOutcome, MisBackend, MisScratch,
 };
 pub use protocol::{LubyMsg, LubyProtocol};
 

@@ -1,4 +1,140 @@
 //! Central, round-faithful Luby MIS and the greedy baseline.
+//!
+//! Both round-faithful algorithms run over any [`Adjacency`] view —
+//! slice-of-`Vec` adjacency or a zero-copy [`CsrAdjacency`] — and accept
+//! a reusable [`MisScratch`] plus an output buffer, so a caller looping
+//! over many MIS computations (the two-phase framework's step loop)
+//! allocates nothing in steady state.
+
+/// Read-only adjacency view the round-faithful MIS algorithms run over.
+///
+/// The algorithms only ever ask for a vertex's neighbor slice, so both
+/// the classic `&[Vec<u32>]` shape and a flat CSR layout plug in without
+/// copying. Implementations must return each neighbor list with a stable
+/// order; the MIS outcome itself is order-independent (win tests reduce
+/// over the whole neighborhood), but determinism of the iteration is
+/// easiest to reason about with stable lists.
+pub trait Adjacency {
+    /// Number of vertices.
+    fn len(&self) -> usize;
+    /// Neighbors of vertex `v` as local indices.
+    fn neighbors(&self, v: usize) -> &[u32];
+    /// Whether the graph has no vertices.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Adjacency for [Vec<u32>] {
+    fn len(&self) -> usize {
+        <[Vec<u32>]>::len(self)
+    }
+    fn neighbors(&self, v: usize) -> &[u32] {
+        &self[v]
+    }
+}
+
+/// Zero-copy CSR adjacency: neighbors of `v` are
+/// `adj[offsets[v]..offsets[v+1]]`.
+#[derive(Copy, Clone, Debug)]
+pub struct CsrAdjacency<'a> {
+    offsets: &'a [u32],
+    adj: &'a [u32],
+}
+
+impl<'a> CsrAdjacency<'a> {
+    /// Wraps CSR arrays (`offsets` has one entry per vertex plus one
+    /// terminator equal to `adj.len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty or its last entry differs from
+    /// `adj.len()`.
+    pub fn new(offsets: &'a [u32], adj: &'a [u32]) -> Self {
+        assert!(!offsets.is_empty(), "offsets needs a terminator entry");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            adj.len(),
+            "offsets terminator must equal the neighbor-array length"
+        );
+        CsrAdjacency { offsets, adj }
+    }
+}
+
+impl Adjacency for CsrAdjacency<'_> {
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+    fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+}
+
+/// Reusable per-run state for the round-faithful MIS algorithms. Create
+/// once, pass to every call: buffers are retained at their high-water
+/// capacity so steady-state runs allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct MisScratch {
+    active: Vec<bool>,
+}
+
+/// The shared round-faithful engine: per iteration every still-active
+/// vertex whose `beats(it, own_key, neighbor_key)` test wins against its
+/// whole active neighborhood joins the MIS and deactivates its closed
+/// neighborhood. `mis` receives the winners (sorted at the end); returns
+/// the iteration count. This is the single implementation behind
+/// [`luby_mis`] and [`deterministic_mis`], so the two can't drift.
+fn run_rounds<A: Adjacency + ?Sized>(
+    adj: &A,
+    keys: &[u64],
+    beats: impl Fn(u64, u64, u64) -> bool,
+    scratch: &mut MisScratch,
+    mis: &mut Vec<u32>,
+) -> u64 {
+    let n = adj.len();
+    assert_eq!(keys.len(), n, "one key per vertex");
+    let active = &mut scratch.active;
+    active.clear();
+    active.resize(n, true);
+    let mut remaining = n;
+    mis.clear();
+    let mut it = 0u64;
+    while remaining > 0 {
+        // `mis` doubles as the winner accumulator: this iteration's
+        // winners are `mis[round_start..]`.
+        let round_start = mis.len();
+        for v in 0..n {
+            if !active[v] {
+                continue;
+            }
+            let wins = adj.neighbors(v).iter().all(|&w| {
+                let w = w as usize;
+                !active[w] || beats(it, keys[v], keys[w])
+            });
+            if wins {
+                mis.push(v as u32);
+            }
+        }
+        debug_assert!(mis.len() > round_start, "some vertex always wins");
+        for &winner in &mis[round_start..] {
+            let v = winner as usize;
+            if active[v] {
+                active[v] = false;
+                remaining -= 1;
+            }
+            for &w in adj.neighbors(v) {
+                let w = w as usize;
+                if active[w] {
+                    active[w] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+        it += 1;
+    }
+    mis.sort_unstable();
+    it
+}
 
 /// The per-(vertex, iteration) random value used by Luby's algorithm,
 /// derived from public inputs by a SplitMix64-style hash.
@@ -65,46 +201,31 @@ fn beats(seed: u64, tag: u64, it: u64, v_key: u64, w_key: u64) -> bool {
 /// Panics if `keys.len() != adj.len()` or a neighbor index is out of
 /// range.
 pub fn luby_mis(adj: &[Vec<u32>], keys: &[u64], seed: u64, tag: u64) -> LubyOutcome {
-    let n = adj.len();
-    assert_eq!(keys.len(), n, "one key per vertex");
-    let mut active = vec![true; n];
-    let mut remaining = n;
     let mut mis = Vec::new();
-    let mut it = 0u64;
-    while remaining > 0 {
-        let mut winners = Vec::new();
-        for v in 0..n {
-            if !active[v] {
-                continue;
-            }
-            let wins = adj[v].iter().all(|&w| {
-                let w = w as usize;
-                !active[w] || beats(seed, tag, it, keys[v], keys[w])
-            });
-            if wins {
-                winners.push(v as u32);
-            }
-        }
-        debug_assert!(!winners.is_empty(), "the global minimum always wins");
-        for &v in &winners {
-            mis.push(v);
-            let v = v as usize;
-            if active[v] {
-                active[v] = false;
-                remaining -= 1;
-            }
-            for &w in &adj[v] {
-                let w = w as usize;
-                if active[w] {
-                    active[w] = false;
-                    remaining -= 1;
-                }
-            }
-        }
-        it += 1;
-    }
-    mis.sort_unstable();
-    LubyOutcome { mis, rounds: it }
+    let rounds = luby_mis_with(adj, keys, seed, tag, &mut MisScratch::default(), &mut mis);
+    LubyOutcome { mis, rounds }
+}
+
+/// [`luby_mis`] over any [`Adjacency`] view with caller-supplied scratch
+/// and output buffers — the allocation-free form used by the incremental
+/// phase-1 engine. `mis` is cleared, filled with the sorted MIS, and the
+/// Luby iteration count is returned. Produces exactly the same MIS and
+/// round count as [`luby_mis`] on equal adjacency content.
+pub fn luby_mis_with<A: Adjacency + ?Sized>(
+    adj: &A,
+    keys: &[u64],
+    seed: u64,
+    tag: u64,
+    scratch: &mut MisScratch,
+    mis: &mut Vec<u32>,
+) -> u64 {
+    run_rounds(
+        adj,
+        keys,
+        |it, v_key, w_key| beats(seed, tag, it, v_key, w_key),
+        scratch,
+        mis,
+    )
 }
 
 /// Which MIS algorithm the schedulers plug in for the `Time(MIS)` factor.
@@ -138,9 +259,28 @@ impl MisBackend {
     /// Runs the selected algorithm (`seed`/`tag` ignored by the
     /// deterministic backend).
     pub fn run(self, adj: &[Vec<u32>], keys: &[u64], seed: u64, tag: u64) -> LubyOutcome {
+        let mut mis = Vec::new();
+        let rounds = self.run_with(adj, keys, seed, tag, &mut MisScratch::default(), &mut mis);
+        LubyOutcome { mis, rounds }
+    }
+
+    /// Runs the selected algorithm over any [`Adjacency`] view with
+    /// caller-supplied scratch and output buffers — bit-identical results
+    /// to [`MisBackend::run`] on equal adjacency content, with no
+    /// steady-state allocation. Returns the iteration count; the sorted
+    /// MIS lands in `mis`.
+    pub fn run_with<A: Adjacency + ?Sized>(
+        self,
+        adj: &A,
+        keys: &[u64],
+        seed: u64,
+        tag: u64,
+        scratch: &mut MisScratch,
+        mis: &mut Vec<u32>,
+    ) -> u64 {
         match self {
-            MisBackend::Luby => luby_mis(adj, keys, seed, tag),
-            MisBackend::DeterministicGreedy => deterministic_mis(adj, keys),
+            MisBackend::Luby => luby_mis_with(adj, keys, seed, tag, scratch, mis),
+            MisBackend::DeterministicGreedy => deterministic_mis_with(adj, keys, scratch, mis),
         }
     }
 
@@ -167,44 +307,20 @@ impl MisBackend {
 ///
 /// Panics if `keys.len() != adj.len()`.
 pub fn deterministic_mis(adj: &[Vec<u32>], keys: &[u64]) -> LubyOutcome {
-    let n = adj.len();
-    assert_eq!(keys.len(), n, "one key per vertex");
-    let mut active = vec![true; n];
-    let mut remaining = n;
     let mut mis = Vec::new();
-    let mut rounds = 0u64;
-    while remaining > 0 {
-        let mut winners = Vec::new();
-        for v in 0..n {
-            if !active[v] {
-                continue;
-            }
-            let wins = adj[v]
-                .iter()
-                .all(|&w| !active[w as usize] || keys[v] < keys[w as usize]);
-            if wins {
-                winners.push(v as u32);
-            }
-        }
-        debug_assert!(!winners.is_empty(), "the minimum key always wins");
-        for &v in &winners {
-            mis.push(v);
-            let v = v as usize;
-            if active[v] {
-                active[v] = false;
-                remaining -= 1;
-            }
-            for &w in &adj[v] {
-                if active[w as usize] {
-                    active[w as usize] = false;
-                    remaining -= 1;
-                }
-            }
-        }
-        rounds += 1;
-    }
-    mis.sort_unstable();
+    let rounds = deterministic_mis_with(adj, keys, &mut MisScratch::default(), &mut mis);
     LubyOutcome { mis, rounds }
+}
+
+/// [`deterministic_mis`] over any [`Adjacency`] view with caller-supplied
+/// scratch and output buffers (see [`luby_mis_with`]).
+pub fn deterministic_mis_with<A: Adjacency + ?Sized>(
+    adj: &A,
+    keys: &[u64],
+    scratch: &mut MisScratch,
+    mis: &mut Vec<u32>,
+) -> u64 {
+    run_rounds(adj, keys, |_, v_key, w_key| v_key < w_key, scratch, mis)
 }
 
 /// Deterministic greedy MIS: scan vertices in index order, take any vertex
@@ -357,6 +473,61 @@ mod tests {
                 "n={n}: avg Luby rounds {avg}"
             );
         }
+    }
+
+    fn to_csr(adj: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
+        let mut offsets = vec![0u32];
+        let mut flat = Vec::new();
+        for row in adj {
+            flat.extend_from_slice(row);
+            offsets.push(flat.len() as u32);
+        }
+        (offsets, flat)
+    }
+
+    #[test]
+    fn csr_view_equals_vec_adjacency() {
+        for n in [0usize, 1, 2, 7, 30] {
+            let adj = path_graph(n);
+            let keys: Vec<u64> = (0..n as u64).map(|k| k ^ 0xabcd).collect();
+            let (offsets, flat) = to_csr(&adj);
+            let csr = CsrAdjacency::new(&offsets, &flat);
+            assert_eq!(Adjacency::len(&csr), n);
+            let mut scratch = MisScratch::default();
+            let mut mis = Vec::new();
+            for seed in 0..5u64 {
+                let reference = luby_mis(&adj, &keys, seed, 9);
+                let rounds = luby_mis_with(&csr, &keys, seed, 9, &mut scratch, &mut mis);
+                assert_eq!(mis, reference.mis, "n={n} seed={seed}");
+                assert_eq!(rounds, reference.rounds, "n={n} seed={seed}");
+                let det_ref = deterministic_mis(&adj, &keys);
+                let det_rounds = deterministic_mis_with(&csr, &keys, &mut scratch, &mut mis);
+                assert_eq!(mis, det_ref.mis);
+                assert_eq!(det_rounds, det_ref.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn run_with_matches_run_for_both_backends() {
+        let adj = path_graph(12);
+        let keys: Vec<u64> = (0..12u64).map(|k| 500 - k).collect();
+        let (offsets, flat) = to_csr(&adj);
+        let csr = CsrAdjacency::new(&offsets, &flat);
+        let mut scratch = MisScratch::default();
+        let mut mis = Vec::new();
+        for backend in [MisBackend::Luby, MisBackend::DeterministicGreedy] {
+            let reference = backend.run(&adj, &keys, 3, 4);
+            let rounds = backend.run_with(&csr, &keys, 3, 4, &mut scratch, &mut mis);
+            assert_eq!(mis, reference.mis);
+            assert_eq!(rounds, reference.rounds);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "terminator")]
+    fn csr_rejects_mismatched_arrays() {
+        let _ = CsrAdjacency::new(&[0, 3], &[1]);
     }
 
     #[test]

@@ -4,11 +4,22 @@
 //! demand or they overlap (same network, shared edge); a feasible
 //! unit-height solution is exactly an independent set in this graph
 //! (Section 2 of the paper).
+//!
+//! [`ConflictGraph`] stores the adjacency in CSR layout (one flat
+//! neighbor array plus per-vertex offsets), built with a degree-count
+//! pass so nothing is reallocated. [`ActiveSubgraph`] is a reusable
+//! *view* onto a conflict graph: given an activity bitmap it produces
+//! the induced subgraph on the active vertices — byte-identical to a
+//! from-scratch [`ConflictGraph::build`] over the same members — while
+//! reusing its internal buffers, so repeated filtering (the per-step MIS
+//! input of the two-phase framework) allocates nothing in steady state.
 
 use crate::{InstanceId, Problem};
 
 /// A conflict graph over a subset of demand instances, with dense local
-/// vertex indices for MIS algorithms.
+/// vertex indices for MIS algorithms. Adjacency is CSR: the neighbors of
+/// vertex `i` are `adjacency()[offsets()[i]..offsets()[i+1]]`, sorted
+/// ascending.
 ///
 /// # Example
 ///
@@ -33,7 +44,10 @@ use crate::{InstanceId, Problem};
 #[derive(Clone, Debug)]
 pub struct ConflictGraph {
     ids: Vec<InstanceId>,
-    adj: Vec<Vec<u32>>,
+    /// CSR offsets: `offsets[i]..offsets[i+1]` indexes `adj`.
+    offsets: Vec<u32>,
+    /// Flat neighbor array; each per-vertex slice is sorted ascending.
+    adj: Vec<u32>,
     edge_count: usize,
 }
 
@@ -43,18 +57,12 @@ impl ConflictGraph {
     ///
     /// Pairwise tests are grouped by network and by demand, so the cost is
     /// `O(Σ_T k_T² + Σ_a k_a²)` bitmask comparisons rather than a blind
-    /// `O(k²)` over everything.
+    /// `O(k²)` over everything. The pair list feeds a degree-count pass
+    /// that sizes the CSR arrays exactly — no per-vertex `Vec` growth.
     pub fn build(problem: &Problem, members: &[InstanceId]) -> Self {
         let k = members.len();
-        let mut local: std::collections::HashMap<InstanceId, u32> =
-            std::collections::HashMap::with_capacity(k);
-        for (i, &d) in members.iter().enumerate() {
-            local.insert(d, i as u32);
-        }
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); k];
-        let mut edge_count = 0usize;
-
-        // Group members by network for overlap tests.
+        // Group members (as dense local indices) by network and by demand
+        // for the pairwise tests.
         let mut by_network: Vec<Vec<u32>> = vec![Vec::new(); problem.network_count()];
         let mut by_demand: Vec<Vec<u32>> = vec![Vec::new(); problem.demand_count()];
         for (i, &d) in members.iter().enumerate() {
@@ -62,23 +70,21 @@ impl ConflictGraph {
             by_network[inst.network.index()].push(i as u32);
             by_demand[inst.demand.index()].push(i as u32);
         }
-        let push_edge = |adj: &mut Vec<Vec<u32>>, i: u32, j: u32| {
-            adj[i as usize].push(j);
-            adj[j as usize].push(i);
-        };
+        // Discover each conflicting pair exactly once: overlapping pairs of
+        // distinct demands come from the per-network groups (an instance
+        // lives on exactly one network), same-demand pairs from the
+        // per-demand groups (skipped in the network pass).
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         for group in &by_network {
             for (x, &i) in group.iter().enumerate() {
                 let di = problem.instance(members[i as usize]);
                 for &j in &group[x + 1..] {
                     let dj = problem.instance(members[j as usize]);
-                    // Same-demand pairs are handled below; skip to avoid
-                    // double edges.
                     if di.demand == dj.demand {
                         continue;
                     }
                     if di.overlaps(dj) {
-                        push_edge(&mut adj, i, j);
-                        edge_count += 1;
+                        pairs.push((i, j));
                     }
                 }
             }
@@ -86,19 +92,35 @@ impl ConflictGraph {
         for group in &by_demand {
             for (x, &i) in group.iter().enumerate() {
                 for &j in &group[x + 1..] {
-                    push_edge(&mut adj, i, j);
-                    edge_count += 1;
+                    pairs.push((i, j));
                 }
             }
         }
-        for list in &mut adj {
-            list.sort_unstable();
-            list.dedup();
+        // Degree-count pass → exact CSR sizing.
+        let mut offsets = vec![0u32; k + 1];
+        for &(i, j) in &pairs {
+            offsets[i as usize + 1] += 1;
+            offsets[j as usize + 1] += 1;
+        }
+        for v in 0..k {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut adj = vec![0u32; pairs.len() * 2];
+        let mut cursor: Vec<u32> = offsets[..k].to_vec();
+        for &(i, j) in &pairs {
+            adj[cursor[i as usize] as usize] = j;
+            cursor[i as usize] += 1;
+            adj[cursor[j as usize] as usize] = i;
+            cursor[j as usize] += 1;
+        }
+        for v in 0..k {
+            adj[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
         }
         ConflictGraph {
             ids: members.to_vec(),
+            offsets,
             adj,
-            edge_count,
+            edge_count: pairs.len(),
         }
     }
 
@@ -131,13 +153,23 @@ impl ConflictGraph {
         &self.ids
     }
 
-    /// Neighbors of local vertex `i`.
+    /// The CSR offset array (`len() + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat CSR neighbor array.
+    pub fn adjacency(&self) -> &[u32] {
+        &self.adj
+    }
+
+    /// Neighbors of local vertex `i`, sorted ascending.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn neighbors(&self, i: usize) -> &[u32] {
-        &self.adj[i]
+        &self.adj[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Degree of local vertex `i`.
@@ -146,7 +178,7 @@ impl ConflictGraph {
     ///
     /// Panics if `i` is out of range.
     pub fn degree(&self, i: usize) -> usize {
-        self.adj[i].len()
+        (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
     /// Checks that `set` (local indices) is an independent set.
@@ -155,8 +187,11 @@ impl ConflictGraph {
         for &i in set {
             marked[i as usize] = true;
         }
-        set.iter()
-            .all(|&i| self.adj[i as usize].iter().all(|&j| !marked[j as usize]))
+        set.iter().all(|&i| {
+            self.neighbors(i as usize)
+                .iter()
+                .all(|&j| !marked[j as usize])
+        })
     }
 
     /// Checks that `set` (local indices) is a *maximal* independent set:
@@ -169,7 +204,127 @@ impl ConflictGraph {
         for &i in set {
             marked[i as usize] = true;
         }
-        (0..self.len()).all(|v| marked[v] || self.adj[v].iter().any(|&j| marked[j as usize]))
+        (0..self.len()).all(|v| marked[v] || self.neighbors(v).iter().any(|&j| marked[j as usize]))
+    }
+}
+
+/// Sentinel marking an inactive vertex in [`ActiveSubgraph`]'s dense map.
+const INACTIVE: u32 = u32::MAX;
+
+/// A reusable *active-subgraph view* over a [`ConflictGraph`].
+///
+/// [`ActiveSubgraph::rebuild`] filters the graph down to the vertices
+/// marked active, producing the induced subgraph in CSR layout with
+/// step-local dense indices `0..active_len()`, assigned in ascending
+/// base-vertex order. Because base adjacency lists are sorted and the
+/// dense relabeling is order-preserving, the produced adjacency is
+/// **byte-identical** to `ConflictGraph::build` over the same member
+/// subsequence — the invariant the incremental phase-1 engine relies on
+/// (and that `crates/core/tests/incremental_oracle.rs` checks).
+///
+/// All buffers are retained across calls: after the first rebuild at the
+/// high-water mark, further rebuilds allocate nothing. Deactivating a
+/// vertex between steps is `O(degree)` work at the next rebuild (its
+/// neighbors each skip one entry) rather than a full reconstruction.
+#[derive(Clone, Debug, Default)]
+pub struct ActiveSubgraph {
+    /// Base-vertex → step-local index, or `INACTIVE`.
+    dense: Vec<u32>,
+    /// Step-local index → base vertex, ascending.
+    verts: Vec<u32>,
+    /// CSR offsets of the induced subgraph (`active_len() + 1` entries).
+    offsets: Vec<u32>,
+    /// Flat CSR neighbor array of the induced subgraph.
+    adj: Vec<u32>,
+    /// Per-step-local-vertex keys, copied from the base key table.
+    keys: Vec<u64>,
+}
+
+impl ActiveSubgraph {
+    /// Creates an empty view (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the view as the subgraph of `graph` induced on the
+    /// vertices with `active[v] == true`, relabeled to dense step-local
+    /// indices. `base_keys[v]` supplies the per-vertex MIS key of base
+    /// vertex `v`; the view exposes the active ones via [`Self::keys`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len()` or `base_keys.len()` differ from
+    /// `graph.len()`.
+    pub fn rebuild(&mut self, graph: &ConflictGraph, base_keys: &[u64], active: &[bool]) {
+        let n = graph.len();
+        assert_eq!(active.len(), n, "one activity flag per vertex");
+        assert_eq!(base_keys.len(), n, "one key per vertex");
+        self.dense.clear();
+        self.dense.resize(n, INACTIVE);
+        self.verts.clear();
+        self.keys.clear();
+        for (v, &alive) in active.iter().enumerate() {
+            if alive {
+                self.dense[v] = self.verts.len() as u32;
+                self.verts.push(v as u32);
+                self.keys.push(base_keys[v]);
+            }
+        }
+        self.offsets.clear();
+        self.adj.clear();
+        self.offsets.push(0);
+        for &v in &self.verts {
+            for &w in graph.neighbors(v as usize) {
+                let dw = self.dense[w as usize];
+                if dw != INACTIVE {
+                    self.adj.push(dw);
+                }
+            }
+            self.offsets.push(self.adj.len() as u32);
+        }
+    }
+
+    /// Number of active vertices in the current view.
+    pub fn active_len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Whether the current view has no active vertices.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// The base (epoch-local) vertex behind step-local vertex `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn base_vertex(&self, i: usize) -> usize {
+        self.verts[i] as usize
+    }
+
+    /// CSR offsets of the induced subgraph (`active_len() + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Flat CSR neighbor array of the induced subgraph.
+    pub fn adjacency(&self) -> &[u32] {
+        &self.adj
+    }
+
+    /// Per-step-local-vertex MIS keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Neighbors of step-local vertex `i`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.adj[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 }
 
@@ -212,6 +367,18 @@ mod tests {
         assert_eq!(g.instance(3), ids[3]);
         assert_eq!(g.instances(), ids.as_slice());
         assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.offsets().len(), g.len() + 1);
+        assert_eq!(g.adjacency().len(), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_unique() {
+        let (p, ids) = sample();
+        let g = ConflictGraph::build(&p, &ids);
+        for v in 0..g.len() {
+            let nb = g.neighbors(v);
+            assert!(nb.windows(2).all(|w| w[0] < w[1]), "vertex {v}: {nb:?}");
+        }
     }
 
     #[test]
@@ -246,5 +413,59 @@ mod tests {
         assert_eq!(g.edge_count(), 0);
         assert!(g.is_independent(&[]));
         assert!(g.is_maximal_independent(&[]));
+    }
+
+    #[test]
+    fn active_view_matches_fresh_build() {
+        let (p, ids) = sample();
+        let g = ConflictGraph::build(&p, &ids);
+        let keys: Vec<u64> = (0..ids.len() as u64).map(|k| k * 10).collect();
+        let mut view = ActiveSubgraph::new();
+        // Every subset of the four vertices: the view must equal a
+        // from-scratch build over the kept subsequence, byte for byte.
+        for mask in 0u32..16 {
+            let active: Vec<bool> = (0..4).map(|v| mask & (1 << v) != 0).collect();
+            view.rebuild(&g, &keys, &active);
+            let kept: Vec<InstanceId> = (0..4).filter(|&v| active[v]).map(|v| ids[v]).collect();
+            let fresh = ConflictGraph::build(&p, &kept);
+            assert_eq!(view.active_len(), fresh.len(), "mask {mask}");
+            assert_eq!(view.offsets(), fresh.offsets(), "mask {mask}");
+            assert_eq!(view.adjacency(), fresh.adjacency(), "mask {mask}");
+            for i in 0..fresh.len() {
+                assert_eq!(ids[view.base_vertex(i)], fresh.instance(i), "mask {mask}");
+                assert_eq!(view.neighbors(i), fresh.neighbors(i), "mask {mask}");
+                assert_eq!(view.keys()[i], keys[view.base_vertex(i)], "mask {mask}");
+            }
+        }
+        assert!(view.is_empty() == (view.active_len() == 0));
+    }
+
+    #[test]
+    fn active_view_reuses_buffers() {
+        let (p, ids) = sample();
+        let g = ConflictGraph::build(&p, &ids);
+        let keys = vec![0u64; 4];
+        let mut view = ActiveSubgraph::new();
+        view.rebuild(&g, &keys, &[true; 4]);
+        let cap = (
+            view.dense.capacity(),
+            view.verts.capacity(),
+            view.offsets.capacity(),
+            view.adj.capacity(),
+            view.keys.capacity(),
+        );
+        // Shrinking rebuilds stay within the high-water capacities.
+        view.rebuild(&g, &keys, &[true, false, true, false]);
+        view.rebuild(&g, &keys, &[false; 4]);
+        assert_eq!(
+            cap,
+            (
+                view.dense.capacity(),
+                view.verts.capacity(),
+                view.offsets.capacity(),
+                view.adj.capacity(),
+                view.keys.capacity(),
+            )
+        );
     }
 }

@@ -382,6 +382,9 @@ impl ProblemBuilder {
             }
         }
 
+        let edge_counts: Vec<usize> = self.networks.iter().map(Tree::edge_count).collect();
+        let by_edge = EdgeIndex::build_all(&edge_counts, &instances);
+
         Ok(Problem {
             networks: self.networks,
             rooted,
@@ -390,7 +393,64 @@ impl ProblemBuilder {
             instances,
             by_demand,
             by_network,
+            by_edge,
         })
+    }
+}
+
+/// Per-network inverted index in CSR layout: for each edge, the instances
+/// whose routing path uses it, in instance-id order. This is what lets a
+/// dual raise of `β(e)` touch only the affected instances instead of
+/// rescanning a whole group (the incremental phase-1 engine's hot path).
+#[derive(Clone, Debug)]
+struct EdgeIndex {
+    offsets: Vec<u32>,
+    ids: Vec<InstanceId>,
+}
+
+impl EdgeIndex {
+    /// Builds the index of every network with one counting pass and one
+    /// fill pass over the full instance list, dispatching each path edge
+    /// into its network's slots.
+    fn build_all(edge_counts: &[usize], instances: &[DemandInstance]) -> Vec<Self> {
+        let mut indexes: Vec<EdgeIndex> = edge_counts
+            .iter()
+            .map(|&edges| EdgeIndex {
+                offsets: vec![0u32; edges + 1],
+                ids: Vec::new(),
+            })
+            .collect();
+        for inst in instances {
+            let offsets = &mut indexes[inst.network.index()].offsets;
+            for &e in inst.path.edges() {
+                offsets[e.index() + 1] += 1;
+            }
+        }
+        let mut cursors: Vec<Vec<u32>> = Vec::with_capacity(indexes.len());
+        for index in &mut indexes {
+            let edges = index.offsets.len() - 1;
+            for e in 0..edges {
+                index.offsets[e + 1] += index.offsets[e];
+            }
+            index.ids = vec![InstanceId(0); *index.offsets.last().unwrap_or(&0) as usize];
+            cursors.push(index.offsets[..edges].to_vec());
+        }
+        // Instances are scanned in id order, so each per-edge slice ends up
+        // sorted by instance id.
+        for inst in instances {
+            let q = inst.network.index();
+            let cursor = &mut cursors[q];
+            let ids = &mut indexes[q].ids;
+            for &e in inst.path.edges() {
+                ids[cursor[e.index()] as usize] = inst.id;
+                cursor[e.index()] += 1;
+            }
+        }
+        indexes
+    }
+
+    fn users(&self, e: EdgeId) -> &[InstanceId] {
+        &self.ids[self.offsets[e.index()] as usize..self.offsets[e.index() + 1] as usize]
     }
 }
 
@@ -405,6 +465,7 @@ pub struct Problem {
     instances: Vec<DemandInstance>,
     by_demand: Vec<Vec<InstanceId>>,
     by_network: Vec<Vec<InstanceId>>,
+    by_edge: Vec<EdgeIndex>,
 }
 
 impl Problem {
@@ -496,6 +557,18 @@ impl Problem {
     /// Panics if `t` is out of range.
     pub fn instances_on(&self, t: NetworkId) -> &[InstanceId] {
         &self.by_network[t.index()]
+    }
+
+    /// The instances whose routing path uses edge `e` of network `t`
+    /// (the paper's `{d : d ∼ e}`), in instance-id order. A raise of
+    /// `β(e)` changes the dual LHS of exactly these instances — the
+    /// inverted index behind the incremental phase-1 engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `e` is out of range.
+    pub fn instances_using(&self, t: NetworkId, e: EdgeId) -> &[InstanceId] {
+        self.by_edge[t.index()].users(e)
     }
 
     /// The networks accessible to the processor owning demand `a`
@@ -666,6 +739,23 @@ mod tests {
         assert!(!p.conflicting(d0[1], d2));
         // Reflexive by convention.
         assert!(p.conflicting(d1, d1));
+    }
+
+    #[test]
+    fn edge_index_inverts_paths() {
+        let p = two_line_problem();
+        for t in p.networks() {
+            for e in 0..p.network(t).edge_count() {
+                let e = EdgeId(e as u32);
+                let users = p.instances_using(t, e);
+                // Sorted by instance id, and exactly the active_on set.
+                assert!(users.windows(2).all(|w| w[0] < w[1]));
+                for inst in p.instances() {
+                    let expected = inst.network == t && inst.active_on(e);
+                    assert_eq!(users.contains(&inst.id), expected, "{t} {e:?}");
+                }
+            }
+        }
     }
 
     #[test]
