@@ -20,6 +20,7 @@
 //! | `exp_f_narrow_wide` | the (80+ε) combiner; rounds ∝ `1/hmin` (Thm 6.3) |
 //! | `exp_f_mis_rounds` | Luby `Time(MIS) = O(log N)` |
 //! | `exp_f_dist_equiv` | message-passing ≡ logical; `O(M)`-bit messages |
+//! | `exp_f_dist_line_equiv` | message-passing ≡ logical on lines (Thms 7.1/7.2); `O(M)`-bit messages, exact +1 setup round |
 //! | `exp_f_seq_ratio` | sequential 3- and 2-approximations (Appendix A) |
 //! | `exp_perf_phase1` | incremental phase-1 engine vs from-scratch reference; writes `BENCH_phase1.json` |
 //!

@@ -89,6 +89,31 @@ impl RaiseRule {
         }
     }
 
+    /// The raise amount `δ(d)` for an instance with slack `slack`,
+    /// height `height` (ignored by the unit rule) and `|π(d)| = pi`.
+    ///
+    /// This is the single definition of the raising arithmetic, shared
+    /// with the message-passing processors in `treenet-dist` so the two
+    /// executions compute bit-identical floats.
+    #[inline]
+    pub fn delta_for(self, slack: f64, height: f64, pi: f64) -> f64 {
+        match self {
+            RaiseRule::Unit => slack / (pi + 1.0),
+            RaiseRule::Narrow => slack / (1.0 + 2.0 * height * pi * pi),
+        }
+    }
+
+    /// The `β` increment applied to each critical edge for a raise of
+    /// `delta` with `|π(d)| = pi`: `δ` (unit) or `2|π|·δ` (narrow). Shared
+    /// with `treenet-dist` like [`RaiseRule::delta_for`].
+    #[inline]
+    pub fn beta_increment(self, pi: f64, delta: f64) -> f64 {
+        match self {
+            RaiseRule::Unit => delta,
+            RaiseRule::Narrow => 2.0 * pi * delta,
+        }
+    }
+
     /// Raises instance `d` to tightness; returns `δ(d)`.
     ///
     /// Public so oracle tests and alternative runners can replay the
@@ -104,25 +129,13 @@ impl RaiseRule {
         let slack = dual.slack(problem, d);
         debug_assert!(slack > 0.0, "raised instances must be unsatisfied");
         let pi = critical.len() as f64;
-        match self {
-            RaiseRule::Unit => {
-                let delta = slack / (pi + 1.0);
-                dual.raise_alpha(inst.demand, delta);
-                for &e in critical {
-                    dual.raise_beta(inst.network, e, delta);
-                }
-                delta
-            }
-            RaiseRule::Narrow => {
-                let h = problem.height_of(d);
-                let delta = slack / (1.0 + 2.0 * h * pi * pi);
-                dual.raise_alpha(inst.demand, delta);
-                for &e in critical {
-                    dual.raise_beta(inst.network, e, 2.0 * pi * delta);
-                }
-                delta
-            }
+        let delta = self.delta_for(slack, problem.height_of(d), pi);
+        let beta_inc = self.beta_increment(pi, delta);
+        dual.raise_alpha(inst.demand, delta);
+        for &e in critical {
+            dual.raise_beta(inst.network, e, beta_inc);
         }
+        delta
     }
 }
 

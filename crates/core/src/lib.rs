@@ -55,7 +55,7 @@ pub use framework::{
 };
 pub use sequential::{solve_sequential_tree, SequentialOutcome};
 pub use solvers::{
-    combine_by_network, narrow_xi, solve_auto, solve_line_arbitrary, solve_line_unit,
-    solve_tree_arbitrary, solve_tree_unit, unit_xi, AutoChoice, AutoOutcome, CombinedOutcome,
-    SolverConfig,
+    auto_choice, combine_by_network, narrow_xi, resolve_narrow_hmin, solve_auto,
+    solve_line_arbitrary, solve_line_unit, solve_tree_arbitrary, solve_tree_unit, unit_xi,
+    AutoChoice, AutoOutcome, CombinedOutcome, SolverConfig,
 };

@@ -216,6 +216,13 @@ impl CombinedOutcome {
         self.solution.profit(problem)
     }
 
+    /// The measured slackness of the combined run: the minimum of the
+    /// wide and narrow λ (each the minimum satisfaction ratio over that
+    /// run's participants).
+    pub fn lambda(&self) -> f64 {
+        self.wide.lambda.min(self.narrow.lambda)
+    }
+
     /// Certified upper bound on `p(OPT)`:
     /// `p(OPT) ≤ p(OPT_wide) + p(OPT_narrow) ≤ val_w/λ_w + val_n/λ_n`.
     pub fn opt_upper_bound(&self) -> f64 {
@@ -250,13 +257,44 @@ fn split_by_height(problem: &Problem) -> (Vec<InstanceId>, Vec<InstanceId>) {
     (wide, narrow)
 }
 
-/// Minimum height among `participants` (1/2 when empty — any valid value
+/// Resolves the `hmin` of a narrow run: the a-priori value when `fixed`
+/// (validated against every narrow participant, then clamped to 1/2),
+/// else the minimum participant height (1/2 when empty — any valid value
 /// does, as an empty run performs no stages).
-fn narrow_hmin(problem: &Problem, participants: &[InstanceId]) -> f64 {
-    participants
-        .iter()
-        .map(|&d| problem.height_of(d))
-        .fold(0.5f64, f64::min)
+///
+/// This is the single definition shared by the logical arbitrary-height
+/// solvers and the distributed runners in `treenet-dist`, so the two
+/// sides derive the same `narrow_xi` by construction. The error value is
+/// the human-readable reason (callers wrap it in their error type).
+///
+/// # Errors
+///
+/// When `fixed` exceeds some participant's height (beyond the model
+/// tolerance), i.e. the a-priori assumption is violated.
+pub fn resolve_narrow_hmin(
+    problem: &Problem,
+    participants: &[InstanceId],
+    fixed: Option<f64>,
+) -> Result<f64, String> {
+    match fixed {
+        Some(fixed) => {
+            // The a-priori assumption: every narrow demand must respect it.
+            if let Some(&offender) = participants
+                .iter()
+                .find(|&&d| problem.height_of(d) < fixed - treenet_model::EPS)
+            {
+                return Err(format!(
+                    "a-priori hmin = {fixed} but instance {offender} has height {}",
+                    problem.height_of(offender)
+                ));
+            }
+            Ok(fixed.min(0.5))
+        }
+        None => Ok(participants
+            .iter()
+            .map(|&d| problem.height_of(d))
+            .fold(0.5f64, f64::min)),
+    }
 }
 
 /// Per-network combiner of Theorem 6.3: for each network keep whichever of
@@ -300,24 +338,8 @@ fn solve_arbitrary(
         &framework_config(config, unit_xi(layers.delta())),
         &wide_ids,
     )?;
-    let hmin = match config.hmin {
-        Some(fixed) => {
-            // The a-priori assumption: every narrow demand must respect it.
-            if let Some(&offender) = narrow_ids
-                .iter()
-                .find(|&&d| problem.height_of(d) < fixed - treenet_model::EPS)
-            {
-                return Err(FrameworkError::BadParameters {
-                    reason: format!(
-                        "a-priori hmin = {fixed} but instance {offender} has height {}",
-                        problem.height_of(offender)
-                    ),
-                });
-            }
-            fixed.min(0.5)
-        }
-        None => narrow_hmin(problem, &narrow_ids),
-    };
+    let hmin = resolve_narrow_hmin(problem, &narrow_ids, config.hmin)
+        .map_err(|reason| FrameworkError::BadParameters { reason })?;
     let narrow = run_two_phase(
         problem,
         layers,
@@ -568,6 +590,11 @@ pub struct AutoOutcome {
     pub choice: AutoChoice,
     /// Certified upper bound on `p(OPT)`.
     pub opt_upper_bound: f64,
+    /// Measured slackness λ of the dispatched run (minimum over the wide
+    /// and narrow sub-runs for the arbitrary-height solvers) — the value
+    /// the distributed runner `treenet-dist::run_distributed_auto`
+    /// reproduces bit-identically.
+    pub lambda: f64,
 }
 
 impl AutoOutcome {
@@ -586,9 +613,27 @@ impl AutoOutcome {
     }
 }
 
-/// Dispatches to the strongest applicable theorem by inspecting the
-/// problem: line-networks get the `Δ = 3` decomposition (tighter ratios),
-/// unit heights skip the wide/narrow split.
+/// The dispatch rule of [`solve_auto`], exposed as its own function: the
+/// strongest applicable theorem for `problem` (line-networks get the
+/// `Δ = 3` decomposition with its tighter ratios, unit heights skip the
+/// wide/narrow split).
+///
+/// This is the single definition shared with
+/// `treenet-dist::run_distributed_auto`, so the logical and
+/// message-passing dispatches cannot drift.
+pub fn auto_choice(problem: &Problem) -> AutoChoice {
+    let all_lines = problem
+        .networks()
+        .all(|t| problem.network(t).is_canonical_line());
+    match (all_lines, problem.is_unit_height()) {
+        (true, true) => AutoChoice::LineUnit,
+        (true, false) => AutoChoice::LineArbitrary,
+        (false, true) => AutoChoice::TreeUnit,
+        (false, false) => AutoChoice::TreeArbitrary,
+    }
+}
+
+/// Dispatches to the strongest applicable theorem ([`auto_choice`]).
 ///
 /// # Errors
 ///
@@ -607,41 +652,41 @@ impl AutoOutcome {
 /// assert!(out.solution.verify(&problem).is_ok());
 /// ```
 pub fn solve_auto(problem: &Problem, config: &SolverConfig) -> Result<AutoOutcome, FrameworkError> {
-    let all_lines = problem
-        .networks()
-        .all(|t| problem.network(t).is_canonical_line());
-    let unit = problem.is_unit_height();
-    let (choice, solution, bound) = match (all_lines, unit) {
-        (true, true) => {
+    let (choice, solution, bound, lambda) = match auto_choice(problem) {
+        AutoChoice::LineUnit => {
             let out = solve_line_unit(problem, config)?;
             (
                 AutoChoice::LineUnit,
                 out.solution.clone(),
                 out.opt_upper_bound(),
+                out.lambda,
             )
         }
-        (true, false) => {
+        AutoChoice::LineArbitrary => {
             let out = solve_line_arbitrary(problem, config)?;
             (
                 AutoChoice::LineArbitrary,
                 out.solution.clone(),
                 out.opt_upper_bound(),
+                out.lambda(),
             )
         }
-        (false, true) => {
+        AutoChoice::TreeUnit => {
             let out = solve_tree_unit(problem, config)?;
             (
                 AutoChoice::TreeUnit,
                 out.solution.clone(),
                 out.opt_upper_bound(),
+                out.lambda,
             )
         }
-        (false, false) => {
+        AutoChoice::TreeArbitrary => {
             let out = solve_tree_arbitrary(problem, config)?;
             (
                 AutoChoice::TreeArbitrary,
                 out.solution.clone(),
                 out.opt_upper_bound(),
+                out.lambda(),
             )
         }
     };
@@ -649,6 +694,7 @@ pub fn solve_auto(problem: &Problem, config: &SolverConfig) -> Result<AutoOutcom
         solution,
         choice,
         opt_upper_bound: bound,
+        lambda,
     })
 }
 

@@ -10,8 +10,30 @@
 use crate::line::line_layers;
 use crate::{capture_node, critical_edges, Strategy, TreeDecomposition};
 use std::fmt;
-use treenet_graph::EdgeId;
+use treenet_graph::{EdgeId, RootedTree, TreePath};
 use treenet_model::{InstanceId, NetworkId, Problem};
+
+/// The epoch group index and critical edges of one tree instance given
+/// its path, the network's tree decomposition and rooted view, and the
+/// decomposition depth: groups by reversed capture depth (deepest
+/// captures first, Lemma 4.2), critical edges per [`critical_edges`].
+///
+/// This is the single per-instance definition shared by
+/// [`LayeredDecomposition::from_decompositions`] and the distributed
+/// processors in `treenet-dist`, which derive each neighbor's layer from
+/// its demand descriptor — both sides must compute identically for the
+/// executions to stay bit-identical.
+pub fn tree_instance_layer(
+    decomposition: &TreeDecomposition,
+    rooted: &RootedTree,
+    depth: u32,
+    path: &TreePath,
+) -> (u32, Vec<EdgeId>) {
+    let mu = capture_node(decomposition, path);
+    let group = depth - decomposition.node_depth(mu) + 1;
+    let critical = critical_edges(decomposition, rooted, path);
+    (group, critical)
+}
 
 /// A layered decomposition of all demand instances of a [`Problem`]
 /// (the per-network orderings `σ_q` merged by group index `k`, as used by
@@ -88,13 +110,14 @@ impl LayeredDecomposition {
         let mut critical = vec![Vec::new(); problem.instance_count()];
         for inst in problem.instances() {
             let q = inst.network.index();
-            let h = &decompositions[q];
-            let rooted = problem.rooted(inst.network);
-            let mu = capture_node(h, &inst.path);
-            // Deepest captures go first: G_i holds captures at depth
-            // ℓ_q - i + 1 (Lemma 4.2).
-            group[inst.id.index()] = depths[q] - h.node_depth(mu) + 1;
-            critical[inst.id.index()] = critical_edges(h, rooted, &inst.path);
+            let (g, pi) = tree_instance_layer(
+                &decompositions[q],
+                problem.rooted(inst.network),
+                depths[q],
+                &inst.path,
+            );
+            group[inst.id.index()] = g;
+            critical[inst.id.index()] = pi;
         }
         let num_groups = group.iter().copied().max().unwrap_or(0) as usize;
         let delta = critical.iter().map(Vec::len).max().unwrap_or(0);

@@ -50,8 +50,8 @@ mod tree_decomposition;
 pub use balancing::balancing;
 pub use capture::{bending_point, capture_node, critical_edges};
 pub use ideal::{ideal, ideal_depth_bound, ideal_with_stats, IdealStats};
-pub use layered::{LayeredDecomposition, LayeredError};
-pub use line::line_layers;
+pub use layered::{tree_instance_layer, LayeredDecomposition, LayeredError};
+pub use line::{line_instance_layer, line_layers, line_lmin};
 pub use root_fixing::root_fixing;
 pub use tree_decomposition::{DecompositionError, TreeDecomposition};
 

@@ -16,6 +16,43 @@ use crate::LayeredDecomposition;
 use treenet_graph::EdgeId;
 use treenet_model::Problem;
 
+/// The public minimum instance length `Lmin` a line-network layered
+/// decomposition is keyed on. The paper assumes every processor knows it;
+/// the message-passing runner in `treenet-dist` reads it from the same
+/// definition so both sides classify instances identically.
+pub fn line_lmin(problem: &Problem) -> f64 {
+    let (lmin, _) = problem.length_bounds();
+    lmin.max(1) as f64
+}
+
+/// The length-class group index and critical slots of one line instance
+/// given its path edges (in path order) and the public `Lmin`:
+/// group `⌊log₂(len/Lmin)⌋ + 1`, critical slots start/mid/end (`Δ ≤ 3`).
+///
+/// This is the single per-instance definition shared by [`line_layers`]
+/// and the distributed processors in `treenet-dist`, which derive each
+/// neighbor's layer from its demand descriptor — both sides must compute
+/// identically for the executions to stay bit-identical.
+///
+/// # Panics
+///
+/// Panics if `edges` is empty.
+pub fn line_instance_layer(lmin: f64, edges: &[EdgeId]) -> (u32, Vec<EdgeId>) {
+    let len = edges.len();
+    assert!(len >= 1, "demand instances use at least one timeslot");
+    // Class index: ⌊log₂(len / Lmin)⌋ + 1, computed from the exact length
+    // ratio to avoid floating-point edge cases at powers of two.
+    let ratio = (len as f64 / lmin).log2().floor() as u32;
+    // Slots are edge indices on the canonical line.
+    let s = edges[0];
+    let e = edges[len - 1];
+    let mid = EdgeId((s.0 + e.0) / 2);
+    let mut pi = vec![s, mid, e];
+    pi.sort_unstable();
+    pi.dedup();
+    (ratio + 1, pi)
+}
+
 /// Builds the length-class layered decomposition for a line-network
 /// problem (every network must be a canonical line).
 ///
@@ -34,25 +71,12 @@ pub fn line_layers(problem: &Problem) -> LayeredDecomposition {
             "line layered decomposition requires canonical line networks"
         );
     }
-    let (lmin, _) = problem.length_bounds();
-    let lmin = lmin.max(1) as f64;
+    let lmin = line_lmin(problem);
     let mut group = vec![0u32; problem.instance_count()];
     let mut critical = vec![Vec::new(); problem.instance_count()];
     for inst in problem.instances() {
-        let len = inst.len();
-        assert!(len >= 1, "demand instances use at least one timeslot");
-        // Class index: ⌊log₂(len / Lmin)⌋ + 1, computed in integers to
-        // avoid floating-point edge cases at powers of two.
-        let ratio = (len as f64 / lmin).log2().floor() as u32;
-        group[inst.id.index()] = ratio + 1;
-        // Slots are edge indices on the canonical line.
-        let edges = inst.path.edges();
-        let s = edges[0];
-        let e = edges[len - 1];
-        let mid = EdgeId((s.0 + e.0) / 2);
-        let mut pi = vec![s, mid, e];
-        pi.sort_unstable();
-        pi.dedup();
+        let (g, pi) = line_instance_layer(lmin, inst.path.edges());
+        group[inst.id.index()] = g;
         critical[inst.id.index()] = pi;
     }
     LayeredDecomposition::from_parts(group, critical)

@@ -1,13 +1,19 @@
-//! The message-passing scheduler: the paper's distributed algorithm
-//! (Section 5, Figure 7) executed on `treenet-netsim`'s synchronous
+//! The message-passing schedulers: the paper's distributed algorithms
+//! (Sections 5–7, Figure 7) executed on `treenet-netsim`'s synchronous
 //! engine, one protocol node per processor.
 //!
-//! [`run_distributed_tree_unit`] runs the **unit-height tree scheduler**
-//! (Theorem 5.3) as a real message-passing computation and is provably
-//! equivalent to the logical execution `treenet_core::solve_tree_unit`:
-//! same solution, bit-identical duals (`λ` matches `to_bits()`-exactly).
-//! The equivalence rests on three design points, shared with the logical
-//! runner:
+//! | runner | logical twin | paper |
+//! |---|---|---|
+//! | [`run_distributed_tree_unit`] | `solve_tree_unit` | Theorem 5.3, `(7+ε)` |
+//! | [`run_distributed_tree_arbitrary`] | `solve_tree_arbitrary` | Theorem 6.3, `(80+ε)` |
+//! | [`run_distributed_line_unit`] | `solve_line_unit` | Theorem 7.1, `(4+ε)` |
+//! | [`run_distributed_line_arbitrary`] | `solve_line_arbitrary` | Theorem 7.2, `(23+ε)` |
+//! | [`run_distributed_auto`] | `solve_auto` | strongest applicable |
+//!
+//! Every runner is provably equivalent to its logical twin in
+//! `treenet-core`: same solution, bit-identical duals (`λ` matches
+//! `to_bits()`-exactly). The equivalence rests on three design points,
+//! shared with the logical runner:
 //!
 //! 1. **Common randomness** — Luby draws come from the seeded hash
 //!    [`treenet_mis::luby_value`] over *canonical keys* computable from
@@ -16,33 +22,47 @@
 //! 2. **Local dual tracking** — a processor tracks `β(e)` for exactly the
 //!    edges on its own paths; every raise touching such an edge comes
 //!    from an overlapping instance, whose owner is a communication
-//!    neighbor, so the announcement always arrives. Summation orders
-//!    mirror `DualState`, making the floats bit-identical.
+//!    neighbor, so the announcement always arrives. Summation orders and
+//!    raising arithmetic mirror `DualState`/`RaiseRule` (the shared
+//!    single definitions), making the floats bit-identical.
 //! 3. **A public schedule** — epochs, stages and step boundaries are
 //!    globally known (the paper's synchronous-model assumption); the
 //!    driver supplies exactly this timing signal between rounds and
 //!    nothing else. All data flows through single-hop messages of at most
 //!    one demand descriptor — the paper's `O(M)` bits.
 //!
+//! The generalization beyond the unit-height tree case plugs two axes
+//! into the same protocol: the **layering** (public tree decompositions
+//! for trees, the Section-7 length classes over the public `Lmin` for
+//! lines — both via the shared per-instance definitions in
+//! `treenet-decomp`) and the **raise rule** (unit or narrow, with the
+//! narrow rule's stage factor `ξ = c/(c+hmin)` and capacitated dual
+//! form). The arbitrary-height runners execute the wide and narrow runs
+//! as two separate message-passing computations and combine them with
+//! the per-network combiner, exactly like the logical solvers.
+//!
 //! Round accounting matches `RunStats::comm_rounds`: per step, one
 //! boundary round (participation announcements) plus two rounds per Luby
 //! iteration (`Joined` raises, then `Died` cleanups), plus one round per
-//! phase-2 stack pop; the engine additionally spends one setup round
-//! exchanging demand descriptors.
+//! phase-2 stack pop; the engine additionally spends **exactly one**
+//! setup round exchanging demand descriptors, so
+//! `Metrics::rounds == DistSchedule::total_rounds() + 1` always.
 //!
 //! # Example
 //!
 //! ```
 //! use rand::rngs::SmallRng;
 //! use rand::SeedableRng;
-//! use treenet_core::{solve_tree_unit, SolverConfig};
-//! use treenet_dist::{run_distributed_tree_unit, DistConfig};
-//! use treenet_model::workload::TreeWorkload;
+//! use treenet_core::{solve_line_unit, SolverConfig};
+//! use treenet_dist::{run_distributed_line_unit, DistConfig};
+//! use treenet_model::workload::LineWorkload;
 //!
-//! let problem = TreeWorkload::new(10, 8).generate(&mut SmallRng::seed_from_u64(5));
+//! let problem = LineWorkload::new(30, 10)
+//!     .with_window_slack(2)
+//!     .generate(&mut SmallRng::seed_from_u64(5));
 //! let config = SolverConfig::default().with_epsilon(0.3).with_seed(5);
-//! let logical = solve_tree_unit(&problem, &config).unwrap();
-//! let distributed = run_distributed_tree_unit(&problem, &DistConfig::from(&config)).unwrap();
+//! let logical = solve_line_unit(&problem, &config).unwrap();
+//! let distributed = run_distributed_line_unit(&problem, &DistConfig::from(&config)).unwrap();
 //! assert_eq!(logical.solution, distributed.solution);
 //! assert_eq!(logical.lambda.to_bits(), distributed.lambda.to_bits());
 //! ```
@@ -55,15 +75,18 @@ mod node;
 use std::fmt;
 use std::sync::Arc;
 
-use node::{Mode, ProcessorNode, PublicInfo, SATISFACTION_GUARD};
-use treenet_core::{mis_tag, stages_for, unit_xi, SolverConfig};
-use treenet_decomp::{LayeredDecomposition, Strategy};
+use node::{Layering, Mode, ProcessorNode, PublicInfo, SATISFACTION_GUARD};
+use treenet_core::{
+    auto_choice, combine_by_network, mis_tag, narrow_xi, stages_for, unit_xi, AutoChoice,
+    RaiseRule, SolverConfig,
+};
+use treenet_decomp::{line_lmin, LayeredDecomposition, Strategy};
 use treenet_graph::{RootedTree, VertexId};
 use treenet_mis::MisBackend;
-use treenet_model::{Problem, Solution};
+use treenet_model::{HeightClass, InstanceId, Problem, Solution};
 use treenet_netsim::{Engine, Metrics, Topology};
 
-pub use node::{Descriptor, DistMsg};
+pub use node::{descriptor_bits, Descriptor, DistMsg};
 
 /// Configuration of a distributed run. [`DistConfig::from`] a
 /// [`SolverConfig`] yields the settings under which the distributed
@@ -74,12 +97,17 @@ pub struct DistConfig {
     pub epsilon: f64,
     /// Seed of the common-randomness hash.
     pub seed: u64,
-    /// Tree-decomposition strategy (public knowledge).
+    /// Tree-decomposition strategy (public knowledge; ignored by the line
+    /// runners, which always use the Section-7 length classes).
     pub strategy: Strategy,
     /// MIS backend supplying the `Time(MIS)` factor.
     pub mis_backend: MisBackend,
     /// Abort when a stage exceeds this many steps (`None` disables).
     pub max_steps_per_stage: Option<u64>,
+    /// A-priori `hmin` for the arbitrary-height runners (Section 6's
+    /// alternative assumption); `None` derives `hmin` from the narrow
+    /// participants, mirroring `SolverConfig::hmin`.
+    pub hmin: Option<f64>,
 }
 
 impl Default for DistConfig {
@@ -90,6 +118,7 @@ impl Default for DistConfig {
             strategy: Strategy::Ideal,
             mis_backend: MisBackend::Luby,
             max_steps_per_stage: Some(1_000_000),
+            hmin: None,
         }
     }
 }
@@ -101,6 +130,7 @@ impl From<&SolverConfig> for DistConfig {
             seed: config.seed,
             strategy: config.strategy,
             mis_backend: config.mis_backend,
+            hmin: config.hmin,
             ..DistConfig::default()
         }
     }
@@ -123,7 +153,7 @@ pub struct StepRecord {
 /// The executed schedule: phase-1 steps plus phase-2 pops. Its
 /// [`DistSchedule::total_rounds`] is the paper's communication-round
 /// count (the same quantity `RunStats::comm_rounds` reports for the
-/// logical run); the engine adds one setup round on top.
+/// logical run); the engine adds exactly one setup round on top.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DistSchedule {
     /// Phase-1 steps in execution order (= framework stack order).
@@ -136,7 +166,8 @@ impl DistSchedule {
     /// Scheduled communication rounds: `Σ_steps step_comm_rounds(luby) +
     /// pops` — the per-step formula is [`treenet_core::step_comm_rounds`],
     /// shared with the logical runner's `RunStats::comm_rounds` accounting
-    /// so the two implementations cannot silently diverge.
+    /// so the two implementations cannot silently diverge. The engine's
+    /// [`Metrics::rounds`] is always this value plus one setup round.
     pub fn total_rounds(&self) -> u64 {
         self.steps
             .iter()
@@ -156,14 +187,10 @@ impl DistSchedule {
 pub struct DistOutcome {
     /// The feasible solution extracted by the distributed second phase.
     pub solution: Solution,
-    /// Measured slackness: the minimum satisfaction ratio, bit-identical
-    /// to the logical run's λ.
+    /// Measured slackness: the minimum satisfaction ratio over the run's
+    /// participants, bit-identical to the logical run's λ.
     pub lambda: f64,
-    /// True if an MIS computation failed to converge within its iteration
-    /// budget (never happens for the shipped backends; kept as a
-    /// soft-failure signal).
-    pub luby_incomplete: bool,
-    /// True if some instance ended phase 1 below `(1-ε)`-satisfaction.
+    /// True if some participant ended phase 1 below `(1-ε)`-satisfaction.
     pub final_unsatisfied: bool,
     /// Engine communication metrics (rounds, messages, bits, max bits).
     pub metrics: Metrics,
@@ -171,10 +198,61 @@ pub struct DistOutcome {
     pub schedule: DistSchedule,
 }
 
+/// Result of a distributed arbitrary-height run (Theorems 6.3 / 7.2):
+/// the wide and narrow message-passing runs plus the per-network
+/// combination, mirroring `treenet_core::CombinedOutcome`.
+#[derive(Clone, Debug)]
+pub struct DistCombinedOutcome {
+    /// The per-network combination of the two solutions.
+    pub solution: Solution,
+    /// Outcome of the unit-rule run over wide demands (`h > 1/2`).
+    pub wide: DistOutcome,
+    /// Outcome of the narrow-rule run over narrow demands (`h ≤ 1/2`).
+    pub narrow: DistOutcome,
+}
+
+impl DistCombinedOutcome {
+    /// The measured slackness of the combined run — bit-identical to
+    /// `CombinedOutcome::lambda()` of the logical twin.
+    pub fn lambda(&self) -> f64 {
+        self.wide.lambda.min(self.narrow.lambda)
+    }
+
+    /// Scheduled communication rounds across both runs.
+    pub fn total_rounds(&self) -> u64 {
+        self.wide.schedule.total_rounds() + self.narrow.schedule.total_rounds()
+    }
+}
+
+/// Which runner [`run_distributed_auto`] executed, plus its outcome.
+#[derive(Clone, Debug)]
+pub enum DistAutoRun {
+    /// A single-rule run (unit-height problems).
+    Single(DistOutcome),
+    /// A wide/narrow split run (arbitrary-height problems).
+    Split(DistCombinedOutcome),
+}
+
+/// Outcome of [`run_distributed_auto`]: the solution, which theorem
+/// applied (shared with `treenet_core::solve_auto`), the measured λ, and
+/// the underlying run.
+#[derive(Clone, Debug)]
+pub struct DistAutoOutcome {
+    /// The extracted feasible solution.
+    pub solution: Solution,
+    /// The solver that was dispatched (same dispatch as `solve_auto`).
+    pub choice: AutoChoice,
+    /// Measured slackness λ — bit-identical to `AutoOutcome::lambda`.
+    pub lambda: f64,
+    /// The underlying run with its schedules and metrics.
+    pub run: DistAutoRun,
+}
+
 /// Distributed-run failure.
 #[derive(Clone, Debug, PartialEq)]
 pub enum DistError {
-    /// `ε` outside `(0, 1)`.
+    /// `ε` outside `(0, 1)`, or an a-priori `hmin` violated by a narrow
+    /// demand.
     BadParameters {
         /// Human-readable reason.
         reason: String,
@@ -186,6 +264,19 @@ pub enum DistError {
         /// Stage (1-based).
         stage: u32,
     },
+    /// An MIS computation exhausted its iteration budget without going
+    /// quiescent. Every shipped backend removes at least one vertex per
+    /// iteration, so this indicates a broken backend — the run is
+    /// aborted rather than silently returning a schedule built from a
+    /// truncated phase 1.
+    MisBudgetExhausted {
+        /// Epoch (1-based).
+        epoch: u32,
+        /// Stage (1-based).
+        stage: u32,
+        /// Step within the stage (0-based).
+        step: u64,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -195,11 +286,25 @@ impl fmt::Display for DistError {
             DistError::StageDiverged { epoch, stage } => {
                 write!(f, "stage {stage} of epoch {epoch} exceeded the step budget")
             }
+            DistError::MisBudgetExhausted { epoch, stage, step } => write!(
+                f,
+                "MIS of step {step} (stage {stage}, epoch {epoch}) exhausted its \
+                 iteration budget without quiescing"
+            ),
         }
     }
 }
 
 impl std::error::Error for DistError {}
+
+fn validate(config: &DistConfig) -> Result<(), DistError> {
+    if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
+        return Err(DistError::BadParameters {
+            reason: format!("epsilon must lie in (0,1), got {}", config.epsilon),
+        });
+    }
+    Ok(())
+}
 
 fn descriptor_of(problem: &Problem, a: treenet_model::DemandId) -> Descriptor {
     Descriptor {
@@ -209,55 +314,86 @@ fn descriptor_of(problem: &Problem, a: treenet_model::DemandId) -> Descriptor {
     }
 }
 
-/// Runs the unit-height tree scheduler (Theorem 5.3) as a synchronous
-/// message-passing computation and returns the solution, the measured
-/// slackness λ and the communication metrics.
-///
-/// Under `DistConfig::from(&solver_config)` the result equals
-/// [`treenet_core::solve_tree_unit`] exactly: identical solutions and
-/// bit-identical λ (see the crate docs for why).
-///
-/// # Errors
-///
-/// [`DistError::BadParameters`] for an out-of-range `ε`;
-/// [`DistError::StageDiverged`] if a stage exceeds the step budget.
-pub fn run_distributed_tree_unit(
-    problem: &Problem,
-    config: &DistConfig,
-) -> Result<DistOutcome, DistError> {
-    if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
-        return Err(DistError::BadParameters {
-            reason: format!("epsilon must lie in (0,1), got {}", config.epsilon),
-        });
-    }
-    // Public schedule parameters, derivable by every processor: the tree
-    // decompositions fix Δ, Δ fixes ξ, ξ and ε fix the stage count.
+fn rooted_views(problem: &Problem) -> Vec<RootedTree> {
+    problem
+        .networks()
+        .map(|t| RootedTree::new(problem.network(t), VertexId(0)))
+        .collect()
+}
+
+/// Tree public info: decompositions per `config.strategy` plus the
+/// layered decomposition (for `Δ` and the group count — both public).
+fn tree_public(problem: &Problem, config: &DistConfig) -> (Arc<PublicInfo>, LayeredDecomposition) {
     let decomps: Vec<_> = problem
         .networks()
         .map(|t| config.strategy.build(problem.network(t)))
         .collect();
     let layers = LayeredDecomposition::from_decompositions(problem, &decomps);
-    let xi = unit_xi(layers.delta());
-    let stages_per_epoch = stages_for(config.epsilon, xi);
-    let num_groups = layers.num_groups() as u32;
+    let depths = decomps
+        .iter()
+        .map(treenet_decomp::TreeDecomposition::depth)
+        .collect();
     let public = Arc::new(PublicInfo {
-        rooted: problem
-            .networks()
-            .map(|t| RootedTree::new(problem.network(t), VertexId(0)))
-            .collect(),
-        depths: decomps.iter().map(|h| h.depth()).collect(),
-        decomps,
+        rooted: rooted_views(problem),
+        layering: Layering::Tree { decomps, depths },
         seed: config.seed,
         backend: config.mis_backend,
     });
+    (public, layers)
+}
+
+/// Line public info: the Section-7 length classes over the public `Lmin`.
+///
+/// # Panics
+///
+/// Panics if some network is not a canonical line.
+fn line_public(problem: &Problem, config: &DistConfig) -> (Arc<PublicInfo>, LayeredDecomposition) {
+    let layers = LayeredDecomposition::for_lines(problem);
+    let public = Arc::new(PublicInfo {
+        rooted: rooted_views(problem),
+        layering: Layering::Line {
+            lmin: line_lmin(problem),
+        },
+        seed: config.seed,
+        backend: config.mis_backend,
+    });
+    (public, layers)
+}
+
+/// Parameters of one message-passing run: the stage factor, the raise
+/// rule, the epoch count, and (for wide/narrow splits) the participating
+/// height class.
+struct RunParams {
+    rule: RaiseRule,
+    xi: f64,
+    num_groups: u32,
+    class: Option<HeightClass>,
+}
+
+/// Executes one full two-phase message-passing run. The driver only ever
+/// feeds the public schedule (epoch/stage/step boundaries and pop
+/// indices) between engine rounds; all data flows through single-hop
+/// `O(M)`-bit messages.
+fn execute(
+    problem: &Problem,
+    config: &DistConfig,
+    public: &Arc<PublicInfo>,
+    params: &RunParams,
+) -> Result<DistOutcome, DistError> {
+    let stages_per_epoch = stages_for(config.epsilon, params.xi);
 
     let nodes: Vec<ProcessorNode> = problem
         .demands()
         .map(|a| {
+            let participating = params
+                .class
+                .is_none_or(|c| problem.demand(a).height_class() == c);
             ProcessorNode::new(
-                Arc::clone(&public),
+                Arc::clone(public),
                 descriptor_of(problem, a),
                 problem.instances_of(a).to_vec(),
+                params.rule,
+                participating,
             )
         })
         .collect();
@@ -270,19 +406,20 @@ pub fn run_distributed_tree_unit(
     );
     let mut engine = Engine::new(nodes, topology);
 
-    // Setup round: every processor broadcasts its demand descriptor to
-    // its communication neighbors (one O(M)-bit message each).
+    // Setup round: every participating processor broadcasts its demand
+    // descriptor to its communication neighbors (one O(M)-bit message
+    // each). This is the single extra engine round on top of the
+    // schedule: Metrics::rounds == schedule.total_rounds() + 1.
     engine.step();
 
     // ---- Phase 1: epochs / stages / steps (Figure 7). ----
     let mut schedule = DistSchedule::default();
-    let mut luby_incomplete = false;
-    'phase1: for epoch in 1..=num_groups {
+    for epoch in 1..=params.num_groups {
         if !engine.nodes().iter().any(|n| n.has_group(epoch)) {
             continue;
         }
         for stage in 1..=stages_per_epoch {
-            let threshold = 1.0 - xi.powi(stage as i32);
+            let threshold = 1.0 - params.xi.powi(stage as i32);
             let mut step_in_stage = 0u64;
             loop {
                 let unsatisfied: usize = engine
@@ -323,16 +460,14 @@ pub fn run_distributed_tree_unit(
                     }
                     if luby_rounds >= budget {
                         // Every shipped backend removes at least one vertex
-                        // per iteration, so this is unreachable; bail out
-                        // softly instead of spinning if it ever regresses.
-                        luby_incomplete = true;
-                        schedule.steps.push(StepRecord {
+                        // per iteration, so only a broken backend lands
+                        // here. Abort hard: a schedule built from a
+                        // truncated phase 1 must never reach phase 2.
+                        return Err(DistError::MisBudgetExhausted {
                             epoch,
                             stage,
                             step: step_in_stage,
-                            luby_rounds,
                         });
-                        break 'phase1;
                     }
                 }
                 schedule.steps.push(StepRecord {
@@ -366,6 +501,9 @@ pub fn run_distributed_tree_unit(
     let mut final_unsatisfied = false;
     for a in problem.demands() {
         let node = &engine.nodes()[a.index()];
+        if !node.is_participating() {
+            continue;
+        }
         for local in 0..problem.instances_of(a).len() {
             let satisfaction = node.satisfaction(local);
             lambda = lambda.min(satisfaction);
@@ -378,10 +516,222 @@ pub fn run_distributed_tree_unit(
     Ok(DistOutcome {
         solution,
         lambda,
-        luby_incomplete,
         final_unsatisfied,
         metrics: engine.metrics(),
         schedule,
+    })
+}
+
+/// Resolves the narrow-run `hmin` through the single shared definition
+/// [`treenet_core::resolve_narrow_hmin`] — the same collection order and
+/// arithmetic as `solve_tree_arbitrary`/`solve_line_arbitrary`, so the
+/// two sides derive the same `narrow_xi` by construction.
+fn resolve_hmin(problem: &Problem, config: &DistConfig) -> Result<f64, DistError> {
+    let narrow_ids: Vec<InstanceId> = problem
+        .instances()
+        .filter(|inst| problem.demand(inst.demand).height_class() == HeightClass::Narrow)
+        .map(|inst| inst.id)
+        .collect();
+    treenet_core::resolve_narrow_hmin(problem, &narrow_ids, config.hmin)
+        .map_err(|reason| DistError::BadParameters { reason })
+}
+
+/// The wide/narrow split shared by the arbitrary-height runners: a
+/// unit-rule run over wide demands, a narrow-rule run over narrow
+/// demands, then the per-network combination (the logical
+/// `combine_by_network`, evaluated on public per-network profits).
+fn run_split(
+    problem: &Problem,
+    config: &DistConfig,
+    public: &Arc<PublicInfo>,
+    layers: &LayeredDecomposition,
+) -> Result<DistCombinedOutcome, DistError> {
+    let delta = layers.delta();
+    let num_groups = layers.num_groups() as u32;
+    let wide = execute(
+        problem,
+        config,
+        public,
+        &RunParams {
+            rule: RaiseRule::Unit,
+            xi: unit_xi(delta),
+            num_groups,
+            class: Some(HeightClass::Wide),
+        },
+    )?;
+    let hmin = resolve_hmin(problem, config)?;
+    let narrow = execute(
+        problem,
+        config,
+        public,
+        &RunParams {
+            rule: RaiseRule::Narrow,
+            xi: narrow_xi(delta, hmin),
+            num_groups,
+            class: Some(HeightClass::Narrow),
+        },
+    )?;
+    let solution = combine_by_network(problem, &wide.solution, &narrow.solution);
+    Ok(DistCombinedOutcome {
+        solution,
+        wide,
+        narrow,
+    })
+}
+
+/// Runs the unit-height tree scheduler (Theorem 5.3) as a synchronous
+/// message-passing computation and returns the solution, the measured
+/// slackness λ and the communication metrics.
+///
+/// Under `DistConfig::from(&solver_config)` the result equals
+/// [`treenet_core::solve_tree_unit`] exactly: identical solutions and
+/// bit-identical λ (see the crate docs for why).
+///
+/// # Errors
+///
+/// [`DistError::BadParameters`] for an out-of-range `ε`;
+/// [`DistError::StageDiverged`] if a stage exceeds the step budget;
+/// [`DistError::MisBudgetExhausted`] if the MIS backend stops making
+/// progress (impossible for the shipped backends).
+pub fn run_distributed_tree_unit(
+    problem: &Problem,
+    config: &DistConfig,
+) -> Result<DistOutcome, DistError> {
+    validate(config)?;
+    let (public, layers) = tree_public(problem, config);
+    execute(
+        problem,
+        config,
+        &public,
+        &RunParams {
+            rule: RaiseRule::Unit,
+            xi: unit_xi(layers.delta()),
+            num_groups: layers.num_groups() as u32,
+            class: None,
+        },
+    )
+}
+
+/// Runs the unit-height line scheduler (Theorem 7.1, windows supported)
+/// as a synchronous message-passing computation: Section-7 length-class
+/// layering with `Δ ≤ 3` and `ξ = 8/9`.
+///
+/// Under `DistConfig::from(&solver_config)` the result equals
+/// [`treenet_core::solve_line_unit`] exactly: identical solutions and
+/// bit-identical λ.
+///
+/// # Errors
+///
+/// Same contract as [`run_distributed_tree_unit`].
+///
+/// # Panics
+///
+/// Panics if some network is not a canonical line.
+pub fn run_distributed_line_unit(
+    problem: &Problem,
+    config: &DistConfig,
+) -> Result<DistOutcome, DistError> {
+    validate(config)?;
+    let (public, layers) = line_public(problem, config);
+    execute(
+        problem,
+        config,
+        &public,
+        &RunParams {
+            rule: RaiseRule::Unit,
+            xi: unit_xi(layers.delta()),
+            num_groups: layers.num_groups() as u32,
+            class: None,
+        },
+    )
+}
+
+/// Runs the arbitrary-height tree scheduler (Theorem 6.3) as two
+/// message-passing computations (wide via the unit rule, narrow via the
+/// narrow rule) plus the per-network combiner.
+///
+/// Under `DistConfig::from(&solver_config)` the result equals
+/// [`treenet_core::solve_tree_arbitrary`] exactly: identical combined
+/// solutions and bit-identical wide/narrow λ.
+///
+/// # Errors
+///
+/// Same contract as [`run_distributed_tree_unit`], plus
+/// [`DistError::BadParameters`] when an a-priori `hmin` is violated.
+pub fn run_distributed_tree_arbitrary(
+    problem: &Problem,
+    config: &DistConfig,
+) -> Result<DistCombinedOutcome, DistError> {
+    validate(config)?;
+    let (public, layers) = tree_public(problem, config);
+    run_split(problem, config, &public, &layers)
+}
+
+/// Runs the arbitrary-height line scheduler (Theorem 7.2) as two
+/// message-passing computations over the Section-7 length-class layering.
+///
+/// Under `DistConfig::from(&solver_config)` the result equals
+/// [`treenet_core::solve_line_arbitrary`] exactly: identical combined
+/// solutions and bit-identical wide/narrow λ.
+///
+/// # Errors
+///
+/// Same contract as [`run_distributed_tree_arbitrary`].
+///
+/// # Panics
+///
+/// Panics if some network is not a canonical line.
+pub fn run_distributed_line_arbitrary(
+    problem: &Problem,
+    config: &DistConfig,
+) -> Result<DistCombinedOutcome, DistError> {
+    validate(config)?;
+    let (public, layers) = line_public(problem, config);
+    run_split(problem, config, &public, &layers)
+}
+
+/// Dispatches to the strongest applicable distributed runner by
+/// inspecting the problem — exactly the dispatch of
+/// [`treenet_core::solve_auto`]: line-networks get the `Δ = 3` length
+/// classes, unit heights skip the wide/narrow split.
+///
+/// Under `DistConfig::from(&solver_config)` the result equals
+/// `solve_auto` exactly: same choice, identical solutions, bit-identical
+/// λ.
+///
+/// # Errors
+///
+/// Same contract as the dispatched runner.
+pub fn run_distributed_auto(
+    problem: &Problem,
+    config: &DistConfig,
+) -> Result<DistAutoOutcome, DistError> {
+    // The dispatch is the single shared definition `auto_choice`, so the
+    // logical and message-passing dispatches cannot drift.
+    let choice = auto_choice(problem);
+    let (solution, lambda, run) = match choice {
+        AutoChoice::LineUnit => {
+            let out = run_distributed_line_unit(problem, config)?;
+            (out.solution.clone(), out.lambda, DistAutoRun::Single(out))
+        }
+        AutoChoice::LineArbitrary => {
+            let out = run_distributed_line_arbitrary(problem, config)?;
+            (out.solution.clone(), out.lambda(), DistAutoRun::Split(out))
+        }
+        AutoChoice::TreeUnit => {
+            let out = run_distributed_tree_unit(problem, config)?;
+            (out.solution.clone(), out.lambda, DistAutoRun::Single(out))
+        }
+        AutoChoice::TreeArbitrary => {
+            let out = run_distributed_tree_arbitrary(problem, config)?;
+            (out.solution.clone(), out.lambda(), DistAutoRun::Split(out))
+        }
+    };
+    Ok(DistAutoOutcome {
+        solution,
+        choice,
+        lambda,
+        run,
     })
 }
 
@@ -390,13 +740,23 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
-    use treenet_core::solve_tree_unit;
-    use treenet_model::workload::TreeWorkload;
+    use treenet_core::{
+        solve_auto, solve_line_arbitrary, solve_line_unit, solve_tree_arbitrary, solve_tree_unit,
+    };
+    use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
 
     fn problem(seed: u64) -> Problem {
         TreeWorkload::new(10, 8)
             .with_networks(2)
             .with_profit_ratio(4.0)
+            .generate(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    fn line_problem(seed: u64) -> Problem {
+        LineWorkload::new(30, 12)
+            .with_resources(2)
+            .with_window_slack(2)
+            .with_len_range(1, 8)
             .generate(&mut SmallRng::seed_from_u64(seed))
     }
 
@@ -415,9 +775,123 @@ mod tests {
                 logical.lambda,
                 distributed.lambda
             );
-            assert!(!distributed.luby_incomplete);
             assert!(!distributed.final_unsatisfied);
             distributed.solution.verify(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn line_unit_equals_logical_execution_bitwise() {
+        for seed in 0..8u64 {
+            let p = line_problem(seed);
+            let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
+            let logical = solve_line_unit(&p, &cfg).unwrap();
+            let distributed = run_distributed_line_unit(&p, &DistConfig::from(&cfg)).unwrap();
+            assert_eq!(logical.solution, distributed.solution, "seed {seed}");
+            assert_eq!(
+                logical.lambda.to_bits(),
+                distributed.lambda.to_bits(),
+                "seed {seed}: λ {} vs {}",
+                logical.lambda,
+                distributed.lambda
+            );
+            assert_eq!(
+                distributed.schedule.total_rounds(),
+                logical.stats.comm_rounds,
+                "seed {seed}"
+            );
+            assert!(!distributed.final_unsatisfied);
+            distributed.solution.verify(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn line_arbitrary_equals_logical_execution_bitwise() {
+        for seed in 0..6u64 {
+            let p = LineWorkload::new(30, 12)
+                .with_resources(2)
+                .with_window_slack(2)
+                .with_len_range(1, 8)
+                .with_heights(HeightMode::Bimodal {
+                    narrow_frac: 0.5,
+                    hmin: 0.2,
+                })
+                .generate(&mut SmallRng::seed_from_u64(seed));
+            let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
+            let logical = solve_line_arbitrary(&p, &cfg).unwrap();
+            let distributed = run_distributed_line_arbitrary(&p, &DistConfig::from(&cfg)).unwrap();
+            assert_eq!(logical.solution, distributed.solution, "seed {seed}");
+            assert_eq!(
+                logical.wide.lambda.to_bits(),
+                distributed.wide.lambda.to_bits(),
+                "seed {seed} (wide)"
+            );
+            assert_eq!(
+                logical.narrow.lambda.to_bits(),
+                distributed.narrow.lambda.to_bits(),
+                "seed {seed} (narrow)"
+            );
+            assert_eq!(
+                distributed.wide.schedule.total_rounds(),
+                logical.wide.stats.comm_rounds
+            );
+            assert_eq!(
+                distributed.narrow.schedule.total_rounds(),
+                logical.narrow.stats.comm_rounds
+            );
+            distributed.solution.verify(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn tree_arbitrary_equals_logical_execution_bitwise() {
+        for seed in 0..4u64 {
+            let p = TreeWorkload::new(10, 8)
+                .with_networks(2)
+                .with_heights(HeightMode::Bimodal {
+                    narrow_frac: 0.5,
+                    hmin: 0.25,
+                })
+                .generate(&mut SmallRng::seed_from_u64(seed));
+            let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
+            let logical = solve_tree_arbitrary(&p, &cfg).unwrap();
+            let distributed = run_distributed_tree_arbitrary(&p, &DistConfig::from(&cfg)).unwrap();
+            assert_eq!(logical.solution, distributed.solution, "seed {seed}");
+            assert_eq!(
+                logical.lambda().to_bits(),
+                distributed.lambda().to_bits(),
+                "seed {seed}"
+            );
+            distributed.solution.verify(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn auto_equals_logical_dispatch() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let problems: Vec<Problem> = vec![
+            LineWorkload::new(24, 8).generate(&mut rng),
+            LineWorkload::new(24, 8)
+                .with_heights(HeightMode::Uniform { hmin: 0.3 })
+                .generate(&mut rng),
+            TreeWorkload::new(10, 8).generate(&mut rng),
+            TreeWorkload::new(10, 8)
+                .with_heights(HeightMode::Uniform { hmin: 0.3 })
+                .generate(&mut rng),
+        ];
+        for (i, p) in problems.iter().enumerate() {
+            let cfg = SolverConfig::default()
+                .with_epsilon(0.3)
+                .with_seed(i as u64);
+            let logical = solve_auto(p, &cfg).unwrap();
+            let distributed = run_distributed_auto(p, &DistConfig::from(&cfg)).unwrap();
+            assert_eq!(logical.choice, distributed.choice, "case {i}");
+            assert_eq!(logical.solution, distributed.solution, "case {i}");
+            assert_eq!(
+                logical.lambda.to_bits(),
+                distributed.lambda.to_bits(),
+                "case {i}"
+            );
         }
     }
 
@@ -464,6 +938,38 @@ mod tests {
                 run_distributed_tree_unit(&p, &cfg),
                 Err(DistError::BadParameters { .. })
             ));
+            assert!(matches!(
+                run_distributed_line_unit(&line_problem(0), &cfg),
+                Err(DistError::BadParameters { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn a_priori_hmin_is_validated() {
+        let p = TreeWorkload::new(10, 8)
+            .with_heights(HeightMode::Uniform { hmin: 0.3 })
+            .generate(&mut SmallRng::seed_from_u64(8));
+        // Valid a-priori bound reproduces the logical run.
+        let cfg = SolverConfig::default()
+            .with_epsilon(0.3)
+            .with_seed(8)
+            .with_hmin(0.25);
+        let logical = solve_tree_arbitrary(&p, &cfg).unwrap();
+        let distributed = run_distributed_tree_arbitrary(&p, &DistConfig::from(&cfg)).unwrap();
+        assert_eq!(logical.solution, distributed.solution);
+        assert_eq!(logical.lambda().to_bits(), distributed.lambda().to_bits());
+        // A bound above some narrow height is rejected, like the logical
+        // solver.
+        if p.min_height() < 0.5 {
+            let bad = DistConfig {
+                hmin: Some(0.6),
+                ..DistConfig::from(&cfg)
+            };
+            assert!(matches!(
+                run_distributed_tree_arbitrary(&p, &bad),
+                Err(DistError::BadParameters { .. })
+            ));
         }
     }
 
@@ -481,10 +987,49 @@ mod tests {
     }
 
     #[test]
+    fn stalled_mis_is_a_hard_error() {
+        // Two demands with identical paths: same length class, overlapping
+        // paths, so under the adversarial backend (beats ≡ false) neither
+        // ever wins its MIS — the budget must trip and the run must abort
+        // instead of running phase 2 over a truncated schedule.
+        let mut b = treenet_model::ProblemBuilder::new();
+        let t = b.add_network(treenet_graph::Tree::line(7)).unwrap();
+        for _ in 0..2 {
+            b.add_demand(
+                treenet_model::Demand::pair(VertexId(1), VertexId(4), 2.0),
+                &[t],
+            )
+            .unwrap();
+        }
+        let p = b.build().unwrap();
+        let cfg = DistConfig {
+            mis_backend: MisBackend::AdversarialStall,
+            ..DistConfig::default()
+        };
+        for result in [
+            run_distributed_tree_unit(&p, &cfg),
+            run_distributed_line_unit(&p, &cfg),
+        ] {
+            match result {
+                Err(DistError::MisBudgetExhausted { epoch, stage, step }) => {
+                    assert_eq!((stage, step), (1, 0), "first step of epoch {epoch} stalls");
+                }
+                other => panic!("expected MisBudgetExhausted, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn error_display() {
         let e = DistError::StageDiverged { epoch: 2, stage: 3 };
         assert!(e.to_string().contains("stage 3"));
         let e = DistError::BadParameters { reason: "x".into() };
         assert!(e.to_string().contains("x"));
+        let e = DistError::MisBudgetExhausted {
+            epoch: 1,
+            stage: 2,
+            step: 3,
+        };
+        assert!(e.to_string().contains("step 3"));
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! One node per processor (= demand). A node knows only
 //!
-//! * **public information**: the networks, their tree decompositions, the
-//!   schedule parameters (`ε`, `ξ`, seed, MIS backend) — wrapped in
-//!   [`PublicInfo`];
+//! * **public information**: the networks, their layering (tree
+//!   decompositions for tree-networks, the length-class `Lmin` for
+//!   line-networks), the schedule parameters (`ε`, `ξ`, seed, MIS
+//!   backend) — wrapped in [`PublicInfo`];
 //! * **its own demand**, from which it derives its demand instances,
 //!   their paths, canonical keys, epoch groups and critical edges;
 //! * **what neighbors told it**: demand descriptors exchanged in the
@@ -15,11 +16,20 @@
 //! exactly the edges on its own paths — sufficient because any raise
 //! touching such an edge comes from an overlapping instance, whose owner
 //! shares a network and is therefore a communication neighbor.
+//!
+//! The node is parametrized by the run's [`RaiseRule`]: the unit scheme
+//! (Sections 3/5/7.1) or the narrow scheme (Sections 6.1/7.2), whose
+//! raising arithmetic and capacitated dual LHS are taken from the single
+//! definitions in `treenet-core` so the logical and message-passing
+//! executions cannot drift. For the wide/narrow split of the
+//! arbitrary-height schedulers a node can be *passive* (its demand's
+//! height class is outside the run): it stays silent for the whole run.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use treenet_decomp::{capture_node, critical_edges, TreeDecomposition};
+use treenet_core::RaiseRule;
+use treenet_decomp::{line_instance_layer, tree_instance_layer, TreeDecomposition};
 use treenet_graph::{EdgeId, RootedTree, TreePath, VertexId};
 use treenet_mis::MisBackend;
 use treenet_model::{Demand, DemandId, DemandKind, InstanceId, NetworkId};
@@ -29,15 +39,35 @@ use treenet_netsim::{Context, Envelope, MessageSize, Protocol};
 /// participation decisions are bit-identical by construction.
 pub(crate) use treenet_core::SATISFACTION_GUARD;
 
+/// How epoch groups and critical edges derive from public information:
+/// the paper's tree layering (Section 5, capture depths over public tree
+/// decompositions) or the line layering (Section 7, length classes over
+/// the public minimum length).
+#[derive(Debug)]
+pub(crate) enum Layering {
+    /// Tree-networks: one public tree decomposition per network.
+    Tree {
+        /// The decompositions, in network order.
+        decomps: Vec<TreeDecomposition>,
+        /// Cached decomposition depths, in network order.
+        depths: Vec<u32>,
+    },
+    /// Canonical line-networks: length classes keyed on the public
+    /// `Lmin` (every processor knows it, per the paper's assumption).
+    Line {
+        /// The minimum instance length `Lmin`.
+        lmin: f64,
+    },
+}
+
 /// Public knowledge shared by every processor: the networks (rooted views
-/// and tree decompositions) plus the schedule parameters. Everything here
-/// is a deterministic function of inputs the paper assumes are known to
-/// all processors.
+/// plus the layering) and the schedule parameters. Everything here is a
+/// deterministic function of inputs the paper assumes are known to all
+/// processors.
 #[derive(Debug)]
 pub(crate) struct PublicInfo {
     pub rooted: Vec<RootedTree>,
-    pub decomps: Vec<TreeDecomposition>,
-    pub depths: Vec<u32>,
+    pub layering: Layering,
     pub seed: u64,
     pub backend: MisBackend,
 }
@@ -79,9 +109,14 @@ impl PublicInfo {
         start: Option<u32>,
     ) -> InstView {
         let q = network.index();
-        let mu = capture_node(&self.decomps[q], &path);
-        let group = self.depths[q] - self.decomps[q].node_depth(mu) + 1;
-        let critical = critical_edges(&self.decomps[q], &self.rooted[q], &path);
+        // Group and critical edges come from the same per-instance
+        // definitions the logical LayeredDecomposition builders use.
+        let (group, critical) = match &self.layering {
+            Layering::Tree { decomps, depths } => {
+                tree_instance_layer(&decomps[q], &self.rooted[q], depths[q], &path)
+            }
+            Layering::Line { lmin } => line_instance_layer(*lmin, path.edges()),
+        };
         let key = treenet_model::canonical_instance_key(descriptor.id, network, start);
         let mut sorted_edges: Vec<EdgeId> = path.edges().to_vec();
         sorted_edges.sort_unstable();
@@ -161,7 +196,8 @@ pub enum DistMsg {
         mask: u64,
     },
     /// The sender's instance `idx` joined the MIS and was raised by
-    /// `delta` (α of its demand, β on its critical edges).
+    /// `delta` (α of its demand; each receiver re-derives the rule's β
+    /// increment from `delta` and the instance's public `|π|`).
     Joined {
         /// Canonical instance index within the sender.
         idx: u8,
@@ -180,12 +216,19 @@ pub enum DistMsg {
     },
 }
 
+/// The size in bits of one demand descriptor over `networks` accessible
+/// networks: kind/id header + profit + height (160 bits) plus one word
+/// per network — the paper's `M`, and the bound every protocol message
+/// respects. The single definition behind the `MessageSize` accounting
+/// and every `O(M)`-bit assertion in tests and experiments.
+pub fn descriptor_bits(networks: usize) -> u64 {
+    160 + 64 * networks as u64
+}
+
 impl MessageSize for DistMsg {
     fn size_bits(&self) -> u64 {
         match self {
-            // kind/id header + profit + height, plus one word per
-            // accessible network — one demand descriptor, the paper's M.
-            DistMsg::Descriptor(d) => 160 + 64 * d.access.len() as u64,
+            DistMsg::Descriptor(d) => descriptor_bits(d.access.len()),
             DistMsg::Active { .. } => 72,
             DistMsg::Joined { .. } => 80,
             DistMsg::Died { .. } => 16,
@@ -249,6 +292,13 @@ struct OwnInstance {
 pub(crate) struct ProcessorNode {
     public: Arc<PublicInfo>,
     descriptor: Descriptor,
+    /// The run's raising rule (fixes δ, the β increment and the dual LHS
+    /// form — taken from the shared `treenet-core` definitions).
+    rule: RaiseRule,
+    /// Whether this node's demand participates in the current run (false
+    /// for the off-class half of a wide/narrow split: the node stays
+    /// silent and contributes nothing).
+    participating: bool,
     own: Vec<OwnInstance>,
     /// α of the own demand.
     alpha: f64,
@@ -282,7 +332,13 @@ pub(crate) struct ProcessorNode {
 }
 
 impl ProcessorNode {
-    pub fn new(public: Arc<PublicInfo>, descriptor: Descriptor, ids: Vec<InstanceId>) -> Self {
+    pub fn new(
+        public: Arc<PublicInfo>,
+        descriptor: Descriptor,
+        ids: Vec<InstanceId>,
+        rule: RaiseRule,
+        participating: bool,
+    ) -> Self {
         let views = public.views(&descriptor);
         assert_eq!(
             views.len(),
@@ -314,6 +370,8 @@ impl ProcessorNode {
         ProcessorNode {
             public,
             descriptor,
+            rule,
+            participating,
             own,
             alpha: 0.0,
             beta,
@@ -333,8 +391,15 @@ impl ProcessorNode {
         }
     }
 
-    /// The dual LHS of own instance `i` — same summation order as the
-    /// logical `DualState::lhs`, so the float result is bit-identical.
+    /// Whether this node's demand participates in the run.
+    pub fn is_participating(&self) -> bool {
+        self.participating
+    }
+
+    /// The dual LHS of own instance `i` — same summation order and form
+    /// (`α + scale·Σβ`, with `scale = 1` for the unit rule and `h(d)`
+    /// for the narrow rule) as the logical `DualState::lhs`, so the float
+    /// result is bit-identical.
     fn lhs(&self, i: usize) -> f64 {
         let view = &self.own[i].view;
         let beta_sum: f64 = view
@@ -342,7 +407,11 @@ impl ProcessorNode {
             .iter()
             .map(|e| self.beta[&(view.network.0, e.0)])
             .sum();
-        self.alpha + beta_sum
+        let scale = match self.rule {
+            RaiseRule::Unit => 1.0,
+            RaiseRule::Narrow => view.height,
+        };
+        self.alpha + scale * beta_sum
     }
 
     /// Satisfaction ratio of own instance `i`.
@@ -350,14 +419,17 @@ impl ProcessorNode {
         self.lhs(i) / self.own[i].view.profit
     }
 
-    /// Whether any own instance belongs to epoch group `k`.
+    /// Whether any own participating instance belongs to epoch group `k`.
     pub fn has_group(&self, k: u32) -> bool {
-        self.own.iter().any(|inst| inst.view.group == k)
+        self.participating && self.own.iter().any(|inst| inst.view.group == k)
     }
 
     /// Number of own group-`k` instances below `threshold`-satisfaction —
-    /// the same predicate the announce round uses.
+    /// the same predicate the announce round uses. Zero for passive nodes.
     pub fn count_unsatisfied(&self, k: u32, threshold: f64) -> usize {
+        if !self.participating {
+            return 0;
+        }
         (0..self.own.len())
             .filter(|&i| {
                 self.own[i].view.group == k && self.satisfaction(i) < threshold - SATISFACTION_GUARD
@@ -391,17 +463,20 @@ impl ProcessorNode {
     }
 
     /// Applies a raise announced by a neighbor: β on the raised instance's
-    /// critical edges, restricted to the edges this node tracks.
-    /// (Field-disjoint borrows of `neighbors` and `beta` keep this loop
-    /// allocation-free.)
+    /// critical edges, restricted to the edges this node tracks. The β
+    /// increment is re-derived from the broadcast δ and the public `|π|`
+    /// via the shared `RaiseRule::beta_increment`, so it is bit-identical
+    /// to the logical raise. (Field-disjoint borrows of `neighbors` and
+    /// `beta` keep this loop allocation-free.)
     fn apply_neighbor_raise(&mut self, node: usize, idx: u8, delta: f64) {
         let Some(view) = neighbor_view(&self.neighbors, node, idx) else {
             return;
         };
+        let beta_inc = self.rule.beta_increment(view.critical.len() as f64, delta);
         let network = view.network.0;
         for &e in &view.critical {
             if let Some(slot) = self.beta.get_mut(&(network, e.0)) {
-                *slot += delta;
+                *slot += beta_inc;
             }
         }
     }
@@ -504,16 +579,19 @@ impl ProcessorNode {
         for &i in &winners {
             self.own[i].state = MisState::InMis;
             self.own[i].raised_at.push(self.global_step);
-            // The unit raising rule: δ = slack / (|π| + 1).
+            // The run's raising rule, via the shared definitions:
+            // δ = slack/(|π|+1) (unit) or slack/(1+2h|π|²) (narrow).
             let slack = self.own[i].view.profit - self.lhs(i);
-            let delta = slack / (self.own[i].view.critical.len() as f64 + 1.0);
+            let pi = self.own[i].view.critical.len() as f64;
+            let delta = self.rule.delta_for(slack, self.own[i].view.height, pi);
+            let beta_inc = self.rule.beta_increment(pi, delta);
             self.alpha += delta;
             let network = self.own[i].view.network.0;
             for &e in &self.own[i].view.critical {
                 *self
                     .beta
                     .get_mut(&(network, e.0))
-                    .expect("critical edges lie on own paths") += delta;
+                    .expect("critical edges lie on own paths") += beta_inc;
             }
             ctx.broadcast(DistMsg::Joined {
                 idx: i as u8,
@@ -609,6 +687,12 @@ impl Protocol for ProcessorNode {
         inbox: &[Envelope<DistMsg>],
         ctx: &mut Context<'_, DistMsg>,
     ) {
+        // Passive nodes (off-class in a wide/narrow split) stay silent:
+        // they never announce, raise, die or select, and nothing a
+        // neighbor could tell them affects this run's participants.
+        if !self.participating {
+            return;
+        }
         match self.mode.clone() {
             Mode::Setup => self.round_setup(ctx),
             Mode::Announce => self.round_announce(inbox, ctx),

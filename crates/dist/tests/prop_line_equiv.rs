@@ -1,0 +1,92 @@
+//! Property-based distributed-vs-logical equivalence: across randomized
+//! line workloads (unit and arbitrary heights) and mixed tree/line
+//! problems dispatched through the auto runner, the message-passing
+//! execution reproduces the logical solver exactly — identical solutions
+//! and `to_bits()`-exact λ.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treenet_core::{solve_auto, solve_line_arbitrary, solve_line_unit, SolverConfig};
+use treenet_dist::{
+    run_distributed_auto, run_distributed_line_arbitrary, run_distributed_line_unit, DistConfig,
+};
+use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 7.1 as a message-passing computation: bit-identical to
+    /// `solve_line_unit` on window workloads, including the shared
+    /// round accounting and the exact +1 setup-round relation.
+    #[test]
+    fn line_unit_distributed_equals_logical(seed in 0u64..3000, slack in 0u32..4) {
+        let p = LineWorkload::new(30, 12)
+            .with_resources(2)
+            .with_window_slack(slack)
+            .with_len_range(1, 8)
+            .generate(&mut SmallRng::seed_from_u64(seed));
+        let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
+        let logical = solve_line_unit(&p, &cfg).unwrap();
+        let distributed = run_distributed_line_unit(&p, &DistConfig::from(&cfg)).unwrap();
+        prop_assert_eq!(&logical.solution, &distributed.solution);
+        prop_assert_eq!(logical.lambda.to_bits(), distributed.lambda.to_bits());
+        prop_assert_eq!(distributed.schedule.total_rounds(), logical.stats.comm_rounds);
+        prop_assert_eq!(distributed.metrics.rounds, distributed.schedule.total_rounds() + 1);
+        prop_assert!(distributed.solution.verify(&p).is_ok());
+    }
+
+    /// Theorem 7.2 as two message-passing computations plus the combiner:
+    /// the combined solution and both per-class λ match bitwise.
+    #[test]
+    fn line_arbitrary_distributed_equals_logical(seed in 0u64..3000) {
+        let p = LineWorkload::new(30, 12)
+            .with_resources(2)
+            .with_window_slack(2)
+            .with_len_range(1, 8)
+            .with_heights(HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.2 })
+            .generate(&mut SmallRng::seed_from_u64(seed));
+        let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
+        let logical = solve_line_arbitrary(&p, &cfg).unwrap();
+        let distributed = run_distributed_line_arbitrary(&p, &DistConfig::from(&cfg)).unwrap();
+        prop_assert_eq!(&logical.solution, &distributed.solution);
+        prop_assert_eq!(logical.wide.lambda.to_bits(), distributed.wide.lambda.to_bits());
+        prop_assert_eq!(logical.narrow.lambda.to_bits(), distributed.narrow.lambda.to_bits());
+        prop_assert_eq!(logical.lambda().to_bits(), distributed.lambda().to_bits());
+        prop_assert_eq!(
+            distributed.wide.schedule.total_rounds(),
+            logical.wide.stats.comm_rounds
+        );
+        prop_assert_eq!(
+            distributed.narrow.schedule.total_rounds(),
+            logical.narrow.stats.comm_rounds
+        );
+        prop_assert!(distributed.solution.verify(&p).is_ok());
+    }
+
+    /// The auto dispatch over the mixed grid: every topology/height
+    /// combination picks the same theorem as `solve_auto` and reproduces
+    /// its solution and λ bitwise.
+    #[test]
+    fn auto_distributed_equals_logical(seed in 0u64..3000, shape in 0usize..4) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = match shape {
+            0 => LineWorkload::new(24, 10).generate(&mut rng),
+            1 => LineWorkload::new(24, 10)
+                .with_heights(HeightMode::Uniform { hmin: 0.25 })
+                .generate(&mut rng),
+            2 => TreeWorkload::new(10, 8).with_networks(2).generate(&mut rng),
+            _ => TreeWorkload::new(10, 8)
+                .with_networks(2)
+                .with_heights(HeightMode::Bimodal { narrow_frac: 0.5, hmin: 0.25 })
+                .generate(&mut rng),
+        };
+        let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
+        let logical = solve_auto(&p, &cfg).unwrap();
+        let distributed = run_distributed_auto(&p, &DistConfig::from(&cfg)).unwrap();
+        prop_assert_eq!(logical.choice, distributed.choice);
+        prop_assert_eq!(&logical.solution, &distributed.solution);
+        prop_assert_eq!(logical.lambda.to_bits(), distributed.lambda.to_bits());
+        prop_assert!(distributed.solution.verify(&p).is_ok());
+    }
+}

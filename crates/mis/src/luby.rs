@@ -237,6 +237,9 @@ pub fn luby_mis_with<A: Adjacency + ?Sized>(
 /// count is the longest decreasing-key chain — `O(N)` worst case, small
 /// in practice).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+// The hidden variant is a genuine test-only adversary, not a
+// non-exhaustive marker.
+#[allow(clippy::manual_non_exhaustive)]
 pub enum MisBackend {
     /// Luby's randomized algorithm with common-randomness values.
     #[default]
@@ -245,6 +248,15 @@ pub enum MisBackend {
     /// among still-active neighbors. Produces exactly the sequential
     /// greedy-by-key MIS, distributedly.
     DeterministicGreedy,
+    /// Test-only adversary whose `beats` test never lets any vertex win
+    /// against an active conflicting neighbor, so an MIS over a graph
+    /// with at least one edge never makes progress. Exists to pin the
+    /// iteration-budget bail-out paths of the runners (every shipped
+    /// backend removes at least one vertex per iteration, making those
+    /// paths otherwise unreachable). It has no central simulation:
+    /// [`MisBackend::run`]/[`MisBackend::run_with`] panic.
+    #[doc(hidden)]
+    AdversarialStall,
 }
 
 impl MisBackend {
@@ -253,6 +265,7 @@ impl MisBackend {
         match self {
             MisBackend::Luby => "luby",
             MisBackend::DeterministicGreedy => "det-greedy",
+            MisBackend::AdversarialStall => "adversarial-stall",
         }
     }
 
@@ -281,6 +294,10 @@ impl MisBackend {
         match self {
             MisBackend::Luby => luby_mis_with(adj, keys, seed, tag, scratch, mis),
             MisBackend::DeterministicGreedy => deterministic_mis_with(adj, keys, scratch, mis),
+            MisBackend::AdversarialStall => panic!(
+                "AdversarialStall is a test-only adversary for the distributed \
+                 runners' budget paths and has no central simulation"
+            ),
         }
     }
 
@@ -292,6 +309,7 @@ impl MisBackend {
         match self {
             MisBackend::Luby => beats(seed, tag, it, v_key, w_key),
             MisBackend::DeterministicGreedy => v_key < w_key,
+            MisBackend::AdversarialStall => false,
         }
     }
 }

@@ -53,12 +53,16 @@ impl<M> Context<'_, M> {
     }
 
     /// Sends a clone of `msg` to every neighbor.
+    ///
+    /// Routes through [`Context::send`] so the single-hop neighbor
+    /// assertion — the model invariant — lives in exactly one place.
     pub fn broadcast(&mut self, msg: M)
     where
         M: Clone,
     {
-        for &w in self.neighbors {
-            self.out.push((w, msg.clone()));
+        for i in 0..self.neighbors.len() {
+            let w = self.neighbors[i];
+            self.send(w, msg.clone());
         }
     }
 }
@@ -472,6 +476,71 @@ mod tests {
         let topology = Topology::new(2); // no edges
         let mut engine = Engine::new(vec![BadSender, BadSender], topology);
         let _ = engine.run(5);
+    }
+
+    /// Waits one round, then fires at a non-neighbor mid-protocol: the
+    /// single-hop assertion must also guard sends issued from `on_round`.
+    struct LateBadSender;
+    impl Protocol for LateBadSender {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            ctx.broadcast(7);
+        }
+        fn on_round(&mut self, _r: u64, _i: &[Envelope<u64>], ctx: &mut Context<'_, u64>) {
+            // Node ids are 0..3 on a path 0-1-2; node 0's neighbors are
+            // just {1}, so 2 is one hop too far.
+            if ctx.node() == 0 {
+                ctx.send(2, 9);
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn on_round_sends_to_non_neighbors_panic() {
+        let mut topology = Topology::new(3);
+        topology.add_edge(0, 1);
+        topology.add_edge(1, 2);
+        let mut engine = Engine::new(vec![LateBadSender, LateBadSender, LateBadSender], topology);
+        let _ = engine.run(5);
+    }
+
+    /// Broadcasts once from node 0, counts receipts everywhere.
+    struct Caster {
+        received: u64,
+    }
+    impl Protocol for Caster {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if ctx.node() == 0 {
+                ctx.broadcast(1);
+            }
+        }
+        fn on_round(&mut self, _r: u64, inbox: &[Envelope<u64>], _c: &mut Context<'_, u64>) {
+            self.received += inbox.len() as u64;
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_exactly_the_neighbors() {
+        // Broadcast routes through send: every topology neighbor gets one
+        // copy, nobody else does, and the neighbor assertion holds.
+        let mut topology = Topology::new(4);
+        topology.add_edge(0, 1);
+        topology.add_edge(0, 2); // node 3 is not adjacent to node 0
+        let mut engine = Engine::new((0..4).map(|_| Caster { received: 0 }).collect(), topology);
+        let metrics = engine.run(5).unwrap();
+        assert_eq!(metrics.messages, 2);
+        assert_eq!(engine.nodes()[0].received, 0);
+        assert_eq!(engine.nodes()[1].received, 1);
+        assert_eq!(engine.nodes()[2].received, 1);
+        assert_eq!(engine.nodes()[3].received, 0);
     }
 
     #[test]

@@ -4,9 +4,11 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use treenet::core::{solve_tree_unit, SolverConfig};
-use treenet::dist::{run_distributed_tree_unit, DistConfig};
-use treenet::model::workload::TreeWorkload;
+use treenet::core::{solve_auto, solve_line_unit, solve_tree_unit, SolverConfig};
+use treenet::dist::{
+    run_distributed_auto, run_distributed_line_unit, run_distributed_tree_unit, DistConfig,
+};
+use treenet::model::workload::{HeightMode, LineWorkload, TreeWorkload};
 
 #[test]
 fn distributed_equals_logical_across_shapes() {
@@ -20,10 +22,54 @@ fn distributed_equals_logical_across_shapes() {
         let cfg = SolverConfig::default().with_epsilon(0.35).with_seed(17);
         let logical = solve_tree_unit(&p, &cfg).unwrap();
         let distributed = run_distributed_tree_unit(&p, &DistConfig::from(&cfg)).unwrap();
-        assert!(!distributed.luby_incomplete);
         assert!(!distributed.final_unsatisfied);
         assert_eq!(logical.solution, distributed.solution, "{}", family.name());
         distributed.solution.verify(&p).unwrap();
+    }
+}
+
+#[test]
+fn distributed_line_runner_equals_logical() {
+    let p = LineWorkload::new(36, 14)
+        .with_resources(2)
+        .with_window_slack(3)
+        .with_len_range(1, 9)
+        .generate(&mut SmallRng::seed_from_u64(7));
+    let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(7);
+    let logical = solve_line_unit(&p, &cfg).unwrap();
+    let distributed = run_distributed_line_unit(&p, &DistConfig::from(&cfg)).unwrap();
+    assert_eq!(logical.solution, distributed.solution);
+    assert_eq!(logical.lambda.to_bits(), distributed.lambda.to_bits());
+    assert_eq!(
+        distributed.schedule.total_rounds(),
+        logical.stats.comm_rounds
+    );
+    distributed.solution.verify(&p).unwrap();
+}
+
+#[test]
+fn distributed_auto_matches_logical_dispatch() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let problems = [
+        LineWorkload::new(24, 10).generate(&mut rng),
+        LineWorkload::new(24, 10)
+            .with_heights(HeightMode::Uniform { hmin: 0.3 })
+            .generate(&mut rng),
+        TreeWorkload::new(10, 8).with_networks(2).generate(&mut rng),
+    ];
+    for (i, p) in problems.iter().enumerate() {
+        let cfg = SolverConfig::default()
+            .with_epsilon(0.3)
+            .with_seed(i as u64);
+        let logical = solve_auto(p, &cfg).unwrap();
+        let distributed = run_distributed_auto(p, &DistConfig::from(&cfg)).unwrap();
+        assert_eq!(logical.choice, distributed.choice, "case {i}");
+        assert_eq!(logical.solution, distributed.solution, "case {i}");
+        assert_eq!(
+            logical.lambda.to_bits(),
+            distributed.lambda.to_bits(),
+            "case {i}"
+        );
     }
 }
 
@@ -38,9 +84,8 @@ fn distributed_round_count_follows_fixed_schedule() {
         ..DistConfig::default()
     };
     let out = run_distributed_tree_unit(&p, &cfg).unwrap();
-    // Engine rounds = schedule length + drain (≤ 2 extra rounds).
-    assert!(out.metrics.rounds >= out.schedule.total_rounds());
-    assert!(out.metrics.rounds <= out.schedule.total_rounds() + 2);
+    // Engine rounds = schedule length + exactly one setup round.
+    assert_eq!(out.metrics.rounds, out.schedule.total_rounds() + 1);
     // λ reached the (1-ε) target.
     assert!(out.lambda >= 1.0 - 0.4 - 1e-9);
 }
