@@ -1,0 +1,423 @@
+//! **Experiment F-dist-budget** — the round/message-budget regression
+//! gate for the message-passing schedulers: runs every distributed
+//! runner (in-network control plane) over a fixed, fully deterministic
+//! scenario grid, records engine rounds / messages / bits / max message
+//! size plus the serial reference rounds (the wall-clock win of the
+//! merged wide/narrow execution), and writes `BENCH_dist_rounds.json`.
+//!
+//! With `--baseline <path>` the bin compares against a committed
+//! baseline and **exits non-zero** when
+//!
+//! * a scenario's rounds or messages regress by more than 10%, or
+//! * any message exceeds the paper's `O(M)`-bit bound (one demand
+//!   descriptor), or
+//! * a baseline scenario disappeared from the run.
+//!
+//! Flags (shared across the dist bench bins via
+//! `treenet_bench::DistArgs`): `--smoke` runs the reduced grid,
+//! `--scenarios a,b` filters by name substring, `--out <path>` picks the
+//! output file.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use treenet_bench::{DistArgs, Table};
+use treenet_dist::{
+    descriptor_bits, run_distributed_auto, run_distributed_auto_reference,
+    run_distributed_line_arbitrary, run_distributed_line_arbitrary_reference,
+    run_distributed_line_unit, run_distributed_line_unit_reference, run_distributed_tree_arbitrary,
+    run_distributed_tree_arbitrary_reference, run_distributed_tree_unit,
+    run_distributed_tree_unit_reference, DistAutoRun, DistConfig,
+};
+use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
+use treenet_model::Problem;
+use treenet_netsim::Metrics;
+
+/// Schema tag checked on read-back (bump on layout changes).
+const SCHEMA: &str = "treenet-bench/dist-budget/v1";
+
+/// Allowed relative regression before the gate fails.
+const TOLERANCE: f64 = 0.10;
+
+#[derive(Copy, Clone, Debug)]
+enum Runner {
+    TreeUnit,
+    TreeArbitrary,
+    LineUnit,
+    LineArbitrary,
+    Auto,
+}
+
+struct Scenario {
+    name: &'static str,
+    runner: Runner,
+    /// Whether the smoke grid includes this scenario.
+    smoke: bool,
+}
+
+const GRID: &[Scenario] = &[
+    Scenario {
+        name: "tree-unit-10x8",
+        runner: Runner::TreeUnit,
+        smoke: true,
+    },
+    Scenario {
+        name: "tree-arbitrary-10x8",
+        runner: Runner::TreeArbitrary,
+        smoke: true,
+    },
+    Scenario {
+        name: "line-unit-30x12",
+        runner: Runner::LineUnit,
+        smoke: true,
+    },
+    Scenario {
+        name: "line-arbitrary-30x12",
+        runner: Runner::LineArbitrary,
+        smoke: true,
+    },
+    Scenario {
+        name: "auto-mixed-24x10",
+        runner: Runner::Auto,
+        smoke: true,
+    },
+    Scenario {
+        name: "tree-unit-16x14",
+        runner: Runner::TreeUnit,
+        smoke: false,
+    },
+    Scenario {
+        name: "line-unit-48x24",
+        runner: Runner::LineUnit,
+        smoke: false,
+    },
+    Scenario {
+        name: "line-arbitrary-48x24",
+        runner: Runner::LineArbitrary,
+        smoke: false,
+    },
+];
+
+fn problem_for(s: &Scenario) -> Problem {
+    let mut rng = SmallRng::seed_from_u64(0xd157_b0d6);
+    match s.name {
+        "tree-unit-10x8" => TreeWorkload::new(10, 8)
+            .with_networks(2)
+            .with_profit_ratio(4.0)
+            .generate(&mut rng),
+        "tree-arbitrary-10x8" => TreeWorkload::new(10, 8)
+            .with_networks(2)
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: 0.25,
+            })
+            .generate(&mut rng),
+        "line-unit-30x12" => LineWorkload::new(30, 12)
+            .with_resources(2)
+            .with_window_slack(2)
+            .with_len_range(1, 8)
+            .generate(&mut rng),
+        "line-arbitrary-30x12" => LineWorkload::new(30, 12)
+            .with_resources(2)
+            .with_window_slack(2)
+            .with_len_range(1, 8)
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: 0.2,
+            })
+            .generate(&mut rng),
+        "auto-mixed-24x10" => LineWorkload::new(24, 10)
+            .with_heights(HeightMode::Uniform { hmin: 0.25 })
+            .generate(&mut rng),
+        "tree-unit-16x14" => TreeWorkload::new(16, 14)
+            .with_networks(2)
+            .with_profit_ratio(8.0)
+            .generate(&mut rng),
+        "line-unit-48x24" => LineWorkload::new(48, 24)
+            .with_resources(2)
+            .with_window_slack(2)
+            .with_len_range(1, 8)
+            .generate(&mut rng),
+        "line-arbitrary-48x24" => LineWorkload::new(48, 24)
+            .with_resources(2)
+            .with_window_slack(2)
+            .with_len_range(1, 8)
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: 0.2,
+            })
+            .generate(&mut rng),
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+/// Per-scenario measurements as persisted to `BENCH_dist_rounds.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ScenarioReport {
+    name: String,
+    /// Engine rounds of the in-network run (setup + compute + control
+    /// [+ combiner]).
+    rounds: u64,
+    /// Total messages delivered.
+    messages: u64,
+    /// Total delivered bits.
+    bits: u64,
+    /// Largest single message, in bits.
+    max_message_bits: u64,
+    /// The paper's `O(M)` bound for this problem (one demand descriptor
+    /// over all networks).
+    bound_bits: u64,
+    /// Engine rounds of the driver-counted serial reference — the
+    /// baseline the merged wide/narrow execution beats on wall-clock.
+    reference_rounds: u64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct BudgetReport {
+    schema: String,
+    mode: String,
+    scenarios: Vec<ScenarioReport>,
+}
+
+fn run_scenario(s: &Scenario) -> ScenarioReport {
+    let problem = problem_for(s);
+    let config = DistConfig {
+        epsilon: 0.3,
+        seed: 0x7ee5,
+        ..DistConfig::default()
+    };
+    let auto_metrics = |run: &DistAutoRun| -> Metrics {
+        match run {
+            DistAutoRun::Single(out) => out.metrics,
+            DistAutoRun::Split(out) => out.metrics,
+        }
+    };
+    let (metrics, reference_rounds) = match s.runner {
+        Runner::TreeUnit => (
+            run_distributed_tree_unit(&problem, &config)
+                .unwrap()
+                .metrics,
+            run_distributed_tree_unit_reference(&problem, &config)
+                .unwrap()
+                .metrics
+                .rounds,
+        ),
+        Runner::TreeArbitrary => (
+            run_distributed_tree_arbitrary(&problem, &config)
+                .unwrap()
+                .metrics,
+            run_distributed_tree_arbitrary_reference(&problem, &config)
+                .unwrap()
+                .metrics
+                .rounds,
+        ),
+        Runner::LineUnit => (
+            run_distributed_line_unit(&problem, &config)
+                .unwrap()
+                .metrics,
+            run_distributed_line_unit_reference(&problem, &config)
+                .unwrap()
+                .metrics
+                .rounds,
+        ),
+        Runner::LineArbitrary => (
+            run_distributed_line_arbitrary(&problem, &config)
+                .unwrap()
+                .metrics,
+            run_distributed_line_arbitrary_reference(&problem, &config)
+                .unwrap()
+                .metrics
+                .rounds,
+        ),
+        Runner::Auto => (
+            auto_metrics(&run_distributed_auto(&problem, &config).unwrap().run),
+            auto_metrics(
+                &run_distributed_auto_reference(&problem, &config)
+                    .unwrap()
+                    .run,
+            )
+            .rounds,
+        ),
+    };
+    ScenarioReport {
+        name: s.name.to_string(),
+        rounds: metrics.rounds,
+        messages: metrics.messages,
+        bits: metrics.bits,
+        max_message_bits: metrics.max_message_bits,
+        bound_bits: descriptor_bits(problem.network_count()),
+        reference_rounds,
+    }
+}
+
+/// The gate: every scenario within the O(M)-bit bound, and no >10%
+/// regression in rounds or messages against the baseline. Returns the
+/// failures as human-readable lines.
+fn gate(current: &[ScenarioReport], baseline: &BudgetReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in current {
+        if row.max_message_bits > row.bound_bits {
+            failures.push(format!(
+                "{}: message of {} bits exceeds the O(M) bound of {} bits",
+                row.name, row.max_message_bits, row.bound_bits
+            ));
+        }
+    }
+    for old in &baseline.scenarios {
+        let Some(new) = current.iter().find(|r| r.name == old.name) else {
+            failures.push(format!("{}: scenario missing from this run", old.name));
+            continue;
+        };
+        let budget = |label: &str, was: u64, now: u64| -> Option<String> {
+            let limit = (was as f64 * (1.0 + TOLERANCE)).ceil() as u64;
+            (now > limit).then(|| {
+                format!(
+                    "{}: {label} regressed {was} -> {now} (> {:.0}% budget, limit {limit})",
+                    old.name,
+                    TOLERANCE * 100.0
+                )
+            })
+        };
+        failures.extend(budget("rounds", old.rounds, new.rounds));
+        failures.extend(budget("messages", old.messages, new.messages));
+    }
+    failures
+}
+
+fn validate_json(path: &str) -> Result<BudgetReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let report: BudgetReport =
+        serde_json::from_str(&text).map_err(|e| format!("malformed {path}: {e}"))?;
+    if report.schema != SCHEMA {
+        return Err(format!(
+            "schema tag mismatch in {path}: {} != {SCHEMA}",
+            report.schema
+        ));
+    }
+    if report.scenarios.is_empty() {
+        return Err(format!("{path} contains no scenarios"));
+    }
+    Ok(report)
+}
+
+fn main() {
+    let args = DistArgs::from_env();
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_dist_rounds.json".to_string());
+
+    let scenarios: Vec<&Scenario> = GRID
+        .iter()
+        .filter(|s| (!args.smoke || s.smoke) && args.selects(s.name))
+        .collect();
+    assert!(
+        !scenarios.is_empty(),
+        "--scenarios filtered out every scenario"
+    );
+
+    let mut table = Table::new(
+        "F-dist-budget — round/message budgets of the in-network runners",
+        &[
+            "scenario",
+            "rounds",
+            "reference rounds",
+            "messages",
+            "kbits",
+            "max msg [bits]",
+            "O(M) bound",
+        ],
+    );
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        let row = run_scenario(s);
+        table.row(&[
+            row.name.clone(),
+            row.rounds.to_string(),
+            row.reference_rounds.to_string(),
+            row.messages.to_string(),
+            format!("{:.1}", row.bits as f64 / 1000.0),
+            row.max_message_bits.to_string(),
+            row.bound_bits.to_string(),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+
+    let report = BudgetReport {
+        schema: SCHEMA.to_string(),
+        mode: if args.smoke { "smoke" } else { "full" }.to_string(),
+        scenarios: rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json).expect("write BENCH_dist_rounds.json");
+    println!("wrote {out_path}");
+
+    let read_back = match validate_json(&out_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{out_path} failed validation: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = match validate_json(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("baseline failed validation: {e}");
+                std::process::exit(1);
+            }
+        };
+        // Gate the baseline scenarios this invocation *requested* —
+        // filtered by the flags, never by what the run happened to
+        // produce, so a baseline scenario that silently vanished from
+        // the grid still fails a full run as "missing from this run".
+        let gated: Vec<ScenarioReport> = baseline
+            .scenarios
+            .iter()
+            .filter(|s| args.selects(&s.name))
+            .filter(|s| !args.smoke || GRID.iter().any(|g| g.name == s.name && g.smoke))
+            .cloned()
+            .collect();
+        assert!(
+            !gated.is_empty(),
+            "no overlap between the run and the baseline"
+        );
+        let failures = gate(
+            &read_back.scenarios,
+            &BudgetReport {
+                scenarios: gated,
+                ..baseline
+            },
+        );
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("BUDGET GATE: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "budget gate passed: {} scenario(s) within {:.0}% of the baseline, all messages \
+             within the O(M)-bit bound",
+            read_back.scenarios.len(),
+            TOLERANCE * 100.0
+        );
+    } else {
+        // Even without a baseline, the O(M)-bit bound is non-negotiable.
+        let failures = gate(
+            &read_back.scenarios,
+            &BudgetReport {
+                schema: SCHEMA.to_string(),
+                mode: "empty".to_string(),
+                scenarios: Vec::new(),
+            },
+        );
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("BUDGET GATE: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

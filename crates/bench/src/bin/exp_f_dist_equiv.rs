@@ -2,17 +2,26 @@
 //! message-passing execution reproduces the logical scheduler exactly
 //! (same solution, bit-identical duals), with `O(M)`-bit messages, over a
 //! real synchronous network simulation.
+//!
+//! Scenarios are named `tree-unit-<n>x<m>`; `--scenarios` (shared across
+//! the dist bench bins via `treenet_bench::DistArgs`) selects by
+//! substring and `--smoke` forces the reduced grid.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use treenet_bench::report::f3;
-use treenet_bench::{seeds, Scale, Table};
+use treenet_bench::{seeds, DistArgs, Scale, Table};
 use treenet_core::{solve_tree_unit, SolverConfig};
 use treenet_dist::{run_distributed_tree_unit, DistConfig};
 use treenet_model::workload::TreeWorkload;
 
 fn main() {
-    let scale = Scale::from_env();
+    let args = DistArgs::from_env();
+    let scale = if args.smoke {
+        Scale::Small
+    } else {
+        Scale::from_env()
+    };
     let runs = seeds(scale.pick(3, 8));
     let sizes: Vec<(usize, usize)> = scale.pick(
         vec![(8, 6), (12, 10)],
@@ -32,7 +41,12 @@ fn main() {
         ],
     );
     let mut all_equal = true;
+    let mut ran_any = false;
     for &(n, m) in &sizes {
+        if !args.selects(&format!("tree-unit-{n}x{m}")) {
+            continue;
+        }
+        ran_any = true;
         for &seed in &runs {
             let p = TreeWorkload::new(n, m)
                 .with_networks(2)
@@ -58,6 +72,7 @@ fn main() {
         }
     }
     table.print();
+    assert!(ran_any, "--scenarios filtered out every scenario");
     assert!(
         all_equal,
         "distributed execution diverged from the logical one"

@@ -3,34 +3,38 @@
 //! Theorem-7.1/7.2 schedulers exactly (same solutions, bit-identical λ
 //! for both the unit run and each half of the wide/narrow split), with
 //! every message bounded by one demand descriptor (the paper's `O(M)`
-//! bits) and the engine spending exactly one setup round on top of the
-//! shared schedule accounting.
+//! bits) and the engine round count following the documented
+//! setup + compute + in-network-control relation exactly.
 //!
-//! `--smoke` (or `EXP_SCALE=small`) runs the reduced grid — used by CI.
+//! Scenarios are named `unit-<slots>x<m>` / `arb-<slots>x<m>`;
+//! `--scenarios` (shared across the dist bench bins via
+//! `treenet_bench::DistArgs`) selects by substring, and `--smoke` (or
+//! `EXP_SCALE=small`) runs the reduced grid — used by CI.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use treenet_bench::report::f3;
-use treenet_bench::{seeds, Scale, Table};
+use treenet_bench::{seeds, DistArgs, Scale, Table};
 use treenet_core::{solve_line_arbitrary, solve_line_unit, SolverConfig};
 use treenet_dist::{
     descriptor_bits, run_distributed_line_arbitrary, run_distributed_line_unit, DistConfig,
-    DistOutcome,
+    DistOutcome, COMBINE_ROUNDS,
 };
 use treenet_model::workload::{HeightMode, LineWorkload};
 use treenet_model::Problem;
 
-/// Checks the per-run invariants every distributed outcome must satisfy:
-/// `O(M)`-bit messages (one demand descriptor, via the crate's single
-/// definition) and the exact +1 setup-round relation.
-fn check_run(problem: &Problem, out: &DistOutcome) -> bool {
+/// Checks the per-run invariants every solo distributed outcome must
+/// satisfy: `O(M)`-bit messages (one demand descriptor, via the crate's
+/// single definition) and the exact engine-round relation — one setup
+/// round plus the compute schedule plus the echo-sweep control rounds.
+fn check_solo(problem: &Problem, out: &DistOutcome) -> bool {
     out.metrics.max_message_bits <= descriptor_bits(problem.network_count())
-        && out.metrics.rounds == out.schedule.total_rounds() + 1
+        && out.metrics.rounds == out.schedule.engine_rounds() + 1
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale = if smoke {
+    let args = DistArgs::from_env();
+    let scale = if args.smoke {
         Scale::Small
     } else {
         Scale::from_env()
@@ -43,93 +47,107 @@ fn main() {
     let mut table = Table::new(
         "F-dist-line — message-passing vs logical execution (Theorems 7.1/7.2, ε = 0.3)",
         &[
-            "slots",
-            "m",
+            "scenario",
             "seed",
-            "case",
             "solutions equal",
             "λ equal (bitwise)",
             "rounds",
+            "control rounds",
             "messages",
             "max msg [bits]",
         ],
     );
     let mut all_equal = true;
+    let mut ran_any = false;
     for &(slots, m) in &sizes {
         for &seed in &runs {
             let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
 
             // Theorem 7.1: unit heights with windows.
-            let p = LineWorkload::new(slots, m)
-                .with_resources(2)
-                .with_window_slack(3)
-                .with_len_range(1, 8)
-                .generate(&mut SmallRng::seed_from_u64(seed));
-            let logical = solve_line_unit(&p, &cfg).unwrap();
-            let distributed = run_distributed_line_unit(&p, &DistConfig::from(&cfg)).unwrap();
-            let sol_eq = logical.solution == distributed.solution;
-            let lam_eq = logical.lambda.to_bits() == distributed.lambda.to_bits();
-            all_equal &= sol_eq && lam_eq && check_run(&p, &distributed);
-            table.row(&[
-                slots.to_string(),
-                m.to_string(),
-                seed.to_string(),
-                "unit (7.1)".into(),
-                sol_eq.to_string(),
-                lam_eq.to_string(),
-                distributed.metrics.rounds.to_string(),
-                distributed.metrics.messages.to_string(),
-                distributed.metrics.max_message_bits.to_string(),
-            ]);
+            let name = format!("unit-{slots}x{m}");
+            if args.selects(&name) {
+                ran_any = true;
+                let p = LineWorkload::new(slots, m)
+                    .with_resources(2)
+                    .with_window_slack(3)
+                    .with_len_range(1, 8)
+                    .generate(&mut SmallRng::seed_from_u64(seed));
+                let logical = solve_line_unit(&p, &cfg).unwrap();
+                let distributed = run_distributed_line_unit(&p, &DistConfig::from(&cfg)).unwrap();
+                let sol_eq = logical.solution == distributed.solution;
+                let lam_eq = logical.lambda.to_bits() == distributed.lambda.to_bits();
+                all_equal &= sol_eq && lam_eq && check_solo(&p, &distributed);
+                table.row(&[
+                    name,
+                    seed.to_string(),
+                    sol_eq.to_string(),
+                    lam_eq.to_string(),
+                    distributed.metrics.rounds.to_string(),
+                    distributed.schedule.control_rounds().to_string(),
+                    distributed.metrics.messages.to_string(),
+                    distributed.metrics.max_message_bits.to_string(),
+                ]);
+            }
 
-            // Theorem 7.2: mixed heights through the wide/narrow split.
-            let p = LineWorkload::new(slots, m)
-                .with_resources(2)
-                .with_window_slack(2)
-                .with_len_range(1, 8)
-                .with_heights(HeightMode::Bimodal {
-                    narrow_frac: 0.5,
-                    hmin: 0.2,
-                })
-                .generate(&mut SmallRng::seed_from_u64(seed));
-            let logical = solve_line_arbitrary(&p, &cfg).unwrap();
-            let distributed = run_distributed_line_arbitrary(&p, &DistConfig::from(&cfg)).unwrap();
-            let sol_eq = logical.solution == distributed.solution;
-            let lam_eq = logical.wide.lambda.to_bits() == distributed.wide.lambda.to_bits()
-                && logical.narrow.lambda.to_bits() == distributed.narrow.lambda.to_bits();
-            all_equal &= sol_eq
-                && lam_eq
-                && check_run(&p, &distributed.wide)
-                && check_run(&p, &distributed.narrow);
-            let rounds = distributed.wide.metrics.rounds + distributed.narrow.metrics.rounds;
-            let messages = distributed.wide.metrics.messages + distributed.narrow.metrics.messages;
-            let max_bits = distributed
-                .wide
-                .metrics
-                .max_message_bits
-                .max(distributed.narrow.metrics.max_message_bits);
-            table.row(&[
-                slots.to_string(),
-                m.to_string(),
-                seed.to_string(),
-                "arbitrary (7.2)".into(),
-                sol_eq.to_string(),
-                lam_eq.to_string(),
-                rounds.to_string(),
-                messages.to_string(),
-                max_bits.to_string(),
-            ]);
+            // Theorem 7.2: mixed heights through the merged wide/narrow
+            // split with the in-network combiner.
+            let name = format!("arb-{slots}x{m}");
+            if args.selects(&name) {
+                ran_any = true;
+                let p = LineWorkload::new(slots, m)
+                    .with_resources(2)
+                    .with_window_slack(2)
+                    .with_len_range(1, 8)
+                    .with_heights(HeightMode::Bimodal {
+                        narrow_frac: 0.5,
+                        hmin: 0.2,
+                    })
+                    .generate(&mut SmallRng::seed_from_u64(seed));
+                let logical = solve_line_arbitrary(&p, &cfg).unwrap();
+                let distributed =
+                    run_distributed_line_arbitrary(&p, &DistConfig::from(&cfg)).unwrap();
+                let sol_eq = logical.solution == distributed.solution;
+                let lam_eq = logical.wide.lambda.to_bits() == distributed.wide.lambda.to_bits()
+                    && logical.narrow.lambda.to_bits() == distributed.narrow.lambda.to_bits();
+                // Merged engine: max of the halves, one setup round, the
+                // three combiner rounds.
+                let control = distributed.wide.schedule.control_rounds()
+                    + distributed.narrow.schedule.control_rounds();
+                let rounds_ok = distributed.metrics.rounds
+                    == distributed
+                        .wide
+                        .schedule
+                        .engine_rounds()
+                        .max(distributed.narrow.schedule.engine_rounds())
+                        + 1
+                        + COMBINE_ROUNDS;
+                all_equal &= sol_eq
+                    && lam_eq
+                    && rounds_ok
+                    && distributed.metrics.max_message_bits <= descriptor_bits(p.network_count());
+                table.row(&[
+                    name,
+                    seed.to_string(),
+                    sol_eq.to_string(),
+                    lam_eq.to_string(),
+                    distributed.metrics.rounds.to_string(),
+                    control.to_string(),
+                    distributed.metrics.messages.to_string(),
+                    distributed.metrics.max_message_bits.to_string(),
+                ]);
+            }
         }
     }
     table.print();
+    assert!(ran_any, "--scenarios filtered out every scenario");
     assert!(
         all_equal,
         "distributed line execution diverged from the logical one"
     );
     println!(
         "every run: identical solutions, bit-identical λ, max message size at one \
-         demand descriptor (the paper's O(M) bits), engine rounds = schedule + 1. \
-         λ achieved: {}.",
+         demand descriptor (the paper's O(M) bits), engine rounds = setup + compute \
+         + in-network control (+ combiner for splits), exactly. λ achieved: {}.",
         f3(1.0 - 0.3)
     );
 }

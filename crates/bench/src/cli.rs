@@ -1,0 +1,107 @@
+//! Shared command-line flags of the distributed bench bins
+//! (`exp_f_dist_*`): one parser, so `--smoke`, `--scenarios`, `--out`
+//! and `--baseline` behave identically everywhere and CI smoke steps can
+//! select scenarios by name instead of re-running a bin's whole grid.
+
+/// Parsed flags shared by the dist bench bins.
+#[derive(Clone, Debug, Default)]
+pub struct DistArgs {
+    /// `--smoke`: run the reduced CI grid.
+    pub smoke: bool,
+    /// `--out <path>`: where to write the JSON report (bins define their
+    /// own default).
+    pub out: Option<String>,
+    /// `--baseline <path>`: compare against a committed baseline report
+    /// and exit non-zero on regression.
+    pub baseline: Option<String>,
+    /// `--scenarios a,b,c`: only run scenarios whose name contains one of
+    /// the comma-separated needles (case-sensitive substring match).
+    pub scenarios: Option<Vec<String>>,
+}
+
+impl DistArgs {
+    /// Parses `std::env::args().skip(1)`-style argument lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) when a flag that takes a value is
+    /// missing its value — these bins are developer/CI tools, failing
+    /// loudly beats guessing.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let value_of = |flag: &str| -> Option<String> {
+            args.iter().position(|a| a == flag).map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                    .clone()
+            })
+        };
+        DistArgs {
+            smoke: args.iter().any(|a| a == "--smoke"),
+            out: value_of("--out"),
+            baseline: value_of("--baseline"),
+            scenarios: value_of("--scenarios").map(|list| {
+                list.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            }),
+        }
+    }
+
+    /// Reads the process arguments.
+    pub fn from_env() -> Self {
+        DistArgs::parse(std::env::args().skip(1))
+    }
+
+    /// Whether scenario `name` passes the `--scenarios` filter (no filter
+    /// selects everything).
+    pub fn selects(&self, name: &str) -> bool {
+        match &self.scenarios {
+            None => true,
+            Some(needles) => needles.iter().any(|n| name.contains(n.as_str())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> DistArgs {
+        DistArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&[
+            "--smoke",
+            "--out",
+            "x.json",
+            "--baseline",
+            "b.json",
+            "--scenarios",
+            "line-unit, tree",
+        ]);
+        assert!(a.smoke);
+        assert_eq!(a.out.as_deref(), Some("x.json"));
+        assert_eq!(a.baseline.as_deref(), Some("b.json"));
+        assert!(a.selects("line-unit-24"));
+        assert!(a.selects("tree-arbitrary"));
+        assert!(!a.selects("auto-mixed"));
+    }
+
+    #[test]
+    fn no_filter_selects_everything() {
+        let a = parse(&[]);
+        assert!(!a.smoke);
+        assert!(a.selects("anything"));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn missing_value_panics() {
+        let _ = parse(&["--scenarios"]);
+    }
+}

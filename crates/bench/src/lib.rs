@@ -20,7 +20,8 @@
 //! | `exp_f_narrow_wide` | the (80+ε) combiner; rounds ∝ `1/hmin` (Thm 6.3) |
 //! | `exp_f_mis_rounds` | Luby `Time(MIS) = O(log N)` |
 //! | `exp_f_dist_equiv` | message-passing ≡ logical; `O(M)`-bit messages |
-//! | `exp_f_dist_line_equiv` | message-passing ≡ logical on lines (Thms 7.1/7.2); `O(M)`-bit messages, exact +1 setup round |
+//! | `exp_f_dist_line_equiv` | message-passing ≡ logical on lines (Thms 7.1/7.2); `O(M)`-bit messages, exact setup/compute/control round relation |
+//! | `exp_f_dist_budget` | round/message budgets of the in-network runners; CI regression gate vs `BENCH_dist_rounds.json` |
 //! | `exp_f_seq_ratio` | sequential 3- and 2-approximations (Appendix A) |
 //! | `exp_perf_phase1` | incremental phase-1 engine vs from-scratch reference; writes `BENCH_phase1.json` |
 //!
@@ -30,9 +31,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod report;
 pub mod stats;
 
+pub use cli::DistArgs;
 pub use report::Table;
 
 /// Experiment scale, from the `EXP_SCALE` environment variable.

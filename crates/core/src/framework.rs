@@ -318,6 +318,26 @@ pub fn step_comm_rounds(luby_rounds: u64) -> u64 {
     2 * luby_rounds + 1
 }
 
+/// Communication rounds of one in-network termination-detection sweep
+/// (convergecast + echo broadcast) over a convergecast forest of the
+/// given height: a report climbs `height` hops, the root's verdict
+/// descends `height` hops, and the deepest processors need one more
+/// round to consume it — `2·height + 1` rounds, or zero when every
+/// component is a singleton (each processor *is* its root and resolves
+/// the verdict locally, with no messages at all).
+///
+/// This is the single definition shared by the `treenet-dist` schedule
+/// accounting and its metrics tests, so the documented round relation
+/// cannot silently drift from the implementation.
+#[inline]
+pub fn echo_sweep_rounds(height: u32) -> u64 {
+    if height == 0 {
+        0
+    } else {
+        2 * height as u64 + 1
+    }
+}
+
 /// Runs the two-phase framework over `participants` (pass all instances
 /// for the plain algorithm; subsets are used by the wide/narrow combiner).
 ///

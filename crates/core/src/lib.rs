@@ -49,13 +49,13 @@ mod solvers;
 pub use certificate::Certificate;
 pub use dual::{DualForm, DualState};
 pub use framework::{
-    check_interference, mis_tag, run_two_phase, run_two_phase_reference, stages_for,
-    step_comm_rounds, FrameworkConfig, FrameworkError, Outcome, RaiseEvent, RaiseRule, RunStats,
-    StackEntry, SATISFACTION_GUARD,
+    check_interference, echo_sweep_rounds, mis_tag, run_two_phase, run_two_phase_reference,
+    stages_for, step_comm_rounds, FrameworkConfig, FrameworkError, Outcome, RaiseEvent, RaiseRule,
+    RunStats, StackEntry, SATISFACTION_GUARD,
 };
 pub use sequential::{solve_sequential_tree, SequentialOutcome};
 pub use solvers::{
-    auto_choice, combine_by_network, narrow_xi, resolve_narrow_hmin, solve_auto,
+    auto_choice, combine_by_network, combine_decision, narrow_xi, resolve_narrow_hmin, solve_auto,
     solve_line_arbitrary, solve_line_unit, solve_tree_arbitrary, solve_tree_unit, unit_xi,
     AutoChoice, AutoOutcome, CombinedOutcome, SolverConfig,
 };

@@ -297,6 +297,20 @@ pub fn resolve_narrow_hmin(
     }
 }
 
+/// The per-network combiner's tie-breaking predicate: the wide run wins
+/// network `t` iff its profit there is at least the narrow run's. This is
+/// the single definition shared by [`combine_by_network`] and the
+/// in-network convergecast combiner of `treenet-dist`, so the two cannot
+/// drift on ties.
+///
+/// Both callers must feed profit sums accumulated **in ascending instance
+/// id order** (the order of `Solution::selected`) for the comparison to
+/// be bit-identical across implementations.
+#[inline]
+pub fn combine_decision(wide_profit: f64, narrow_profit: f64) -> bool {
+    wide_profit >= narrow_profit
+}
+
 /// Per-network combiner of Theorem 6.3: for each network keep whichever of
 /// the two solutions earns more profit there. Feasible because the two
 /// runs partition the demands by height class.
@@ -310,7 +324,7 @@ pub fn combine_by_network(problem: &Problem, wide: &Solution, narrow: &Solution)
                 .map(|&d| problem.profit_of(d))
                 .sum()
         };
-        let pick = if profit_of(wide) >= profit_of(narrow) {
+        let pick = if combine_decision(profit_of(wide), profit_of(narrow)) {
             wide
         } else {
             narrow

@@ -1,0 +1,179 @@
+//! The convergecast forest: rooted spanning trees of the processor
+//! communication graph, used by the message-passing schedulers for
+//! in-network aggregation (termination detection and the per-network
+//! combiner).
+//!
+//! The communication graph is infrastructure knowledge — it derives from
+//! which processors share a resource, not from any demand's private data
+//! — so a deterministic rooting is public information every processor can
+//! compute (operationally it corresponds to the standard O(diameter)
+//! leader-election/BFS preprocessing of distributed algorithms). The
+//! construction is a BFS from the smallest unvisited vertex id, visiting
+//! neighbors in ascending order, so every processor derives the *same*
+//! parent pointers.
+
+/// A rooted spanning forest of an undirected graph over `0..n`, with
+/// parent pointers, children lists and depths — one tree per connected
+/// component, rooted at the component's smallest vertex id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvergecastForest {
+    parent: Vec<Option<u32>>,
+    children: Vec<Vec<u32>>,
+    depth: Vec<u32>,
+    roots: Vec<u32>,
+    height: u32,
+}
+
+impl ConvergecastForest {
+    /// Builds the forest from adjacency lists (assumed symmetric).
+    /// Neighbors are scanned in ascending id order — input list order is
+    /// normalized away up front, so every caller derives the same
+    /// parent pointers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a neighbor index is out of range.
+    pub fn from_adjacency(adj: &[Vec<usize>]) -> Self {
+        let n = adj.len();
+        // Normalize once: sorted copies of any lists that need it, so
+        // the BFS below is a plain allocation-free scan.
+        let sorted: Vec<std::borrow::Cow<'_, [usize]>> = adj
+            .iter()
+            .map(|list| {
+                if list.is_sorted() {
+                    std::borrow::Cow::Borrowed(list.as_slice())
+                } else {
+                    let mut copy = list.clone();
+                    copy.sort_unstable();
+                    std::borrow::Cow::Owned(copy)
+                }
+            })
+            .collect();
+        let mut parent: Vec<Option<u32>> = vec![None; n];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut depth: Vec<u32> = vec![0; n];
+        let mut visited = vec![false; n];
+        let mut roots = Vec::new();
+        let mut height = 0u32;
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            roots.push(start as u32);
+            visited[start] = true;
+            queue.push_back(start);
+            while let Some(v) = queue.pop_front() {
+                for &w in sorted[v].iter() {
+                    assert!(w < n, "neighbor {w} out of range");
+                    if !visited[w] {
+                        visited[w] = true;
+                        parent[w] = Some(v as u32);
+                        children[v].push(w as u32);
+                        depth[w] = depth[v] + 1;
+                        height = height.max(depth[w]);
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        ConvergecastForest {
+            parent,
+            children,
+            depth,
+            roots,
+            height,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest has zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The BFS parent of `v`, or `None` when `v` is a component root.
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parent[v].map(|p| p as usize)
+    }
+
+    /// The BFS children of `v`, ascending.
+    pub fn children(&self, v: usize) -> &[u32] {
+        &self.children[v]
+    }
+
+    /// Depth of `v` below its component root (roots have depth 0).
+    pub fn depth(&self, v: usize) -> u32 {
+        self.depth[v]
+    }
+
+    /// The component roots (each component's smallest vertex id),
+    /// ascending.
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// The forest height: the maximum depth over all vertices (0 when
+    /// every component is a singleton).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_component_minima() {
+        // Components {0,1,2} (path) and {3,4} (edge) and singleton {5}.
+        let adj = vec![vec![1], vec![0, 2], vec![1], vec![4], vec![3], vec![]];
+        let f = ConvergecastForest::from_adjacency(&adj);
+        assert_eq!(f.roots(), &[0, 3, 5]);
+        assert_eq!(f.parent(0), None);
+        assert_eq!(f.parent(1), Some(0));
+        assert_eq!(f.parent(2), Some(1));
+        assert_eq!(f.parent(4), Some(3));
+        assert_eq!(f.parent(5), None);
+        assert_eq!(f.children(0), &[1]);
+        assert_eq!(f.children(1), &[2]);
+        assert_eq!(f.depth(2), 2);
+        assert_eq!(f.height(), 2);
+        assert_eq!(f.len(), 6);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn bfs_prefers_small_ids() {
+        // A clique: everyone hangs off vertex 0 at depth 1.
+        let adj: Vec<Vec<usize>> = (0..4)
+            .map(|v| (0..4).filter(|&w| w != v).collect())
+            .collect();
+        let f = ConvergecastForest::from_adjacency(&adj);
+        assert_eq!(f.roots(), &[0]);
+        assert_eq!(f.children(0), &[1, 2, 3]);
+        assert_eq!(f.height(), 1);
+    }
+
+    #[test]
+    fn parents_are_deterministic_under_unsorted_input() {
+        let sorted = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let unsorted = vec![vec![2, 1], vec![2, 0], vec![1, 0]];
+        assert_eq!(
+            ConvergecastForest::from_adjacency(&sorted),
+            ConvergecastForest::from_adjacency(&unsorted)
+        );
+    }
+
+    #[test]
+    fn singleton_forest_has_height_zero() {
+        let f = ConvergecastForest::from_adjacency(&[Vec::new(), Vec::new()]);
+        assert_eq!(f.height(), 0);
+        assert_eq!(f.roots(), &[0, 1]);
+        assert!(f.children(0).is_empty());
+    }
+}

@@ -41,6 +41,7 @@
 
 mod balancing;
 mod capture;
+mod convergecast;
 mod ideal;
 mod layered;
 mod line;
@@ -49,6 +50,7 @@ mod tree_decomposition;
 
 pub use balancing::balancing;
 pub use capture::{bending_point, capture_node, critical_edges};
+pub use convergecast::ConvergecastForest;
 pub use ideal::{ideal, ideal_depth_bound, ideal_with_stats, IdealStats};
 pub use layered::{tree_instance_layer, LayeredDecomposition, LayeredError};
 pub use line::{line_instance_layer, line_layers, line_lmin};

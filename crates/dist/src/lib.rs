@@ -26,27 +26,43 @@
 //!    raising arithmetic mirror `DualState`/`RaiseRule` (the shared
 //!    single definitions), making the floats bit-identical.
 //! 3. **A public schedule** — epochs, stages and step boundaries are
-//!    globally known (the paper's synchronous-model assumption); the
-//!    driver supplies exactly this timing signal between rounds and
-//!    nothing else. All data flows through single-hop messages of at most
-//!    one demand descriptor — the paper's `O(M)` bits.
+//!    globally known (the paper's synchronous-model assumption). The
+//!    driver supplies only the timing signal between rounds; every
+//!    *decision* is made in-network:
 //!
-//! The generalization beyond the unit-height tree case plugs two axes
-//! into the same protocol: the **layering** (public tree decompositions
-//! for trees, the Section-7 length classes over the public `Lmin` for
-//! lines — both via the shared per-instance definitions in
-//! `treenet-decomp`) and the **raise rule** (unit or narrow, with the
-//! narrow rule's stage factor `ξ = c/(c+hmin)` and capacitated dual
-//! form). The arbitrary-height runners execute the wide and narrow runs
-//! as two separate message-passing computations and combine them with
-//! the per-network combiner, exactly like the logical solvers.
+//!    * **Termination detection.** Whether a stage (or epoch) is finished
+//!      is decided by an echo sweep on the public convergecast forest of
+//!      the communication graph: unsatisfied counts aggregate up each
+//!      component's tree, the root's verdict floods back down, and the
+//!      driver merely reads the broadcast verdict — it never counts
+//!      instance satisfaction itself.
+//!    * **The per-network combiner.** After a wide/narrow split run, each
+//!      selected instance is reported to its network's leader (the
+//!      minimum-id accessor, a direct neighbor since accessors of a
+//!      network form a clique); the leader folds the per-half profit sums
+//!      in ascending instance-id order — the exact float fold of the
+//!      logical `combine_by_network` — and broadcasts the winning half
+//!      per network. The driver performs no profit sums.
 //!
-//! Round accounting matches `RunStats::comm_rounds`: per step, one
-//! boundary round (participation announcements) plus two rounds per Luby
-//! iteration (`Joined` raises, then `Died` cleanups), plus one round per
-//! phase-2 stack pop; the engine additionally spends **exactly one**
-//! setup round exchanging demand descriptors, so
-//! `Metrics::rounds == DistSchedule::total_rounds() + 1` always.
+//! The wide and narrow halves of an arbitrary-height run execute as one
+//! merged engine pass with messages namespaced by [`RunTag`], so the two
+//! independent computations overlap in wall-clock rounds instead of
+//! running serially. The pre-PR serial, driver-counted formulation is
+//! preserved as the executable oracle (`run_distributed_*_reference`,
+//! mirroring `run_two_phase_reference` in `treenet-core`) and proptested
+//! for identical schedules, λ and solutions.
+//!
+//! # Round accounting
+//!
+//! Per-half *compute* rounds are unchanged and still match
+//! `RunStats::comm_rounds`: per step, one boundary round plus two rounds
+//! per Luby iteration, plus one round per phase-2 pop
+//! ([`DistSchedule::total_rounds`]). The in-network control plane adds
+//! [`DistSchedule::control_rounds`]: one echo sweep before every step,
+//! one closing sweep per stage, and one sweep per empty epoch, each
+//! costing `echo_sweep_rounds(forest height)` engine rounds. The exact
+//! engine relations are documented on [`DistSchedule`] and asserted for
+//! every runner in `tests/metrics.rs`.
 //!
 //! # Example
 //!
@@ -71,22 +87,33 @@
 #![warn(missing_docs)]
 
 mod node;
+mod reference;
 
 use std::fmt;
 use std::sync::Arc;
 
 use node::{Layering, Mode, ProcessorNode, PublicInfo, SATISFACTION_GUARD};
 use treenet_core::{
-    auto_choice, combine_by_network, mis_tag, narrow_xi, stages_for, unit_xi, AutoChoice,
-    RaiseRule, SolverConfig,
+    auto_choice, echo_sweep_rounds, mis_tag, narrow_xi, stages_for, unit_xi, AutoChoice, RaiseRule,
+    SolverConfig,
 };
-use treenet_decomp::{line_lmin, LayeredDecomposition, Strategy};
+use treenet_decomp::{line_lmin, ConvergecastForest, LayeredDecomposition, Strategy};
 use treenet_graph::{RootedTree, VertexId};
 use treenet_mis::MisBackend;
 use treenet_model::{HeightClass, InstanceId, Problem, Solution};
 use treenet_netsim::{Engine, Metrics, Topology};
 
-pub use node::{descriptor_bits, Descriptor, DistMsg};
+pub use node::{descriptor_bits, Descriptor, DistMsg, RunTag};
+pub use reference::{
+    run_distributed_auto_reference, run_distributed_line_arbitrary_reference,
+    run_distributed_line_unit_reference, run_distributed_tree_arbitrary_reference,
+    run_distributed_tree_unit_reference,
+};
+
+/// Engine rounds of the in-network combiner phase appended to every
+/// merged wide/narrow run: report to the network leaders, fold and
+/// broadcast the per-network choices, record them.
+pub const COMBINE_ROUNDS: u64 = 3;
 
 /// Configuration of a distributed run. [`DistConfig::from`] a
 /// [`SolverConfig`] yields the settings under which the distributed
@@ -108,6 +135,12 @@ pub struct DistConfig {
     /// alternative assumption); `None` derives `hmin` from the narrow
     /// participants, mirroring `SolverConfig::hmin`.
     pub hmin: Option<f64>,
+    /// Shuffle each node's per-round inbox with this seed before
+    /// delivery (`None` keeps the engine's sender-order delivery). The
+    /// synchronous model fixes arrival *rounds*, not the order within an
+    /// inbox; the schedulers are order-independent and the adversarial
+    /// delivery tests pin that down.
+    pub shuffle_delivery: Option<u64>,
 }
 
 impl Default for DistConfig {
@@ -119,6 +152,7 @@ impl Default for DistConfig {
             mis_backend: MisBackend::Luby,
             max_steps_per_stage: Some(1_000_000),
             hmin: None,
+            shuffle_delivery: None,
         }
     }
 }
@@ -150,24 +184,48 @@ pub struct StepRecord {
     pub luby_rounds: u64,
 }
 
-/// The executed schedule: phase-1 steps plus phase-2 pops. Its
-/// [`DistSchedule::total_rounds`] is the paper's communication-round
-/// count (the same quantity `RunStats::comm_rounds` reports for the
-/// logical run); the engine adds exactly one setup round on top.
+/// The executed schedule of one (sub-)run: phase-1 steps, phase-2 pops,
+/// and the in-network control sweeps.
+///
+/// # Round relations (exact, asserted in `tests/metrics.rs`)
+///
+/// With `compute = total_rounds()` and `control = control_rounds()`:
+///
+/// * **solo in-network runner** (`run_distributed_tree_unit`,
+///   `run_distributed_line_unit`):
+///   `Metrics::rounds == compute + control + 1` (the `+1` is the setup
+///   round exchanging demand descriptors);
+/// * **merged split runner** (`run_distributed_tree_arbitrary`,
+///   `run_distributed_line_arbitrary`): the halves share one engine and
+///   overlap, so
+///   `Metrics::rounds == max(wide.engine_rounds(), narrow.engine_rounds())
+///   + 1 + COMBINE_ROUNDS`;
+/// * **reference (driver-counted) paths** have `control == 0`: solo
+///   `Metrics::rounds == compute + 1`, and the serial split merges two
+///   engines: `Metrics::rounds == wide.compute + narrow.compute + 2`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DistSchedule {
     /// Phase-1 steps in execution order (= framework stack order).
     pub steps: Vec<StepRecord>,
     /// Phase-2 stack pops (one communication round each).
     pub pops: u64,
+    /// In-network termination-detection sweeps executed: one before every
+    /// step, one closing sweep per stage, one per empty epoch. Zero on
+    /// the driver-counted reference path.
+    pub sweeps: u64,
+    /// Engine rounds per sweep — `treenet_core::echo_sweep_rounds` of the
+    /// convergecast-forest height (zero when every processor is
+    /// isolated).
+    pub sweep_rounds: u64,
 }
 
 impl DistSchedule {
-    /// Scheduled communication rounds: `Σ_steps step_comm_rounds(luby) +
-    /// pops` — the per-step formula is [`treenet_core::step_comm_rounds`],
-    /// shared with the logical runner's `RunStats::comm_rounds` accounting
-    /// so the two implementations cannot silently diverge. The engine's
-    /// [`Metrics::rounds`] is always this value plus one setup round.
+    /// Scheduled *compute* communication rounds: `Σ_steps
+    /// step_comm_rounds(luby) + pops` — the per-step formula is
+    /// [`treenet_core::step_comm_rounds`], shared with the logical
+    /// runner's `RunStats::comm_rounds` accounting so the two
+    /// implementations cannot silently diverge. In-network control rounds
+    /// are accounted separately in [`DistSchedule::control_rounds`].
     pub fn total_rounds(&self) -> u64 {
         self.steps
             .iter()
@@ -176,13 +234,25 @@ impl DistSchedule {
             + self.pops
     }
 
+    /// Engine rounds spent on in-network control (termination-detection
+    /// sweeps): `sweeps · sweep_rounds`.
+    pub fn control_rounds(&self) -> u64 {
+        self.sweeps * self.sweep_rounds
+    }
+
+    /// Total engine rounds this (sub-)run occupies: compute plus control.
+    pub fn engine_rounds(&self) -> u64 {
+        self.total_rounds() + self.control_rounds()
+    }
+
     /// Number of phase-1 steps.
     pub fn num_steps(&self) -> usize {
         self.steps.len()
     }
 }
 
-/// Result of a distributed run.
+/// Result of a distributed run with a single rule (the unit-height
+/// runners).
 #[derive(Clone, Debug)]
 pub struct DistOutcome {
     /// The feasible solution extracted by the distributed second phase.
@@ -198,17 +268,38 @@ pub struct DistOutcome {
     pub schedule: DistSchedule,
 }
 
+/// One half of a wide/narrow split run. The halves of a merged run share
+/// a single engine, so communication metrics live on the enclosing
+/// [`DistCombinedOutcome`] (with per-half traffic split by
+/// `Metrics::by_class`).
+#[derive(Clone, Debug)]
+pub struct DistRunReport {
+    /// The half's own (pre-combination) solution.
+    pub solution: Solution,
+    /// Measured slackness of the half, bit-identical to the logical λ.
+    pub lambda: f64,
+    /// True if some participant ended phase 1 below `(1-ε)`-satisfaction.
+    pub final_unsatisfied: bool,
+    /// The half's executed epoch/stage/step schedule.
+    pub schedule: DistSchedule,
+}
+
 /// Result of a distributed arbitrary-height run (Theorems 6.3 / 7.2):
-/// the wide and narrow message-passing runs plus the per-network
-/// combination, mirroring `treenet_core::CombinedOutcome`.
+/// the wide and narrow message-passing halves plus the in-network
+/// per-network combination, mirroring `treenet_core::CombinedOutcome`.
 #[derive(Clone, Debug)]
 pub struct DistCombinedOutcome {
-    /// The per-network combination of the two solutions.
+    /// The per-network combination of the two halves, decided in-network
+    /// by the convergecast/broadcast combiner — bit-identical to the
+    /// logical `combine_by_network`.
     pub solution: Solution,
-    /// Outcome of the unit-rule run over wide demands (`h > 1/2`).
-    pub wide: DistOutcome,
-    /// Outcome of the narrow-rule run over narrow demands (`h ≤ 1/2`).
-    pub narrow: DistOutcome,
+    /// The unit-rule half over wide demands (`h > 1/2`).
+    pub wide: DistRunReport,
+    /// The narrow-rule half over narrow demands (`h ≤ 1/2`).
+    pub narrow: DistRunReport,
+    /// Communication metrics of the whole run (merged runs: one shared
+    /// engine; reference runs: both serial engines merged).
+    pub metrics: Metrics,
 }
 
 impl DistCombinedOutcome {
@@ -218,7 +309,9 @@ impl DistCombinedOutcome {
         self.wide.lambda.min(self.narrow.lambda)
     }
 
-    /// Scheduled communication rounds across both runs.
+    /// Scheduled *compute* communication rounds across both halves (the
+    /// logical accounting; a merged engine overlaps the halves, see
+    /// [`DistSchedule`] for the wall-clock relation).
     pub fn total_rounds(&self) -> u64 {
         self.wide.schedule.total_rounds() + self.narrow.schedule.total_rounds()
     }
@@ -297,7 +390,7 @@ impl fmt::Display for DistError {
 
 impl std::error::Error for DistError {}
 
-fn validate(config: &DistConfig) -> Result<(), DistError> {
+pub(crate) fn validate(config: &DistConfig) -> Result<(), DistError> {
     if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
         return Err(DistError::BadParameters {
             reason: format!("epsilon must lie in (0,1), got {}", config.epsilon),
@@ -306,7 +399,7 @@ fn validate(config: &DistConfig) -> Result<(), DistError> {
     Ok(())
 }
 
-fn descriptor_of(problem: &Problem, a: treenet_model::DemandId) -> Descriptor {
+pub(crate) fn descriptor_of(problem: &Problem, a: treenet_model::DemandId) -> Descriptor {
     Descriptor {
         id: a,
         demand: *problem.demand(a),
@@ -314,16 +407,29 @@ fn descriptor_of(problem: &Problem, a: treenet_model::DemandId) -> Descriptor {
     }
 }
 
-fn rooted_views(problem: &Problem) -> Vec<RootedTree> {
+pub(crate) fn rooted_views(problem: &Problem) -> Vec<RootedTree> {
     problem
         .networks()
         .map(|t| RootedTree::new(problem.network(t), VertexId(0)))
         .collect()
 }
 
+/// The processor communication graph as plain adjacency lists — the
+/// input of both the engine topology and the public convergecast forest.
+pub(crate) fn comm_adjacency(problem: &Problem) -> Vec<Vec<usize>> {
+    problem
+        .communication_graph()
+        .into_iter()
+        .map(|list| list.into_iter().map(|d| d.index()).collect())
+        .collect()
+}
+
 /// Tree public info: decompositions per `config.strategy` plus the
 /// layered decomposition (for `Δ` and the group count — both public).
-fn tree_public(problem: &Problem, config: &DistConfig) -> (Arc<PublicInfo>, LayeredDecomposition) {
+pub(crate) fn tree_public(
+    problem: &Problem,
+    config: &DistConfig,
+) -> (Arc<PublicInfo>, LayeredDecomposition) {
     let decomps: Vec<_> = problem
         .networks()
         .map(|t| config.strategy.build(problem.network(t)))
@@ -338,6 +444,7 @@ fn tree_public(problem: &Problem, config: &DistConfig) -> (Arc<PublicInfo>, Laye
         layering: Layering::Tree { decomps, depths },
         seed: config.seed,
         backend: config.mis_backend,
+        forest: ConvergecastForest::from_adjacency(&comm_adjacency(problem)),
     });
     (public, layers)
 }
@@ -347,7 +454,10 @@ fn tree_public(problem: &Problem, config: &DistConfig) -> (Arc<PublicInfo>, Laye
 /// # Panics
 ///
 /// Panics if some network is not a canonical line.
-fn line_public(problem: &Problem, config: &DistConfig) -> (Arc<PublicInfo>, LayeredDecomposition) {
+pub(crate) fn line_public(
+    problem: &Problem,
+    config: &DistConfig,
+) -> (Arc<PublicInfo>, LayeredDecomposition) {
     let layers = LayeredDecomposition::for_lines(problem);
     let public = Arc::new(PublicInfo {
         rooted: rooted_views(problem),
@@ -356,169 +466,451 @@ fn line_public(problem: &Problem, config: &DistConfig) -> (Arc<PublicInfo>, Laye
         },
         seed: config.seed,
         backend: config.mis_backend,
+        forest: ConvergecastForest::from_adjacency(&comm_adjacency(problem)),
     });
     (public, layers)
 }
 
-/// Parameters of one message-passing run: the stage factor, the raise
-/// rule, the epoch count, and (for wide/narrow splits) the participating
-/// height class.
-struct RunParams {
+/// Builds the shared engine (topology + optional adversarial delivery
+/// shuffle) for a node set.
+pub(crate) fn build_engine(
+    nodes: Vec<ProcessorNode>,
+    problem: &Problem,
+    config: &DistConfig,
+) -> Engine<ProcessorNode> {
+    let topology = Topology::from_adjacency(comm_adjacency(problem));
+    let engine = Engine::new(nodes, topology);
+    match config.shuffle_delivery {
+        Some(seed) => engine.with_delivery_shuffle(seed),
+        None => engine,
+    }
+}
+
+/// Parameters of one (sub-)run: its message namespace, stage factor,
+/// raise rule, epoch count, and (for wide/narrow splits) the
+/// participating height class.
+struct HalfPlan {
+    tag: RunTag,
     rule: RaiseRule,
     xi: f64,
     num_groups: u32,
     class: Option<HeightClass>,
 }
 
-/// Executes one full two-phase message-passing run. The driver only ever
-/// feeds the public schedule (epoch/stage/step boundaries and pop
-/// indices) between engine rounds; all data flows through single-hop
-/// `O(M)`-bit messages.
-fn execute(
+/// Where one half's public-schedule state machine stands. Each variant
+/// with a `return` in the driver consumes exactly one engine round; the
+/// others are zero-round transitions, so a half's engine-round usage is
+/// exactly `schedule.engine_rounds()`.
+#[derive(Copy, Clone, Debug)]
+enum HalfState {
+    /// Enter epoch `epoch` (or phase 2 when past the last group).
+    EpochStart { epoch: u32 },
+    /// An echo sweep is in flight; `epoch_check` marks the first sweep of
+    /// an epoch, whose `members` verdict decides whether the epoch is
+    /// skipped entirely.
+    InSweep {
+        epoch: u32,
+        stage: u32,
+        epoch_check: bool,
+        rounds_left: u64,
+    },
+    /// The sweep finished: consume the verdict and decide.
+    AfterSweep {
+        epoch: u32,
+        stage: u32,
+        epoch_check: bool,
+    },
+    /// The announce round of a step just ran.
+    AfterAnnounce { epoch: u32, stage: u32 },
+    /// A Luby evaluation round just ran.
+    AfterEval { epoch: u32, stage: u32 },
+    /// A Luby cleanup round just ran: check quiescence.
+    AfterCleanup { epoch: u32, stage: u32 },
+    /// The pop round for global step `step` runs next.
+    PopNext { step: u32 },
+    /// Pops finished: park the half's nodes.
+    FinishPops,
+    /// The half consumed its whole schedule.
+    Done,
+}
+
+/// Drives one half's public schedule over the shared engine: it sets
+/// node modes and arms echo sweeps (the timing signal), and reads back
+/// only in-network aggregates — the broadcast echo verdicts and the
+/// engine-observable MIS liveness — never counting satisfaction or
+/// summing profits itself.
+struct HalfDriver {
+    plan: HalfPlan,
+    /// The demands of this half, ascending.
+    node_ids: Vec<usize>,
+    stages_per_epoch: u32,
+    max_steps_per_stage: Option<u64>,
+    schedule: DistSchedule,
+    state: HalfState,
+    step_in_stage: u64,
+    luby_rounds: u64,
+    budget: u64,
+}
+
+impl HalfDriver {
+    fn new(
+        plan: HalfPlan,
+        node_ids: Vec<usize>,
+        epsilon: f64,
+        config: &DistConfig,
+        forest: &ConvergecastForest,
+    ) -> Self {
+        let stages_per_epoch = stages_for(epsilon, plan.xi);
+        HalfDriver {
+            plan,
+            node_ids,
+            stages_per_epoch,
+            max_steps_per_stage: config.max_steps_per_stage,
+            schedule: DistSchedule {
+                sweep_rounds: echo_sweep_rounds(forest.height()),
+                ..DistSchedule::default()
+            },
+            state: HalfState::EpochStart { epoch: 1 },
+            step_in_stage: 0,
+            luby_rounds: 0,
+            budget: 0,
+        }
+    }
+
+    fn set_modes(&self, nodes: &mut [ProcessorNode], mode: Mode) {
+        for &i in &self.node_ids {
+            nodes[i].mode = mode.clone();
+        }
+    }
+
+    /// Arms an echo sweep over epoch `epoch` at stage `stage`'s
+    /// threshold: **every** node snapshots its contribution (off-half
+    /// nodes contribute zero but relay), this half's nodes idle.
+    fn start_sweep(
+        &mut self,
+        nodes: &mut [ProcessorNode],
+        epoch: u32,
+        stage: u32,
+        epoch_check: bool,
+    ) {
+        let threshold = 1.0 - self.plan.xi.powi(stage as i32);
+        for node in nodes.iter_mut() {
+            node.begin_echo(self.plan.tag, epoch, threshold);
+        }
+        self.set_modes(nodes, Mode::Idle);
+        self.schedule.sweeps += 1;
+        self.state = HalfState::InSweep {
+            epoch,
+            stage,
+            epoch_check,
+            rounds_left: self.schedule.sweep_rounds,
+        };
+    }
+
+    /// The global sweep verdict: the sum (and OR) of the in-network
+    /// per-component verdicts over the forest roots — the driver reads
+    /// the aggregates the echo computed, it does not count anything.
+    fn read_verdict(&self, nodes: &[ProcessorNode], forest: &ConvergecastForest) -> (u64, bool) {
+        let mut unsatisfied = 0u64;
+        let mut members = false;
+        for &root in forest.roots() {
+            let (u, m) = nodes[root as usize]
+                .echo_verdict(self.plan.tag)
+                .expect("sweep completed: every root holds its component verdict");
+            unsatisfied += u as u64;
+            members |= m;
+        }
+        (unsatisfied, members)
+    }
+
+    /// Prepares the next engine round for this half. Returns `Ok(true)`
+    /// when the half needs the round, `Ok(false)` once it has consumed
+    /// its whole schedule.
+    fn pre_round(
+        &mut self,
+        nodes: &mut [ProcessorNode],
+        forest: &ConvergecastForest,
+    ) -> Result<bool, DistError> {
+        loop {
+            match self.state {
+                HalfState::Done => return Ok(false),
+                HalfState::EpochStart { epoch } => {
+                    if epoch > self.plan.num_groups {
+                        self.schedule.pops = self.schedule.steps.len() as u64;
+                        if self.schedule.steps.is_empty() {
+                            self.state = HalfState::FinishPops;
+                        } else {
+                            self.state = HalfState::PopNext {
+                                step: self.schedule.steps.len() as u32 - 1,
+                            };
+                        }
+                        continue;
+                    }
+                    self.step_in_stage = 0;
+                    self.start_sweep(nodes, epoch, 1, true);
+                }
+                HalfState::InSweep {
+                    epoch,
+                    stage,
+                    epoch_check,
+                    rounds_left,
+                } => {
+                    if rounds_left == 0 {
+                        self.state = HalfState::AfterSweep {
+                            epoch,
+                            stage,
+                            epoch_check,
+                        };
+                        continue;
+                    }
+                    self.state = HalfState::InSweep {
+                        epoch,
+                        stage,
+                        epoch_check,
+                        rounds_left: rounds_left - 1,
+                    };
+                    return Ok(true);
+                }
+                HalfState::AfterSweep {
+                    epoch,
+                    stage,
+                    epoch_check,
+                } => {
+                    let (unsatisfied, members) = self.read_verdict(nodes, forest);
+                    if epoch_check && !members {
+                        // The epoch group is empty everywhere: skip it,
+                        // exactly like the logical `members.is_empty()`.
+                        self.state = HalfState::EpochStart { epoch: epoch + 1 };
+                        continue;
+                    }
+                    if unsatisfied == 0 {
+                        if stage < self.stages_per_epoch {
+                            self.step_in_stage = 0;
+                            self.start_sweep(nodes, epoch, stage + 1, false);
+                        } else {
+                            self.state = HalfState::EpochStart { epoch: epoch + 1 };
+                        }
+                        continue;
+                    }
+                    if let Some(limit) = self.max_steps_per_stage {
+                        if self.step_in_stage >= limit {
+                            return Err(DistError::StageDiverged { epoch, stage });
+                        }
+                    }
+                    self.budget = unsatisfied + 4;
+                    let namespace = mis_tag(epoch, stage, self.step_in_stage);
+                    let threshold = 1.0 - self.plan.xi.powi(stage as i32);
+                    let global_step = self.schedule.steps.len() as u32;
+                    for &i in &self.node_ids {
+                        nodes[i].begin_step(epoch, namespace, threshold, global_step);
+                    }
+                    self.state = HalfState::AfterAnnounce { epoch, stage };
+                    return Ok(true);
+                }
+                HalfState::AfterAnnounce { epoch, stage } => {
+                    self.luby_rounds = 0;
+                    self.set_modes(nodes, Mode::LubyEval);
+                    self.state = HalfState::AfterEval { epoch, stage };
+                    return Ok(true);
+                }
+                HalfState::AfterEval { epoch, stage } => {
+                    self.set_modes(nodes, Mode::LubyCleanup);
+                    self.state = HalfState::AfterCleanup { epoch, stage };
+                    return Ok(true);
+                }
+                HalfState::AfterCleanup { epoch, stage } => {
+                    self.luby_rounds += 1;
+                    let active = self.node_ids.iter().any(|&i| nodes[i].has_active());
+                    if active {
+                        if self.luby_rounds >= self.budget {
+                            // Every shipped backend removes at least one
+                            // vertex per iteration, so only a broken
+                            // backend lands here. Abort hard: a schedule
+                            // built from a truncated phase 1 must never
+                            // reach phase 2.
+                            return Err(DistError::MisBudgetExhausted {
+                                epoch,
+                                stage,
+                                step: self.step_in_stage,
+                            });
+                        }
+                        self.set_modes(nodes, Mode::LubyEval);
+                        self.state = HalfState::AfterEval { epoch, stage };
+                        return Ok(true);
+                    }
+                    self.schedule.steps.push(StepRecord {
+                        epoch,
+                        stage,
+                        step: self.step_in_stage,
+                        luby_rounds: self.luby_rounds,
+                    });
+                    self.step_in_stage += 1;
+                    self.start_sweep(nodes, epoch, stage, false);
+                }
+                HalfState::PopNext { step } => {
+                    self.set_modes(nodes, Mode::Pop(step));
+                    self.state = if step == 0 {
+                        HalfState::FinishPops
+                    } else {
+                        HalfState::PopNext { step: step - 1 }
+                    };
+                    return Ok(true);
+                }
+                HalfState::FinishPops => {
+                    self.set_modes(nodes, Mode::Idle);
+                    self.state = HalfState::Done;
+                }
+            }
+        }
+    }
+}
+
+/// Per-half result of a merged execution.
+struct HalfResult {
+    solution: Solution,
+    lambda: f64,
+    final_unsatisfied: bool,
+    schedule: DistSchedule,
+}
+
+/// Executes one in-network run: one engine pass over all halves, with
+/// messages namespaced per half, termination detected by echo sweeps,
+/// and (for split runs) the per-network combination decided by the
+/// convergecast combiner. The driver's only outputs into the network are
+/// the public timing signal; its only inputs are in-network aggregates
+/// and the final results.
+fn execute_in_network(
     problem: &Problem,
     config: &DistConfig,
     public: &Arc<PublicInfo>,
-    params: &RunParams,
-) -> Result<DistOutcome, DistError> {
-    let stages_per_epoch = stages_for(config.epsilon, params.xi);
-
+    plans: Vec<HalfPlan>,
+) -> Result<(Vec<HalfResult>, Option<Solution>, Metrics), DistError> {
+    let split = plans.len() > 1;
     let nodes: Vec<ProcessorNode> = problem
         .demands()
         .map(|a| {
-            let participating = params
-                .class
-                .is_none_or(|c| problem.demand(a).height_class() == c);
+            let plan = plans
+                .iter()
+                .find(|p| {
+                    p.class
+                        .is_none_or(|c| problem.demand(a).height_class() == c)
+                })
+                .expect("every demand belongs to exactly one half");
             ProcessorNode::new(
                 Arc::clone(public),
                 descriptor_of(problem, a),
                 problem.instances_of(a).to_vec(),
-                params.rule,
-                participating,
+                plan.rule,
+                plan.tag,
+                true,
             )
         })
         .collect();
-    let topology = Topology::from_adjacency(
-        problem
-            .communication_graph()
-            .into_iter()
-            .map(|list| list.into_iter().map(|d| d.index()).collect())
-            .collect(),
-    );
-    let mut engine = Engine::new(nodes, topology);
+    let mut engine = build_engine(nodes, problem, config);
 
-    // Setup round: every participating processor broadcasts its demand
-    // descriptor to its communication neighbors (one O(M)-bit message
-    // each). This is the single extra engine round on top of the
-    // schedule: Metrics::rounds == schedule.total_rounds() + 1.
+    // Setup round: every processor broadcasts its demand descriptor to
+    // its communication neighbors (one O(M)-bit message each) — shared
+    // by all halves, and the single non-schedule round of the run.
     engine.step();
 
-    // ---- Phase 1: epochs / stages / steps (Figure 7). ----
-    let mut schedule = DistSchedule::default();
-    for epoch in 1..=params.num_groups {
-        if !engine.nodes().iter().any(|n| n.has_group(epoch)) {
-            continue;
-        }
-        for stage in 1..=stages_per_epoch {
-            let threshold = 1.0 - params.xi.powi(stage as i32);
-            let mut step_in_stage = 0u64;
-            loop {
-                let unsatisfied: usize = engine
-                    .nodes()
-                    .iter()
-                    .map(|n| n.count_unsatisfied(epoch, threshold))
-                    .sum();
-                if unsatisfied == 0 {
-                    break;
-                }
-                if let Some(limit) = config.max_steps_per_stage {
-                    if step_in_stage >= limit {
-                        return Err(DistError::StageDiverged { epoch, stage });
-                    }
-                }
-                // Step boundary (public schedule): participation announce.
-                let tag = mis_tag(epoch, stage, step_in_stage);
-                let global_step = schedule.steps.len() as u32;
-                for n in engine.nodes_mut() {
-                    n.begin_step(epoch, tag, threshold, global_step);
-                }
-                engine.step();
-                // Luby iterations: two rounds each, until quiescent.
-                let mut luby_rounds = 0u64;
-                let budget = unsatisfied as u64 + 4;
-                loop {
-                    for n in engine.nodes_mut() {
-                        n.mode = Mode::LubyEval;
-                    }
-                    engine.step();
-                    for n in engine.nodes_mut() {
-                        n.mode = Mode::LubyCleanup;
-                    }
-                    engine.step();
-                    luby_rounds += 1;
-                    if !engine.nodes().iter().any(|n| n.has_active()) {
-                        break;
-                    }
-                    if luby_rounds >= budget {
-                        // Every shipped backend removes at least one vertex
-                        // per iteration, so only a broken backend lands
-                        // here. Abort hard: a schedule built from a
-                        // truncated phase 1 must never reach phase 2.
-                        return Err(DistError::MisBudgetExhausted {
-                            epoch,
-                            stage,
-                            step: step_in_stage,
-                        });
-                    }
-                }
-                schedule.steps.push(StepRecord {
-                    epoch,
-                    stage,
-                    step: step_in_stage,
-                    luby_rounds,
-                });
-                step_in_stage += 1;
-            }
-        }
-    }
+    let mut drivers: Vec<HalfDriver> = plans
+        .into_iter()
+        .map(|plan| {
+            let node_ids: Vec<usize> = problem
+                .demands()
+                .filter(|&a| {
+                    plan.class
+                        .is_none_or(|c| problem.demand(a).height_class() == c)
+                })
+                .map(|a| a.index())
+                .collect();
+            HalfDriver::new(plan, node_ids, config.epsilon, config, &public.forest)
+        })
+        .collect();
 
-    // ---- Phase 2: pop the framework stack, one round per entry. ----
-    schedule.pops = schedule.steps.len() as u64;
-    for step in (0..schedule.steps.len() as u32).rev() {
-        for n in engine.nodes_mut() {
-            n.mode = Mode::Pop(step);
+    loop {
+        let mut any = false;
+        for driver in &mut drivers {
+            any |= driver.pre_round(engine.nodes_mut(), &public.forest)?;
+        }
+        if !any {
+            break;
         }
         engine.step();
     }
 
-    // ---- Collect results (instance-id order mirrors the logical run).
-    let mut selected = Vec::new();
-    for node in engine.nodes() {
-        selected.extend_from_slice(node.selected());
-    }
-    let solution = Solution::new(selected);
-
-    let mut lambda = 1.0f64;
-    let mut final_unsatisfied = false;
-    for a in problem.demands() {
-        let node = &engine.nodes()[a.index()];
-        if !node.is_participating() {
-            continue;
+    // The in-network combiner (split runs only): report → decide → apply.
+    let combined = if split {
+        for mode in [Mode::CombineReport, Mode::CombineDecide, Mode::CombineApply] {
+            for node in engine.nodes_mut() {
+                node.mode = mode.clone();
+            }
+            engine.step();
         }
-        for local in 0..problem.instances_of(a).len() {
-            let satisfaction = node.satisfaction(local);
-            lambda = lambda.min(satisfaction);
-            if satisfaction < 1.0 - config.epsilon - SATISFACTION_GUARD {
-                final_unsatisfied = true;
+        let mut selected = Vec::new();
+        for node in engine.nodes() {
+            selected.extend(node.combined_selected());
+        }
+        Some(Solution::new(selected))
+    } else {
+        None
+    };
+
+    // Collect per-half results (instance-id order mirrors the logical
+    // run for both the solution and the λ fold).
+    let mut results = Vec::new();
+    for driver in drivers {
+        let mut selected = Vec::new();
+        let mut lambda = 1.0f64;
+        let mut final_unsatisfied = false;
+        for a in problem.demands() {
+            let node = &engine.nodes()[a.index()];
+            if node.run_tag() != driver.plan.tag {
+                continue;
+            }
+            selected.extend_from_slice(node.selected());
+            for local in 0..problem.instances_of(a).len() {
+                let satisfaction = node.satisfaction(local);
+                lambda = lambda.min(satisfaction);
+                if satisfaction < 1.0 - config.epsilon - SATISFACTION_GUARD {
+                    final_unsatisfied = true;
+                }
             }
         }
+        results.push(HalfResult {
+            solution: Solution::new(selected),
+            lambda,
+            final_unsatisfied,
+            schedule: driver.schedule,
+        });
     }
 
+    Ok((results, combined, engine.metrics()))
+}
+
+/// Runs a single-rule in-network execution and wraps it as a
+/// [`DistOutcome`].
+fn run_solo(
+    problem: &Problem,
+    config: &DistConfig,
+    public: &Arc<PublicInfo>,
+    layers: &LayeredDecomposition,
+) -> Result<DistOutcome, DistError> {
+    let plan = HalfPlan {
+        tag: RunTag::Primary,
+        rule: RaiseRule::Unit,
+        xi: unit_xi(layers.delta()),
+        num_groups: layers.num_groups() as u32,
+        class: None,
+    };
+    let (mut halves, _, metrics) = execute_in_network(problem, config, public, vec![plan])?;
+    let half = halves.pop().expect("one half per solo run");
     Ok(DistOutcome {
-        solution,
-        lambda,
-        final_unsatisfied,
-        metrics: engine.metrics(),
-        schedule,
+        solution: half.solution,
+        lambda: half.lambda,
+        final_unsatisfied: half.final_unsatisfied,
+        metrics,
+        schedule: half.schedule,
     })
 }
 
@@ -526,7 +918,7 @@ fn execute(
 /// [`treenet_core::resolve_narrow_hmin`] — the same collection order and
 /// arithmetic as `solve_tree_arbitrary`/`solve_line_arbitrary`, so the
 /// two sides derive the same `narrow_xi` by construction.
-fn resolve_hmin(problem: &Problem, config: &DistConfig) -> Result<f64, DistError> {
+pub(crate) fn resolve_hmin(problem: &Problem, config: &DistConfig) -> Result<f64, DistError> {
     let narrow_ids: Vec<InstanceId> = problem
         .instances()
         .filter(|inst| problem.demand(inst.demand).height_class() == HeightClass::Narrow)
@@ -536,10 +928,9 @@ fn resolve_hmin(problem: &Problem, config: &DistConfig) -> Result<f64, DistError
         .map_err(|reason| DistError::BadParameters { reason })
 }
 
-/// The wide/narrow split shared by the arbitrary-height runners: a
-/// unit-rule run over wide demands, a narrow-rule run over narrow
-/// demands, then the per-network combination (the logical
-/// `combine_by_network`, evaluated on public per-network profits).
+/// The wide/narrow split shared by the arbitrary-height runners: both
+/// halves as one merged, message-namespaced engine pass, then the
+/// in-network per-network combination.
 fn run_split(
     problem: &Problem,
     config: &DistConfig,
@@ -548,40 +939,51 @@ fn run_split(
 ) -> Result<DistCombinedOutcome, DistError> {
     let delta = layers.delta();
     let num_groups = layers.num_groups() as u32;
-    let wide = execute(
-        problem,
-        config,
-        public,
-        &RunParams {
+    let hmin = resolve_hmin(problem, config)?;
+    let plans = vec![
+        HalfPlan {
+            tag: RunTag::Primary,
             rule: RaiseRule::Unit,
             xi: unit_xi(delta),
             num_groups,
             class: Some(HeightClass::Wide),
         },
-    )?;
-    let hmin = resolve_hmin(problem, config)?;
-    let narrow = execute(
-        problem,
-        config,
-        public,
-        &RunParams {
+        HalfPlan {
+            tag: RunTag::Narrow,
             rule: RaiseRule::Narrow,
             xi: narrow_xi(delta, hmin),
             num_groups,
             class: Some(HeightClass::Narrow),
         },
-    )?;
-    let solution = combine_by_network(problem, &wide.solution, &narrow.solution);
+    ];
+    let (halves, combined, metrics) = execute_in_network(problem, config, public, plans)?;
+    let mut iter = halves.into_iter();
+    let (wide, narrow) = (
+        iter.next().expect("wide half"),
+        iter.next().expect("narrow half"),
+    );
     Ok(DistCombinedOutcome {
-        solution,
-        wide,
-        narrow,
+        solution: combined.expect("split runs produce the combined solution in-network"),
+        wide: DistRunReport {
+            solution: wide.solution,
+            lambda: wide.lambda,
+            final_unsatisfied: wide.final_unsatisfied,
+            schedule: wide.schedule,
+        },
+        narrow: DistRunReport {
+            solution: narrow.solution,
+            lambda: narrow.lambda,
+            final_unsatisfied: narrow.final_unsatisfied,
+            schedule: narrow.schedule,
+        },
+        metrics,
     })
 }
 
 /// Runs the unit-height tree scheduler (Theorem 5.3) as a synchronous
 /// message-passing computation and returns the solution, the measured
-/// slackness λ and the communication metrics.
+/// slackness λ and the communication metrics. Stage and epoch boundaries
+/// are detected in-network (echo sweeps on the convergecast forest).
 ///
 /// Under `DistConfig::from(&solver_config)` the result equals
 /// [`treenet_core::solve_tree_unit`] exactly: identical solutions and
@@ -599,22 +1001,12 @@ pub fn run_distributed_tree_unit(
 ) -> Result<DistOutcome, DistError> {
     validate(config)?;
     let (public, layers) = tree_public(problem, config);
-    execute(
-        problem,
-        config,
-        &public,
-        &RunParams {
-            rule: RaiseRule::Unit,
-            xi: unit_xi(layers.delta()),
-            num_groups: layers.num_groups() as u32,
-            class: None,
-        },
-    )
+    run_solo(problem, config, &public, &layers)
 }
 
 /// Runs the unit-height line scheduler (Theorem 7.1, windows supported)
 /// as a synchronous message-passing computation: Section-7 length-class
-/// layering with `Δ ≤ 3` and `ξ = 8/9`.
+/// layering with `Δ ≤ 3` and `ξ = 8/9`, termination detected in-network.
 ///
 /// Under `DistConfig::from(&solver_config)` the result equals
 /// [`treenet_core::solve_line_unit`] exactly: identical solutions and
@@ -633,22 +1025,13 @@ pub fn run_distributed_line_unit(
 ) -> Result<DistOutcome, DistError> {
     validate(config)?;
     let (public, layers) = line_public(problem, config);
-    execute(
-        problem,
-        config,
-        &public,
-        &RunParams {
-            rule: RaiseRule::Unit,
-            xi: unit_xi(layers.delta()),
-            num_groups: layers.num_groups() as u32,
-            class: None,
-        },
-    )
+    run_solo(problem, config, &public, &layers)
 }
 
-/// Runs the arbitrary-height tree scheduler (Theorem 6.3) as two
-/// message-passing computations (wide via the unit rule, narrow via the
-/// narrow rule) plus the per-network combiner.
+/// Runs the arbitrary-height tree scheduler (Theorem 6.3) as one merged
+/// message-passing computation (wide via the unit rule, narrow via the
+/// narrow rule, sharing the engine through namespaced messages) plus the
+/// in-network per-network combiner.
 ///
 /// Under `DistConfig::from(&solver_config)` the result equals
 /// [`treenet_core::solve_tree_arbitrary`] exactly: identical combined
@@ -667,8 +1050,9 @@ pub fn run_distributed_tree_arbitrary(
     run_split(problem, config, &public, &layers)
 }
 
-/// Runs the arbitrary-height line scheduler (Theorem 7.2) as two
-/// message-passing computations over the Section-7 length-class layering.
+/// Runs the arbitrary-height line scheduler (Theorem 7.2) as one merged
+/// message-passing computation over the Section-7 length-class layering
+/// plus the in-network per-network combiner.
 ///
 /// Under `DistConfig::from(&solver_config)` the result equals
 /// [`treenet_core::solve_line_arbitrary`] exactly: identical combined
@@ -760,6 +1144,18 @@ mod tests {
             .generate(&mut SmallRng::seed_from_u64(seed))
     }
 
+    fn mixed_line_problem(seed: u64) -> Problem {
+        LineWorkload::new(30, 12)
+            .with_resources(2)
+            .with_window_slack(2)
+            .with_len_range(1, 8)
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: 0.2,
+            })
+            .generate(&mut SmallRng::seed_from_u64(seed))
+    }
+
     #[test]
     fn equals_logical_execution_bitwise() {
         for seed in 0..8u64 {
@@ -808,15 +1204,7 @@ mod tests {
     #[test]
     fn line_arbitrary_equals_logical_execution_bitwise() {
         for seed in 0..6u64 {
-            let p = LineWorkload::new(30, 12)
-                .with_resources(2)
-                .with_window_slack(2)
-                .with_len_range(1, 8)
-                .with_heights(HeightMode::Bimodal {
-                    narrow_frac: 0.5,
-                    hmin: 0.2,
-                })
-                .generate(&mut SmallRng::seed_from_u64(seed));
+            let p = mixed_line_problem(seed);
             let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
             let logical = solve_line_arbitrary(&p, &cfg).unwrap();
             let distributed = run_distributed_line_arbitrary(&p, &DistConfig::from(&cfg)).unwrap();
@@ -896,9 +1284,90 @@ mod tests {
     }
 
     #[test]
+    fn in_network_equals_reference_oracle() {
+        // The driver-counted serial path is the executable spec: same
+        // solutions, bit-identical λ, and identical compute schedules
+        // (steps + pops; the oracle has no sweeps by construction).
+        for seed in 0..4u64 {
+            let p = problem(seed);
+            let cfg = DistConfig {
+                epsilon: 0.3,
+                seed,
+                ..DistConfig::default()
+            };
+            let fast = run_distributed_tree_unit(&p, &cfg).unwrap();
+            let oracle = run_distributed_tree_unit_reference(&p, &cfg).unwrap();
+            assert_eq!(fast.solution, oracle.solution, "seed {seed}");
+            assert_eq!(fast.lambda.to_bits(), oracle.lambda.to_bits());
+            assert_eq!(fast.schedule.steps, oracle.schedule.steps);
+            assert_eq!(fast.schedule.pops, oracle.schedule.pops);
+            assert_eq!(oracle.schedule.sweeps, 0);
+            assert_eq!(oracle.metrics.rounds, oracle.schedule.total_rounds() + 1);
+
+            let p = mixed_line_problem(seed);
+            let fast = run_distributed_line_arbitrary(&p, &cfg).unwrap();
+            let oracle = run_distributed_line_arbitrary_reference(&p, &cfg).unwrap();
+            assert_eq!(fast.solution, oracle.solution, "seed {seed}");
+            for (label, a, b) in [
+                ("wide", &fast.wide, &oracle.wide),
+                ("narrow", &fast.narrow, &oracle.narrow),
+            ] {
+                assert_eq!(a.solution, b.solution, "seed {seed} {label}");
+                assert_eq!(
+                    a.lambda.to_bits(),
+                    b.lambda.to_bits(),
+                    "seed {seed} {label}"
+                );
+                assert_eq!(a.schedule.steps, b.schedule.steps, "seed {seed} {label}");
+                assert_eq!(a.schedule.pops, b.schedule.pops, "seed {seed} {label}");
+            }
+            // Serial reference: two engines, one setup round each.
+            assert_eq!(
+                oracle.metrics.rounds,
+                oracle.wide.schedule.total_rounds() + oracle.narrow.schedule.total_rounds() + 2
+            );
+        }
+    }
+
+    #[test]
+    fn merged_split_overlaps_the_halves() {
+        // The merged engine interleaves the halves: its wall-clock rounds
+        // follow the documented max-relation, strictly below the serial
+        // reference's sum whenever both halves do real work.
+        let p = mixed_line_problem(1);
+        let cfg = DistConfig {
+            epsilon: 0.3,
+            seed: 1,
+            ..DistConfig::default()
+        };
+        let merged = run_distributed_line_arbitrary(&p, &cfg).unwrap();
+        assert_eq!(
+            merged.metrics.rounds,
+            merged
+                .wide
+                .schedule
+                .engine_rounds()
+                .max(merged.narrow.schedule.engine_rounds())
+                + 1
+                + COMBINE_ROUNDS
+        );
+        let reference = run_distributed_line_arbitrary_reference(&p, &cfg).unwrap();
+        assert!(
+            merged.metrics.rounds
+                < reference.metrics.rounds
+                    + merged.wide.schedule.control_rounds()
+                    + merged.narrow.schedule.control_rounds(),
+            "merged {} vs serial {} (+control)",
+            merged.metrics.rounds,
+            reference.metrics.rounds
+        );
+    }
+
+    #[test]
     fn comm_rounds_match_logical_accounting() {
-        // The logical RunStats::comm_rounds equals the schedule's round
-        // count, and the engine spends exactly one extra setup round.
+        // The logical RunStats::comm_rounds equals the schedule's compute
+        // round count, and the engine adds the setup round plus the
+        // in-network control rounds.
         for seed in 0..4u64 {
             let p = problem(seed);
             let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
@@ -911,7 +1380,7 @@ mod tests {
             );
             assert_eq!(
                 distributed.metrics.rounds,
-                distributed.schedule.total_rounds() + 1
+                distributed.schedule.engine_rounds() + 1
             );
         }
     }
@@ -1009,6 +1478,7 @@ mod tests {
         for result in [
             run_distributed_tree_unit(&p, &cfg),
             run_distributed_line_unit(&p, &cfg),
+            run_distributed_tree_unit_reference(&p, &cfg),
         ] {
             match result {
                 Err(DistError::MisBudgetExhausted { epoch, stage, step }) => {

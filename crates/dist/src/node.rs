@@ -5,7 +5,8 @@
 //! * **public information**: the networks, their layering (tree
 //!   decompositions for tree-networks, the length-class `Lmin` for
 //!   line-networks), the schedule parameters (`ε`, `ξ`, seed, MIS
-//!   backend) — wrapped in [`PublicInfo`];
+//!   backend) and the convergecast forest of the communication graph
+//!   (infrastructure knowledge) — wrapped in [`PublicInfo`];
 //! * **its own demand**, from which it derives its demand instances,
 //!   their paths, canonical keys, epoch groups and critical edges;
 //! * **what neighbors told it**: demand descriptors exchanged in the
@@ -17,19 +18,33 @@
 //! touching such an edge comes from an overlapping instance, whose owner
 //! shares a network and is therefore a communication neighbor.
 //!
-//! The node is parametrized by the run's [`RaiseRule`]: the unit scheme
-//! (Sections 3/5/7.1) or the narrow scheme (Sections 6.1/7.2), whose
-//! raising arithmetic and capacitated dual LHS are taken from the single
-//! definitions in `treenet-core` so the logical and message-passing
-//! executions cannot drift. For the wide/narrow split of the
-//! arbitrary-height schedulers a node can be *passive* (its demand's
-//! height class is outside the run): it stays silent for the whole run.
+//! The node is parametrized by the run's [`RaiseRule`] and by its
+//! [`RunTag`]: in a merged wide/narrow execution both sub-runs share one
+//! engine and every protocol message is namespaced by its sub-run, so a
+//! node simply ignores data messages of the other half (they cannot
+//! affect its duals — exactly as in the serial reference execution,
+//! where the other half's messages did not exist). Two always-on layers
+//! sit outside the sub-run namespaces:
+//!
+//! * the **echo layer** (termination detection): per sweep, every node —
+//!   including nodes of the other half, which act as relays — aggregates
+//!   unsatisfied counts up the public convergecast forest and floods the
+//!   root's verdict back down, so stage and epoch boundaries are decided
+//!   in-network;
+//! * the **combine layer** (per-network combiner): after both halves
+//!   finish, every node reports its selected instance to the leader of
+//!   its network (the minimum-id accessor — a neighbor, since accessors
+//!   of a network form a clique), the leader reproduces the logical
+//!   `combine_by_network` profit fold bit-exactly (ascending instance id)
+//!   and broadcasts the per-network choice back.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use treenet_core::RaiseRule;
-use treenet_decomp::{line_instance_layer, tree_instance_layer, TreeDecomposition};
+use treenet_decomp::{
+    line_instance_layer, tree_instance_layer, ConvergecastForest, TreeDecomposition,
+};
 use treenet_graph::{EdgeId, RootedTree, TreePath, VertexId};
 use treenet_mis::MisBackend;
 use treenet_model::{Demand, DemandId, DemandKind, InstanceId, NetworkId};
@@ -38,6 +53,30 @@ use treenet_netsim::{Context, Envelope, MessageSize, Protocol};
 /// Satisfaction comparison guard — imported from the framework so
 /// participation decisions are bit-identical by construction.
 pub(crate) use treenet_core::SATISFACTION_GUARD;
+
+/// Which sub-run a namespaced protocol message belongs to. Solo runners
+/// and the wide half of a merged wide/narrow execution use
+/// [`RunTag::Primary`]; the narrow half uses [`RunTag::Narrow`]. The tag
+/// is what lets both halves share one `treenet-netsim` engine pass
+/// without their message streams interfering.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RunTag {
+    /// The solo run, or the wide half of a split run.
+    Primary,
+    /// The narrow half of a split run.
+    Narrow,
+}
+
+impl RunTag {
+    /// Dense index for per-tag state arrays.
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        match self {
+            RunTag::Primary => 0,
+            RunTag::Narrow => 1,
+        }
+    }
+}
 
 /// How epoch groups and critical edges derive from public information:
 /// the paper's tree layering (Section 5, capture depths over public tree
@@ -61,15 +100,19 @@ pub(crate) enum Layering {
 }
 
 /// Public knowledge shared by every processor: the networks (rooted views
-/// plus the layering) and the schedule parameters. Everything here is a
-/// deterministic function of inputs the paper assumes are known to all
-/// processors.
+/// plus the layering), the schedule parameters, and the convergecast
+/// forest of the communication graph. Everything here is a deterministic
+/// function of inputs the paper assumes are known to all processors — the
+/// forest derives from the (public) resource-sharing infrastructure, not
+/// from any demand's private data, and corresponds operationally to the
+/// standard O(diameter) leader-election/BFS preprocessing.
 #[derive(Debug)]
 pub(crate) struct PublicInfo {
     pub rooted: Vec<RootedTree>,
     pub layering: Layering,
     pub seed: u64,
     pub backend: MisBackend,
+    pub forest: ConvergecastForest,
 }
 
 impl PublicInfo {
@@ -184,14 +227,19 @@ impl InstView {
 }
 
 /// Protocol messages. Every payload is bounded by one demand descriptor —
-/// the paper's `O(M)` bits.
+/// the paper's `O(M)` bits. Data messages carry their sub-run's
+/// [`RunTag`] so merged wide/narrow executions can share one engine;
+/// echo and combine messages form the in-network control plane.
 #[derive(Clone, Debug)]
 pub enum DistMsg {
-    /// Setup round: the sender's demand descriptor.
+    /// Setup round: the sender's demand descriptor (shared by all
+    /// sub-runs).
     Descriptor(Descriptor),
     /// Step boundary: which of the sender's instances (canonical order,
     /// bit `i` = instance `i`) participate in this step's MIS.
     Active {
+        /// The sub-run this announcement belongs to.
+        run: RunTag,
         /// Participation bitmask over the sender's instances.
         mask: u64,
     },
@@ -199,6 +247,8 @@ pub enum DistMsg {
     /// `delta` (α of its demand; each receiver re-derives the rule's β
     /// increment from `delta` and the instance's public `|π|`).
     Joined {
+        /// The sub-run this raise belongs to.
+        run: RunTag,
         /// Canonical instance index within the sender.
         idx: u8,
         /// The raise amount `δ(d)`.
@@ -206,13 +256,56 @@ pub enum DistMsg {
     },
     /// The sender's instance `idx` left this step's MIS computation.
     Died {
+        /// The sub-run this death belongs to.
+        run: RunTag,
         /// Canonical instance index within the sender.
         idx: u8,
     },
     /// Phase 2: the sender's instance `idx` entered the solution.
     Selected {
+        /// The sub-run this selection belongs to.
+        run: RunTag,
         /// Canonical instance index within the sender.
         idx: u8,
+    },
+    /// Termination detection, convergecast half: the aggregate of the
+    /// sender's subtree — how many of its instances are still below the
+    /// sweep's threshold, and whether any instance belongs to the swept
+    /// epoch group at all.
+    EchoUp {
+        /// The sub-run being swept.
+        run: RunTag,
+        /// Unsatisfied instances in the sender's subtree.
+        unsatisfied: u32,
+        /// Whether the subtree has any member of the swept epoch group.
+        members: bool,
+    },
+    /// Termination detection, broadcast half: the component root's
+    /// verdict flooding back down the convergecast tree.
+    EchoDown {
+        /// The sub-run being swept.
+        run: RunTag,
+        /// Unsatisfied instances in the whole component.
+        unsatisfied: u32,
+        /// Whether the component has any member of the swept epoch group.
+        members: bool,
+    },
+    /// Combiner, convergecast half: the sender's selected instance `idx`
+    /// (its network, profit and sub-run are derivable from the sender's
+    /// descriptor), reported to the leader of the instance's network.
+    CombineReport {
+        /// The sub-run (= height-class half) the selection came from.
+        run: RunTag,
+        /// Canonical instance index within the sender.
+        idx: u8,
+    },
+    /// Combiner, broadcast half: the per-network choice, from the
+    /// network's leader to every accessor.
+    CombineChoice {
+        /// The decided network.
+        network: u32,
+        /// Whether the wide (Primary) half won the network.
+        wide_wins: bool,
     },
 }
 
@@ -229,10 +322,28 @@ impl MessageSize for DistMsg {
     fn size_bits(&self) -> u64 {
         match self {
             DistMsg::Descriptor(d) => descriptor_bits(d.access.len()),
-            DistMsg::Active { .. } => 72,
-            DistMsg::Joined { .. } => 80,
-            DistMsg::Died { .. } => 16,
-            DistMsg::Selected { .. } => 16,
+            DistMsg::Active { .. } => 80,
+            DistMsg::Joined { .. } => 88,
+            DistMsg::Died { .. } => 24,
+            DistMsg::Selected { .. } => 24,
+            DistMsg::EchoUp { .. } | DistMsg::EchoDown { .. } => 48,
+            DistMsg::CombineReport { .. } => 16,
+            DistMsg::CombineChoice { .. } => 40,
+        }
+    }
+
+    /// Traffic classes for the per-class engine counters: 0 = setup
+    /// descriptors, 1/2 = Primary/Narrow sub-run data, 3 = echo control,
+    /// 4 = combine control.
+    fn traffic_class(&self) -> usize {
+        match self {
+            DistMsg::Descriptor(_) => 0,
+            DistMsg::Active { run, .. }
+            | DistMsg::Joined { run, .. }
+            | DistMsg::Died { run, .. }
+            | DistMsg::Selected { run, .. } => 1 + run.index(),
+            DistMsg::EchoUp { .. } | DistMsg::EchoDown { .. } => 3,
+            DistMsg::CombineReport { .. } | DistMsg::CombineChoice { .. } => 4,
         }
     }
 }
@@ -240,11 +351,16 @@ impl MessageSize for DistMsg {
 /// What the driver schedules for the next synchronous round. The paper's
 /// model assumes the epoch/stage/step schedule is globally known; the
 /// driver supplies exactly that timing signal (and nothing else) by
-/// setting the mode before each engine round.
+/// setting the mode before each engine round. All *decisions* — stage and
+/// epoch boundaries, the per-network combination — are computed
+/// in-network; the driver only reads back the broadcast verdicts.
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) enum Mode {
     /// Broadcast the own demand descriptor.
     Setup,
+    /// No compute action this round (echo sweeps, or the other half's
+    /// turn in a merged run). The always-on echo layer still relays.
+    Idle,
     /// Step boundary: decide participation, broadcast `Active`.
     Announce,
     /// Luby iteration, first half: evaluate wins, winners broadcast
@@ -255,6 +371,37 @@ pub(crate) enum Mode {
     LubyCleanup,
     /// Phase 2: pop the given global step index of the framework stack.
     Pop(u32),
+    /// Combiner round 1: report the selected instance to its network's
+    /// leader.
+    CombineReport,
+    /// Combiner round 2: leaders fold the reports in canonical order and
+    /// broadcast the per-network choice.
+    CombineDecide,
+    /// Combiner round 3: record the received choices.
+    CombineApply,
+}
+
+/// Per-sub-run state of one termination-detection sweep on the
+/// convergecast forest. Every node keeps one per [`RunTag`] because the
+/// two halves of a merged run sweep on independent schedules and every
+/// node relays both.
+#[derive(Clone, Debug, Default)]
+struct EchoState {
+    /// Whether a sweep is in progress (or just finished) for this tag.
+    active: bool,
+    /// Children whose subtree reports are still outstanding.
+    pending_children: usize,
+    /// Aggregated unsatisfied count (own + received subtrees).
+    unsatisfied: u32,
+    /// Aggregated members flag (own + received subtrees).
+    members: bool,
+    /// Whether the subtree report went up already (roots: whether the
+    /// verdict was finalized).
+    sent_up: bool,
+    /// The component verdict, once known.
+    verdict: Option<(u32, bool)>,
+    /// Whether the verdict was forwarded to the children already.
+    announced_down: bool,
 }
 
 /// Resolves a neighbor's instance view from the received-descriptor map.
@@ -288,16 +435,30 @@ struct OwnInstance {
     raised_at: Vec<u32>,
 }
 
+/// One combiner contribution at a network leader: `(demand, idx)` is the
+/// canonical instance coordinate (ascending = ascending instance id).
+#[derive(Copy, Clone, Debug)]
+struct Contribution {
+    network: u32,
+    demand: u32,
+    idx: u8,
+    run: RunTag,
+    profit: f64,
+}
+
 /// One processor of the message-passing scheduler.
 pub(crate) struct ProcessorNode {
     public: Arc<PublicInfo>,
     descriptor: Descriptor,
+    /// The sub-run this node's demand belongs to (Primary for solo runs
+    /// and the wide half; Narrow for the narrow half of a merged run).
+    tag: RunTag,
     /// The run's raising rule (fixes δ, the β increment and the dual LHS
     /// form — taken from the shared `treenet-core` definitions).
     rule: RaiseRule,
     /// Whether this node's demand participates in the current run (false
-    /// for the off-class half of a wide/narrow split: the node stays
-    /// silent and contributes nothing).
+    /// only for the off-class half of the *serial reference* path, where
+    /// each engine pass runs one half and the other stays silent).
     participating: bool,
     own: Vec<OwnInstance>,
     /// α of the own demand.
@@ -318,7 +479,7 @@ pub(crate) struct ProcessorNode {
     /// Luby iteration counter within the current step.
     iteration: u64,
     /// MIS namespace tag of the current step.
-    tag: u64,
+    mis_namespace: u64,
     /// Current stage threshold `1 - ξ^j`.
     threshold: f64,
     /// Epoch of the current step.
@@ -328,6 +489,14 @@ pub(crate) struct ProcessorNode {
     /// Whether this node's demand already entered the solution.
     demand_used: bool,
     selected: Vec<InstanceId>,
+    /// Per-tag termination-detection sweep state (every node relays both
+    /// halves' sweeps).
+    echo: [EchoState; 2],
+    /// Combiner contributions collected at this node for the networks it
+    /// leads, in arrival order (sorted canonically before folding).
+    contributions: Vec<Contribution>,
+    /// Per-network combine choices received (network → wide half wins).
+    choices: Vec<(u32, bool)>,
     pub(crate) mode: Mode,
 }
 
@@ -337,6 +506,7 @@ impl ProcessorNode {
         descriptor: Descriptor,
         ids: Vec<InstanceId>,
         rule: RaiseRule,
+        tag: RunTag,
         participating: bool,
     ) -> Self {
         let views = public.views(&descriptor);
@@ -370,6 +540,7 @@ impl ProcessorNode {
         ProcessorNode {
             public,
             descriptor,
+            tag,
             rule,
             participating,
             own,
@@ -381,14 +552,28 @@ impl ProcessorNode {
             pending_died: Vec::new(),
             scratch_winners: Vec::new(),
             iteration: 0,
-            tag: 0,
+            mis_namespace: 0,
             threshold: 0.0,
             epoch: 0,
             global_step: 0,
             demand_used: false,
             selected: Vec::new(),
+            echo: [EchoState::default(), EchoState::default()],
+            contributions: Vec::new(),
+            choices: Vec::new(),
             mode: Mode::Setup,
         }
+    }
+
+    /// This node's index in the topology / convergecast forest.
+    #[inline]
+    fn me(&self) -> usize {
+        self.descriptor.id.index()
+    }
+
+    /// The sub-run this node's demand belongs to.
+    pub fn run_tag(&self) -> RunTag {
+        self.tag
     }
 
     /// Whether this node's demand participates in the run.
@@ -420,12 +605,15 @@ impl ProcessorNode {
     }
 
     /// Whether any own participating instance belongs to epoch group `k`.
+    /// Used by the driver-counted reference path only — the in-network
+    /// path learns this from the echo verdict instead.
     pub fn has_group(&self, k: u32) -> bool {
         self.participating && self.own.iter().any(|inst| inst.view.group == k)
     }
 
     /// Number of own group-`k` instances below `threshold`-satisfaction —
     /// the same predicate the announce round uses. Zero for passive nodes.
+    /// Used by the driver-counted reference path only.
     pub fn count_unsatisfied(&self, k: u32, threshold: f64) -> usize {
         if !self.participating {
             return 0;
@@ -442,15 +630,91 @@ impl ProcessorNode {
         self.own.iter().any(|inst| inst.state == MisState::Active)
     }
 
-    /// Instances selected by phase 2, with their demand-local index.
+    /// Instances selected by phase 2 for this node's sub-run.
     pub fn selected(&self) -> &[InstanceId] {
         &self.selected
     }
 
+    /// The selected instances that survive the in-network per-network
+    /// combination: an instance on network `t` is kept iff the broadcast
+    /// choice for `t` favors this node's half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a choice for the instance's network never arrived —
+    /// impossible in a completed run, because a node with a selection on
+    /// `t` is an accessor of `t` and therefore receives its leader's
+    /// broadcast.
+    pub fn combined_selected(&self) -> Vec<InstanceId> {
+        self.selected
+            .iter()
+            .filter(|&&d| {
+                let i = self
+                    .own
+                    .iter()
+                    .position(|inst| inst.id == d)
+                    .expect("selected instances are own instances");
+                let t = self.own[i].view.network.0;
+                let wide_wins = self
+                    .choices
+                    .iter()
+                    .find(|(network, _)| *network == t)
+                    .map(|(_, w)| *w)
+                    .expect("combine choice arrived for the own selection's network");
+                wide_wins == (self.tag == RunTag::Primary)
+            })
+            .copied()
+            .collect()
+    }
+
+    /// The driver's sweep-start signal (public schedule only): snapshot
+    /// the own contribution to the `run` sweep over epoch group `k` at
+    /// `threshold`, and arm the echo layer. Called on **every** node —
+    /// off-run nodes contribute zero but still relay.
+    pub fn begin_echo(&mut self, run: RunTag, k: u32, threshold: f64) {
+        let (unsatisfied, members) = if self.participating && self.tag == run {
+            let mut unsatisfied = 0u32;
+            let mut members = false;
+            for i in 0..self.own.len() {
+                if self.own[i].view.group == k {
+                    members = true;
+                    if self.satisfaction(i) < threshold - SATISFACTION_GUARD {
+                        unsatisfied += 1;
+                    }
+                }
+            }
+            (unsatisfied, members)
+        } else {
+            (0, false)
+        };
+        let me = self.me();
+        let forest = &self.public.forest;
+        let state = &mut self.echo[run.index()];
+        state.active = true;
+        state.pending_children = forest.children(me).len();
+        state.unsatisfied = unsatisfied;
+        state.members = members;
+        state.sent_up = false;
+        state.announced_down = false;
+        state.verdict = None;
+        // Isolated processors are their own root: the verdict is local
+        // and the sweep costs zero rounds and zero messages.
+        if state.pending_children == 0 && forest.parent(me).is_none() {
+            state.sent_up = true;
+            state.verdict = Some((unsatisfied, members));
+        }
+    }
+
+    /// The component verdict of the last `run` sweep, once the echo
+    /// broadcast reached this node (roots know it first).
+    pub fn echo_verdict(&self, run: RunTag) -> Option<(u32, bool)> {
+        self.echo[run.index()].verdict
+    }
+
     /// The driver's step-boundary signal (public schedule only).
-    pub fn begin_step(&mut self, epoch: u32, tag: u64, threshold: f64, global_step: u32) {
+    pub fn begin_step(&mut self, epoch: u32, mis_namespace: u64, threshold: f64, global_step: u32) {
         self.epoch = epoch;
-        self.tag = tag;
+        self.mis_namespace = mis_namespace;
         self.threshold = threshold;
         self.global_step = global_step;
         self.iteration = 0;
@@ -499,7 +763,7 @@ impl ProcessorNode {
     /// exactly the central `luby_mis`/`deterministic_mis` predicate.
     fn wins(&self, i: usize) -> bool {
         let backend = self.public.backend;
-        let (seed, tag, it) = (self.public.seed, self.tag, self.iteration);
+        let (seed, tag, it) = (self.public.seed, self.mis_namespace, self.iteration);
         let my_key = self.own[i].view.key;
         // Own siblings always conflict (same demand).
         for (j, other) in self.own.iter().enumerate() {
@@ -522,20 +786,70 @@ impl ProcessorNode {
         true
     }
 
+    /// The leader of network `t`: the minimum demand id among `t`'s
+    /// accessors. Computable locally by every accessor because accessors
+    /// of a shared network are mutual communication neighbors, so their
+    /// descriptors all arrived in the setup round.
+    fn leader_of(&self, t: u32) -> usize {
+        let mut leader = self.me();
+        for (&node, views) in &self.neighbors {
+            if node < leader && views.iter().any(|v| v.network.0 == t) {
+                leader = node;
+            }
+        }
+        leader
+    }
+
+    /// Always-on echo layer: relays convergecast reports and verdict
+    /// broadcasts for both sub-run tags, independently of the compute
+    /// mode (a node can relay the other half's sweep while running its
+    /// own Luby iteration).
+    fn echo_round(&mut self, ctx: &mut Context<'_, DistMsg>) {
+        let me = self.me();
+        let forest = &self.public.forest;
+        for (index, run) in [(0usize, RunTag::Primary), (1, RunTag::Narrow)] {
+            let state = &mut self.echo[index];
+            if !state.active {
+                continue;
+            }
+            if !state.sent_up && state.pending_children == 0 {
+                state.sent_up = true;
+                match forest.parent(me) {
+                    Some(parent) => ctx.send(
+                        parent,
+                        DistMsg::EchoUp {
+                            run,
+                            unsatisfied: state.unsatisfied,
+                            members: state.members,
+                        },
+                    ),
+                    // Roots finalize the component verdict.
+                    None => state.verdict = Some((state.unsatisfied, state.members)),
+                }
+            }
+            if let Some((unsatisfied, members)) = state.verdict {
+                if !state.announced_down {
+                    state.announced_down = true;
+                    for &child in forest.children(me) {
+                        ctx.send(
+                            child as usize,
+                            DistMsg::EchoDown {
+                                run,
+                                unsatisfied,
+                                members,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     fn round_setup(&mut self, ctx: &mut Context<'_, DistMsg>) {
         ctx.broadcast(DistMsg::Descriptor(self.descriptor.clone()));
     }
 
-    fn round_announce(&mut self, inbox: &[Envelope<DistMsg>], ctx: &mut Context<'_, DistMsg>) {
-        // The first announce round carries the setup descriptors; later
-        // ones only see stale end-of-step `Died` messages, which the
-        // `begin_step` reset already made irrelevant.
-        for env in inbox {
-            if let DistMsg::Descriptor(descriptor) = &env.msg {
-                let views = self.public.views(descriptor);
-                self.neighbors.insert(env.from, views);
-            }
-        }
+    fn round_announce(&mut self, ctx: &mut Context<'_, DistMsg>) {
         let mut mask = 0u64;
         for i in 0..self.own.len() {
             if self.own[i].view.group == self.epoch
@@ -546,14 +860,17 @@ impl ProcessorNode {
             }
         }
         if mask != 0 {
-            ctx.broadcast(DistMsg::Active { mask });
+            ctx.broadcast(DistMsg::Active {
+                run: self.tag,
+                mask,
+            });
         }
     }
 
     fn round_luby_eval(&mut self, inbox: &[Envelope<DistMsg>], ctx: &mut Context<'_, DistMsg>) {
         for env in inbox {
             match &env.msg {
-                DistMsg::Active { mask } => {
+                DistMsg::Active { run, mask } if *run == self.tag => {
                     if let Some(views) = self.neighbors.get(&env.from) {
                         for idx in 0..views.len().min(64) {
                             if mask & (1 << idx) != 0 {
@@ -562,7 +879,7 @@ impl ProcessorNode {
                         }
                     }
                 }
-                DistMsg::Died { idx } => {
+                DistMsg::Died { run, idx } if *run == self.tag => {
                     self.neighbor_active.insert((env.from, *idx), false);
                 }
                 _ => {}
@@ -594,6 +911,7 @@ impl ProcessorNode {
                     .expect("critical edges lie on own paths") += beta_inc;
             }
             ctx.broadcast(DistMsg::Joined {
+                run: self.tag,
                 idx: i as u8,
                 delta,
             });
@@ -611,7 +929,10 @@ impl ProcessorNode {
 
     fn round_luby_cleanup(&mut self, inbox: &[Envelope<DistMsg>], ctx: &mut Context<'_, DistMsg>) {
         for env in inbox {
-            if let DistMsg::Joined { idx, delta } = env.msg {
+            if let DistMsg::Joined { run, idx, delta } = env.msg {
+                if run != self.tag {
+                    continue;
+                }
                 self.neighbor_active.insert((env.from, idx), false);
                 self.apply_neighbor_raise(env.from, idx, delta);
                 self.kill_conflicting_with(env.from, idx);
@@ -620,7 +941,7 @@ impl ProcessorNode {
         // Drain without dropping the buffer's capacity.
         let mut died = std::mem::take(&mut self.pending_died);
         for &idx in &died {
-            ctx.broadcast(DistMsg::Died { idx });
+            ctx.broadcast(DistMsg::Died { run: self.tag, idx });
         }
         died.clear();
         self.pending_died = died;
@@ -634,7 +955,10 @@ impl ProcessorNode {
         ctx: &mut Context<'_, DistMsg>,
     ) {
         for env in inbox {
-            if let DistMsg::Selected { idx } = env.msg {
+            if let DistMsg::Selected { run, idx } = env.msg {
+                if run != self.tag {
+                    continue;
+                }
                 let Some(view) = neighbor_view(&self.neighbors, env.from, idx) else {
                     continue;
                 };
@@ -670,7 +994,120 @@ impl ProcessorNode {
                         .get_mut(&(network, e.0))
                         .expect("own path edges are tracked") -= height;
                 }
-                ctx.broadcast(DistMsg::Selected { idx: i as u8 });
+                ctx.broadcast(DistMsg::Selected {
+                    run: self.tag,
+                    idx: i as u8,
+                });
+            }
+        }
+    }
+
+    /// Combiner round 1: report the own selected instance (at most one —
+    /// a demand enters the solution at most once) to the leader of its
+    /// network; a self-led report is recorded directly.
+    fn round_combine_report(&mut self, ctx: &mut Context<'_, DistMsg>) {
+        let Some(&d) = self.selected.first() else {
+            return;
+        };
+        let i = self
+            .own
+            .iter()
+            .position(|inst| inst.id == d)
+            .expect("selected instances are own instances");
+        let t = self.own[i].view.network.0;
+        let leader = self.leader_of(t);
+        if leader == self.me() {
+            self.contributions.push(Contribution {
+                network: t,
+                demand: self.me() as u32,
+                idx: i as u8,
+                run: self.tag,
+                profit: self.own[i].view.profit,
+            });
+        } else {
+            ctx.send(
+                leader,
+                DistMsg::CombineReport {
+                    run: self.tag,
+                    idx: i as u8,
+                },
+            );
+        }
+    }
+
+    /// Combiner round 2 (leaders): collect the reports, fold the per-run
+    /// profit sums **in ascending (demand, idx) order** — i.e. ascending
+    /// instance id, the exact order of `Solution::selected` that the
+    /// logical `combine_by_network` folds in — and broadcast each decided
+    /// network's choice to its accessors.
+    fn round_combine_decide(
+        &mut self,
+        inbox: &[Envelope<DistMsg>],
+        ctx: &mut Context<'_, DistMsg>,
+    ) {
+        for env in inbox {
+            if let DistMsg::CombineReport { run, idx } = env.msg {
+                let Some(view) = neighbor_view(&self.neighbors, env.from, idx) else {
+                    continue;
+                };
+                self.contributions.push(Contribution {
+                    network: view.network.0,
+                    demand: env.from as u32,
+                    idx,
+                    run,
+                    profit: view.profit,
+                });
+            }
+        }
+        if self.contributions.is_empty() {
+            return;
+        }
+        self.contributions
+            .sort_unstable_by_key(|c| (c.network, c.demand, c.idx));
+        let mut start = 0usize;
+        while start < self.contributions.len() {
+            let t = self.contributions[start].network;
+            let mut end = start;
+            let mut wide_profit = 0.0f64;
+            let mut narrow_profit = 0.0f64;
+            while end < self.contributions.len() && self.contributions[end].network == t {
+                let c = self.contributions[end];
+                match c.run {
+                    RunTag::Primary => wide_profit += c.profit,
+                    RunTag::Narrow => narrow_profit += c.profit,
+                }
+                end += 1;
+            }
+            let wide_wins = treenet_core::combine_decision(wide_profit, narrow_profit);
+            self.choices.push((t, wide_wins));
+            // Every accessor of t is a neighbor of its leader.
+            let mut accessors: Vec<usize> = self
+                .neighbors
+                .iter()
+                .filter(|(_, views)| views.iter().any(|v| v.network.0 == t))
+                .map(|(&node, _)| node)
+                .collect();
+            accessors.sort_unstable();
+            for node in accessors {
+                ctx.send(
+                    node,
+                    DistMsg::CombineChoice {
+                        network: t,
+                        wide_wins,
+                    },
+                );
+            }
+            start = end;
+        }
+    }
+
+    /// Combiner round 3: record the broadcast per-network choices.
+    fn round_combine_apply(&mut self, inbox: &[Envelope<DistMsg>]) {
+        for env in inbox {
+            if let DistMsg::CombineChoice { network, wide_wins } = env.msg {
+                if !self.choices.iter().any(|(t, _)| *t == network) {
+                    self.choices.push((network, wide_wins));
+                }
             }
         }
     }
@@ -687,18 +1124,54 @@ impl Protocol for ProcessorNode {
         inbox: &[Envelope<DistMsg>],
         ctx: &mut Context<'_, DistMsg>,
     ) {
-        // Passive nodes (off-class in a wide/narrow split) stay silent:
-        // they never announce, raise, die or select, and nothing a
-        // neighbor could tell them affects this run's participants.
+        // Mode-independent intake: descriptors (they arrive while the
+        // first sweep is already in flight) and the echo layer's
+        // aggregates — every node relays both halves' sweeps, including
+        // nodes that are passive for the data protocol.
+        for env in inbox {
+            match &env.msg {
+                DistMsg::Descriptor(descriptor) => {
+                    let views = self.public.views(descriptor);
+                    self.neighbors.insert(env.from, views);
+                }
+                DistMsg::EchoUp {
+                    run,
+                    unsatisfied,
+                    members,
+                } => {
+                    let state = &mut self.echo[run.index()];
+                    state.unsatisfied += unsatisfied;
+                    state.members |= members;
+                    state.pending_children = state.pending_children.saturating_sub(1);
+                }
+                DistMsg::EchoDown {
+                    run,
+                    unsatisfied,
+                    members,
+                } => {
+                    self.echo[run.index()].verdict = Some((*unsatisfied, *members));
+                }
+                _ => {}
+            }
+        }
+        self.echo_round(ctx);
+
+        // Data-plane compute, gated on participation (the serial
+        // reference path keeps off-class nodes fully silent; merged runs
+        // make every node a participant of exactly one half).
         if !self.participating {
             return;
         }
         match self.mode.clone() {
             Mode::Setup => self.round_setup(ctx),
-            Mode::Announce => self.round_announce(inbox, ctx),
+            Mode::Idle => {}
+            Mode::Announce => self.round_announce(ctx),
             Mode::LubyEval => self.round_luby_eval(inbox, ctx),
             Mode::LubyCleanup => self.round_luby_cleanup(inbox, ctx),
             Mode::Pop(step) => self.round_pop(step, inbox, ctx),
+            Mode::CombineReport => self.round_combine_report(ctx),
+            Mode::CombineDecide => self.round_combine_decide(inbox, ctx),
+            Mode::CombineApply => self.round_combine_apply(inbox),
         }
     }
 

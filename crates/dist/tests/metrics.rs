@@ -1,14 +1,28 @@
 //! Communication-metrics coverage for the message-passing scheduler:
 //! traffic exists whenever processors share resources, every message
 //! respects the paper's `O(M)`-bit bound (one demand descriptor), and the
-//! engine's round count follows the schedule the `FrameworkConfig`
-//! parameters fix.
+//! engine's round count follows the *exact* relation documented on
+//! `DistSchedule`:
+//!
+//! * solo in-network runner:
+//!   `rounds == schedule.total_rounds() + schedule.control_rounds() + 1`
+//!   (compute + echo sweeps + one descriptor-exchange setup round);
+//! * merged split runner (one shared engine, halves overlapping):
+//!   `rounds == max(wide.engine_rounds(), narrow.engine_rounds()) + 1 +
+//!   COMBINE_ROUNDS`;
+//! * driver-counted reference paths have no sweeps: solo
+//!   `rounds == total_rounds() + 1`, serial split
+//!   `rounds == wide.total + narrow.total + 2`.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use treenet_dist::{
-    descriptor_bits, run_distributed_line_arbitrary, run_distributed_line_unit,
-    run_distributed_tree_unit, DistConfig,
+    descriptor_bits, run_distributed_auto, run_distributed_line_arbitrary,
+    run_distributed_line_arbitrary_reference, run_distributed_line_unit,
+    run_distributed_line_unit_reference, run_distributed_tree_arbitrary,
+    run_distributed_tree_arbitrary_reference, run_distributed_tree_unit,
+    run_distributed_tree_unit_reference, DistAutoRun, DistCombinedOutcome, DistConfig, DistOutcome,
+    COMBINE_ROUNDS,
 };
 use treenet_graph::generators::TreeFamily;
 use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
@@ -17,6 +31,71 @@ use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
 /// definition (shared with the `MessageSize` accounting).
 fn descriptor_bound(networks: usize) -> u64 {
     descriptor_bits(networks)
+}
+
+/// The solo in-network relation, exact.
+fn assert_solo_relation(out: &DistOutcome, label: &str) {
+    assert_eq!(
+        out.metrics.rounds,
+        out.schedule.total_rounds() + out.schedule.control_rounds() + 1,
+        "{label}: rounds != compute + control + setup"
+    );
+    assert_eq!(
+        out.schedule.engine_rounds(),
+        out.schedule.total_rounds() + out.schedule.control_rounds(),
+        "{label}"
+    );
+}
+
+/// The merged-split in-network relation, exact.
+fn assert_split_relation(out: &DistCombinedOutcome, label: &str) {
+    assert_eq!(
+        out.metrics.rounds,
+        out.wide
+            .schedule
+            .engine_rounds()
+            .max(out.narrow.schedule.engine_rounds())
+            + 1
+            + COMBINE_ROUNDS,
+        "{label}: rounds != max(halves) + setup + combiner"
+    );
+}
+
+fn tree_problem(seed: u64) -> treenet_model::Problem {
+    TreeWorkload::new(9, 7)
+        .with_networks(2)
+        .with_profit_ratio(4.0)
+        .generate(&mut SmallRng::seed_from_u64(seed))
+}
+
+fn line_problem(seed: u64) -> treenet_model::Problem {
+    LineWorkload::new(30, 12)
+        .with_resources(2)
+        .with_window_slack(2)
+        .with_len_range(1, 8)
+        .generate(&mut SmallRng::seed_from_u64(seed))
+}
+
+fn mixed_line_problem(seed: u64) -> treenet_model::Problem {
+    LineWorkload::new(30, 12)
+        .with_resources(2)
+        .with_window_slack(2)
+        .with_len_range(1, 8)
+        .with_heights(HeightMode::Bimodal {
+            narrow_frac: 0.5,
+            hmin: 0.2,
+        })
+        .generate(&mut SmallRng::seed_from_u64(seed))
+}
+
+fn mixed_tree_problem(seed: u64) -> treenet_model::Problem {
+    TreeWorkload::new(10, 8)
+        .with_networks(2)
+        .with_heights(HeightMode::Bimodal {
+            narrow_frac: 0.5,
+            hmin: 0.25,
+        })
+        .generate(&mut SmallRng::seed_from_u64(seed))
 }
 
 #[test]
@@ -33,7 +112,8 @@ fn messages_flow_and_respect_the_descriptor_bound() {
         // Several processors share two networks: traffic must exist.
         assert!(out.metrics.messages > 0, "{}: no messages", family.name());
         assert!(out.metrics.bits > 0, "{}", family.name());
-        // O(M) bits: no message exceeds one demand descriptor.
+        // O(M) bits: no message — data, echo or combine — exceeds one
+        // demand descriptor.
         assert!(
             out.metrics.max_message_bits <= descriptor_bound(p.network_count()),
             "{}: {} bits > descriptor bound",
@@ -93,13 +173,17 @@ fn rounds_follow_the_framework_schedule() {
             .sum();
         assert_eq!(out.schedule.total_rounds(), steps + out.schedule.pops);
         assert_eq!(out.schedule.pops, out.schedule.num_steps() as u64);
-        // The engine executes the schedule plus exactly one setup round
-        // (the descriptor exchange) — the relation is exact, not a range.
+        // Control accounting: sweeps × sweep length, where a sweep runs
+        // before every step plus once more per executed stage (and once
+        // per skipped epoch) — so sweeps ≥ steps + 1 whenever any step
+        // ran, and never fewer than one per epoch scanned.
         assert_eq!(
-            out.metrics.rounds,
-            out.schedule.total_rounds() + 1,
-            "seed {seed}"
+            out.schedule.control_rounds(),
+            out.schedule.sweeps * out.schedule.sweep_rounds
         );
+        assert!(out.schedule.sweeps > out.schedule.num_steps() as u64);
+        // The exact engine relation: setup + compute + control.
+        assert_solo_relation(&out, "tree-unit");
         // Steps are recorded in schedule order: epochs ascend, stages
         // ascend within an epoch, step indices count from zero.
         for pair in out.schedule.steps.windows(2) {
@@ -115,43 +199,76 @@ fn rounds_follow_the_framework_schedule() {
 }
 
 #[test]
-fn setup_round_relation_is_exact_for_every_runner() {
-    // The documented "+1 setup round" audit: for the tree runner, the
-    // line runner, and both halves of the arbitrary-height line runner,
-    // the engine's round count is the schedule's total plus exactly one
-    // descriptor-exchange round — never zero, never two.
-    let tree = TreeWorkload::new(9, 7)
-        .with_networks(2)
-        .with_profit_ratio(4.0)
-        .generate(&mut SmallRng::seed_from_u64(23));
+fn round_relation_is_exact_for_every_runner() {
+    // The documented relations, audited for every in-network runner and
+    // every reference runner — exact equalities, never ranges.
+    let tree = tree_problem(23);
     let out = run_distributed_tree_unit(&tree, &DistConfig::default()).unwrap();
-    assert_eq!(out.metrics.rounds, out.schedule.total_rounds() + 1, "tree");
+    assert_solo_relation(&out, "tree-unit");
+    assert!(out.schedule.sweeps > 0);
 
-    let line = LineWorkload::new(30, 12)
-        .with_resources(2)
-        .with_window_slack(2)
-        .with_len_range(1, 8)
-        .generate(&mut SmallRng::seed_from_u64(23));
+    let line = line_problem(23);
     let out = run_distributed_line_unit(&line, &DistConfig::default()).unwrap();
-    assert_eq!(out.metrics.rounds, out.schedule.total_rounds() + 1, "line");
+    assert_solo_relation(&out, "line-unit");
 
-    let mixed = LineWorkload::new(30, 12)
-        .with_resources(2)
-        .with_window_slack(2)
-        .with_len_range(1, 8)
-        .with_heights(HeightMode::Bimodal {
-            narrow_frac: 0.5,
-            hmin: 0.2,
-        })
-        .generate(&mut SmallRng::seed_from_u64(23));
+    let mixed = mixed_line_problem(23);
     let out = run_distributed_line_arbitrary(&mixed, &DistConfig::default()).unwrap();
-    for (label, half) in [("wide", &out.wide), ("narrow", &out.narrow)] {
+    assert_split_relation(&out, "line-arbitrary");
+
+    let mixed_tree = mixed_tree_problem(23);
+    let out = run_distributed_tree_arbitrary(&mixed_tree, &DistConfig::default()).unwrap();
+    assert_split_relation(&out, "tree-arbitrary");
+
+    // Auto dispatches to the same runners; its relation follows the
+    // dispatched shape.
+    match run_distributed_auto(&mixed, &DistConfig::default())
+        .unwrap()
+        .run
+    {
+        DistAutoRun::Split(out) => assert_split_relation(&out, "auto-split"),
+        DistAutoRun::Single(out) => assert_solo_relation(&out, "auto-single"),
+    }
+
+    // Reference paths: no sweeps, driver-counted boundaries.
+    let out = run_distributed_tree_unit_reference(&tree, &DistConfig::default()).unwrap();
+    assert_eq!(out.schedule.sweeps, 0);
+    assert_eq!(out.schedule.control_rounds(), 0);
+    assert_eq!(out.metrics.rounds, out.schedule.total_rounds() + 1);
+
+    let out = run_distributed_line_unit_reference(&line, &DistConfig::default()).unwrap();
+    assert_eq!(out.metrics.rounds, out.schedule.total_rounds() + 1);
+
+    for out in [
+        run_distributed_line_arbitrary_reference(&mixed, &DistConfig::default()).unwrap(),
+        run_distributed_tree_arbitrary_reference(&mixed_tree, &DistConfig::default()).unwrap(),
+    ] {
         assert_eq!(
-            half.metrics.rounds,
-            half.schedule.total_rounds() + 1,
-            "{label}"
+            out.metrics.rounds,
+            out.wide.schedule.total_rounds() + out.narrow.schedule.total_rounds() + 2
         );
     }
+}
+
+#[test]
+fn per_class_traffic_accounts_for_the_control_plane() {
+    // The engine's per-class counters split setup (0), sub-run data
+    // (1/2), echo control (3) and combine control (4); the split runner
+    // uses all five, the solo runner everything but the combiner.
+    let out =
+        run_distributed_line_arbitrary(&mixed_line_problem(7), &DistConfig::default()).unwrap();
+    let by = out.metrics.by_class;
+    assert!(by[0].messages > 0, "setup descriptors");
+    assert!(by[1].messages > 0, "wide-half data");
+    assert!(by[2].messages > 0, "narrow-half data");
+    assert!(by[3].messages > 0, "echo sweeps");
+    assert!(by[4].messages > 0, "combiner");
+    let total: u64 = by.iter().map(|c| c.messages).sum();
+    assert_eq!(total, out.metrics.messages);
+
+    let out = run_distributed_line_unit(&line_problem(7), &DistConfig::default()).unwrap();
+    assert_eq!(out.metrics.by_class[2].messages, 0, "no narrow half");
+    assert_eq!(out.metrics.by_class[4].messages, 0, "no combiner");
+    assert!(out.metrics.by_class[3].messages > 0, "echo sweeps");
 }
 
 #[test]
@@ -170,6 +287,9 @@ fn line_messages_respect_the_descriptor_bound() {
 
 #[test]
 fn solo_processor_is_silent() {
+    // A single isolated processor is its own convergecast root: the echo
+    // verdicts resolve locally, sweeps cost zero rounds and the whole
+    // run exchanges zero messages.
     let mut b = treenet_model::ProblemBuilder::new();
     let t = b.add_network(treenet_graph::Tree::line(6)).unwrap();
     b.add_demand(
@@ -182,5 +302,8 @@ fn solo_processor_is_silent() {
     assert_eq!(out.metrics.messages, 0);
     assert_eq!(out.metrics.bits, 0);
     assert_eq!(out.metrics.max_message_bits, 0);
+    assert_eq!(out.schedule.sweep_rounds, 0, "height-0 forest");
+    assert!(out.schedule.sweeps > 0, "sweeps still run, for free");
+    assert_solo_relation(&out, "solo");
     assert_eq!(out.solution.len(), 1);
 }

@@ -1,0 +1,133 @@
+//! The in-network termination detector under adversarial delivery
+//! orderings: `treenet-netsim` fixes *which* round a message arrives in,
+//! not the order within an inbox, so the echo sweeps (and everything
+//! else — duals, MIS, pops, combiner) must be invariant under per-round
+//! inbox shuffling. Reordering must not move a single detected stage
+//! boundary: schedules, sweep counts, solutions, λ and even the full
+//! metrics must be identical.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treenet_dist::{
+    run_distributed_auto, run_distributed_line_arbitrary, run_distributed_line_unit,
+    run_distributed_tree_unit, DistAutoRun, DistConfig,
+};
+use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
+use treenet_model::Problem;
+
+fn shuffled(seed: u64) -> DistConfig {
+    DistConfig {
+        shuffle_delivery: Some(seed),
+        ..DistConfig::default()
+    }
+}
+
+fn tree_problem(seed: u64) -> Problem {
+    TreeWorkload::new(10, 8)
+        .with_networks(2)
+        .with_profit_ratio(4.0)
+        .generate(&mut SmallRng::seed_from_u64(seed))
+}
+
+fn line_problem(seed: u64) -> Problem {
+    LineWorkload::new(30, 12)
+        .with_resources(2)
+        .with_window_slack(2)
+        .with_len_range(1, 8)
+        .generate(&mut SmallRng::seed_from_u64(seed))
+}
+
+fn mixed_line_problem(seed: u64) -> Problem {
+    LineWorkload::new(30, 12)
+        .with_resources(2)
+        .with_window_slack(2)
+        .with_len_range(1, 8)
+        .with_heights(HeightMode::Bimodal {
+            narrow_frac: 0.5,
+            hmin: 0.2,
+        })
+        .generate(&mut SmallRng::seed_from_u64(seed))
+}
+
+#[test]
+fn tree_unit_is_invariant_under_inbox_reordering() {
+    for seed in 0..4u64 {
+        let p = tree_problem(seed);
+        let plain = run_distributed_tree_unit(&p, &DistConfig::default()).unwrap();
+        for shuffle_seed in [1u64, 0xdead, 0xbeef] {
+            let out = run_distributed_tree_unit(&p, &shuffled(shuffle_seed)).unwrap();
+            assert_eq!(plain.solution, out.solution, "seed {seed}/{shuffle_seed}");
+            assert_eq!(plain.lambda.to_bits(), out.lambda.to_bits());
+            // The detected boundaries: identical step records AND
+            // identical sweep counts — not one sweep more or less.
+            assert_eq!(plain.schedule, out.schedule, "seed {seed}/{shuffle_seed}");
+            // Shuffling only permutes inboxes; the traffic itself is
+            // identical down to per-class counters.
+            assert_eq!(plain.metrics, out.metrics, "seed {seed}/{shuffle_seed}");
+        }
+    }
+}
+
+#[test]
+fn line_unit_is_invariant_under_inbox_reordering() {
+    for seed in 0..4u64 {
+        let p = line_problem(seed);
+        let plain = run_distributed_line_unit(&p, &DistConfig::default()).unwrap();
+        let out = run_distributed_line_unit(&p, &shuffled(0x5eed ^ seed)).unwrap();
+        assert_eq!(plain.solution, out.solution, "seed {seed}");
+        assert_eq!(plain.lambda.to_bits(), out.lambda.to_bits());
+        assert_eq!(plain.schedule, out.schedule, "seed {seed}");
+        assert_eq!(plain.metrics, out.metrics, "seed {seed}");
+    }
+}
+
+#[test]
+fn merged_split_and_combiner_are_invariant_under_inbox_reordering() {
+    // The hardest case: two overlapping sub-runs, interleaved echo
+    // sweeps of both tags, and the combiner's report/decide/apply rounds
+    // all share inboxes. Reordering must change nothing — the combiner
+    // sorts its contributions canonically before folding.
+    for seed in 0..4u64 {
+        let p = mixed_line_problem(seed);
+        let plain = run_distributed_line_arbitrary(&p, &DistConfig::default()).unwrap();
+        let out = run_distributed_line_arbitrary(&p, &shuffled(seed * 31 + 7)).unwrap();
+        assert_eq!(plain.solution, out.solution, "seed {seed}");
+        assert_eq!(plain.wide.schedule, out.wide.schedule, "seed {seed}");
+        assert_eq!(plain.narrow.schedule, out.narrow.schedule, "seed {seed}");
+        assert_eq!(plain.wide.lambda.to_bits(), out.wide.lambda.to_bits());
+        assert_eq!(plain.narrow.lambda.to_bits(), out.narrow.lambda.to_bits());
+        assert_eq!(plain.metrics, out.metrics, "seed {seed}");
+    }
+}
+
+#[test]
+fn auto_dispatch_is_invariant_under_inbox_reordering() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let problems = [
+        LineWorkload::new(24, 10).generate(&mut rng),
+        TreeWorkload::new(10, 8)
+            .with_networks(2)
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: 0.25,
+            })
+            .generate(&mut rng),
+    ];
+    for (i, p) in problems.iter().enumerate() {
+        let plain = run_distributed_auto(p, &DistConfig::default()).unwrap();
+        let out = run_distributed_auto(p, &shuffled(99 + i as u64)).unwrap();
+        assert_eq!(plain.choice, out.choice, "case {i}");
+        assert_eq!(plain.solution, out.solution, "case {i}");
+        assert_eq!(plain.lambda.to_bits(), out.lambda.to_bits(), "case {i}");
+        match (&plain.run, &out.run) {
+            (DistAutoRun::Single(a), DistAutoRun::Single(b)) => {
+                assert_eq!(a.schedule, b.schedule, "case {i}");
+            }
+            (DistAutoRun::Split(a), DistAutoRun::Split(b)) => {
+                assert_eq!(a.wide.schedule, b.wide.schedule, "case {i}");
+                assert_eq!(a.narrow.schedule, b.narrow.schedule, "case {i}");
+            }
+            _ => panic!("case {i}: dispatch shapes diverged"),
+        }
+    }
+}

@@ -89,6 +89,19 @@ pub trait Protocol {
     fn is_done(&self) -> bool;
 }
 
+/// Number of traffic-class buckets in [`Metrics::by_class`].
+pub const MESSAGE_CLASSES: usize = 8;
+
+/// Per-traffic-class message counters (see
+/// [`MessageSize::traffic_class`](crate::MessageSize::traffic_class)).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassMetrics {
+    /// Messages delivered in this class.
+    pub messages: u64,
+    /// Delivered payload bits in this class.
+    pub bits: u64,
+}
+
 /// Communication metrics of one engine run — the quantities the paper's
 /// theorems bound.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -105,6 +118,31 @@ pub struct Metrics {
     pub dropped: u64,
     /// Extra deliveries created by fault injection.
     pub duplicated: u64,
+    /// Per-traffic-class message/bit counters, indexed by
+    /// [`MessageSize::traffic_class`](crate::MessageSize::traffic_class)
+    /// (clamped to the last bucket).
+    pub by_class: [ClassMetrics; MESSAGE_CLASSES],
+}
+
+impl Metrics {
+    /// Combines the metrics of two sequential engine runs: counters add,
+    /// the maximum message size is the larger of the two. Used when a
+    /// protocol executes as several engine passes (e.g. the serial
+    /// reference path of the wide/narrow split schedulers).
+    #[must_use]
+    pub fn merged(mut self, other: Metrics) -> Metrics {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        for (mine, theirs) in self.by_class.iter_mut().zip(other.by_class.iter()) {
+            mine.messages += theirs.messages;
+            mine.bits += theirs.bits;
+        }
+        self
+    }
 }
 
 /// Fault injection for simulator robustness testing.
@@ -195,6 +233,7 @@ pub struct Engine<P: Protocol> {
     metrics: Metrics,
     started: bool,
     faults: Option<(FaultPlan, SmallRng)>,
+    shuffle: Option<SmallRng>,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -217,6 +256,7 @@ impl<P: Protocol> Engine<P> {
             metrics: Metrics::default(),
             started: false,
             faults: None,
+            shuffle: None,
         }
     }
 
@@ -224,6 +264,17 @@ impl<P: Protocol> Engine<P> {
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some((plan, SmallRng::seed_from_u64(plan.seed)));
+        self
+    }
+
+    /// Enables adversarial (but reproducible, seeded) shuffling of each
+    /// node's per-round inbox before delivery. The synchronous model
+    /// fixes *which* round a message arrives in but not the order within
+    /// the inbox — protocols must not depend on it, and the scheduler
+    /// tests use this knob to prove they don't.
+    #[must_use]
+    pub fn with_delivery_shuffle(mut self, seed: u64) -> Self {
+        self.shuffle = Some(SmallRng::seed_from_u64(seed));
         self
     }
 
@@ -283,8 +334,14 @@ impl<P: Protocol> Engine<P> {
     /// Executes exactly one synchronous round.
     pub fn step(&mut self) {
         let round = self.metrics.rounds;
-        let inboxes: Vec<Vec<Envelope<P::Msg>>> =
+        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> =
             self.mailboxes.iter_mut().map(std::mem::take).collect();
+        if let Some(rng) = self.shuffle.as_mut() {
+            use rand::seq::SliceRandom;
+            for inbox in &mut inboxes {
+                inbox.shuffle(rng);
+            }
+        }
         let mut outs: Vec<Vec<(usize, P::Msg)>> = Vec::with_capacity(self.nodes.len());
         for (v, node) in self.nodes.iter_mut().enumerate() {
             let mut ctx = Context {
@@ -317,9 +374,12 @@ impl<P: Protocol> Engine<P> {
                     }
                 }
                 let bits = msg.size_bits();
+                let class = msg.traffic_class().min(MESSAGE_CLASSES - 1);
                 self.metrics.messages += 1;
                 self.metrics.bits += bits;
                 self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+                self.metrics.by_class[class].messages += 1;
+                self.metrics.by_class[class].bits += bits;
                 self.mailboxes[to].push(Envelope { from, msg });
             }
         }
@@ -541,6 +601,143 @@ mod tests {
         assert_eq!(engine.nodes()[1].received, 1);
         assert_eq!(engine.nodes()[2].received, 1);
         assert_eq!(engine.nodes()[3].received, 0);
+    }
+
+    /// Messages alternate between class 0 and class 1 by parity.
+    struct ClassyMsg(u64);
+    impl Clone for ClassyMsg {
+        fn clone(&self) -> Self {
+            ClassyMsg(self.0)
+        }
+    }
+    impl MessageSize for ClassyMsg {
+        fn size_bits(&self) -> u64 {
+            64
+        }
+        fn traffic_class(&self) -> usize {
+            (self.0 % 2) as usize
+        }
+    }
+    struct ClassSender;
+    impl Protocol for ClassSender {
+        type Msg = ClassyMsg;
+        fn on_start(&mut self, ctx: &mut Context<'_, ClassyMsg>) {
+            if ctx.node() == 0 {
+                for i in 0..5 {
+                    ctx.send(1, ClassyMsg(i));
+                }
+            }
+        }
+        fn on_round(
+            &mut self,
+            _r: u64,
+            _i: &[Envelope<ClassyMsg>],
+            _c: &mut Context<'_, ClassyMsg>,
+        ) {
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn per_class_counters_split_traffic() {
+        let mut topology = Topology::new(2);
+        topology.add_edge(0, 1);
+        let mut engine = Engine::new(vec![ClassSender, ClassSender], topology);
+        let metrics = engine.run(5).unwrap();
+        assert_eq!(metrics.messages, 5);
+        assert_eq!(metrics.by_class[0].messages, 3); // 0, 2, 4
+        assert_eq!(metrics.by_class[1].messages, 2); // 1, 3
+        assert_eq!(metrics.by_class[0].bits, 3 * 64);
+        assert_eq!(metrics.by_class[1].bits, 2 * 64);
+        // Class totals add up to the global counters.
+        let (m, b) = metrics
+            .by_class
+            .iter()
+            .fold((0, 0), |(m, b), c| (m + c.messages, b + c.bits));
+        assert_eq!((m, b), (metrics.messages, metrics.bits));
+    }
+
+    #[test]
+    fn merged_metrics_add_counters_and_max_sizes() {
+        let a = Metrics {
+            rounds: 3,
+            messages: 10,
+            bits: 640,
+            max_message_bits: 64,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            rounds: 2,
+            messages: 4,
+            bits: 512,
+            max_message_bits: 128,
+            ..Metrics::default()
+        };
+        let m = a.merged(b);
+        assert_eq!(m.rounds, 5);
+        assert_eq!(m.messages, 14);
+        assert_eq!(m.bits, 1152);
+        assert_eq!(m.max_message_bits, 128);
+    }
+
+    /// Sums received payloads — order-insensitive, so shuffled delivery
+    /// must not change the result while the inbox order does change.
+    struct Summer {
+        sum: u64,
+        order: Vec<u64>,
+    }
+    impl Protocol for Summer {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            if ctx.node() != 0 {
+                ctx.send(0, ctx.node() as u64);
+            }
+        }
+        fn on_round(&mut self, _r: u64, inbox: &[Envelope<u64>], _c: &mut Context<'_, u64>) {
+            for env in inbox {
+                self.sum += env.msg;
+                self.order.push(env.msg);
+            }
+        }
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn delivery_shuffle_reorders_within_a_round_only() {
+        let build = || {
+            let mut topology = Topology::new(5);
+            for v in 1..5 {
+                topology.add_edge(0, v);
+            }
+            Engine::new(
+                (0..5)
+                    .map(|_| Summer {
+                        sum: 0,
+                        order: Vec::new(),
+                    })
+                    .collect(),
+                topology,
+            )
+        };
+        let mut plain = build();
+        plain.run(5).unwrap();
+        let mut shuffled = build().with_delivery_shuffle(0xbeef);
+        shuffled.run(5).unwrap();
+        // Same metrics, same (order-insensitive) result…
+        assert_eq!(plain.metrics(), shuffled.metrics());
+        assert_eq!(plain.nodes()[0].sum, shuffled.nodes()[0].sum);
+        // …but a genuinely different delivery order (all four messages
+        // arrive in the same round, so only the inbox order can differ).
+        assert_eq!(plain.nodes()[0].order, vec![1, 2, 3, 4]);
+        assert_ne!(plain.nodes()[0].order, shuffled.nodes()[0].order);
+        // And the shuffle is reproducible per seed.
+        let mut again = build().with_delivery_shuffle(0xbeef);
+        again.run(5).unwrap();
+        assert_eq!(shuffled.nodes()[0].order, again.nodes()[0].order);
     }
 
     #[test]

@@ -62,7 +62,10 @@
 mod engine;
 mod topology;
 
-pub use engine::{Context, Engine, EngineError, Envelope, FaultPlan, Metrics, Protocol};
+pub use engine::{
+    ClassMetrics, Context, Engine, EngineError, Envelope, FaultPlan, Metrics, Protocol,
+    MESSAGE_CLASSES,
+};
 pub use topology::Topology;
 
 /// Size accounting for messages, in bits.
@@ -75,6 +78,15 @@ pub trait MessageSize {
     /// Estimated wire size of this message in bits.
     fn size_bits(&self) -> u64 {
         64
+    }
+
+    /// Traffic class of this message for the per-class counters in
+    /// [`Metrics::by_class`] (namespaced protocols map each message tag —
+    /// setup, per-sub-run data, control, … — to its own class). Classes
+    /// at or above [`MESSAGE_CLASSES`] are clamped into the last bucket.
+    /// The default of 0 suits untagged protocols.
+    fn traffic_class(&self) -> usize {
+        0
     }
 }
 

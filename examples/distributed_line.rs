@@ -55,26 +55,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         unreachable!("mixed heights dispatch to the wide/narrow split");
     };
     println!(
-        "wide run:   {} steps, {} comm rounds, {} messages, λ = {:.4}",
+        "wide half:   {} steps, {} compute rounds, λ = {:.4}",
         split.wide.schedule.num_steps(),
         split.wide.schedule.total_rounds(),
-        split.wide.metrics.messages,
         split.wide.lambda,
     );
     println!(
-        "narrow run: {} steps, {} comm rounds, {} messages, λ = {:.4}",
+        "narrow half: {} steps, {} compute rounds, λ = {:.4}",
         split.narrow.schedule.num_steps(),
         split.narrow.schedule.total_rounds(),
-        split.narrow.metrics.messages,
         split.narrow.lambda,
     );
     println!(
+        "shared engine: {} rounds ({} in-network control sweeps), {} messages",
+        split.metrics.rounds,
+        split.wide.schedule.sweeps + split.narrow.schedule.sweeps,
+        split.metrics.messages,
+    );
+    println!(
         "max message size: {} bits (one demand descriptor — the paper's O(M))",
-        split
-            .wide
-            .metrics
-            .max_message_bits
-            .max(split.narrow.metrics.max_message_bits),
+        split.metrics.max_message_bits,
     );
 
     // The message-passing execution equals the logical Theorem-7.2 run

@@ -84,8 +84,12 @@ fn distributed_round_count_follows_fixed_schedule() {
         ..DistConfig::default()
     };
     let out = run_distributed_tree_unit(&p, &cfg).unwrap();
-    // Engine rounds = schedule length + exactly one setup round.
-    assert_eq!(out.metrics.rounds, out.schedule.total_rounds() + 1);
+    // Engine rounds = compute schedule + in-network control sweeps +
+    // exactly one setup round.
+    assert_eq!(
+        out.metrics.rounds,
+        out.schedule.total_rounds() + out.schedule.control_rounds() + 1
+    );
     // λ reached the (1-ε) target.
     assert!(out.lambda >= 1.0 - 0.4 - 1e-9);
 }
