@@ -338,6 +338,29 @@ pub fn echo_sweep_rounds(height: u32) -> u64 {
     }
 }
 
+/// Upper bound on the link-layer recovery slots the reliable-delivery
+/// sublayer (`treenet-netsim`'s loss-model path) may add to a run that
+/// suffered `dropped` dropped and `delayed` delayed transmissions:
+/// `4 · (dropped + delayed)`.
+///
+/// Derivation: a round only enters recovery when its first slot lost or
+/// delayed a transmission, so recovery *episodes* number at most
+/// `dropped + delayed`; within an episode, any two consecutive slots
+/// without a fresh loss event finish it (the two-slot retransmission
+/// timer fires in one of them and the retransmission goes through), so
+/// an episode spans at most `2·(events_inside + 1)` slots. Summing,
+/// `slots ≤ 2·events + 2·episodes ≤ 4·(dropped + delayed)`. In
+/// particular the bound is zero when nothing was lost — the
+/// zero-overhead passthrough at `p = 0`.
+///
+/// This is the single shared definition used by the fault-injection
+/// proptests in `treenet-dist` and the `exp_f_dist_loss` experiment, so
+/// the documented bound cannot drift from what is asserted.
+#[inline]
+pub fn retransmit_round_bound(dropped: u64, delayed: u64) -> u64 {
+    4u64.saturating_mul(dropped.saturating_add(delayed))
+}
+
 /// Runs the two-phase framework over `participants` (pass all instances
 /// for the plain algorithm; subsets are used by the wide/narrow combiner).
 ///
@@ -974,6 +997,19 @@ mod tests {
             outcome.stats.comm_rounds,
             2 * outcome.stats.mis_rounds + steps + pops
         );
+    }
+
+    #[test]
+    fn retransmit_round_bound_formula() {
+        // Zero loss events ⇒ zero recovery slots (the p=0 passthrough).
+        assert_eq!(retransmit_round_bound(0, 0), 0);
+        // 4 slots per loss event, drops and delays alike.
+        assert_eq!(retransmit_round_bound(1, 0), 4);
+        assert_eq!(retransmit_round_bound(0, 1), 4);
+        assert_eq!(retransmit_round_bound(3, 2), 20);
+        // Saturating at the extremes instead of wrapping.
+        assert_eq!(retransmit_round_bound(u64::MAX, 1), u64::MAX);
+        assert_eq!(retransmit_round_bound(u64::MAX / 2, 0), u64::MAX);
     }
 
     #[test]

@@ -64,6 +64,23 @@
 //! engine relations are documented on [`DistSchedule`] and asserted for
 //! every runner in `tests/metrics.rs`.
 //!
+//! # Fault tolerance
+//!
+//! Links need not be reliable: [`DistConfig::loss`] runs the whole
+//! protocol — data plane, echo sweeps, combiner — over seeded Bernoulli
+//! drop/duplicate/delay processes, recovered by `treenet-netsim`'s
+//! reliable-delivery sublayer (per-edge sequence numbers, cumulative +
+//! selective acks, timeout retransmission, duplicate suppression).
+//! Every node, the `HalfDriver` state machines and the echo-sweep
+//! termination path run *unchanged*: the sublayer reassembles each
+//! logical round's inbox in canonical order, so solutions, λ and
+//! schedules stay bit-identical at any loss rate, while the overhead is
+//! measurable in `Metrics` (`retransmits`, `acks`, `dup_suppressed`,
+//! and `retransmit_rounds` — bounded by
+//! [`treenet_core::retransmit_round_bound`]). The `tests/loss_equiv.rs`
+//! proptests pin the equivalence and the bound; `exp_f_dist_loss`
+//! charts the round/message inflation against the `p = 0` baseline.
+//!
 //! # Example
 //!
 //! ```
@@ -101,7 +118,7 @@ use treenet_decomp::{line_lmin, ConvergecastForest, LayeredDecomposition, Strate
 use treenet_graph::{RootedTree, VertexId};
 use treenet_mis::MisBackend;
 use treenet_model::{HeightClass, InstanceId, Problem, Solution};
-use treenet_netsim::{Engine, Metrics, Topology};
+use treenet_netsim::{Engine, LossModel, Metrics, Topology};
 
 pub use node::{descriptor_bits, Descriptor, DistMsg, RunTag};
 pub use reference::{
@@ -141,6 +158,19 @@ pub struct DistConfig {
     /// inbox; the schedulers are order-independent and the adversarial
     /// delivery tests pin that down.
     pub shuffle_delivery: Option<u64>,
+    /// Run over lossy links, recovered by `treenet-netsim`'s
+    /// reliable-delivery sublayer (`None` keeps perfectly reliable
+    /// links). The sublayer presents the protocol with byte-identical
+    /// logical rounds, so every runner — solutions, bit-exact λ,
+    /// schedules — is unchanged under any seeded loss process; only
+    /// `Metrics::rounds` (recovery slots) and the retransmit/ack
+    /// counters grow. A lossless model is a zero-overhead passthrough.
+    /// The loss seed and [`DistConfig::shuffle_delivery`]'s seed feed
+    /// independent RNG streams (documented in
+    /// [`treenet_netsim::reliable`]), so the two compose
+    /// deterministically: adding loss at `p = 0` perturbs neither the
+    /// shuffle order nor any metric.
+    pub loss: Option<LossModel>,
 }
 
 impl Default for DistConfig {
@@ -153,6 +183,7 @@ impl Default for DistConfig {
             max_steps_per_stage: Some(1_000_000),
             hmin: None,
             shuffle_delivery: None,
+            loss: None,
         }
     }
 }
@@ -472,18 +503,23 @@ pub(crate) fn line_public(
 }
 
 /// Builds the shared engine (topology + optional adversarial delivery
-/// shuffle) for a node set.
+/// shuffle + optional lossy links under the reliable sublayer) for a
+/// node set. Used by the in-network and the reference paths alike, so
+/// both run over the same link model.
 pub(crate) fn build_engine(
     nodes: Vec<ProcessorNode>,
     problem: &Problem,
     config: &DistConfig,
 ) -> Engine<ProcessorNode> {
     let topology = Topology::from_adjacency(comm_adjacency(problem));
-    let engine = Engine::new(nodes, topology);
-    match config.shuffle_delivery {
-        Some(seed) => engine.with_delivery_shuffle(seed),
-        None => engine,
+    let mut engine = Engine::new(nodes, topology);
+    if let Some(seed) = config.shuffle_delivery {
+        engine = engine.with_delivery_shuffle(seed);
     }
+    if let Some(model) = &config.loss {
+        engine = engine.with_loss_model(model.clone());
+    }
+    engine
 }
 
 /// Parameters of one (sub-)run: its message namespace, stage factor,

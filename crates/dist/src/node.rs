@@ -37,6 +37,12 @@
 //!   of a network form a clique), the leader reproduces the logical
 //!   `combine_by_network` profit fold bit-exactly (ascending instance id)
 //!   and broadcasts the per-network choice back.
+//!
+//! The node is written against *logical* synchronous rounds and never
+//! sees the link layer: under [`DistConfig::loss`](crate::DistConfig)
+//! the engine's reliable-delivery sublayer absorbs drops, duplicates
+//! and delays beneath it, delivering byte-identical inboxes — which is
+//! why fault tolerance required no change here at all.
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -286,6 +286,73 @@ fn line_messages_respect_the_descriptor_bound() {
 }
 
 #[test]
+fn loss_overhead_lands_in_the_dedicated_counters() {
+    // Under a loss model the *logical* accounting is untouched — the
+    // per-class sums still equal the global message/bit counters, every
+    // message still fits the O(M) bound — while the reliability overhead
+    // is measurable in the retransmit/ack/dup counters and in the
+    // recovery-slot inflation of rounds.
+    use treenet_netsim::LossModel;
+    let p = mixed_line_problem(7);
+    let plain = run_distributed_line_arbitrary(&p, &DistConfig::default()).unwrap();
+    let cfg = DistConfig {
+        loss: Some(
+            LossModel::bernoulli(0.1, 0x10af)
+                .with_duplicates(0.1)
+                .with_delays(0.1),
+        ),
+        ..DistConfig::default()
+    };
+    let lossy = run_distributed_line_arbitrary(&p, &cfg).unwrap();
+
+    // Logical traffic identical, class by class.
+    assert_eq!(plain.metrics.messages, lossy.metrics.messages);
+    assert_eq!(plain.metrics.bits, lossy.metrics.bits);
+    for k in 0..treenet_netsim::MESSAGE_CLASSES {
+        assert_eq!(
+            plain.metrics.by_class[k].messages, lossy.metrics.by_class[k].messages,
+            "class {k}"
+        );
+    }
+    let (m, b) = lossy
+        .metrics
+        .by_class
+        .iter()
+        .fold((0u64, 0u64), |(m, b), c| (m + c.messages, b + c.bits));
+    assert_eq!((m, b), (lossy.metrics.messages, lossy.metrics.bits));
+    // O(M): acks are link-layer control and never enter the payload max.
+    assert!(lossy.metrics.max_message_bits <= descriptor_bound(p.network_count()));
+    assert_eq!(
+        lossy.metrics.max_message_bits,
+        plain.metrics.max_message_bits
+    );
+
+    // Overhead exists and adds up: per-class retransmits sum to the
+    // global counter, rounds inflate by exactly the recovery slots.
+    assert!(lossy.metrics.dropped > 0 && lossy.metrics.retransmits > 0);
+    let class_retransmits: u64 = lossy.metrics.by_class.iter().map(|c| c.retransmits).sum();
+    assert_eq!(class_retransmits, lossy.metrics.retransmits);
+    let class_dups: u64 = lossy
+        .metrics
+        .by_class
+        .iter()
+        .map(|c| c.dup_suppressed)
+        .sum();
+    assert_eq!(class_dups, lossy.metrics.dup_suppressed);
+    assert_eq!(
+        lossy.metrics.rounds,
+        plain.metrics.rounds + lossy.metrics.retransmit_rounds
+    );
+    assert_eq!(
+        lossy.metrics.ack_bits,
+        lossy.metrics.acks * treenet_netsim::ACK_BITS
+    );
+    // The schedule (and thus every round relation on it) is unchanged.
+    assert_eq!(plain.wide.schedule, lossy.wide.schedule);
+    assert_eq!(plain.narrow.schedule, lossy.narrow.schedule);
+}
+
+#[test]
 fn solo_processor_is_silent() {
     // A single isolated processor is its own convergecast root: the echo
     // verdicts resolve locally, sweeps cost zero rounds and the whole

@@ -1,6 +1,7 @@
 //! The synchronous round engine.
 
-use crate::{MessageSize, Topology};
+use crate::reliable::Reliable;
+use crate::{LossModel, MessageSize, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -100,6 +101,13 @@ pub struct ClassMetrics {
     pub messages: u64,
     /// Delivered payload bits in this class.
     pub bits: u64,
+    /// Retransmissions sent in this class by the reliable-delivery layer
+    /// (zero without a loss model, and at `p = 0`).
+    pub retransmits: u64,
+    /// Duplicate deliveries of this class discarded by the reliable
+    /// layer's sequence tracking (fault-injected duplicates and
+    /// redundant retransmissions alike).
+    pub dup_suppressed: u64,
 }
 
 /// Communication metrics of one engine run — the quantities the paper's
@@ -114,10 +122,35 @@ pub struct Metrics {
     pub bits: u64,
     /// Largest single-message size observed, in bits.
     pub max_message_bits: u64,
-    /// Messages discarded by fault injection (see [`FaultPlan`]).
+    /// Transmissions discarded by fault injection ([`FaultPlan`]) or by
+    /// the loss model beneath the reliable layer (data and acks alike).
     pub dropped: u64,
-    /// Extra deliveries created by fault injection.
+    /// Extra deliveries created by fault injection or the loss model.
     pub duplicated: u64,
+    /// Transmissions the loss model delayed by one slot.
+    pub delayed: u64,
+    /// Data retransmissions sent by the reliable-delivery layer. Under a
+    /// loss model, `messages` keeps counting each unique payload exactly
+    /// once (the logical traffic), so `retransmits` (plus `acks`) *is*
+    /// the message overhead of reliability.
+    pub retransmits: u64,
+    /// Standalone cumulative-ack messages sent by the reliable layer
+    /// (acks piggybacked on reverse-direction retransmissions are free
+    /// and not counted).
+    pub acks: u64,
+    /// Bits spent on standalone acks ([`crate::ACK_BITS`] each). Acks
+    /// are link-layer control: excluded from `bits`, `by_class` and
+    /// `max_message_bits`, which account protocol payloads (the paper's
+    /// `O(M)` bound).
+    pub ack_bits: u64,
+    /// Duplicate deliveries discarded by the reliable layer's sequence
+    /// tracking.
+    pub dup_suppressed: u64,
+    /// Extra link-layer recovery slots the reliable layer ran — the
+    /// round inflation of lossy links: `rounds` includes them, and the
+    /// logical round count is `rounds - retransmit_rounds`. Bounded by
+    /// `treenet_core::retransmit_round_bound(dropped, delayed)`.
+    pub retransmit_rounds: u64,
     /// Per-traffic-class message/bit counters, indexed by
     /// [`MessageSize::traffic_class`](crate::MessageSize::traffic_class)
     /// (clamped to the last bucket).
@@ -125,21 +158,32 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Combines the metrics of two sequential engine runs: counters add,
-    /// the maximum message size is the larger of the two. Used when a
-    /// protocol executes as several engine passes (e.g. the serial
-    /// reference path of the wide/narrow split schedulers).
+    /// Combines the metrics of two sequential engine runs: counters add
+    /// (saturating, so pathological inputs cannot wrap), the maximum
+    /// message size is the larger of the two. Used when a protocol
+    /// executes as several engine passes (e.g. the serial reference path
+    /// of the wide/narrow split schedulers).
     #[must_use]
     pub fn merged(mut self, other: Metrics) -> Metrics {
-        self.rounds += other.rounds;
-        self.messages += other.messages;
-        self.bits += other.bits;
+        self.rounds = self.rounds.saturating_add(other.rounds);
+        self.messages = self.messages.saturating_add(other.messages);
+        self.bits = self.bits.saturating_add(other.bits);
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
-        self.dropped += other.dropped;
-        self.duplicated += other.duplicated;
+        self.dropped = self.dropped.saturating_add(other.dropped);
+        self.duplicated = self.duplicated.saturating_add(other.duplicated);
+        self.delayed = self.delayed.saturating_add(other.delayed);
+        self.retransmits = self.retransmits.saturating_add(other.retransmits);
+        self.acks = self.acks.saturating_add(other.acks);
+        self.ack_bits = self.ack_bits.saturating_add(other.ack_bits);
+        self.dup_suppressed = self.dup_suppressed.saturating_add(other.dup_suppressed);
+        self.retransmit_rounds = self
+            .retransmit_rounds
+            .saturating_add(other.retransmit_rounds);
         for (mine, theirs) in self.by_class.iter_mut().zip(other.by_class.iter()) {
-            mine.messages += theirs.messages;
-            mine.bits += theirs.bits;
+            mine.messages = mine.messages.saturating_add(theirs.messages);
+            mine.bits = mine.bits.saturating_add(theirs.bits);
+            mine.retransmits = mine.retransmits.saturating_add(theirs.retransmits);
+            mine.dup_suppressed = mine.dup_suppressed.saturating_add(theirs.dup_suppressed);
         }
         self
     }
@@ -225,7 +269,6 @@ impl std::error::Error for EngineError {}
 
 /// Drives a set of [`Protocol`] nodes over a [`Topology`] in synchronous
 /// rounds (see the crate-level example).
-#[derive(Debug)]
 pub struct Engine<P: Protocol> {
     nodes: Vec<P>,
     topology: Topology,
@@ -234,6 +277,21 @@ pub struct Engine<P: Protocol> {
     started: bool,
     faults: Option<(FaultPlan, SmallRng)>,
     shuffle: Option<SmallRng>,
+    reliable: Option<Reliable<P::Msg>>,
+}
+
+impl<P: Protocol + fmt::Debug> fmt::Debug for Engine<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("nodes", &self.nodes)
+            .field("topology", &self.topology)
+            .field("metrics", &self.metrics)
+            .field("started", &self.started)
+            .field("faults", &self.faults.as_ref().map(|(plan, _)| plan))
+            .field("shuffled", &self.shuffle.is_some())
+            .field("reliable", &self.reliable.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<P: Protocol> Engine<P> {
@@ -257,13 +315,50 @@ impl<P: Protocol> Engine<P> {
             started: false,
             faults: None,
             shuffle: None,
+            reliable: None,
         }
     }
 
-    /// Enables fault injection (builder style). See [`FaultPlan`].
+    /// Enables *raw* fault injection (builder style): messages are
+    /// dropped or duplicated with no recovery — see [`FaultPlan`].
+    /// Mutually exclusive with [`Engine::with_loss_model`], which puts
+    /// the same faults beneath a reliable-delivery layer instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loss model is already installed.
     #[must_use]
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        assert!(
+            self.reliable.is_none(),
+            "with_faults and with_loss_model are mutually exclusive: raw injection \
+             bypasses the reliable layer"
+        );
         self.faults = Some((plan, SmallRng::seed_from_u64(plan.seed)));
+        self
+    }
+
+    /// Enables the reliable-delivery sublayer over a lossy link model
+    /// (builder style): per-edge sequence numbers, cumulative acks,
+    /// timeout retransmission and duplicate suppression keep every
+    /// *logical* round's inbox byte-identical to a lossless run, at the
+    /// cost of extra recovery slots and retransmission/ack traffic
+    /// (tracked by the new [`Metrics`] counters). A lossless model is a
+    /// literal zero-overhead passthrough. See [`crate::reliable`] for
+    /// the protocol and its determinism contract. Mutually exclusive
+    /// with [`Engine::with_faults`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if raw fault injection is already installed.
+    #[must_use]
+    pub fn with_loss_model(mut self, model: LossModel) -> Self {
+        assert!(
+            self.faults.is_none(),
+            "with_faults and with_loss_model are mutually exclusive: raw injection \
+             bypasses the reliable layer"
+        );
+        self.reliable = Some(Reliable::new(model));
         self
     }
 
@@ -357,6 +452,16 @@ impl<P: Protocol> Engine<P> {
     }
 
     fn deliver(&mut self, outs: Vec<Vec<(usize, P::Msg)>>) {
+        if let Some(reliable) = self.reliable.as_mut() {
+            // The reliable path: the layer transmits, recovers every
+            // loss (charging recovery slots to the metrics) and returns
+            // the round's inboxes in canonical lossless order.
+            let inboxes = reliable.exchange(outs, &mut self.metrics);
+            for (to, inbox) in inboxes.into_iter().enumerate() {
+                self.mailboxes[to].extend(inbox);
+            }
+            return;
+        }
         for (from, out) in outs.into_iter().enumerate() {
             for (to, msg) in out {
                 if let Some((plan, rng)) = self.faults.as_mut() {

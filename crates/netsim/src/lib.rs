@@ -18,6 +18,16 @@
 //! Message sizes are accounted through [`MessageSize`], mirroring the
 //! paper's `O(M)`-bits-per-message statement.
 //!
+//! Links need not be reliable: [`Engine::with_loss_model`] slides the
+//! [`reliable`] sublayer (per-edge sequence numbers, cumulative acks,
+//! timeout retransmission, duplicate suppression) beneath the
+//! synchronous rounds, so protocols written for the reliable model run
+//! unchanged — and produce identical results — over seeded Bernoulli
+//! drop/duplicate/delay processes, at a measurable round/message
+//! overhead. [`Engine::with_faults`] remains the *raw* injection path
+//! with no recovery, for demonstrating that the paper's reliability
+//! assumption is load-bearing.
+//!
 //! # Example
 //!
 //! ```
@@ -60,12 +70,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod reliable;
 mod topology;
 
 pub use engine::{
     ClassMetrics, Context, Engine, EngineError, Envelope, FaultPlan, Metrics, Protocol,
     MESSAGE_CLASSES,
 };
+pub use reliable::{ClassLoss, LossModel, ACK_BITS};
 pub use topology::Topology;
 
 /// Size accounting for messages, in bits.

@@ -84,6 +84,16 @@ impl Topology {
         self.adj[a].binary_search(&b).is_ok()
     }
 
+    /// Iterates the undirected edges as `(a, b)` with `a < b`, in
+    /// ascending order — the canonical enumeration used by the reliable
+    /// layer's tests to audit per-edge link state.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(a, list)| list.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
+    }
+
     /// A complete topology over `n` nodes (every pair connected).
     pub fn complete(n: usize) -> Self {
         let adj = (0..n)

@@ -1,0 +1,165 @@
+//! Direct arithmetic coverage for `Metrics::merged` and the per-class
+//! counters — previously exercised only indirectly through the runner
+//! assertions in `crates/dist/tests/metrics.rs`. Pins down saturation,
+//! empty-class behaviour and class disjointness.
+
+use treenet_netsim::{ClassMetrics, Metrics, MESSAGE_CLASSES};
+
+fn sample(seed: u64) -> Metrics {
+    let mut m = Metrics {
+        rounds: 10 + seed,
+        messages: 100 + seed,
+        bits: 6400 + seed,
+        max_message_bits: 64 + seed,
+        dropped: 3 + seed,
+        duplicated: 2 + seed,
+        delayed: 1 + seed,
+        retransmits: 4 + seed,
+        acks: 5 + seed,
+        ack_bits: 96 * (5 + seed),
+        dup_suppressed: 2 + seed,
+        retransmit_rounds: 6 + seed,
+        ..Metrics::default()
+    };
+    m.by_class[0] = ClassMetrics {
+        messages: 60 + seed,
+        bits: 3840 + seed,
+        retransmits: 3 + seed,
+        dup_suppressed: 1 + seed,
+    };
+    m.by_class[3] = ClassMetrics {
+        messages: 40,
+        bits: 2560,
+        retransmits: 1,
+        dup_suppressed: 1,
+    };
+    m
+}
+
+#[test]
+fn merged_adds_every_counter_and_maxes_message_size() {
+    let a = sample(0);
+    let b = sample(7);
+    let m = a.merged(b);
+    assert_eq!(m.rounds, a.rounds + b.rounds);
+    assert_eq!(m.messages, a.messages + b.messages);
+    assert_eq!(m.bits, a.bits + b.bits);
+    assert_eq!(m.max_message_bits, b.max_message_bits, "max, not sum");
+    assert_eq!(m.dropped, a.dropped + b.dropped);
+    assert_eq!(m.duplicated, a.duplicated + b.duplicated);
+    assert_eq!(m.delayed, a.delayed + b.delayed);
+    assert_eq!(m.retransmits, a.retransmits + b.retransmits);
+    assert_eq!(m.acks, a.acks + b.acks);
+    assert_eq!(m.ack_bits, a.ack_bits + b.ack_bits);
+    assert_eq!(m.dup_suppressed, a.dup_suppressed + b.dup_suppressed);
+    assert_eq!(
+        m.retransmit_rounds,
+        a.retransmit_rounds + b.retransmit_rounds
+    );
+    for k in 0..MESSAGE_CLASSES {
+        assert_eq!(
+            m.by_class[k].messages,
+            a.by_class[k].messages + b.by_class[k].messages
+        );
+        assert_eq!(m.by_class[k].bits, a.by_class[k].bits + b.by_class[k].bits);
+        assert_eq!(
+            m.by_class[k].retransmits,
+            a.by_class[k].retransmits + b.by_class[k].retransmits
+        );
+        assert_eq!(
+            m.by_class[k].dup_suppressed,
+            a.by_class[k].dup_suppressed + b.by_class[k].dup_suppressed
+        );
+    }
+}
+
+#[test]
+fn merged_saturates_instead_of_wrapping() {
+    let mut a = Metrics {
+        rounds: u64::MAX,
+        messages: u64::MAX - 1,
+        bits: u64::MAX,
+        retransmits: u64::MAX,
+        acks: u64::MAX,
+        ack_bits: u64::MAX,
+        dup_suppressed: u64::MAX,
+        retransmit_rounds: u64::MAX,
+        dropped: u64::MAX,
+        duplicated: u64::MAX,
+        delayed: u64::MAX,
+        ..Metrics::default()
+    };
+    a.by_class[2] = ClassMetrics {
+        messages: u64::MAX,
+        bits: u64::MAX,
+        retransmits: u64::MAX,
+        dup_suppressed: u64::MAX,
+    };
+    let m = a.merged(sample(3));
+    assert_eq!(m.rounds, u64::MAX);
+    assert_eq!(m.messages, u64::MAX);
+    assert_eq!(m.bits, u64::MAX);
+    assert_eq!(m.retransmits, u64::MAX);
+    assert_eq!(m.acks, u64::MAX);
+    assert_eq!(m.ack_bits, u64::MAX);
+    assert_eq!(m.dup_suppressed, u64::MAX);
+    assert_eq!(m.retransmit_rounds, u64::MAX);
+    assert_eq!(m.dropped, u64::MAX);
+    assert_eq!(m.duplicated, u64::MAX);
+    assert_eq!(m.delayed, u64::MAX);
+    assert_eq!(m.by_class[2].messages, u64::MAX);
+    assert_eq!(m.by_class[2].bits, u64::MAX);
+    assert_eq!(m.by_class[2].retransmits, u64::MAX);
+    assert_eq!(m.by_class[2].dup_suppressed, u64::MAX);
+    // Saturation is symmetric.
+    let m = sample(3).merged(a);
+    assert_eq!(m.rounds, u64::MAX);
+    assert_eq!(m.by_class[2].messages, u64::MAX);
+}
+
+#[test]
+fn merging_an_empty_metrics_is_the_identity() {
+    let a = sample(11);
+    assert_eq!(a.merged(Metrics::default()), a);
+    assert_eq!(Metrics::default().merged(a), a);
+    assert_eq!(
+        Metrics::default().merged(Metrics::default()),
+        Metrics::default()
+    );
+}
+
+#[test]
+fn classes_merge_disjointly() {
+    // Two runs whose traffic lives in disjoint classes: merging must not
+    // bleed counters across buckets, and untouched buckets stay zero.
+    let mut a = Metrics::default();
+    a.by_class[1] = ClassMetrics {
+        messages: 5,
+        bits: 320,
+        retransmits: 2,
+        dup_suppressed: 1,
+    };
+    a.messages = 5;
+    a.bits = 320;
+    let mut b = Metrics::default();
+    b.by_class[4] = ClassMetrics {
+        messages: 7,
+        bits: 448,
+        retransmits: 0,
+        dup_suppressed: 3,
+    };
+    b.messages = 7;
+    b.bits = 448;
+    let m = a.merged(b);
+    assert_eq!(m.by_class[1], a.by_class[1]);
+    assert_eq!(m.by_class[4], b.by_class[4]);
+    for k in (0..MESSAGE_CLASSES).filter(|&k| k != 1 && k != 4) {
+        assert_eq!(m.by_class[k], ClassMetrics::default(), "class {k}");
+    }
+    // The class sums still add up to the global counters.
+    let (msgs, bits) = m
+        .by_class
+        .iter()
+        .fold((0u64, 0u64), |(x, y), c| (x + c.messages, y + c.bits));
+    assert_eq!((msgs, bits), (m.messages, m.bits));
+}
