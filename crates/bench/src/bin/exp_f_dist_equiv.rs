@@ -6,6 +6,12 @@
 //! Scenarios are named `tree-unit-<n>x<m>`; `--scenarios` (shared across
 //! the dist bench bins via `treenet_bench::DistArgs`) selects by
 //! substring and `--smoke` forces the reduced grid.
+//!
+//! The CI determinism job runs this bin twice — `--threads 1` and
+//! `--threads 4`, both with `--shuffle <seed>` — and diffs the files
+//! written by `--out` byte-for-byte: every run's full solution, schedule
+//! and λ bit pattern, so any thread-count-dependent divergence of the
+//! sharded engine fails the lane.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -42,6 +48,7 @@ fn main() {
     );
     let mut all_equal = true;
     let mut ran_any = false;
+    let mut emitted = String::new();
     for &(n, m) in &sizes {
         if !args.selects(&format!("tree-unit-{n}x{m}")) {
             continue;
@@ -54,11 +61,33 @@ fn main() {
                 .generate(&mut SmallRng::seed_from_u64(seed));
             let cfg = SolverConfig::default().with_epsilon(0.3).with_seed(seed);
             let logical = solve_tree_unit(&p, &cfg).unwrap();
-            let distributed = run_distributed_tree_unit(&p, &DistConfig::from(&cfg)).unwrap();
+            let mut dist_cfg = DistConfig::from(&cfg);
+            if let Some(threads) = args.threads {
+                dist_cfg.threads = threads;
+            }
+            if let Some(shuffle_seed) = args.shuffle {
+                dist_cfg.shuffle_delivery = Some(shuffle_seed);
+            }
+            let distributed = run_distributed_tree_unit(&p, &dist_cfg).unwrap();
             assert!(!distributed.final_unsatisfied);
             let sol_eq = logical.solution == distributed.solution;
             let lam_eq = logical.lambda.to_bits() == distributed.lambda.to_bits();
             all_equal &= sol_eq && lam_eq;
+            if args.out.is_some() {
+                // Everything the run decided, in a stable text form, so
+                // two invocations at different thread counts can be
+                // compared byte-for-byte.
+                emitted.push_str(&format!(
+                    "tree-unit-{n}x{m} seed={seed} lambda_bits={:016x} rounds={} messages={} \
+                     bits={} solution={:?} schedule={:?}\n",
+                    distributed.lambda.to_bits(),
+                    distributed.metrics.rounds,
+                    distributed.metrics.messages,
+                    distributed.metrics.bits,
+                    distributed.solution,
+                    distributed.schedule,
+                ));
+            }
             table.row(&[
                 n.to_string(),
                 m.to_string(),
@@ -73,6 +102,10 @@ fn main() {
     }
     table.print();
     assert!(ran_any, "--scenarios filtered out every scenario");
+    if let Some(out) = &args.out {
+        std::fs::write(out, emitted).expect("write --out file");
+        println!("wrote {out}");
+    }
     assert!(
         all_equal,
         "distributed execution diverged from the logical one"

@@ -271,7 +271,7 @@ fn main() {
         let b: BudgetBaseline = serde_json::from_str(&text)
             .unwrap_or_else(|e| panic!("malformed baseline {path}: {e}"));
         assert_eq!(
-            b.schema, "treenet-bench/dist-budget/v1",
+            b.schema, "treenet-bench/dist-budget/v2",
             "--baseline expects the budget-gate baseline"
         );
         b

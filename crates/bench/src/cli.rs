@@ -17,6 +17,14 @@ pub struct DistArgs {
     /// `--scenarios a,b,c`: only run scenarios whose name contains one of
     /// the comma-separated needles (case-sensitive substring match).
     pub scenarios: Option<Vec<String>>,
+    /// `--threads <k>`: engine worker threads for the sharded executor
+    /// (bins define their own default, typically 1). Results are
+    /// bit-identical at any value; only wall-clock changes.
+    pub threads: Option<usize>,
+    /// `--shuffle <seed>`: turn on adversarial delivery shuffling with
+    /// this seed (used by the CI determinism job to stress inbox-order
+    /// independence while diffing thread counts).
+    pub shuffle: Option<u64>,
 }
 
 impl DistArgs {
@@ -46,6 +54,14 @@ impl DistArgs {
                     .filter(|s| !s.is_empty())
                     .map(str::to_string)
                     .collect()
+            }),
+            threads: value_of("--threads").map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--threads expects a positive integer, got `{v}`"))
+            }),
+            shuffle: value_of("--shuffle").map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--shuffle expects a u64 seed, got `{v}`"))
             }),
         }
     }
@@ -83,6 +99,10 @@ mod tests {
             "b.json",
             "--scenarios",
             "line-unit, tree",
+            "--threads",
+            "8",
+            "--shuffle",
+            "42",
         ]);
         assert!(a.smoke);
         assert_eq!(a.out.as_deref(), Some("x.json"));
@@ -90,6 +110,14 @@ mod tests {
         assert!(a.selects("line-unit-24"));
         assert!(a.selects("tree-arbitrary"));
         assert!(!a.selects("auto-mixed"));
+        assert_eq!(a.threads, Some(8));
+        assert_eq!(a.shuffle, Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn bad_threads_panics() {
+        let _ = parse(&["--threads", "lots"]);
     }
 
     #[test]

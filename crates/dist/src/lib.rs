@@ -118,7 +118,7 @@ use treenet_decomp::{line_lmin, ConvergecastForest, LayeredDecomposition, Strate
 use treenet_graph::{RootedTree, VertexId};
 use treenet_mis::MisBackend;
 use treenet_model::{HeightClass, InstanceId, Problem, Solution};
-use treenet_netsim::{Engine, LossModel, Metrics, Topology};
+use treenet_netsim::{Engine, LossModel, Metrics, ShardPlan, Topology};
 
 pub use node::{descriptor_bits, Descriptor, DistMsg, RunTag};
 pub use reference::{
@@ -171,6 +171,12 @@ pub struct DistConfig {
     /// deterministically: adding loss at `p = 0` perturbs neither the
     /// shuffle order nor any metric.
     pub loss: Option<LossModel>,
+    /// Worker threads for the engine's sharded round executor. Nodes are
+    /// partitioned into at most this many shards of whole connected
+    /// components ([`ConvergecastForest::partition`]), so every run is
+    /// bit-identical — schedules, λ, `Metrics` — at any thread count;
+    /// `1` keeps the single-threaded executor.
+    pub threads: usize,
 }
 
 impl Default for DistConfig {
@@ -184,6 +190,7 @@ impl Default for DistConfig {
             hmin: None,
             shuffle_delivery: None,
             loss: None,
+            threads: 1,
         }
     }
 }
@@ -511,8 +518,16 @@ pub(crate) fn build_engine(
     problem: &Problem,
     config: &DistConfig,
 ) -> Engine<ProcessorNode> {
-    let topology = Topology::from_adjacency(comm_adjacency(problem));
+    let adjacency = comm_adjacency(problem);
+    let shards = (config.threads > 1).then(|| {
+        let forest = ConvergecastForest::from_adjacency(&adjacency);
+        ShardPlan::from_groups(adjacency.len(), forest.partition(config.threads))
+    });
+    let topology = Topology::from_adjacency(adjacency);
     let mut engine = Engine::new(nodes, topology);
+    if let Some(plan) = shards {
+        engine = engine.with_shards(plan);
+    }
     if let Some(seed) = config.shuffle_delivery {
         engine = engine.with_delivery_shuffle(seed);
     }

@@ -73,6 +73,13 @@ pub struct TreeWorkload {
     /// When set, demand end-points are sampled at tree distance at most
     /// this value on network 0 (locality; `None` = uniform pairs).
     pub locality: Option<usize>,
+    /// Pod-structured workloads for the huge-scale benches: `p > 0`
+    /// generates `p` independent pods of `r` networks each and confines
+    /// every demand's access set to its own pod, so the communication
+    /// graph splits into ≥ `p` connected components (the unit of
+    /// parallelism for the sharded engine). `0` keeps the flat
+    /// single-pool sampling, bit-identical to the pre-pod generator.
+    pub pods: usize,
 }
 
 impl TreeWorkload {
@@ -87,7 +94,15 @@ impl TreeWorkload {
             profit_ratio: 8.0,
             heights: HeightMode::Unit,
             locality: None,
+            pods: 0,
         }
+    }
+
+    /// Builder-style setter for the pod count (`0` disables pods).
+    #[must_use]
+    pub fn with_pods(mut self, pods: usize) -> Self {
+        self.pods = pods;
+        self
     }
 
     /// Builder-style setter for the number of networks.
@@ -126,9 +141,10 @@ impl TreeWorkload {
     pub fn generate<R: Rng>(&self, rng: &mut R) -> Problem {
         assert!(self.n >= 2, "need at least two vertices");
         assert!(self.r >= 1, "need at least one network");
+        let pods = self.pods.max(1);
         let mut builder = ProblemBuilder::new();
-        let mut nets = Vec::with_capacity(self.r);
-        for _ in 0..self.r {
+        let mut nets = Vec::with_capacity(pods * self.r);
+        for _ in 0..pods * self.r {
             let tree = self.family.generate(self.n, rng);
             nets.push(builder.add_network(tree).expect("same n for every network"));
         }
@@ -137,7 +153,7 @@ impl TreeWorkload {
         // network (paths there may be longer, as in the paper's model where
         // networks have different edge sets).
         let first = builder_network_zero_tree(&self.family, self.n, rng);
-        for _ in 0..self.m {
+        for j in 0..self.m {
             let (u, v) = match self.locality {
                 None => {
                     let u = rng.gen_range(0..self.n as u32);
@@ -152,14 +168,17 @@ impl TreeWorkload {
             let profit = sample_profit(self.profit_ratio, rng);
             let height = self.heights.sample(rng);
             let demand = Demand::pair(u, v, profit).with_height(height);
-            // Random non-empty access set.
-            let mut access: Vec<_> = nets
+            // Random non-empty access set, drawn from the demand's pod
+            // only (demand j lives in pod j mod pods, so pods stay
+            // balanced and the assignment is deterministic).
+            let pod = &nets[(j % pods) * self.r..(j % pods) * self.r + self.r];
+            let mut access: Vec<_> = pod
                 .iter()
                 .copied()
                 .filter(|_| rng.gen_bool(self.access_prob))
                 .collect();
             if access.is_empty() {
-                access.push(nets[rng.gen_range(0..nets.len())]);
+                access.push(pod[rng.gen_range(0..pod.len())]);
             }
             builder
                 .add_demand(demand, &access)
@@ -229,6 +248,9 @@ pub struct LineWorkload {
     pub profit_ratio: f64,
     /// Height distribution.
     pub heights: HeightMode,
+    /// Pod count for huge-scale benches (see [`TreeWorkload::pods`]);
+    /// `0` keeps the flat sampling.
+    pub pods: usize,
 }
 
 impl LineWorkload {
@@ -243,7 +265,15 @@ impl LineWorkload {
             access_prob: 0.5,
             profit_ratio: 8.0,
             heights: HeightMode::Unit,
+            pods: 0,
         }
+    }
+
+    /// Builder-style setter for the pod count (`0` disables pods).
+    #[must_use]
+    pub fn with_pods(mut self, pods: usize) -> Self {
+        self.pods = pods;
+        self
     }
 
     /// Builder-style setter for the number of resources.
@@ -296,15 +326,16 @@ impl LineWorkload {
             lo >= 1 && lo <= hi && hi as usize <= self.slots,
             "bad length range"
         );
+        let pods = self.pods.max(1);
         let mut builder = ProblemBuilder::new();
-        let nets: Vec<_> = (0..self.r)
+        let nets: Vec<_> = (0..pods * self.r)
             .map(|_| {
                 builder
                     .add_network(Tree::line(self.slots + 1))
                     .expect("lines share n")
             })
             .collect();
-        for _ in 0..self.m {
+        for j in 0..self.m {
             let rho = rng.gen_range(lo..=hi);
             let window_len = (rho + self.window_slack).min(self.slots as u32);
             let release = rng.gen_range(0..=(self.slots as u32 - window_len));
@@ -312,13 +343,14 @@ impl LineWorkload {
             let profit = sample_profit(self.profit_ratio, rng);
             let height = self.heights.sample(rng);
             let demand = Demand::window(release, deadline, rho, profit).with_height(height);
-            let mut access: Vec<_> = nets
+            let pod = &nets[(j % pods) * self.r..(j % pods) * self.r + self.r];
+            let mut access: Vec<_> = pod
                 .iter()
                 .copied()
                 .filter(|_| rng.gen_bool(self.access_prob))
                 .collect();
             if access.is_empty() {
-                access.push(nets[rng.gen_range(0..nets.len())]);
+                access.push(pod[rng.gen_range(0..pod.len())]);
             }
             builder
                 .add_demand(demand, &access)
@@ -406,6 +438,45 @@ mod tests {
             .with_window_slack(0);
         let p = cfg.generate(&mut rng);
         assert_eq!(p.instance_count(), 10);
+    }
+
+    #[test]
+    fn pods_confine_access_and_split_the_communication_graph() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let pods = 5;
+        let cfg = TreeWorkload::new(8, 30).with_networks(2).with_pods(pods);
+        let p = cfg.generate(&mut rng);
+        assert_eq!(p.network_count(), pods * 2);
+        // Demand j lives in pod j mod pods: access never leaves the pod.
+        for (j, d) in p.demands().enumerate() {
+            for t in p.access(d) {
+                assert_eq!(t.index() / 2, j % pods, "demand {j} escaped its pod");
+            }
+        }
+        // Processors in different pods share no network, so the
+        // communication graph has at least one component per pod.
+        let adj = p.communication_graph();
+        for (a, list) in adj.iter().enumerate() {
+            for b in list {
+                assert_eq!(a % pods, b.index() % pods);
+            }
+        }
+        // pods = 0 and pods = 1 draw identical RNG streams.
+        let flat = TreeWorkload::new(8, 30).with_networks(2);
+        let one = flat.clone().with_pods(1);
+        let pa = flat.generate(&mut SmallRng::seed_from_u64(7));
+        let pb = one.generate(&mut SmallRng::seed_from_u64(7));
+        assert_eq!(pa.instance_count(), pb.instance_count());
+        assert_eq!(pa.profit_bounds(), pb.profit_bounds());
+
+        let line = LineWorkload::new(20, 12).with_resources(2).with_pods(3);
+        let p = line.generate(&mut SmallRng::seed_from_u64(8));
+        assert_eq!(p.network_count(), 6);
+        for (j, d) in p.demands().enumerate() {
+            for t in p.access(d) {
+                assert_eq!(t.index() / 2, j % 3);
+            }
+        }
     }
 
     #[test]

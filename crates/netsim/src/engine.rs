@@ -23,7 +23,10 @@ pub struct Envelope<M> {
 pub struct Context<'a, M> {
     node: usize,
     neighbors: &'a [usize],
-    out: Vec<(usize, M)>,
+    /// Pooled per-node out-buffer from the engine's [`MailboxArena`]:
+    /// capacity persists across rounds, so steady-state sends allocate
+    /// nothing.
+    out: &'a mut Vec<(usize, M)>,
 }
 
 impl<M> Context<'_, M> {
@@ -267,17 +270,163 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Reusable per-round buffer arena of one engine: the consumed-inbox set
+/// and the per-node out-buffers.
+///
+/// Every round the engine swaps the whole mailbox vector with the arena's
+/// inbox set (two pointer swaps, no per-message work), hands each node a
+/// pooled out-buffer, and clears — rather than drops — everything
+/// afterwards. Buffers therefore keep their high-water-mark capacity and
+/// the steady-state round loop performs no per-message `Vec` allocation,
+/// which is what lets the sharded executor scale to 10⁵–10⁶ nodes.
+#[derive(Debug)]
+pub struct MailboxArena<M> {
+    /// Last round's inboxes, swapped out of the engine's live mailboxes
+    /// at the start of each step and cleared (capacity kept) at its end.
+    inboxes: Vec<Vec<Envelope<M>>>,
+    /// Pooled per-node out-buffers lent to [`Context`]; drained by
+    /// delivery, never dropped.
+    outs: Vec<Vec<(usize, M)>>,
+}
+
+impl<M> MailboxArena<M> {
+    /// An empty arena for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MailboxArena {
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            outs: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// A node's pooled out-buffer: `(destination, message)` pairs.
+type OutBuf<M> = Vec<(usize, M)>;
+
+/// Per-node `&mut` borrows handed out to shard threads; each shard
+/// `take`s its members' slots, proving at runtime the borrows are
+/// disjoint without `unsafe`.
+type Slots<'a, T> = Vec<Option<&'a mut T>>;
+
+/// A partition of the engine's nodes into shards that the sharded round
+/// executor runs on scoped threads — one thread per shard per round.
+///
+/// Determinism requires every shard to be *component-closed*: all of a
+/// node's topology neighbors live in its own shard, so each shard's
+/// compute-and-deliver pass touches only shard-local mailboxes and the
+/// per-inbox delivery order (ascending sender id) is byte-identical to
+/// the single-threaded loop. [`Engine::with_shards`] re-validates the
+/// closure against the engine's topology on installation.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Shard member lists, each sorted ascending; non-empty.
+    shards: Vec<Vec<usize>>,
+    /// `node -> shard index`.
+    shard_of: Vec<u32>,
+    /// `node -> position within its shard` (dense, for O(1) shard-local
+    /// mailbox lookup during fused delivery).
+    local_of: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Builds a plan from explicit member groups over nodes `0..n`.
+    /// Groups are sorted internally; empty groups are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the groups form an exact partition of `0..n` (every
+    /// node in exactly one group, no out-of-range members).
+    pub fn from_groups(n: usize, groups: Vec<Vec<usize>>) -> Self {
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut shards: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+        let mut shard_of = vec![UNASSIGNED; n];
+        let mut local_of = vec![UNASSIGNED; n];
+        for (s, shard) in shards.iter_mut().enumerate() {
+            shard.sort_unstable();
+            for (i, &v) in shard.iter().enumerate() {
+                assert!(v < n, "shard member {v} out of range (n = {n})");
+                assert!(
+                    shard_of[v] == UNASSIGNED,
+                    "node {v} appears in more than one shard"
+                );
+                shard_of[v] = s as u32;
+                local_of[v] = i as u32;
+            }
+        }
+        if let Some(v) = shard_of.iter().position(|&s| s == UNASSIGNED) {
+            panic!("node {v} is missing from the shard plan");
+        }
+        ShardPlan {
+            shards,
+            shard_of,
+            local_of,
+        }
+    }
+
+    /// Partitions a topology's connected components into at most
+    /// `max_shards` shards, balancing by component size (longest
+    /// processing time first, deterministic tie-breaks: larger component
+    /// first, then smaller minimum id, assigned to the least-loaded
+    /// lowest-index shard).
+    pub fn by_components(topology: &Topology, max_shards: usize) -> Self {
+        let components = topology.components();
+        let bins = max_shards.max(1).min(components.len().max(1));
+        let mut order: Vec<usize> = (0..components.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(components[i].len()), components[i][0]));
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); bins];
+        let mut load = vec![0usize; bins];
+        for i in order {
+            let b = (0..bins)
+                .min_by_key(|&b| (load[b], b))
+                .expect("at least one bin");
+            load[b] += components[i].len();
+            groups[b].extend(&components[i]);
+        }
+        ShardPlan::from_groups(topology.len(), groups)
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the plan has zero shards (only for zero nodes).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard member lists, each sorted ascending.
+    pub fn shards(&self) -> &[Vec<usize>] {
+        &self.shards
+    }
+
+    /// The shard index of `v`.
+    pub fn shard_of(&self, v: usize) -> usize {
+        self.shard_of[v] as usize
+    }
+
+    /// Number of nodes covered by the plan.
+    pub fn node_count(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    fn local_of(&self, v: usize) -> usize {
+        self.local_of[v] as usize
+    }
+}
+
 /// Drives a set of [`Protocol`] nodes over a [`Topology`] in synchronous
 /// rounds (see the crate-level example).
 pub struct Engine<P: Protocol> {
     nodes: Vec<P>,
     topology: Topology,
     mailboxes: Vec<Vec<Envelope<P::Msg>>>,
+    arena: MailboxArena<P::Msg>,
     metrics: Metrics,
     started: bool,
     faults: Option<(FaultPlan, SmallRng)>,
     shuffle: Option<SmallRng>,
     reliable: Option<Reliable<P::Msg>>,
+    shards: Option<ShardPlan>,
 }
 
 impl<P: Protocol + fmt::Debug> fmt::Debug for Engine<P> {
@@ -290,6 +439,7 @@ impl<P: Protocol + fmt::Debug> fmt::Debug for Engine<P> {
             .field("faults", &self.faults.as_ref().map(|(plan, _)| plan))
             .field("shuffled", &self.shuffle.is_some())
             .field("reliable", &self.reliable.is_some())
+            .field("shards", &self.shards.as_ref().map(ShardPlan::len))
             .finish_non_exhaustive()
     }
 }
@@ -311,11 +461,59 @@ impl<P: Protocol> Engine<P> {
             nodes,
             topology,
             mailboxes: vec![Vec::new(); n],
+            arena: MailboxArena::new(n),
             metrics: Metrics::default(),
             started: false,
             faults: None,
             shuffle: None,
             reliable: None,
+            shards: None,
+        }
+    }
+
+    /// Installs a shard plan (builder style): each round's node steps run
+    /// on one scoped thread per shard, with fused shard-local delivery
+    /// when no loss model or fault plan is active. Results — inbox
+    /// contents and order, metrics, RNG traces — are bit-identical to the
+    /// single-threaded executor at any shard count, because shards are
+    /// component-closed and each shard delivers in ascending sender
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan does not cover exactly this engine's nodes, or
+    /// if any topology edge crosses shards (shards must be unions of
+    /// connected components).
+    #[must_use]
+    pub fn with_shards(mut self, plan: ShardPlan) -> Self {
+        assert_eq!(
+            plan.node_count(),
+            self.topology.len(),
+            "shard plan must cover every node"
+        );
+        for (a, b) in self.topology.edges() {
+            assert_eq!(
+                plan.shard_of(a),
+                plan.shard_of(b),
+                "edge {a}-{b} crosses shards: shards must be unions of connected components"
+            );
+        }
+        self.shards = Some(plan);
+        self
+    }
+
+    /// Shards the engine by connected components into at most `threads`
+    /// shards (builder style); `threads <= 1` restores the
+    /// single-threaded executor. See [`Engine::with_shards`].
+    #[must_use]
+    pub fn with_threads(self, threads: usize) -> Self {
+        if threads <= 1 {
+            let mut engine = self;
+            engine.shards = None;
+            engine
+        } else {
+            let plan = ShardPlan::by_components(&self.topology, threads);
+            self.with_shards(plan)
         }
     }
 
@@ -400,20 +598,24 @@ impl<P: Protocol> Engine<P> {
     ///
     /// [`EngineError::RoundLimitExceeded`] if the protocol does not
     /// quiesce in time (metrics keep whatever was accumulated).
-    pub fn run(&mut self, max_rounds: u64) -> Result<Metrics, EngineError> {
+    pub fn run(&mut self, max_rounds: u64) -> Result<Metrics, EngineError>
+    where
+        P: Send,
+        P::Msg: Send + Sync,
+    {
         if !self.started {
             self.started = true;
-            let mut outs: Vec<Vec<(usize, P::Msg)>> = Vec::with_capacity(self.nodes.len());
+            // on_start runs serially (it happens once); the sends land in
+            // the arena's pooled out-buffers like any round's.
             for (v, node) in self.nodes.iter_mut().enumerate() {
                 let mut ctx = Context {
                     node: v,
                     neighbors: self.topology.neighbors(v),
-                    out: Vec::new(),
+                    out: &mut self.arena.outs[v],
                 };
                 node.on_start(&mut ctx);
-                outs.push(ctx.out);
             }
-            self.deliver(outs);
+            self.deliver();
         }
         let mut executed = 0u64;
         while !self.quiescent() {
@@ -427,43 +629,231 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// Executes exactly one synchronous round.
-    pub fn step(&mut self) {
+    ///
+    /// With a [`ShardPlan`] installed ([`Engine::with_shards`]) the node
+    /// steps run on one scoped thread per shard; everything the protocol
+    /// or the metrics can observe is bit-identical to the single-threaded
+    /// executor. The delivery-shuffle RNG is consumed in a serial
+    /// pre-pass (once per node per round, in node order) and the loss /
+    /// fault RNG in a serial delivery pass, so those traces are
+    /// thread-count-invariant too.
+    pub fn step(&mut self)
+    where
+        P: Send,
+        P::Msg: Send + Sync,
+    {
         let round = self.metrics.rounds;
-        let mut inboxes: Vec<Vec<Envelope<P::Msg>>> =
-            self.mailboxes.iter_mut().map(std::mem::take).collect();
+        // Whole-vector swap: the live mailboxes become this round's
+        // inboxes, the arena's cleared buffers (capacity intact) become
+        // the landing zone for next round's messages.
+        std::mem::swap(&mut self.mailboxes, &mut self.arena.inboxes);
         if let Some(rng) = self.shuffle.as_mut() {
             use rand::seq::SliceRandom;
-            for inbox in &mut inboxes {
+            for inbox in &mut self.arena.inboxes {
                 inbox.shuffle(rng);
             }
         }
-        let mut outs: Vec<Vec<(usize, P::Msg)>> = Vec::with_capacity(self.nodes.len());
-        for (v, node) in self.nodes.iter_mut().enumerate() {
-            let mut ctx = Context {
-                node: v,
-                neighbors: self.topology.neighbors(v),
-                out: Vec::new(),
-            };
-            node.on_round(round, &inboxes[v], &mut ctx);
-            outs.push(ctx.out);
+        let sharded = self.shards.as_ref().is_some_and(|plan| plan.len() > 1);
+        if !sharded {
+            for (v, node) in self.nodes.iter_mut().enumerate() {
+                let mut ctx = Context {
+                    node: v,
+                    neighbors: self.topology.neighbors(v),
+                    out: &mut self.arena.outs[v],
+                };
+                node.on_round(round, &self.arena.inboxes[v], &mut ctx);
+            }
+            self.deliver();
+        } else if self.reliable.is_some() || self.faults.is_some() {
+            // Loss/fault RNGs are single serial streams: compute in
+            // parallel, deliver serially in global node order so the
+            // trace is identical at any thread count.
+            self.compute_sharded(round);
+            self.deliver();
+        } else {
+            self.step_sharded_fused(round);
         }
-        self.deliver(outs);
+        for inbox in &mut self.arena.inboxes {
+            inbox.clear();
+        }
         self.metrics.rounds += 1;
     }
 
-    fn deliver(&mut self, outs: Vec<Vec<(usize, P::Msg)>>) {
+    /// Parallel node compute only: each shard thread fills its members'
+    /// out-buffers; delivery is left to the caller.
+    fn compute_sharded(&mut self, round: u64)
+    where
+        P: Send,
+        P::Msg: Send + Sync,
+    {
+        let plan = self.shards.as_ref().expect("sharded path requires a plan");
+        let topology = &self.topology;
+        let inboxes: &[Vec<Envelope<P::Msg>>] = &self.arena.inboxes;
+        let mut node_slots: Slots<'_, P> = self.nodes.iter_mut().map(Some).collect();
+        let mut out_slots: Slots<'_, OutBuf<P::Msg>> =
+            self.arena.outs.iter_mut().map(Some).collect();
+        type ComputeWork<'a, P> = (
+            &'a [usize],
+            Vec<&'a mut P>,
+            Vec<&'a mut OutBuf<<P as Protocol>::Msg>>,
+        );
+        let work: Vec<ComputeWork<'_, P>> = plan
+            .shards()
+            .iter()
+            .map(|members| {
+                (
+                    members.as_slice(),
+                    members
+                        .iter()
+                        .map(|&v| node_slots[v].take().expect("partition"))
+                        .collect(),
+                    members
+                        .iter()
+                        .map(|&v| out_slots[v].take().expect("partition"))
+                        .collect(),
+                )
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|(members, mut nodes, mut outs)| {
+                    scope.spawn(move || {
+                        for (i, &v) in members.iter().enumerate() {
+                            let mut ctx = Context {
+                                node: v,
+                                neighbors: topology.neighbors(v),
+                                out: outs[i],
+                            };
+                            nodes[i].on_round(round, &inboxes[v], &mut ctx);
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+
+    /// The fully in-shard round: compute and local delivery fused on each
+    /// shard thread (valid because component closure keeps every
+    /// destination in-shard), with per-shard metrics deltas merged
+    /// afterwards. Delivery within a shard walks members in ascending id
+    /// order, so every inbox receives exactly the single-threaded order.
+    fn step_sharded_fused(&mut self, round: u64)
+    where
+        P: Send,
+        P::Msg: Send + Sync,
+    {
+        let plan = self.shards.as_ref().expect("sharded path requires a plan");
+        let topology = &self.topology;
+        let MailboxArena { inboxes, outs } = &mut self.arena;
+        let inboxes: &[Vec<Envelope<P::Msg>>] = inboxes;
+        let mut node_slots: Slots<'_, P> = self.nodes.iter_mut().map(Some).collect();
+        let mut out_slots: Slots<'_, OutBuf<P::Msg>> = outs.iter_mut().map(Some).collect();
+        let mut mail_slots: Slots<'_, Vec<Envelope<P::Msg>>> =
+            self.mailboxes.iter_mut().map(Some).collect();
+        type ShardWork<'a, P> = (
+            &'a [usize],
+            Vec<&'a mut P>,
+            Vec<&'a mut OutBuf<<P as Protocol>::Msg>>,
+            Vec<&'a mut Vec<Envelope<<P as Protocol>::Msg>>>,
+        );
+        let work: Vec<ShardWork<'_, P>> = plan
+            .shards()
+            .iter()
+            .map(|members| {
+                (
+                    members.as_slice(),
+                    members
+                        .iter()
+                        .map(|&v| node_slots[v].take().expect("partition"))
+                        .collect(),
+                    members
+                        .iter()
+                        .map(|&v| out_slots[v].take().expect("partition"))
+                        .collect(),
+                    members
+                        .iter()
+                        .map(|&v| mail_slots[v].take().expect("partition"))
+                        .collect(),
+                )
+            })
+            .collect();
+        let deltas = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .into_iter()
+                .map(|(members, mut nodes, mut outs, mut mailboxes)| {
+                    scope.spawn(move || {
+                        let mut delta = Metrics::default();
+                        for (i, &v) in members.iter().enumerate() {
+                            {
+                                let mut ctx = Context {
+                                    node: v,
+                                    neighbors: topology.neighbors(v),
+                                    out: outs[i],
+                                };
+                                nodes[i].on_round(round, &inboxes[v], &mut ctx);
+                            }
+                            for (to, msg) in outs[i].drain(..) {
+                                let bits = msg.size_bits();
+                                let class = msg.traffic_class().min(MESSAGE_CLASSES - 1);
+                                delta.messages += 1;
+                                delta.bits += bits;
+                                delta.max_message_bits = delta.max_message_bits.max(bits);
+                                delta.by_class[class].messages += 1;
+                                delta.by_class[class].bits += bits;
+                                debug_assert_eq!(
+                                    plan.shard_of(to),
+                                    plan.shard_of(v),
+                                    "component closure keeps destinations in-shard"
+                                );
+                                mailboxes[plan.local_of(to)].push(Envelope { from: v, msg });
+                            }
+                        }
+                        delta
+                    })
+                })
+                .collect();
+            let mut deltas = Vec::with_capacity(handles.len());
+            for handle in handles {
+                match handle.join() {
+                    Ok(delta) => deltas.push(delta),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            deltas
+        });
+        // Saturating counter adds and a max are commutative, so the merge
+        // order cannot matter; `rounds` deltas are zero by construction.
+        for delta in deltas {
+            self.metrics = self.metrics.merged(delta);
+        }
+    }
+
+    /// Drains the arena's out-buffers into the live mailboxes — the
+    /// single-threaded delivery path, also used after a sharded compute
+    /// when a loss model or fault plan needs its serial RNG trace.
+    fn deliver(&mut self) {
         if let Some(reliable) = self.reliable.as_mut() {
             // The reliable path: the layer transmits, recovers every
             // loss (charging recovery slots to the metrics) and returns
             // the round's inboxes in canonical lossless order.
-            let inboxes = reliable.exchange(outs, &mut self.metrics);
+            let inboxes = reliable.exchange(&mut self.arena.outs, &mut self.metrics);
             for (to, inbox) in inboxes.into_iter().enumerate() {
                 self.mailboxes[to].extend(inbox);
             }
             return;
         }
-        for (from, out) in outs.into_iter().enumerate() {
-            for (to, msg) in out {
+        for from in 0..self.arena.outs.len() {
+            // Take the buffer out of the arena for the duration of the
+            // drain (delivery borrows mailboxes/metrics/faults), then
+            // put it back so its capacity is reused next round.
+            let mut out = std::mem::take(&mut self.arena.outs[from]);
+            for (to, msg) in out.drain(..) {
                 if let Some((plan, rng)) = self.faults.as_mut() {
                     if plan.drop_probability > 0.0 && rng.gen_bool(plan.drop_probability) {
                         self.metrics.dropped += 1;
@@ -487,6 +877,7 @@ impl<P: Protocol> Engine<P> {
                 self.metrics.by_class[class].bits += bits;
                 self.mailboxes[to].push(Envelope { from, msg });
             }
+            self.arena.outs[from] = out;
         }
     }
 

@@ -74,8 +74,8 @@ pub mod reliable;
 mod topology;
 
 pub use engine::{
-    ClassMetrics, Context, Engine, EngineError, Envelope, FaultPlan, Metrics, Protocol,
-    MESSAGE_CLASSES,
+    ClassMetrics, Context, Engine, EngineError, Envelope, FaultPlan, MailboxArena, Metrics,
+    Protocol, ShardPlan, MESSAGE_CLASSES,
 };
 pub use reliable::{ClassLoss, LossModel, ACK_BITS};
 pub use topology::Topology;

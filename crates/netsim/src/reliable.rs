@@ -471,7 +471,7 @@ impl<M: Clone + MessageSize> Reliable<M> {
     /// `MAX_RECOVERY_SLOTS` slots (a drop probability of ~1.0).
     pub(crate) fn exchange(
         &mut self,
-        outs: Vec<Vec<(usize, M)>>,
+        outs: &mut [Vec<(usize, M)>],
         metrics: &mut Metrics,
     ) -> Vec<Vec<Envelope<M>>> {
         let n = outs.len();
@@ -480,8 +480,8 @@ impl<M: Clone + MessageSize> Reliable<M> {
 
         // ---- Slot 0: original transmissions, in sender order (the
         // lossless delivery order, which canonical reassembly restores).
-        for (from, out) in outs.into_iter().enumerate() {
-            for (to, msg) in out {
+        for (from, out) in outs.iter_mut().enumerate() {
+            for (to, msg) in out.drain(..) {
                 let class = msg.traffic_class().min(MESSAGE_CLASSES - 1);
                 let bits = msg.size_bits();
                 let global_index = self.originals;

@@ -94,6 +94,38 @@ impl Topology {
             .flat_map(|(a, list)| list.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
     }
 
+    /// Connected components of the graph, each sorted ascending, ordered
+    /// by smallest member id. Components are the unit of parallelism for
+    /// the sharded engine ([`crate::ShardPlan::by_components`]): nodes in
+    /// different components can never exchange messages, so their rounds
+    /// commute.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut components = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            queue.push_back(s);
+            let mut component = Vec::new();
+            while let Some(v) = queue.pop_front() {
+                component.push(v);
+                for &w in self.neighbors(v) {
+                    if !seen[w] {
+                        seen[w] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            component.sort_unstable();
+            components.push(component);
+        }
+        components
+    }
+
     /// A complete topology over `n` nodes (every pair connected).
     pub fn complete(n: usize) -> Self {
         let adj = (0..n)
@@ -148,5 +180,21 @@ mod tests {
         let t = Topology::complete(4);
         assert_eq!(t.edge_count(), 6);
         assert!(t.has_edge(1, 3));
+    }
+
+    #[test]
+    fn components_partition_the_nodes() {
+        // Two triangles and an isolated node.
+        let mut t = Topology::new(7);
+        t.add_edge(0, 2);
+        t.add_edge(2, 4);
+        t.add_edge(4, 0);
+        t.add_edge(1, 3);
+        t.add_edge(3, 5);
+        t.add_edge(5, 1);
+        let comps = t.components();
+        assert_eq!(comps, vec![vec![0, 2, 4], vec![1, 3, 5], vec![6]]);
+        assert_eq!(Topology::complete(3).components(), vec![vec![0, 1, 2]]);
+        assert!(Topology::new(0).components().is_empty());
     }
 }
