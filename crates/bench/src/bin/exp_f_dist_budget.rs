@@ -13,6 +13,12 @@
 //!   descriptor), or
 //! * a baseline scenario disappeared from the run.
 //!
+//! Independent of any baseline, the flagship mixed scenario
+//! (`auto-mixed-24x10`) must keep its engine rounds within
+//! [`CONTROL_CEILING`]× of the driver-counted serial reference — the
+//! amortized control plane's headline claim, enforced on the PR smoke
+//! lane where the committed baseline is not regenerated.
+//!
 //! Flags (shared across the dist bench bins via
 //! `treenet_bench::DistArgs`): `--smoke` runs the reduced grid,
 //! `--scenarios a,b` filters by name substring, `--out <path>` picks the
@@ -38,6 +44,13 @@ const SCHEMA: &str = "treenet-bench/dist-budget/v2";
 
 /// Allowed relative regression before the gate fails.
 const TOLERANCE: f64 = 0.10;
+
+/// Control-plane ceiling for [`CONTROL_CEILING_SCENARIO`]: in-network
+/// engine rounds must stay within this factor of the serial reference
+/// (with amortized sweeps and the overlapped prologue the typical ratio
+/// is 2–3×; the per-step legacy sweeps sat at ~37×).
+const CONTROL_CEILING: f64 = 5.0;
+const CONTROL_CEILING_SCENARIO: &str = "auto-mixed-24x10";
 
 /// Thread count of the parallel leg of the huge scenarios' speedup
 /// measurement (the acceptance target is ≥ [`SPEEDUP_MIN`]× vs 1
@@ -481,6 +494,21 @@ fn main() {
         rows.push(row);
     }
     table.print();
+
+    // The control-plane ceiling: baseline-independent, so the PR smoke
+    // lane enforces it even though it never regenerates the baseline.
+    for row in &rows {
+        if row.name == CONTROL_CEILING_SCENARIO
+            && row.rounds as f64 > CONTROL_CEILING * row.reference_rounds as f64
+        {
+            eprintln!(
+                "CONTROL GATE: {}: {} engine rounds exceed {CONTROL_CEILING}x the serial \
+                 reference ({})",
+                row.name, row.rounds, row.reference_rounds
+            );
+            std::process::exit(1);
+        }
+    }
 
     // The huge-grid speedup target is a hardware claim: enforce it only
     // where the hardware exists (≥ SPEEDUP_THREADS CPUs); elsewhere the

@@ -26,7 +26,9 @@ use treenet_model::Problem;
 /// Checks the per-run invariants every solo distributed outcome must
 /// satisfy: `O(M)`-bit messages (one demand descriptor, via the crate's
 /// single definition) and the exact engine-round relation — one setup
-/// round plus the compute schedule plus the echo-sweep control rounds.
+/// round plus the compute schedule plus the control stalls (the rounds
+/// spent idling on an in-flight echo sweep or the BFS prologue; the
+/// sweeps themselves ride the data rounds).
 fn check_solo(problem: &Problem, out: &DistOutcome) -> bool {
     out.metrics.max_message_bits <= descriptor_bits(problem.network_count())
         && out.metrics.rounds == out.schedule.engine_rounds() + 1

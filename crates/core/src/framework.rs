@@ -340,25 +340,59 @@ pub fn echo_sweep_rounds(height: u32) -> u64 {
 
 /// Upper bound on the link-layer recovery slots the reliable-delivery
 /// sublayer (`treenet-netsim`'s loss-model path) may add to a run that
-/// suffered `dropped` dropped and `delayed` delayed transmissions:
-/// `4 · (dropped + delayed)`.
+/// suffered `dropped` dropped and `delayed` delayed transmissions under
+/// a sliding send window of `window` in-flight copies per packet:
+/// `2 · (dropped + delayed)` for `window ≥ 2`, degrading to the
+/// stop-and-wait `4 · (dropped + delayed)` at `window ≤ 1`.
 ///
-/// Derivation: a round only enters recovery when its first slot lost or
+/// Derivation. A round only enters recovery when its first slot lost or
 /// delayed a transmission, so recovery *episodes* number at most
-/// `dropped + delayed`; within an episode, any two consecutive slots
-/// without a fresh loss event finish it (the two-slot retransmission
-/// timer fires in one of them and the retransmission goes through), so
-/// an episode spans at most `2·(events_inside + 1)` slots. Summing,
-/// `slots ≤ 2·events + 2·episodes ≤ 4·(dropped + delayed)`. In
-/// particular the bound is zero when nothing was lost — the
-/// zero-overhead passthrough at `p = 0`.
+/// `dropped + delayed`. With `window ≥ 2` the ARQ retransmits an
+/// unacknowledged packet in **every** recovery slot until `window`
+/// copies are in flight (eager pipelining), so each slot a packet stays
+/// undelivered consumes one fresh loss event of that packet — copies are
+/// only re-lost, never left waiting on a timer — and a delayed copy
+/// occupies exactly one slot before landing. Past the window the
+/// two-slot pacing timer takes over, costing at most two slots per
+/// further event. Either way every charged slot is attributable to a
+/// distinct drop or delay plus at most one trailing pacing slot per
+/// event: `slots ≤ 2·(dropped + delayed)`. At `window ≤ 1` the eager
+/// phase is empty and only the two-slot timer drives recovery; any two
+/// consecutive slots without a fresh loss event finish an episode, so an
+/// episode spans at most `2·(events_inside + 1)` slots and summing gives
+/// `slots ≤ 2·events + 2·episodes ≤ 4·(dropped + delayed)`. In both
+/// regimes the bound is zero when nothing was lost — the zero-overhead
+/// passthrough at `p = 0`.
 ///
+/// `dropped`/`delayed` count *transmissions* (originals, retransmissions
+/// and proactive redundant copies alike), which only loosens the bound.
 /// This is the single shared definition used by the fault-injection
 /// proptests in `treenet-dist` and the `exp_f_dist_loss` experiment, so
 /// the documented bound cannot drift from what is asserted.
 #[inline]
-pub fn retransmit_round_bound(dropped: u64, delayed: u64) -> u64 {
-    4u64.saturating_mul(dropped.saturating_add(delayed))
+pub fn retransmit_round_bound(dropped: u64, delayed: u64, window: u64) -> u64 {
+    let per_event = if window >= 2 { 2u64 } else { 4u64 };
+    per_event.saturating_mul(dropped.saturating_add(delayed))
+}
+
+/// Communication rounds of the charged BFS/leader-election prologue that
+/// builds the convergecast forest in-network by flooding
+/// `(candidate root, distance)` pairs: a node at depth `d` of the final
+/// forest adopts its true `(root, d)` label by round `d + 1` (the
+/// minimum root id travels one hop per round and every improvement is
+/// rebroadcast), so after `height + 1` rounds all labels are final and
+/// one more round delivers the last rebroadcasts — after which every
+/// node also knows its neighbors' final distances and can resolve its
+/// parent (smallest-id neighbor one layer up) locally. `height + 2`
+/// rounds in total, or zero when every component is a singleton (an
+/// isolated processor is its own root and sends nothing).
+#[inline]
+pub fn prologue_rounds(height: u32) -> u64 {
+    if height == 0 {
+        0
+    } else {
+        height as u64 + 2
+    }
 }
 
 /// Runs the two-phase framework over `participants` (pass all instances
@@ -1001,15 +1035,33 @@ mod tests {
 
     #[test]
     fn retransmit_round_bound_formula() {
-        // Zero loss events ⇒ zero recovery slots (the p=0 passthrough).
-        assert_eq!(retransmit_round_bound(0, 0), 0);
-        // 4 slots per loss event, drops and delays alike.
-        assert_eq!(retransmit_round_bound(1, 0), 4);
-        assert_eq!(retransmit_round_bound(0, 1), 4);
-        assert_eq!(retransmit_round_bound(3, 2), 20);
+        // Zero loss events ⇒ zero recovery slots (the p=0 passthrough),
+        // at any window.
+        assert_eq!(retransmit_round_bound(0, 0, 1), 0);
+        assert_eq!(retransmit_round_bound(0, 0, 4), 0);
+        // Stop-and-wait (window ≤ 1): 4 slots per loss event, drops and
+        // delays alike.
+        assert_eq!(retransmit_round_bound(1, 0, 1), 4);
+        assert_eq!(retransmit_round_bound(0, 1, 0), 4);
+        assert_eq!(retransmit_round_bound(3, 2, 1), 20);
+        // Windowed ARQ (window ≥ 2): eager pipelining halves the bound.
+        assert_eq!(retransmit_round_bound(1, 0, 2), 2);
+        assert_eq!(retransmit_round_bound(0, 1, 4), 2);
+        assert_eq!(retransmit_round_bound(3, 2, 8), 10);
         // Saturating at the extremes instead of wrapping.
-        assert_eq!(retransmit_round_bound(u64::MAX, 1), u64::MAX);
-        assert_eq!(retransmit_round_bound(u64::MAX / 2, 0), u64::MAX);
+        assert_eq!(retransmit_round_bound(u64::MAX, 1, 1), u64::MAX);
+        assert_eq!(retransmit_round_bound(u64::MAX / 2 + 1, 0, 4), u64::MAX);
+    }
+
+    #[test]
+    fn prologue_round_formula() {
+        // Singleton components: every processor is its own root, no
+        // flood at all.
+        assert_eq!(prologue_rounds(0), 0);
+        // Height h: labels final by round h+1, last rebroadcasts land in
+        // round h+2.
+        assert_eq!(prologue_rounds(1), 3);
+        assert_eq!(prologue_rounds(12), 14);
     }
 
     #[test]

@@ -49,9 +49,9 @@ mod solvers;
 pub use certificate::Certificate;
 pub use dual::{DualForm, DualState};
 pub use framework::{
-    check_interference, echo_sweep_rounds, mis_tag, retransmit_round_bound, run_two_phase,
-    run_two_phase_reference, stages_for, step_comm_rounds, FrameworkConfig, FrameworkError,
-    Outcome, RaiseEvent, RaiseRule, RunStats, StackEntry, SATISFACTION_GUARD,
+    check_interference, echo_sweep_rounds, mis_tag, prologue_rounds, retransmit_round_bound,
+    run_two_phase, run_two_phase_reference, stages_for, step_comm_rounds, FrameworkConfig,
+    FrameworkError, Outcome, RaiseEvent, RaiseRule, RunStats, StackEntry, SATISFACTION_GUARD,
 };
 pub use sequential::{solve_sequential_tree, SequentialOutcome};
 pub use solvers::{

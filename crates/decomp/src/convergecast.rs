@@ -5,12 +5,15 @@
 //!
 //! The communication graph is infrastructure knowledge — it derives from
 //! which processors share a resource, not from any demand's private data
-//! — so a deterministic rooting is public information every processor can
-//! compute (operationally it corresponds to the standard O(diameter)
-//! leader-election/BFS preprocessing of distributed algorithms). The
-//! construction is a BFS from the smallest unvisited vertex id, visiting
-//! neighbors in ascending order, so every processor derives the *same*
-//! parent pointers.
+//! — and the rooting rule is chosen to be *locally computable*: every
+//! vertex sits at BFS depth `d` below its component's smallest id (the
+//! root/leader), and its parent is its **smallest-id neighbor at depth
+//! `d − 1`**. A processor that knows only its own BFS distance and its
+//! neighbors' distances can evaluate this rule with no further
+//! information, which is exactly what the charged message-passing
+//! prologue in `treenet-dist` does (distance flooding, then a local
+//! parent pick); this module is the reference construction the prologue
+//! is asserted against.
 
 /// A rooted spanning forest of an undirected graph over `0..n`, with
 /// parent pointers, children lists and depths — one tree per connected
@@ -25,30 +28,18 @@ pub struct ConvergecastForest {
 }
 
 impl ConvergecastForest {
-    /// Builds the forest from adjacency lists (assumed symmetric).
-    /// Neighbors are scanned in ascending id order — input list order is
-    /// normalized away up front, so every caller derives the same
-    /// parent pointers.
+    /// Builds the forest from adjacency lists (assumed symmetric): BFS
+    /// depths below each component's smallest id, then parent = the
+    /// smallest-id neighbor one layer up. The parent rule depends only
+    /// on a vertex's own depth and its neighbors' depths — the locally
+    /// computable form the distributed prologue reproduces — so input
+    /// list order is irrelevant by construction.
     ///
     /// # Panics
     ///
     /// Panics if a neighbor index is out of range.
     pub fn from_adjacency(adj: &[Vec<usize>]) -> Self {
         let n = adj.len();
-        // Normalize once: sorted copies of any lists that need it, so
-        // the BFS below is a plain allocation-free scan.
-        let sorted: Vec<std::borrow::Cow<'_, [usize]>> = adj
-            .iter()
-            .map(|list| {
-                if list.is_sorted() {
-                    std::borrow::Cow::Borrowed(list.as_slice())
-                } else {
-                    let mut copy = list.clone();
-                    copy.sort_unstable();
-                    std::borrow::Cow::Owned(copy)
-                }
-            })
-            .collect();
         let mut parent: Vec<Option<u32>> = vec![None; n];
         let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut depth: Vec<u32> = vec![0; n];
@@ -60,22 +51,38 @@ impl ConvergecastForest {
             if visited[start] {
                 continue;
             }
+            // Layer 1: BFS distances from the component's smallest id.
             roots.push(start as u32);
             visited[start] = true;
             queue.push_back(start);
             while let Some(v) = queue.pop_front() {
-                for &w in sorted[v].iter() {
+                for &w in adj[v].iter() {
                     assert!(w < n, "neighbor {w} out of range");
                     if !visited[w] {
                         visited[w] = true;
-                        parent[w] = Some(v as u32);
-                        children[v].push(w as u32);
                         depth[w] = depth[v] + 1;
                         height = height.max(depth[w]);
                         queue.push_back(w);
                     }
                 }
             }
+        }
+        // Layer 2: the local parent pick, one vertex at a time.
+        for v in 0..n {
+            if depth[v] == 0 {
+                continue;
+            }
+            let p = adj[v]
+                .iter()
+                .copied()
+                .filter(|&w| depth[w] + 1 == depth[v])
+                .min()
+                .expect("BFS leaves every non-root a neighbor one layer up");
+            parent[v] = Some(p as u32);
+            children[p].push(v as u32);
+        }
+        for list in &mut children {
+            list.sort_unstable();
         }
         ConvergecastForest {
             parent,

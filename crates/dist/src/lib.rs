@@ -27,15 +27,28 @@
 //!    single definitions), making the floats bit-identical.
 //! 3. **A public schedule** — epochs, stages and step boundaries are
 //!    globally known (the paper's synchronous-model assumption). The
-//!    driver supplies only the timing signal between rounds; every
-//!    *decision* is made in-network:
+//!    driver supplies only the timing signal between rounds:
 //!
-//!    * **Termination detection.** Whether a stage (or epoch) is finished
-//!      is decided by an echo sweep on the public convergecast forest of
-//!      the communication graph: unsatisfied counts aggregate up each
-//!      component's tree, the root's verdict floods back down, and the
-//!      driver merely reads the broadcast verdict — it never counts
-//!      instance satisfaction itself.
+//!    * **The charged prologue.** The convergecast forest the control
+//!      plane rides on is no longer free infrastructure: from the first
+//!      round every node floods a BFS/leader-election label (class-5
+//!      `Bfs` messages) and derives its parent locally — the runner
+//!      asserts the flooded forest equals the public
+//!      `ConvergecastForest` on every node. The flood overlaps the
+//!      first data rounds; it costs wall-clock only when a run is
+//!      shorter than `treenet_core::prologue_rounds(height)`.
+//!    * **Amortized termination detection.** The driver paces steps from
+//!      node-local hints — the summed `count_unsatisfied`/`has_group`
+//!      predicates, exactly the state the `Active`/`Died` broadcasts
+//!      disseminate — and *audits* that pacing with echo sweeps on the
+//!      forest: unsatisfied counts aggregate up each component's tree
+//!      and the root's verdict floods back down. Sweeps are armed on an
+//!      amortized cadence (one certification sweep per worked epoch,
+//!      plus a refresh every `2^k` steps,
+//!      [`DistConfig::sweep_interval_log2`]) and ride the data rounds
+//!      instead of stopping them; every verdict is asserted equal to
+//!      the hint snapshot taken when the sweep was armed — a sweep can
+//!      neither terminate early nor miss termination.
 //!    * **The per-network combiner.** After a wide/narrow split run, each
 //!      selected instance is reported to its network's leader (the
 //!      minimum-id accessor, a direct neighbor since accessors of a
@@ -57,24 +70,28 @@
 //! Per-half *compute* rounds are unchanged and still match
 //! `RunStats::comm_rounds`: per step, one boundary round plus two rounds
 //! per Luby iteration, plus one round per phase-2 pop
-//! ([`DistSchedule::total_rounds`]). The in-network control plane adds
-//! [`DistSchedule::control_rounds`]: one echo sweep before every step,
-//! one closing sweep per stage, and one sweep per empty epoch, each
-//! costing `echo_sweep_rounds(forest height)` engine rounds. The exact
-//! engine relations are documented on [`DistSchedule`] and asserted for
-//! every runner in `tests/metrics.rs`.
+//! ([`DistSchedule::total_rounds`]). The control plane is overlapped:
+//! prologue and echo messages ride the data rounds, so control only
+//! costs wall-clock when the half must *idle* — waiting for an
+//! in-flight sweep to drain before certifying or finishing, or for the
+//! prologue to complete — counted in
+//! [`DistSchedule::control_stalls`]. The exact engine relations are
+//! documented on [`DistSchedule`] and asserted for every runner in
+//! `tests/metrics.rs`.
 //!
 //! # Fault tolerance
 //!
 //! Links need not be reliable: [`DistConfig::loss`] runs the whole
-//! protocol — data plane, echo sweeps, combiner — over seeded Bernoulli
-//! drop/duplicate/delay processes, recovered by `treenet-netsim`'s
-//! reliable-delivery sublayer (per-edge sequence numbers, cumulative +
-//! selective acks, timeout retransmission, duplicate suppression).
-//! Every node, the `HalfDriver` state machines and the echo-sweep
-//! termination path run *unchanged*: the sublayer reassembles each
-//! logical round's inbox in canonical order, so solutions, λ and
-//! schedules stay bit-identical at any loss rate, while the overhead is
+//! protocol — data plane, prologue, echo sweeps, combiner — over seeded
+//! Bernoulli drop/duplicate/delay processes, recovered by
+//! `treenet-netsim`'s reliable-delivery sublayer (per-edge sequence
+//! numbers, a sliding send window of [`DistConfig::arq_window`]
+//! messages with eager pipelined retransmission and proactive
+//! repetition, cumulative + SACK acks, duplicate suppression). Every
+//! node, the `HalfDriver` state machines and the echo-sweep termination
+//! path run *unchanged*: the sublayer reassembles each logical round's
+//! inbox in canonical order, so solutions, λ and schedules stay
+//! bit-identical at any loss rate and any window, while the overhead is
 //! measurable in `Metrics` (`retransmits`, `acks`, `dup_suppressed`,
 //! and `retransmit_rounds` — bounded by
 //! [`treenet_core::retransmit_round_bound`]). The `tests/loss_equiv.rs`
@@ -111,8 +128,8 @@ use std::sync::Arc;
 
 use node::{Layering, Mode, ProcessorNode, PublicInfo, SATISFACTION_GUARD};
 use treenet_core::{
-    auto_choice, echo_sweep_rounds, mis_tag, narrow_xi, stages_for, unit_xi, AutoChoice, RaiseRule,
-    SolverConfig,
+    auto_choice, echo_sweep_rounds, mis_tag, narrow_xi, prologue_rounds, stages_for, unit_xi,
+    AutoChoice, RaiseRule, SolverConfig,
 };
 use treenet_decomp::{line_lmin, ConvergecastForest, LayeredDecomposition, Strategy};
 use treenet_graph::{RootedTree, VertexId};
@@ -171,6 +188,22 @@ pub struct DistConfig {
     /// deterministically: adding loss at `p = 0` perturbs neither the
     /// shuffle order nor any metric.
     pub loss: Option<LossModel>,
+    /// ARQ send window of the reliable sublayer under
+    /// [`DistConfig::loss`]: how many unacked messages each directed
+    /// edge may have in flight before eager retransmission throttles
+    /// back to the timer. Clamped to ≥ 1; `1` reproduces classic
+    /// stop-and-wait. Ignored on lossless links. The default is
+    /// [`treenet_netsim::DEFAULT_ARQ_WINDOW`].
+    pub arq_window: u32,
+    /// Refresh-sweep cadence of the amortized termination detection:
+    /// beyond the one certification sweep armed at the end of every
+    /// epoch that ran steps, an extra echo sweep is armed after every
+    /// `2^sweep_interval_log2` completed steps (the counter resets on
+    /// every launch). `0` arms a sweep after *every* step — the dense
+    /// pre-amortization cadence, kept as the proptest reference.
+    /// Sweeps overlap the data rounds, so the cadence changes neither
+    /// schedules nor λ — only the auditing density.
+    pub sweep_interval_log2: u32,
     /// Worker threads for the engine's sharded round executor. Nodes are
     /// partitioned into at most this many shards of whole connected
     /// components ([`ConvergecastForest::partition`]), so every run is
@@ -190,6 +223,8 @@ impl Default for DistConfig {
             hmin: None,
             shuffle_delivery: None,
             loss: None,
+            arq_window: treenet_netsim::DEFAULT_ARQ_WINDOW,
+            sweep_interval_log2: 6,
             threads: 1,
         }
     }
@@ -223,38 +258,52 @@ pub struct StepRecord {
 }
 
 /// The executed schedule of one (sub-)run: phase-1 steps, phase-2 pops,
-/// and the in-network control sweeps.
+/// and the overlapped control plane (echo sweeps and the BFS prologue).
 ///
 /// # Round relations (exact, asserted in `tests/metrics.rs`)
 ///
-/// With `compute = total_rounds()` and `control = control_rounds()`:
+/// With `compute = total_rounds()` and `stalls = control_stalls`:
 ///
 /// * **solo in-network runner** (`run_distributed_tree_unit`,
 ///   `run_distributed_line_unit`):
-///   `Metrics::rounds == compute + control + 1` (the `+1` is the setup
-///   round exchanging demand descriptors);
+///   `Metrics::rounds == compute + stalls + 1` (the `+1` is the setup
+///   round exchanging demand descriptors; prologue and sweep messages
+///   ride the counted rounds);
 /// * **merged split runner** (`run_distributed_tree_arbitrary`,
 ///   `run_distributed_line_arbitrary`): the halves share one engine and
 ///   overlap, so
 ///   `Metrics::rounds == max(wide.engine_rounds(), narrow.engine_rounds())
 ///   + 1 + COMBINE_ROUNDS`;
-/// * **reference (driver-counted) paths** have `control == 0`: solo
-///   `Metrics::rounds == compute + 1`, and the serial split merges two
-///   engines: `Metrics::rounds == wide.compute + narrow.compute + 2`.
+/// * **reference (driver-counted) paths** have `stalls == 0` and
+///   `sweeps == 0`: solo `Metrics::rounds == compute + 1`, and the
+///   serial split merges two engines:
+///   `Metrics::rounds == wide.compute + narrow.compute + 2`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DistSchedule {
     /// Phase-1 steps in execution order (= framework stack order).
     pub steps: Vec<StepRecord>,
     /// Phase-2 stack pops (one communication round each).
     pub pops: u64,
-    /// In-network termination-detection sweeps executed: one before every
-    /// step, one closing sweep per stage, one per empty epoch. Zero on
+    /// In-network termination-detection sweeps armed: one certification
+    /// sweep per epoch that ran steps, plus one refresh sweep per
+    /// `2^`[`DistConfig::sweep_interval_log2`] completed steps. Zero on
     /// the driver-counted reference path.
     pub sweeps: u64,
-    /// Engine rounds per sweep — `treenet_core::echo_sweep_rounds` of the
-    /// convergecast-forest height (zero when every processor is
-    /// isolated).
+    /// Engine rounds one sweep needs to drain —
+    /// `treenet_core::echo_sweep_rounds` of the convergecast-forest
+    /// height (zero when every processor is isolated). Sweeps overlap
+    /// the data rounds, so this is pipeline depth, not per-sweep cost.
     pub sweep_rounds: u64,
+    /// Engine rounds this half *idled* on the control plane: waiting for
+    /// an in-flight sweep to drain before arming a certification sweep
+    /// or finishing, or for the BFS prologue to complete. The only
+    /// wall-clock rounds the control plane costs.
+    pub control_stalls: u64,
+    /// Engine rounds the charged BFS/leader-election prologue needs —
+    /// `treenet_core::prologue_rounds` of the forest height. The flood
+    /// overlaps the data rounds; only the part of it that outlives the
+    /// schedule shows up as `control_stalls`.
+    pub prologue_rounds: u64,
 }
 
 impl DistSchedule {
@@ -262,8 +311,8 @@ impl DistSchedule {
     /// step_comm_rounds(luby) + pops` — the per-step formula is
     /// [`treenet_core::step_comm_rounds`], shared with the logical
     /// runner's `RunStats::comm_rounds` accounting so the two
-    /// implementations cannot silently diverge. In-network control rounds
-    /// are accounted separately in [`DistSchedule::control_rounds`].
+    /// implementations cannot silently diverge. Control-plane idling is
+    /// accounted separately in [`DistSchedule::control_rounds`].
     pub fn total_rounds(&self) -> u64 {
         self.steps
             .iter()
@@ -272,15 +321,17 @@ impl DistSchedule {
             + self.pops
     }
 
-    /// Engine rounds spent on in-network control (termination-detection
-    /// sweeps): `sweeps · sweep_rounds`.
+    /// Engine rounds spent idle on in-network control — the
+    /// [`DistSchedule::control_stalls`] counter. Sweeps and the prologue
+    /// themselves ride the data rounds for free.
     pub fn control_rounds(&self) -> u64 {
-        self.sweeps * self.sweep_rounds
+        self.control_stalls
     }
 
-    /// Total engine rounds this (sub-)run occupies: compute plus control.
+    /// Total engine rounds this (sub-)run occupies: compute plus control
+    /// stalls.
     pub fn engine_rounds(&self) -> u64 {
-        self.total_rounds() + self.control_rounds()
+        self.total_rounds() + self.control_stalls
     }
 
     /// Number of phase-1 steps.
@@ -524,7 +575,7 @@ pub(crate) fn build_engine(
         ShardPlan::from_groups(adjacency.len(), forest.partition(config.threads))
     });
     let topology = Topology::from_adjacency(adjacency);
-    let mut engine = Engine::new(nodes, topology);
+    let mut engine = Engine::new(nodes, topology).with_arq_window(config.arq_window);
     if let Some(plan) = shards {
         engine = engine.with_shards(plan);
     }
@@ -556,40 +607,48 @@ struct HalfPlan {
 enum HalfState {
     /// Enter epoch `epoch` (or phase 2 when past the last group).
     EpochStart { epoch: u32 },
-    /// An echo sweep is in flight; `epoch_check` marks the first sweep of
-    /// an epoch, whose `members` verdict decides whether the epoch is
-    /// skipped entirely.
-    InSweep {
-        epoch: u32,
-        stage: u32,
-        epoch_check: bool,
-        rounds_left: u64,
-    },
-    /// The sweep finished: consume the verdict and decide.
-    AfterSweep {
-        epoch: u32,
-        stage: u32,
-        epoch_check: bool,
-    },
+    /// Decide the next move within `stage` from the pacing hints: start
+    /// a step, advance the stage, or close the epoch.
+    StageCheck { epoch: u32, stage: u32 },
     /// The announce round of a step just ran.
     AfterAnnounce { epoch: u32, stage: u32 },
     /// A Luby evaluation round just ran.
     AfterEval { epoch: u32, stage: u32 },
     /// A Luby cleanup round just ran: check quiescence.
     AfterCleanup { epoch: u32, stage: u32 },
+    /// The epoch ran steps and finished: arm its certification sweep as
+    /// soon as the sweep pipeline (and the prologue) is clear.
+    CertifyEpoch { epoch: u32 },
     /// The pop round for global step `step` runs next.
     PopNext { step: u32 },
     /// Pops finished: park the half's nodes.
     FinishPops,
-    /// The half consumed its whole schedule.
+    /// The schedule is consumed; idle until the last sweep drains and
+    /// the prologue completes.
+    DrainControl,
+    /// The half consumed its whole schedule and control plane.
     Done,
 }
 
+/// One in-flight echo sweep: the hint snapshot taken when it was armed
+/// and the engine rounds left until every root holds its verdict. The
+/// sweep rides the data rounds; the driver only tracks the pipeline
+/// depth and, on completion, asserts the in-network verdict equals the
+/// snapshot — amortized sweeps can neither terminate a stage early nor
+/// miss termination.
+#[derive(Copy, Clone, Debug)]
+struct SweepTicket {
+    /// `(unsatisfied, members)` summed from the node-local hints at arm
+    /// time — what the echo aggregation must reproduce.
+    expected: (u64, bool),
+    /// Engine rounds until the verdict is readable at every root.
+    remaining: u64,
+}
+
 /// Drives one half's public schedule over the shared engine: it sets
-/// node modes and arms echo sweeps (the timing signal), and reads back
-/// only in-network aggregates — the broadcast echo verdicts and the
-/// engine-observable MIS liveness — never counting satisfaction or
-/// summing profits itself.
+/// node modes (the timing signal), paces steps from the node-local
+/// hints, and arms overlapped echo sweeps whose in-network verdicts
+/// audit every pacing decision. It never sums profits itself.
 struct HalfDriver {
     plan: HalfPlan,
     /// The demands of this half, ascending.
@@ -601,6 +660,15 @@ struct HalfDriver {
     step_in_stage: u64,
     luby_rounds: u64,
     budget: u64,
+    /// The at-most-one sweep currently riding the data rounds.
+    ticket: Option<SweepTicket>,
+    /// Completed steps since the last sweep was armed.
+    steps_since_sweep: u64,
+    /// Refresh-sweep cadence: `2^sweep_interval_log2` steps.
+    sweep_interval: u64,
+    /// Whether the current epoch recorded at least one step (empty
+    /// epochs are skipped without certification — nothing moved).
+    epoch_had_steps: bool,
 }
 
 impl HalfDriver {
@@ -619,12 +687,17 @@ impl HalfDriver {
             max_steps_per_stage: config.max_steps_per_stage,
             schedule: DistSchedule {
                 sweep_rounds: echo_sweep_rounds(forest.height()),
+                prologue_rounds: prologue_rounds(forest.height()),
                 ..DistSchedule::default()
             },
             state: HalfState::EpochStart { epoch: 1 },
             step_in_stage: 0,
             luby_rounds: 0,
             budget: 0,
+            ticket: None,
+            steps_since_sweep: 0,
+            sweep_interval: 1u64 << config.sweep_interval_log2.min(63),
+            epoch_had_steps: false,
         }
     }
 
@@ -634,33 +707,75 @@ impl HalfDriver {
         }
     }
 
-    /// Arms an echo sweep over epoch `epoch` at stage `stage`'s
-    /// threshold: **every** node snapshots its contribution (off-half
-    /// nodes contribute zero but relay), this half's nodes idle.
-    fn start_sweep(
+    /// Stage `stage`'s satisfaction threshold `1 - ξ^stage`.
+    fn threshold_for(&self, stage: u32) -> f64 {
+        1.0 - self.plan.xi.powi(stage as i32)
+    }
+
+    /// The driver's pacing hint: this half's summed unsatisfied count
+    /// for epoch group `k` at `threshold`, and whether the group is
+    /// populated — the same node-local predicates the announce round
+    /// and `begin_echo` evaluate, so an armed sweep's verdict must
+    /// reproduce the snapshot bit-for-bit.
+    fn hint(&self, nodes: &[ProcessorNode], k: u32, threshold: f64) -> (u64, bool) {
+        let mut unsatisfied = 0u64;
+        let mut members = false;
+        for &i in &self.node_ids {
+            unsatisfied += nodes[i].count_unsatisfied(k, threshold) as u64;
+            members |= nodes[i].has_group(k);
+        }
+        (unsatisfied, members)
+    }
+
+    /// Arms an overlapped echo sweep over epoch `epoch` at stage
+    /// `stage`'s threshold: **every** node snapshots its contribution
+    /// (off-half nodes contribute zero but relay) and the sweep rides
+    /// the following data rounds. Isolated-only forests complete
+    /// instantly (zero rounds, zero messages).
+    fn arm_sweep(
         &mut self,
         nodes: &mut [ProcessorNode],
+        forest: &ConvergecastForest,
         epoch: u32,
         stage: u32,
-        epoch_check: bool,
     ) {
-        let threshold = 1.0 - self.plan.xi.powi(stage as i32);
+        debug_assert!(self.ticket.is_none(), "one sweep pipeline per half");
+        let threshold = self.threshold_for(stage);
+        let expected = self.hint(nodes, epoch, threshold);
         for node in nodes.iter_mut() {
             node.begin_echo(self.plan.tag, epoch, threshold);
         }
-        self.set_modes(nodes, Mode::Idle);
         self.schedule.sweeps += 1;
-        self.state = HalfState::InSweep {
-            epoch,
-            stage,
-            epoch_check,
-            rounds_left: self.schedule.sweep_rounds,
-        };
+        self.steps_since_sweep = 0;
+        if self.schedule.sweep_rounds == 0 {
+            self.verify_sweep(nodes, forest, expected);
+        } else {
+            self.ticket = Some(SweepTicket {
+                expected,
+                remaining: self.schedule.sweep_rounds,
+            });
+        }
+    }
+
+    /// The completed sweep's audit: the in-network verdict must equal
+    /// the hint snapshot taken when the sweep was armed. `begin_echo`
+    /// froze every node's contribution at arm time, so data rounds the
+    /// sweep overlapped cannot perturb the aggregate.
+    fn verify_sweep(
+        &self,
+        nodes: &[ProcessorNode],
+        forest: &ConvergecastForest,
+        expected: (u64, bool),
+    ) {
+        let verdict = self.read_verdict(nodes, forest);
+        assert_eq!(
+            verdict, expected,
+            "echo sweep verdict must equal the hint snapshot taken when it was armed"
+        );
     }
 
     /// The global sweep verdict: the sum (and OR) of the in-network
-    /// per-component verdicts over the forest roots — the driver reads
-    /// the aggregates the echo computed, it does not count anything.
+    /// per-component verdicts over the forest roots.
     fn read_verdict(&self, nodes: &[ProcessorNode], forest: &ConvergecastForest) -> (u64, bool) {
         let mut unsatisfied = 0u64;
         let mut members = false;
@@ -674,14 +789,35 @@ impl HalfDriver {
         (unsatisfied, members)
     }
 
+    /// Whether a new sweep may be armed: the single pipeline slot is
+    /// free and the prologue has finished building the forest the sweep
+    /// rides on (`rounds_run` counts executed engine rounds, setup
+    /// included).
+    fn can_arm(&self, rounds_run: u64) -> bool {
+        self.ticket.is_none() && rounds_run >= self.schedule.prologue_rounds
+    }
+
     /// Prepares the next engine round for this half. Returns `Ok(true)`
     /// when the half needs the round, `Ok(false)` once it has consumed
-    /// its whole schedule.
+    /// its whole schedule. `rounds_run` is the number of engine rounds
+    /// already executed.
     fn pre_round(
         &mut self,
         nodes: &mut [ProcessorNode],
         forest: &ConvergecastForest,
+        rounds_run: u64,
     ) -> Result<bool, DistError> {
+        // Sweep pipeline: exactly one engine round ran since the last
+        // call (a half never reports done with a live ticket, so calls
+        // map 1:1 to rounds until the ticket drains).
+        if let Some(ticket) = &mut self.ticket {
+            ticket.remaining -= 1;
+            if ticket.remaining == 0 {
+                let expected = ticket.expected;
+                self.ticket = None;
+                self.verify_sweep(nodes, forest, expected);
+            }
+        }
         loop {
             match self.state {
                 HalfState::Done => return Ok(false),
@@ -697,47 +833,30 @@ impl HalfDriver {
                         }
                         continue;
                     }
-                    self.step_in_stage = 0;
-                    self.start_sweep(nodes, epoch, 1, true);
-                }
-                HalfState::InSweep {
-                    epoch,
-                    stage,
-                    epoch_check,
-                    rounds_left,
-                } => {
-                    if rounds_left == 0 {
-                        self.state = HalfState::AfterSweep {
-                            epoch,
-                            stage,
-                            epoch_check,
-                        };
-                        continue;
-                    }
-                    self.state = HalfState::InSweep {
-                        epoch,
-                        stage,
-                        epoch_check,
-                        rounds_left: rounds_left - 1,
-                    };
-                    return Ok(true);
-                }
-                HalfState::AfterSweep {
-                    epoch,
-                    stage,
-                    epoch_check,
-                } => {
-                    let (unsatisfied, members) = self.read_verdict(nodes, forest);
-                    if epoch_check && !members {
-                        // The epoch group is empty everywhere: skip it,
-                        // exactly like the logical `members.is_empty()`.
+                    // Group membership is threshold-independent: probe
+                    // at stage 1. Empty groups are skipped at zero
+                    // rounds and zero sweeps — nothing moved, so there
+                    // is nothing to certify.
+                    let (_, members) = self.hint(nodes, epoch, self.threshold_for(1));
+                    if !members {
                         self.state = HalfState::EpochStart { epoch: epoch + 1 };
                         continue;
                     }
+                    self.step_in_stage = 0;
+                    self.epoch_had_steps = false;
+                    self.state = HalfState::StageCheck { epoch, stage: 1 };
+                }
+                HalfState::StageCheck { epoch, stage } => {
+                    let (unsatisfied, _) = self.hint(nodes, epoch, self.threshold_for(stage));
                     if unsatisfied == 0 {
                         if stage < self.stages_per_epoch {
                             self.step_in_stage = 0;
-                            self.start_sweep(nodes, epoch, stage + 1, false);
+                            self.state = HalfState::StageCheck {
+                                epoch,
+                                stage: stage + 1,
+                            };
+                        } else if self.epoch_had_steps {
+                            self.state = HalfState::CertifyEpoch { epoch };
                         } else {
                             self.state = HalfState::EpochStart { epoch: epoch + 1 };
                         }
@@ -750,7 +869,7 @@ impl HalfDriver {
                     }
                     self.budget = unsatisfied + 4;
                     let namespace = mis_tag(epoch, stage, self.step_in_stage);
-                    let threshold = 1.0 - self.plan.xi.powi(stage as i32);
+                    let threshold = self.threshold_for(stage);
                     let global_step = self.schedule.steps.len() as u32;
                     for &i in &self.node_ids {
                         nodes[i].begin_step(epoch, namespace, threshold, global_step);
@@ -796,7 +915,31 @@ impl HalfDriver {
                         luby_rounds: self.luby_rounds,
                     });
                     self.step_in_stage += 1;
-                    self.start_sweep(nodes, epoch, stage, false);
+                    self.epoch_had_steps = true;
+                    self.steps_since_sweep += 1;
+                    // Refresh sweep on the geometric cadence: state
+                    // moved, so re-audit the in-network view (the sweep
+                    // rides the next data rounds). Skipped while the
+                    // pipeline is busy — the counter keeps the pressure
+                    // until a slot frees up.
+                    if self.steps_since_sweep >= self.sweep_interval && self.can_arm(rounds_run) {
+                        self.arm_sweep(nodes, forest, epoch, stage);
+                    }
+                    self.state = HalfState::StageCheck { epoch, stage };
+                }
+                HalfState::CertifyEpoch { epoch } => {
+                    if !self.can_arm(rounds_run) {
+                        // The pipeline (or the prologue) must clear
+                        // before the certification sweep can be armed:
+                        // idle one engine round.
+                        self.set_modes(nodes, Mode::Idle);
+                        self.schedule.control_stalls += 1;
+                        return Ok(true);
+                    }
+                    // Certify at the epoch's final threshold, then move
+                    // on — the sweep overlaps whatever runs next.
+                    self.arm_sweep(nodes, forest, epoch, self.stages_per_epoch);
+                    self.state = HalfState::EpochStart { epoch: epoch + 1 };
                 }
                 HalfState::PopNext { step } => {
                     self.set_modes(nodes, Mode::Pop(step));
@@ -809,6 +952,13 @@ impl HalfDriver {
                 }
                 HalfState::FinishPops => {
                     self.set_modes(nodes, Mode::Idle);
+                    self.state = HalfState::DrainControl;
+                }
+                HalfState::DrainControl => {
+                    if self.ticket.is_some() || rounds_run < self.schedule.prologue_rounds {
+                        self.schedule.control_stalls += 1;
+                        return Ok(true);
+                    }
                     self.state = HalfState::Done;
                 }
             }
@@ -861,8 +1011,10 @@ fn execute_in_network(
 
     // Setup round: every processor broadcasts its demand descriptor to
     // its communication neighbors (one O(M)-bit message each) — shared
-    // by all halves, and the single non-schedule round of the run.
+    // by all halves, and the single non-schedule round of the run. The
+    // BFS prologue's first flood rides this same round.
     engine.step();
+    let mut rounds_run: u64 = 1;
 
     let mut drivers: Vec<HalfDriver> = plans
         .into_iter()
@@ -882,12 +1034,34 @@ fn execute_in_network(
     loop {
         let mut any = false;
         for driver in &mut drivers {
-            any |= driver.pre_round(engine.nodes_mut(), &public.forest)?;
+            any |= driver.pre_round(engine.nodes_mut(), &public.forest, rounds_run)?;
         }
         if !any {
             break;
         }
         engine.step();
+        rounds_run += 1;
+    }
+
+    // The charged prologue has completed by now (every driver drains it
+    // before reporting done): assert the in-network flood rebuilt the
+    // reference forest exactly — labels and parents both.
+    let forest = &public.forest;
+    for component in forest.components() {
+        let leader = component[0] as u32;
+        for v in component {
+            let node = &engine.nodes()[v];
+            assert_eq!(
+                node.bfs_label(),
+                (leader, forest.depth(v)),
+                "prologue label of node {v}"
+            );
+            assert_eq!(
+                node.bfs_parent(),
+                forest.parent(v),
+                "prologue parent of node {v}"
+            );
+        }
     }
 
     // The in-network combiner (split runs only): report → decide → apply.

@@ -23,13 +23,22 @@
 //! engine and every protocol message is namespaced by its sub-run, so a
 //! node simply ignores data messages of the other half (they cannot
 //! affect its duals — exactly as in the serial reference execution,
-//! where the other half's messages did not exist). Two always-on layers
-//! sit outside the sub-run namespaces:
+//! where the other half's messages did not exist). Three always-on
+//! layers sit outside the sub-run namespaces:
 //!
+//! * the **prologue layer** (BFS/leader election): from the first round
+//!   every non-isolated node floods its best `(root, dist)` label — the
+//!   smallest processor id it has heard of and its hop distance to it —
+//!   and each node then picks as parent its smallest-id neighbor one hop
+//!   closer to the leader. This *charges* for the convergecast
+//!   infrastructure the control plane rides on: the flood reproduces
+//!   [`ConvergecastForest::from_adjacency`] exactly (the runner asserts
+//!   it), and it overlaps the first data rounds instead of preceding
+//!   them;
 //! * the **echo layer** (termination detection): per sweep, every node —
 //!   including nodes of the other half, which act as relays — aggregates
 //!   unsatisfied counts up the public convergecast forest and floods the
-//!   root's verdict back down, so stage and epoch boundaries are decided
+//!   root's verdict back down, so the driver's step pacing is audited
 //!   in-network;
 //! * the **combine layer** (per-network combiner): after both halves
 //!   finish, every node reports its selected instance to the leader of
@@ -241,6 +250,16 @@ pub enum DistMsg {
     /// Setup round: the sender's demand descriptor (shared by all
     /// sub-runs).
     Descriptor(Descriptor),
+    /// Prologue layer (BFS/leader election): the sender's current best
+    /// label — the smallest processor id it has heard of (the eventual
+    /// component leader) and its hop distance to it. Flooded from the
+    /// first round, re-broadcast on every improvement.
+    Bfs {
+        /// Smallest processor id known to the sender (candidate leader).
+        root: u32,
+        /// The sender's hop distance to `root`.
+        dist: u32,
+    },
     /// Step boundary: which of the sender's instances (canonical order,
     /// bit `i` = instance `i`) participate in this step's MIS.
     Active {
@@ -328,6 +347,7 @@ impl MessageSize for DistMsg {
     fn size_bits(&self) -> u64 {
         match self {
             DistMsg::Descriptor(d) => descriptor_bits(d.access.len()),
+            DistMsg::Bfs { .. } => 64,
             DistMsg::Active { .. } => 80,
             DistMsg::Joined { .. } => 88,
             DistMsg::Died { .. } => 24,
@@ -340,7 +360,7 @@ impl MessageSize for DistMsg {
 
     /// Traffic classes for the per-class engine counters: 0 = setup
     /// descriptors, 1/2 = Primary/Narrow sub-run data, 3 = echo control,
-    /// 4 = combine control.
+    /// 4 = combine control, 5 = BFS prologue.
     fn traffic_class(&self) -> usize {
         match self {
             DistMsg::Descriptor(_) => 0,
@@ -350,6 +370,7 @@ impl MessageSize for DistMsg {
             | DistMsg::Selected { run, .. } => 1 + run.index(),
             DistMsg::EchoUp { .. } | DistMsg::EchoDown { .. } => 3,
             DistMsg::CombineReport { .. } | DistMsg::CombineChoice { .. } => 4,
+            DistMsg::Bfs { .. } => 5,
         }
     }
 }
@@ -357,9 +378,9 @@ impl MessageSize for DistMsg {
 /// What the driver schedules for the next synchronous round. The paper's
 /// model assumes the epoch/stage/step schedule is globally known; the
 /// driver supplies exactly that timing signal (and nothing else) by
-/// setting the mode before each engine round. All *decisions* — stage and
-/// epoch boundaries, the per-network combination — are computed
-/// in-network; the driver only reads back the broadcast verdicts.
+/// setting the mode before each engine round, pacing stage and epoch
+/// boundaries from node-local hints and auditing them with overlapped
+/// echo sweeps; the per-network combination is computed in-network.
 #[derive(Clone, Debug, PartialEq)]
 pub(crate) enum Mode {
     /// Broadcast the own demand descriptor.
@@ -498,6 +519,14 @@ pub(crate) struct ProcessorNode {
     /// Per-tag termination-detection sweep state (every node relays both
     /// halves' sweeps).
     echo: [EchoState; 2],
+    /// Prologue: own best `(leader, dist)` label, lexicographic minimum
+    /// over everything heard so far; starts at `(me, 0)`.
+    bfs_label: (u32, u32),
+    /// Prologue: whether the own label must be (re)broadcast.
+    bfs_changed: bool,
+    /// Prologue: best label heard per neighbor (labels only improve, so
+    /// the minimum is the neighbor's final label once the flood settles).
+    neighbor_bfs: HashMap<usize, (u32, u32)>,
     /// Combiner contributions collected at this node for the networks it
     /// leads, in arrival order (sorted canonically before folding).
     contributions: Vec<Contribution>,
@@ -543,6 +572,7 @@ impl ProcessorNode {
                 raised_at: Vec::new(),
             })
             .collect();
+        let me = descriptor.id.index() as u32;
         ProcessorNode {
             public,
             descriptor,
@@ -565,6 +595,9 @@ impl ProcessorNode {
             demand_used: false,
             selected: Vec::new(),
             echo: [EchoState::default(), EchoState::default()],
+            bfs_label: (me, 0),
+            bfs_changed: true,
+            neighbor_bfs: HashMap::new(),
             contributions: Vec::new(),
             choices: Vec::new(),
             mode: Mode::Setup,
@@ -610,16 +643,18 @@ impl ProcessorNode {
         self.lhs(i) / self.own[i].view.profit
     }
 
-    /// Whether any own participating instance belongs to epoch group `k`.
-    /// Used by the driver-counted reference path only — the in-network
-    /// path learns this from the echo verdict instead.
+    /// Whether any own participating instance belongs to epoch group `k`
+    /// — the node-local pacing hint both driver paths read between
+    /// rounds (the same bit the `Active` broadcasts disseminate; the
+    /// in-network path additionally audits it with echo sweeps).
     pub fn has_group(&self, k: u32) -> bool {
         self.participating && self.own.iter().any(|inst| inst.view.group == k)
     }
 
     /// Number of own group-`k` instances below `threshold`-satisfaction —
-    /// the same predicate the announce round uses. Zero for passive nodes.
-    /// Used by the driver-counted reference path only.
+    /// the same predicate the announce round and [`Self::begin_echo`]
+    /// use, so a sweep's verdict must reproduce the summed hints exactly.
+    /// Zero for passive nodes.
     pub fn count_unsatisfied(&self, k: u32, threshold: f64) -> usize {
         if !self.participating {
             return 0;
@@ -634,6 +669,28 @@ impl ProcessorNode {
     /// Whether any own instance is still undecided in the current MIS.
     pub fn has_active(&self) -> bool {
         self.own.iter().any(|inst| inst.state == MisState::Active)
+    }
+
+    /// The prologue's learned label: `(component leader id, hop
+    /// distance)`. Final once `prologue_rounds(forest height)` engine
+    /// rounds have run.
+    pub fn bfs_label(&self) -> (u32, u32) {
+        self.bfs_label
+    }
+
+    /// The prologue's local parent pick — the smallest-id neighbor one
+    /// hop closer to the leader, the exact rule of
+    /// [`ConvergecastForest::from_adjacency`] — or `None` for leaders.
+    pub fn bfs_parent(&self) -> Option<usize> {
+        let (root, dist) = self.bfs_label;
+        if dist == 0 {
+            return None;
+        }
+        self.neighbor_bfs
+            .iter()
+            .filter(|&(_, &(r, d))| r == root && d + 1 == dist)
+            .map(|(&n, _)| n)
+            .min()
     }
 
     /// Instances selected by phase 2 for this node's sub-run.
@@ -1130,15 +1187,28 @@ impl Protocol for ProcessorNode {
         inbox: &[Envelope<DistMsg>],
         ctx: &mut Context<'_, DistMsg>,
     ) {
-        // Mode-independent intake: descriptors (they arrive while the
-        // first sweep is already in flight) and the echo layer's
-        // aggregates — every node relays both halves' sweeps, including
-        // nodes that are passive for the data protocol.
+        // Mode-independent intake: descriptors, the BFS prologue flood
+        // and the echo layer's aggregates — every node relays the
+        // control layers, including nodes that are passive for the data
+        // protocol. Both the prologue and the echo intake are min/sum
+        // folds, so inbox order is irrelevant by construction.
         for env in inbox {
             match &env.msg {
                 DistMsg::Descriptor(descriptor) => {
                     let views = self.public.views(descriptor);
                     self.neighbors.insert(env.from, views);
+                }
+                DistMsg::Bfs { root, dist } => {
+                    let label = (*root, *dist);
+                    let slot = self.neighbor_bfs.entry(env.from).or_insert(label);
+                    if label < *slot {
+                        *slot = label;
+                    }
+                    let candidate = (*root, dist + 1);
+                    if candidate < self.bfs_label {
+                        self.bfs_label = candidate;
+                        self.bfs_changed = true;
+                    }
                 }
                 DistMsg::EchoUp {
                     run,
@@ -1159,6 +1229,15 @@ impl Protocol for ProcessorNode {
                 }
                 _ => {}
             }
+        }
+        // Prologue flood: (re)broadcast the own label on improvement.
+        // Isolated processors broadcast to nobody, so they stay silent.
+        if self.bfs_changed {
+            self.bfs_changed = false;
+            ctx.broadcast(DistMsg::Bfs {
+                root: self.bfs_label.0,
+                dist: self.bfs_label.1,
+            });
         }
         self.echo_round(ctx);
 

@@ -11,7 +11,7 @@ use treenet_decomp::ConvergecastForest;
 use treenet_dist::{run_distributed_tree_unit, DistConfig, DistOutcome};
 use treenet_graph::{Tree, VertexId};
 use treenet_model::{Demand, NetworkId, Problem, ProblemBuilder};
-use treenet_netsim::LossModel;
+use treenet_netsim::{LossModel, DEFAULT_ARQ_WINDOW};
 
 /// The echo layer's traffic class (see `DistMsg::traffic_class`).
 const ECHO_CLASS: usize = 3;
@@ -151,7 +151,11 @@ fn assert_same_outcome(lossless: &DistOutcome, lossy: &DistOutcome, label: &str)
     );
     assert!(
         lossy.metrics.retransmit_rounds
-            <= retransmit_round_bound(lossy.metrics.dropped, lossy.metrics.delayed),
+            <= retransmit_round_bound(
+                lossy.metrics.dropped,
+                lossy.metrics.delayed,
+                DEFAULT_ARQ_WINDOW as u64
+            ),
         "{label}"
     );
 }
@@ -185,8 +189,9 @@ fn dropping_the_roots_own_echo_broadcast_still_terminates() {
     assert_eq!(lossy.metrics.dropped, k as u64);
     assert_eq!(lossy.metrics.retransmits, k as u64);
     assert_eq!(lossy.metrics.by_class[ECHO_CLASS].retransmits, k as u64);
-    // One recovery episode: an idle timer slot plus the retransmission.
-    assert_eq!(lossy.metrics.retransmit_rounds, 2);
+    // One recovery episode: the sliding-window ARQ detects the gap from
+    // the ack pass and retransmits in a single recovery slot.
+    assert_eq!(lossy.metrics.retransmit_rounds, 1);
 }
 
 #[test]

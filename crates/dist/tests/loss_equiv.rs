@@ -4,7 +4,11 @@
 //! `to_bits()`-exact λ, identical schedules, identical logical traffic —
 //! while the recovery overhead stays within the computed bound
 //! `retransmit_rounds ≤ treenet_core::retransmit_round_bound(dropped,
-//! delayed)`, and `p = 0` is a byte-identical zero-overhead passthrough.
+//! delayed, window)`, and `p = 0` is a byte-identical zero-overhead
+//! passthrough. The ARQ window is part of the fuzzed surface: every
+//! property that takes a window runs the sliding-window protocol from
+//! stop-and-wait (`window = 1`) up through deep pipelines, including
+//! whole-window burst drops and reordering within the window.
 //!
 //! The vendored proptest stand-in has no shrinking, so this file brings
 //! its own: failing forced-drop sets are minimized by the ddmin-style
@@ -21,7 +25,7 @@ use treenet_dist::{
 };
 use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
 use treenet_model::Problem;
-use treenet_netsim::{LossModel, Metrics};
+use treenet_netsim::{LossModel, Metrics, DEFAULT_ARQ_WINDOW};
 
 /// The loss grid of the acceptance criteria.
 const LOSS_RATES: [f64; 3] = [0.01, 0.05, 0.2];
@@ -93,19 +97,34 @@ fn auto_surface(
     (out.solution, out.lambda.to_bits(), schedules, metrics)
 }
 
+/// The core equivalence check at the default ARQ window.
+fn check_loss_equiv(problem: &Problem, seed: u64, model: LossModel) -> Result<(), String> {
+    check_loss_equiv_windowed(problem, seed, model, DEFAULT_ARQ_WINDOW)
+}
+
 /// The core equivalence check, reused by the properties and the
 /// shrinker: the lossy run must match the lossless run on solution, λ,
-/// schedules and logical traffic, with overhead within the bound.
-/// Returns a human-readable mismatch instead of panicking, so the
-/// shrinker can probe candidate drop sets.
-fn check_loss_equiv(problem: &Problem, seed: u64, model: LossModel) -> Result<(), String> {
+/// schedules and logical traffic, with overhead within the computed
+/// bound for `window`. Returns a human-readable mismatch instead of
+/// panicking, so the shrinker can probe candidate drop sets.
+fn check_loss_equiv_windowed(
+    problem: &Problem,
+    seed: u64,
+    model: LossModel,
+    window: u32,
+) -> Result<(), String> {
     let lossless_cfg = DistConfig {
         epsilon: 0.3,
         seed,
+        arq_window: window,
         ..DistConfig::default()
     };
     let (sol0, lambda0, sched0, m0) = auto_surface(problem, &lossless_cfg);
-    let (sol1, lambda1, sched1, m1) = auto_surface(problem, &lossy_config(seed, model));
+    let lossy_cfg = DistConfig {
+        loss: Some(model),
+        ..lossless_cfg
+    };
+    let (sol1, lambda1, sched1, m1) = auto_surface(problem, &lossy_cfg);
     if sol0 != sol1 {
         return Err(format!("solutions diverged: {sol0:?} vs {sol1:?}"));
     }
@@ -137,7 +156,7 @@ fn check_loss_equiv(problem: &Problem, seed: u64, model: LossModel) -> Result<()
             m1.rounds, m0.rounds, m1.retransmit_rounds
         ));
     }
-    let bound = retransmit_round_bound(m1.dropped, m1.delayed);
+    let bound = retransmit_round_bound(m1.dropped, m1.delayed, window as u64);
     if m1.retransmit_rounds > bound {
         return Err(format!(
             "recovery slots {} exceed the bound {} (dropped {}, delayed {})",
@@ -249,6 +268,67 @@ proptest! {
         }
     }
 
+    /// The window sweep: every window from stop-and-wait (1) through a
+    /// deep pipeline, under Bernoulli loss across the acceptance grid —
+    /// bit-identical results and the window-specific overhead bound.
+    #[test]
+    fn every_arq_window_is_bit_identical(seed in 0u64..2000, shape in 0usize..4, window in 1u32..9, p_idx in 0usize..3, loss_seed in 0u64..1000) {
+        let problem = mixed_problem(seed, shape);
+        let model = LossModel::bernoulli(LOSS_RATES[p_idx], loss_seed);
+        if let Err(e) = check_loss_equiv_windowed(&problem, seed, model, window) {
+            return Err(TestCaseError::Fail(format!("window={window}: {e}")));
+        }
+    }
+
+    /// Whole-window burst drops: a contiguous block of forced drops at
+    /// least as long as the window, so every in-flight transmission of
+    /// some link is lost at once and recovery cannot lean on a
+    /// partially-acked pipeline. Shrunk by ddmin on failure.
+    #[test]
+    fn whole_window_bursts_are_recovered(seed in 0u64..2000, shape in 0usize..4, window in 1u32..7, start in 0u64..300) {
+        let problem = mixed_problem(seed, shape);
+        let burst: Vec<u64> = (start..start + 2 * window as u64).collect();
+        let fails = |set: &[u64]| {
+            check_loss_equiv_windowed(
+                &problem,
+                seed,
+                LossModel::lossless(0).with_forced_drops(set.to_vec()),
+                window,
+            )
+            .is_err()
+        };
+        if fails(&burst) {
+            let minimal = minimize_drops(&burst, fails);
+            let witness = check_loss_equiv_windowed(
+                &problem,
+                seed,
+                LossModel::lossless(0).with_forced_drops(minimal.clone()),
+                window,
+            )
+            .unwrap_err();
+            return Err(TestCaseError::Fail(format!(
+                "window={window}: minimal dropped-message set {minimal:?} \
+                 (shrunk from the burst {start}..{}): {witness}",
+                start + 2 * window as u64
+            )));
+        }
+    }
+
+    /// Reordering within the window: heavy delays (which deliver late,
+    /// out of order) composed with duplicates and drops, across windows.
+    /// The cumulative-plus-selective ack scheme must reassemble the
+    /// stream exactly.
+    #[test]
+    fn reordering_within_the_window_is_recovered(seed in 0u64..2000, shape in 0usize..4, window in 2u32..9, loss_seed in 0u64..1000) {
+        let problem = mixed_problem(seed, shape);
+        let model = LossModel::bernoulli(0.1, loss_seed)
+            .with_delays(0.3)
+            .with_duplicates(0.2);
+        if let Err(e) = check_loss_equiv_windowed(&problem, seed, model, window) {
+            return Err(TestCaseError::Fail(format!("window={window}: {e}")));
+        }
+    }
+
     /// Loss composed with adversarial delivery shuffling, from
     /// independent seeds: still bit-identical, and removing the loss at
     /// p=0 does not perturb the shuffled execution (the RNG stream
@@ -283,7 +363,11 @@ proptest! {
         prop_assert_eq!(lambda0, lambda2);
         prop_assert_eq!(&sched0, &sched2);
         prop_assert_eq!(m2.rounds, m0.rounds + m2.retransmit_rounds);
-        prop_assert!(m2.retransmit_rounds <= retransmit_round_bound(m2.dropped, m2.delayed));
+        prop_assert!(m2.retransmit_rounds <= retransmit_round_bound(
+            m2.dropped,
+            m2.delayed,
+            DEFAULT_ARQ_WINDOW as u64
+        ));
     }
 }
 

@@ -152,7 +152,9 @@ pub struct Metrics {
     /// Extra link-layer recovery slots the reliable layer ran — the
     /// round inflation of lossy links: `rounds` includes them, and the
     /// logical round count is `rounds - retransmit_rounds`. Bounded by
-    /// `treenet_core::retransmit_round_bound(dropped, delayed)`.
+    /// `treenet_core::retransmit_round_bound(dropped, delayed, window)`
+    /// where `window` is the ARQ send window
+    /// ([`Engine::with_arq_window`]).
     pub retransmit_rounds: u64,
     /// Per-traffic-class message/bit counters, indexed by
     /// [`MessageSize::traffic_class`](crate::MessageSize::traffic_class)
@@ -426,6 +428,7 @@ pub struct Engine<P: Protocol> {
     faults: Option<(FaultPlan, SmallRng)>,
     shuffle: Option<SmallRng>,
     reliable: Option<Reliable<P::Msg>>,
+    arq_window: u32,
     shards: Option<ShardPlan>,
 }
 
@@ -467,6 +470,7 @@ impl<P: Protocol> Engine<P> {
             faults: None,
             shuffle: None,
             reliable: None,
+            arq_window: crate::reliable::DEFAULT_ARQ_WINDOW,
             shards: None,
         }
     }
@@ -537,14 +541,16 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// Enables the reliable-delivery sublayer over a lossy link model
-    /// (builder style): per-edge sequence numbers, cumulative acks,
-    /// timeout retransmission and duplicate suppression keep every
-    /// *logical* round's inbox byte-identical to a lossless run, at the
-    /// cost of extra recovery slots and retransmission/ack traffic
-    /// (tracked by the new [`Metrics`] counters). A lossless model is a
-    /// literal zero-overhead passthrough. See [`crate::reliable`] for
-    /// the protocol and its determinism contract. Mutually exclusive
-    /// with [`Engine::with_faults`].
+    /// (builder style): per-edge sequence numbers, a sliding send window
+    /// with eager pipelined retransmission, proactive repetition on
+    /// known-lossy classes, cumulative+SACK acks and duplicate
+    /// suppression keep every *logical* round's inbox byte-identical to
+    /// a lossless run, at the cost of extra recovery slots and
+    /// retransmission/ack traffic (tracked by the new [`Metrics`]
+    /// counters). A lossless model is a literal zero-overhead
+    /// passthrough. See [`crate::reliable`] for the protocol and its
+    /// determinism contract. Mutually exclusive with
+    /// [`Engine::with_faults`].
     ///
     /// # Panics
     ///
@@ -556,7 +562,26 @@ impl<P: Protocol> Engine<P> {
             "with_faults and with_loss_model are mutually exclusive: raw injection \
              bypasses the reliable layer"
         );
-        self.reliable = Some(Reliable::new(model));
+        self.reliable = Some(Reliable::new(model, self.arq_window));
+        self
+    }
+
+    /// Sets the ARQ send window (builder style): the per-packet
+    /// in-flight transmission budget of the reliable layer, i.e. how
+    /// many copies of one packet may be sent eagerly (initial salvo plus
+    /// back-to-back recovery-slot repairs) before the two-slot pacing
+    /// timer takes over. `window = 1` degenerates to classic
+    /// stop-and-wait (the `4·(dropped+delayed)` bound regime);
+    /// `window ≥ 2` enables pipelined repair and the
+    /// `2·(dropped+delayed)` bound. Values are clamped to at least 1;
+    /// the default is [`crate::DEFAULT_ARQ_WINDOW`]. No effect unless a
+    /// loss model is (or becomes) installed.
+    #[must_use]
+    pub fn with_arq_window(mut self, window: u32) -> Self {
+        self.arq_window = window.max(1);
+        if let Some(reliable) = self.reliable.as_mut() {
+            reliable.set_window(self.arq_window);
+        }
         self
     }
 

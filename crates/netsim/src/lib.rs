@@ -19,14 +19,17 @@
 //! paper's `O(M)`-bits-per-message statement.
 //!
 //! Links need not be reliable: [`Engine::with_loss_model`] slides the
-//! [`reliable`] sublayer (per-edge sequence numbers, cumulative acks,
-//! timeout retransmission, duplicate suppression) beneath the
-//! synchronous rounds, so protocols written for the reliable model run
-//! unchanged — and produce identical results — over seeded Bernoulli
+//! [`reliable`] sublayer (per-edge sequence numbers, a sliding send
+//! window with eager pipelined retransmission and proactive repetition,
+//! cumulative+SACK acks, duplicate suppression) beneath the synchronous
+//! rounds, so protocols written for the reliable model run unchanged —
+//! and produce identical results — over seeded Bernoulli
 //! drop/duplicate/delay processes, at a measurable round/message
-//! overhead. [`Engine::with_faults`] remains the *raw* injection path
-//! with no recovery, for demonstrating that the paper's reliability
-//! assumption is load-bearing.
+//! overhead. The send window is configurable via
+//! [`Engine::with_arq_window`] (default [`DEFAULT_ARQ_WINDOW`]).
+//! [`Engine::with_faults`] remains the *raw* injection path with no
+//! recovery, for demonstrating that the paper's reliability assumption
+//! is load-bearing.
 //!
 //! # Example
 //!
@@ -77,7 +80,7 @@ pub use engine::{
     ClassMetrics, Context, Engine, EngineError, Envelope, FaultPlan, MailboxArena, Metrics,
     Protocol, ShardPlan, MESSAGE_CLASSES,
 };
-pub use reliable::{ClassLoss, LossModel, ACK_BITS};
+pub use reliable::{ClassLoss, LossModel, ACK_BITS, DEFAULT_ARQ_WINDOW};
 pub use topology::Topology;
 
 /// Size accounting for messages, in bits.

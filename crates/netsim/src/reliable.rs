@@ -1,45 +1,64 @@
-//! Reliable delivery over lossy links: per-edge sequence numbers,
-//! cumulative acknowledgements, timeout-driven retransmission and
-//! duplicate suppression, beneath the synchronous round abstraction.
+//! Reliable delivery over lossy links: per-edge sequence numbers, a
+//! sliding send window with eager pipelined retransmission, proactive
+//! repetition on known-lossy classes, cumulative+SACK acknowledgements
+//! and duplicate suppression, beneath the synchronous round abstraction.
 //!
 //! The paper's schedulers assume reliable synchronous delivery. This
 //! module closes the gap between that model and a lossy network: the
 //! engine keeps presenting the protocol with perfect synchronous rounds,
 //! while underneath each *logical* round expands into one transmission
 //! slot plus as many link-layer *recovery slots* as the loss process
-//! demands. The application layer idles during recovery (a stop-and-wait
-//! synchronizer); once every packet of the round is through, the inbox
-//! is reassembled in canonical `(sender, sequence)` order — exactly the
-//! delivery order of a lossless run — and the protocol resumes. A
-//! protocol therefore observes byte-identical inboxes at any loss rate,
-//! which is what makes the distributed schedulers' results bit-identical
-//! under loss *by construction*.
+//! demands. The application layer idles during recovery (a synchronizer);
+//! once every packet of the round is through, the inbox is reassembled in
+//! canonical `(sender, sequence)` order — exactly the delivery order of a
+//! lossless run — and the protocol resumes. A protocol therefore observes
+//! byte-identical inboxes at any loss rate, which is what makes the
+//! distributed schedulers' results bit-identical under loss *by
+//! construction*.
 //!
 //! # The link protocol
 //!
 //! * **Sequence numbers.** Every directed edge carries its own sequence
-//!   counter; each payload is stamped once, at first transmission.
-//! * **Duplicate suppression.** The receiver tracks the received set per
-//!   edge and discards copies it has already accepted (fault-injected
-//!   duplicates and redundant retransmissions alike), counted in
-//!   [`Metrics::dup_suppressed`](crate::Metrics::dup_suppressed).
-//! * **Timeout retransmission.** A sender retransmits an unacknowledged
-//!   packet once its retransmission timer — two slots, the link RTT
-//!   (one slot for delivery, one for the ack) — expires.
-//! * **Cumulative + selective acks.** In every recovery slot, a node
-//!   that accepted data on an edge in the previous slot returns the
-//!   edge's cumulative sequence watermark plus the received-ahead set
-//!   (SACK), so a gap never triggers spurious retransmission of packets
-//!   behind it. The ack piggybacks for free when the reverse
-//!   direction carries a retransmission in the same slot; otherwise it
-//!   is a standalone [`ACK_BITS`]-bit message, counted in
+//!   counter; each payload is stamped once, at first transmission. On the
+//!   wire a sequence number is a 16-bit wrapping counter; the receiver
+//!   reconstructs the full (virtual) sequence from its monotone
+//!   watermark, serial-number-arithmetic style, which is exact as long as
+//!   fewer than 2¹⁵ packets of one edge are in flight at once (asserted).
+//! * **Proactive repetition.** On a traffic class whose configured drop
+//!   probability is nonzero, the first transmission is a salvo of
+//!   several identical copies (enough to push the residual per-packet
+//!   loss probability below ~0.2%, capped by the send window). Redundant
+//!   copies are charged to
+//!   [`Metrics::retransmits`](crate::Metrics::retransmits), roll only
+//!   the drop process, and are suppressed by the receiver's sequence
+//!   tracking when the packet already landed. This is what keeps most
+//!   logical rounds at *zero* recovery slots even at high loss rates.
+//! * **Sliding-window eager retransmission.** An unacknowledged packet
+//!   is retransmitted in **every** recovery slot until `window` copies
+//!   have been sent (the per-packet in-flight budget, see
+//!   [`Engine::with_arq_window`](crate::Engine::with_arq_window));
+//!   past the window the classic two-slot pacing timer (the link RTT)
+//!   takes over. With the one-slot ack turnaround below, a packet that
+//!   missed its salvo is usually repaired in a single recovery slot.
+//! * **Cumulative + SACK acks, one-slot turnaround.** In every recovery
+//!   slot, a node that accepted data on an edge in the previous slot
+//!   returns the edge's cumulative sequence watermark plus the
+//!   received-ahead set (SACK), so a gap never triggers spurious
+//!   retransmission of packets behind it. Acks ride ahead of data within
+//!   a slot: they are generated and applied *before* the slot's
+//!   retransmission decisions, so the first recovery slot already
+//!   retransmits selectively. An ack piggybacks for free when the
+//!   reverse direction still has unacknowledged traffic in flight (its
+//!   channel is active this slot); otherwise it is a standalone
+//!   [`ACK_BITS`]-bit message, counted in
 //!   [`Metrics::acks`](crate::Metrics::acks). The *logical round
 //!   barrier* itself acts as the final cumulative ack: when every packet
 //!   of the round is through, completing the barrier is common knowledge
 //!   (that is exactly the guarantee a synchronizer provides), so
 //!   outstanding state clears without a trailing ack exchange. This is
 //!   what makes `p = 0` a literal zero-overhead passthrough: no acks, no
-//!   retransmissions, no extra slots, byte-identical metrics.
+//!   retransmissions, no redundant copies, no extra slots, byte-identical
+//!   metrics.
 //!
 //! # Determinism and RNG stream split
 //!
@@ -51,36 +70,68 @@
 //! compose deterministically: enabling a loss model — at any `p`,
 //! including 0 — does not perturb the shuffle sequence, and enabling the
 //! shuffle does not perturb the loss trace. Links are processed in
-//! ascending `(from, to)` order within a slot, so the loss trace is a
-//! pure function of the model's seed and the protocol's traffic.
+//! ascending `(from, to)` order within a slot, probabilities of zero
+//! consume no randomness, and redundant copies draw exactly one drop
+//! decision each, so the loss trace is a pure function of the model's
+//! seed, the window configuration and the protocol's traffic.
 //!
 //! # Round inflation bound
 //!
-//! Two consecutive recovery slots without a fresh loss event finish an
-//! episode (timer fires in the first or second, the retransmission goes
-//! through), and an episode only starts when the round's first slot
-//! suffered a drop or a delay — so the physical expansion is bounded by
-//! `treenet_core::retransmit_round_bound`, i.e.
-//! `retransmit_rounds ≤ 4 · (dropped + delayed)`. The fault-injection
-//! proptests in `treenet-dist` assert this bound on every run.
+//! A recovery slot is only charged while some packet of the round is
+//! undelivered or a delayed copy is in flight. Under eager pipelining
+//! every such slot consumes a fresh drop or delay event (a copy is
+//! re-lost or lands one slot late), and past the send window the pacing
+//! timer adds at most two slots per further event — so the physical
+//! expansion is bounded by `treenet_core::retransmit_round_bound`, i.e.
+//! `retransmit_rounds ≤ 2 · (dropped + delayed)` at `window ≥ 2`
+//! (`4 · (dropped + delayed)` in the stop-and-wait degenerate case
+//! `window = 1`). The fault-injection proptests in `treenet-dist` assert
+//! this bound on every run.
 
 use crate::{Envelope, MessageSize, Metrics, MESSAGE_CLASSES};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
-/// Wire size of a standalone cumulative ack, in bits: edge endpoint,
-/// sequence watermark and a tag word. Acks are link-layer control — they
-/// are accounted in [`Metrics::acks`](crate::Metrics::acks) /
+/// Wire size of a standalone cumulative+SACK ack, in bits: edge
+/// endpoint, sequence watermark, a compact SACK block and a tag word.
+/// Acks are link-layer control — they are accounted in
+/// [`Metrics::acks`](crate::Metrics::acks) /
 /// [`Metrics::ack_bits`](crate::Metrics::ack_bits), never in the
 /// per-class protocol counters, and never touch `max_message_bits` (the
 /// paper's `O(M)` bound concerns protocol payloads).
 pub const ACK_BITS: u64 = 96;
 
+/// Default per-packet in-flight transmission budget of the sliding
+/// window (see [`Engine::with_arq_window`](crate::Engine::with_arq_window)):
+/// room for a proactive salvo plus at least one eager repair copy.
+pub const DEFAULT_ARQ_WINDOW: u32 = 6;
+
+/// Residual per-packet loss probability the proactive-repetition salvo
+/// aims for on classes with a nonzero drop probability.
+const SPRAY_RESIDUAL_TARGET: f64 = 2e-3;
+
+/// Hard cap on salvo size, independent of the window.
+const SPRAY_MAX_COPIES: u32 = 5;
+
 /// Safety valve: recovery slots per logical round before the layer
 /// declares the loss process adversarially starving (e.g. a drop
 /// probability of 1.0, under which no retransmission can ever succeed).
 const MAX_RECOVERY_SLOTS: u64 = 100_000;
+
+/// Half the 16-bit wire sequence space: the serial-number reconstruction
+/// is exact while fewer packets than this are in flight per edge.
+const WIRE_SEQ_HORIZON: usize = 32_768;
+
+/// Reconstructs a full (virtual) sequence number from its 16-bit wire
+/// form, relative to a reference the true value is known to sit within
+/// ±2¹⁵ of (serial number arithmetic, RFC 1982 style).
+fn unwrap_wire(reference: u64, wire: u16) -> u64 {
+    let delta = wire.wrapping_sub(reference as u16) as i16 as i64;
+    reference
+        .checked_add_signed(delta)
+        .expect("wire sequence outside the ±2^15 reconstruction horizon")
+}
 
 /// Per-traffic-class loss probabilities of one [`LossModel`].
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -142,8 +193,9 @@ impl ClassLoss {
 /// adversarial drops for tests: an explicit global index list
 /// ([`LossModel::with_forced_drops`]) and per-class index windows
 /// ([`LossModel::with_class_window`]). Both count original transmissions
-/// only — retransmissions always face just the Bernoulli process, so a
-/// forced drop is recovered, not repeated forever.
+/// only — retransmissions and redundant salvo copies always face just
+/// the Bernoulli process, so a forced drop is recovered, not repeated
+/// forever.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LossModel {
     /// Seed of the loss RNG — an independent stream from the engine's
@@ -245,8 +297,9 @@ impl LossModel {
 
     /// Deterministically drops the original transmissions with these
     /// global indices (0-based, counted across all classes in send
-    /// order). Retransmissions are exempt, so every forced drop is
-    /// recovered. The proptest shrinker minimizes exactly this set.
+    /// order). Retransmissions and salvo copies are exempt, so every
+    /// forced drop is recovered. The proptest shrinker minimizes exactly
+    /// this set.
     #[must_use]
     pub fn with_forced_drops(mut self, mut indices: Vec<u64>) -> Self {
         indices.sort_unstable();
@@ -257,7 +310,7 @@ impl LossModel {
 
     /// Deterministically drops original transmissions `start..start+len`
     /// of traffic class `class` (0-based per-class send order).
-    /// Retransmissions are exempt.
+    /// Retransmissions and salvo copies are exempt.
     ///
     /// # Panics
     ///
@@ -286,14 +339,35 @@ impl LossModel {
     }
 }
 
+/// Salvo size for one class under the given send window: enough copies
+/// to push the residual drop probability below
+/// [`SPRAY_RESIDUAL_TARGET`], capped by [`SPRAY_MAX_COPIES`] and by
+/// `window - 1` so at least one eager repair copy always fits inside the
+/// window. Lossless classes (and the stop-and-wait window of 1) send
+/// exactly one copy.
+fn salvo_copies(drop: f64, window: u32) -> u32 {
+    if window <= 1 || drop <= 0.0 {
+        return 1;
+    }
+    let wanted = if drop >= 1.0 {
+        u32::MAX
+    } else {
+        (SPRAY_RESIDUAL_TARGET.ln() / drop.ln()).ceil() as u32
+    };
+    wanted.clamp(1, SPRAY_MAX_COPIES).min(window - 1).max(1)
+}
+
 /// One unacknowledged packet on a sender's directed edge.
 struct Outstanding<M> {
     seq: u64,
     msg: M,
     class: usize,
     bits: u64,
-    /// Slot of the most recent transmission (the retransmission timer).
+    /// Slot of the most recent transmission (the pacing timer).
     last_sent: u64,
+    /// Copies sent so far (salvo included) — the in-flight count the
+    /// send window caps.
+    sends: u64,
     /// Whether an ack covering this packet arrived. The sender's
     /// retransmission decisions look exclusively at this; the
     /// round-completion barrier tracks delivery separately (the
@@ -303,10 +377,11 @@ struct Outstanding<M> {
 }
 
 /// Per-directed-edge link state: sender-side sequence/outstanding
-/// bookkeeping and receiver-side duplicate suppression.
+/// bookkeeping and receiver-side duplicate suppression. Sequence state
+/// is virtual (u64) internally; only the 16-bit wire form travels.
 #[derive(Default)]
 struct LinkState<M> {
-    /// Next sequence number to stamp (sender side).
+    /// Next sequence number to stamp (sender side, virtual).
     next_seq: u64,
     /// Unacknowledged packets, ascending by `seq` (sender side).
     outstanding: Vec<Outstanding<M>>,
@@ -337,6 +412,17 @@ impl<M> LinkState<M> {
         seq < self.recv_cum || self.recv_ahead.contains(&seq)
     }
 
+    /// Receiver-side reconstruction reference: the next virtual sequence
+    /// number not yet seen on this edge. Every in-flight wire sequence
+    /// sits within the ±2¹⁵ horizon of it.
+    fn expected(&self) -> u64 {
+        self.recv_ahead
+            .iter()
+            .copied()
+            .max()
+            .map_or(self.recv_cum, |m| (m + 1).max(self.recv_cum))
+    }
+
     /// Receiver-side cumulative watermark: every seq below it accepted.
     fn cumulative(&self) -> u64 {
         let mut cum = self.recv_cum;
@@ -351,25 +437,26 @@ impl<M> LinkState<M> {
     }
 }
 
-/// An in-flight delayed data copy: arrives at the start of the next slot.
+/// An in-flight delayed data copy: arrives at the start of the next
+/// slot. Carries the 16-bit wire sequence form, like the channel does.
 struct DelayedData<M> {
     from: usize,
     to: usize,
-    seq: u64,
+    wire: u16,
     msg: M,
     class: usize,
     bits: u64,
 }
 
-/// An in-flight delayed ack: applies at the start of the next slot.
+/// An in-flight (or just-generated) ack: cumulative watermark plus the
+/// selectively-acknowledged set above it (SACK), both in 16-bit wire
+/// form, so a gap does not trigger spurious retransmissions of
+/// everything behind it.
 struct DelayedAck {
     from: usize,
     to: usize,
-    cumulative: u64,
-    /// Selectively-acknowledged sequence numbers above the cumulative
-    /// watermark (SACK blocks), so a gap does not trigger spurious
-    /// retransmissions of everything behind it.
-    ahead: Vec<u64>,
+    cumulative_wire: u16,
+    ahead_wire: Vec<u16>,
 }
 
 /// The reliable-delivery sublayer of one engine: the per-edge link state
@@ -379,6 +466,12 @@ struct DelayedAck {
 /// messages over perfect logical rounds.
 pub struct Reliable<M> {
     model: LossModel,
+    /// Per-packet in-flight transmission budget (≥ 1); see
+    /// [`Engine::with_arq_window`](crate::Engine::with_arq_window).
+    window: u32,
+    /// Salvo size per traffic class, derived from the model's drop
+    /// probabilities and the window.
+    salvo: [u32; MESSAGE_CLASSES],
     rng: SmallRng,
     /// Link state per directed edge, in ascending `(from, to)` order so
     /// every slot's RNG consumption is deterministic.
@@ -399,17 +492,30 @@ enum Fate {
 }
 
 impl<M: Clone + MessageSize> Reliable<M> {
-    /// Creates the layer for a fresh engine.
-    pub(crate) fn new(model: LossModel) -> Self {
+    /// Creates the layer for a fresh engine with the given send window.
+    pub(crate) fn new(model: LossModel, window: u32) -> Self {
         let rng = SmallRng::seed_from_u64(model.seed);
-        Reliable {
+        let window = window.max(1);
+        let mut layer = Reliable {
             model,
+            window,
+            salvo: [1; MESSAGE_CLASSES],
             rng,
             links: BTreeMap::new(),
             delayed_data: Vec::new(),
             delayed_acks: Vec::new(),
             originals: 0,
             class_originals: [0; MESSAGE_CLASSES],
+        };
+        layer.set_window(window);
+        layer
+    }
+
+    /// Re-derives the window-dependent state (the salvo schedule).
+    pub(crate) fn set_window(&mut self, window: u32) {
+        self.window = window.max(1);
+        for (class, salvo) in self.salvo.iter_mut().enumerate() {
+            *salvo = salvo_copies(self.model.classes[class].drop, self.window);
         }
     }
 
@@ -429,9 +535,10 @@ impl<M: Clone + MessageSize> Reliable<M> {
         Fate::Deliver { duplicate: false }
     }
 
-    /// Accepts one arriving data copy at the receiver: suppresses
-    /// duplicates by sequence number, otherwise stages the payload for
-    /// the round's inbox and counts the delivery.
+    /// Accepts one arriving data copy at the receiver: reconstructs the
+    /// virtual sequence from the wire form, suppresses duplicates,
+    /// otherwise stages the payload for the round's inbox and counts the
+    /// delivery. Returns whether the copy was new (a first delivery).
     #[allow(clippy::too_many_arguments)]
     fn receive(
         link: &mut LinkState<M>,
@@ -439,16 +546,17 @@ impl<M: Clone + MessageSize> Reliable<M> {
         metrics: &mut Metrics,
         from: usize,
         to: usize,
-        seq: u64,
+        wire: u16,
         msg: M,
         class: usize,
         bits: u64,
-    ) {
+    ) -> bool {
         link.got_data_this_slot = true;
+        let seq = unwrap_wire(link.expected(), wire);
         if link.already_received(seq) {
             metrics.dup_suppressed += 1;
             metrics.by_class[class].dup_suppressed += 1;
-            return;
+            return false;
         }
         link.recv_ahead.push(seq);
         metrics.messages += 1;
@@ -457,18 +565,40 @@ impl<M: Clone + MessageSize> Reliable<M> {
         metrics.by_class[class].messages += 1;
         metrics.by_class[class].bits += bits;
         staging[to].push((from, seq, msg));
+        true
     }
 
-    /// Runs one logical round's exchange: transmits `outs`, recovers
-    /// every loss, and returns the reassembled per-node inboxes in
-    /// canonical `(sender, sequence)` order — the lossless delivery
-    /// order. Recovery slots are charged to `metrics.rounds` and
-    /// `metrics.retransmit_rounds`.
+    /// Applies one cumulative+SACK ack to the sender state of its edge,
+    /// reconstructing the virtual sequences against the sender's own
+    /// counter (all outstanding packets sit within the wire horizon).
+    fn apply_ack(links: &mut BTreeMap<(u32, u32), LinkState<M>>, ack: &DelayedAck) {
+        if let Some(link) = links.get_mut(&(ack.from as u32, ack.to as u32)) {
+            let cum = unwrap_wire(link.next_seq, ack.cumulative_wire);
+            let ahead: Vec<u64> = ack
+                .ahead_wire
+                .iter()
+                .map(|&w| unwrap_wire(link.next_seq, w))
+                .collect();
+            for packet in &mut link.outstanding {
+                if packet.seq < cum || ahead.contains(&packet.seq) {
+                    packet.acked = true;
+                }
+            }
+        }
+    }
+
+    /// Runs one logical round's exchange: transmits `outs` (salvo
+    /// included), recovers every loss, and returns the reassembled
+    /// per-node inboxes in canonical `(sender, sequence)` order — the
+    /// lossless delivery order. Recovery slots are charged to
+    /// `metrics.rounds` and `metrics.retransmit_rounds`.
     ///
     /// # Panics
     ///
     /// Panics if the loss process starves recovery for
-    /// `MAX_RECOVERY_SLOTS` slots (a drop probability of ~1.0).
+    /// `MAX_RECOVERY_SLOTS` slots (a drop probability of ~1.0), or if a
+    /// single edge carries ≥ 2¹⁵ packets in one round (the wire sequence
+    /// horizon).
     pub(crate) fn exchange(
         &mut self,
         outs: &mut [Vec<(usize, M)>],
@@ -478,8 +608,9 @@ impl<M: Clone + MessageSize> Reliable<M> {
         let mut staging: Vec<Vec<(usize, u64, M)>> = vec![Vec::new(); n];
         let mut undelivered = 0u64;
 
-        // ---- Slot 0: original transmissions, in sender order (the
-        // lossless delivery order, which canonical reassembly restores).
+        // ---- Slot 0: original transmissions plus their proactive
+        // salvos, in sender order (the lossless delivery order, which
+        // canonical reassembly restores).
         for (from, out) in outs.iter_mut().enumerate() {
             for (to, msg) in out.drain(..) {
                 let class = msg.traffic_class().min(MESSAGE_CLASSES - 1);
@@ -490,21 +621,31 @@ impl<M: Clone + MessageSize> Reliable<M> {
                 self.class_originals[class] += 1;
                 let forced = self.model.forces_drop(global_index, class, class_index);
                 let loss = self.model.classes[class];
+                let copies = self.salvo[class];
                 let link = self
                     .links
                     .entry((from as u32, to as u32))
                     .or_insert_with(LinkState::new);
                 let seq = link.next_seq;
                 link.next_seq += 1;
+                let wire = seq as u16;
+                assert!(
+                    link.outstanding.len() < WIRE_SEQ_HORIZON,
+                    "more than {WIRE_SEQ_HORIZON} packets on one edge in a single round \
+                     (wire sequence horizon)"
+                );
                 link.outstanding.push(Outstanding {
                     seq,
                     msg: msg.clone(),
                     class,
                     bits,
                     last_sent: 0,
+                    sends: copies as u64,
                     acked: false,
                 });
                 undelivered += 1;
+                // The original copy rolls the full loss process (and the
+                // deterministic drop coordinates apply to it alone).
                 let fate = if forced {
                     Fate::Drop
                 } else {
@@ -517,8 +658,8 @@ impl<M: Clone + MessageSize> Reliable<M> {
                         self.delayed_data.push(DelayedData {
                             from,
                             to,
-                            seq,
-                            msg,
+                            wire,
+                            msg: msg.clone(),
                             class,
                             bits,
                         });
@@ -526,19 +667,54 @@ impl<M: Clone + MessageSize> Reliable<M> {
                     Fate::Deliver { duplicate } => {
                         if duplicate {
                             metrics.duplicated += 1;
-                            Self::receive(
+                            if Self::receive(
                                 link,
                                 &mut staging,
                                 metrics,
                                 from,
                                 to,
-                                seq,
+                                wire,
                                 msg.clone(),
                                 class,
                                 bits,
-                            );
+                            ) {
+                                undelivered -= 1;
+                            }
                         }
-                        Self::receive(link, &mut staging, metrics, from, to, seq, msg, class, bits);
+                        if Self::receive(
+                            link,
+                            &mut staging,
+                            metrics,
+                            from,
+                            to,
+                            wire,
+                            msg.clone(),
+                            class,
+                            bits,
+                        ) {
+                            undelivered -= 1;
+                        }
+                    }
+                }
+                // Redundant salvo copies: link-layer repetition, charged
+                // as retransmissions; they roll only the drop process
+                // (a redundant copy is never delayed or duplicated).
+                for _ in 1..copies {
+                    metrics.retransmits += 1;
+                    metrics.by_class[class].retransmits += 1;
+                    if loss.drop > 0.0 && self.rng.gen_bool(loss.drop) {
+                        metrics.dropped += 1;
+                    } else if Self::receive(
+                        link,
+                        &mut staging,
+                        metrics,
+                        from,
+                        to,
+                        wire,
+                        msg.clone(),
+                        class,
+                        bits,
+                    ) {
                         undelivered -= 1;
                     }
                 }
@@ -569,79 +745,53 @@ impl<M: Clone + MessageSize> Reliable<M> {
                     .links
                     .get_mut(&(d.from as u32, d.to as u32))
                     .expect("delayed copies travel existing links");
-                let was_new = !link.already_received(d.seq);
-                Self::receive(
+                if Self::receive(
                     link,
                     &mut staging,
                     metrics,
                     d.from,
                     d.to,
-                    d.seq,
+                    d.wire,
                     d.msg,
                     d.class,
                     d.bits,
-                );
-                if was_new {
+                ) {
                     undelivered -= 1;
                 }
             }
             for a in std::mem::take(&mut self.delayed_acks) {
-                if let Some(link) = self.links.get_mut(&(a.from as u32, a.to as u32)) {
-                    for packet in &mut link.outstanding {
-                        if packet.seq < a.cumulative || a.ahead.contains(&packet.seq) {
-                            packet.acked = true;
-                        }
-                    }
-                }
+                Self::apply_ack(&mut self.links, &a);
             }
 
-            // (b) Timed-out retransmissions (timer = 2 slots, the link
-            // RTT), *snapshotted at slot start*: an ack arriving in the
-            // same slot cannot recall a transmission already on the
-            // wire, and acks need the edge list up front to know
-            // whether they can piggyback on reverse traffic. Ascending
-            // edge order (BTreeMap iteration) keeps the trace
-            // deterministic.
-            let mut due: Vec<(u32, u32)> = Vec::new();
-            let mut resends: Vec<(u32, u32, u64, M, usize, u64)> = Vec::new();
-            for (&(from, to), link) in self.links.iter_mut() {
-                let mut any = false;
-                for p in link
-                    .outstanding
-                    .iter_mut()
-                    .filter(|p| !p.acked && slot - p.last_sent >= 2)
-                {
-                    p.last_sent = slot;
-                    resends.push((from, to, p.seq, p.msg.clone(), p.class, p.bits));
-                    any = true;
-                }
-                if any {
-                    due.push((from, to));
-                }
-            }
-
-            // (c) Cumulative + selective acks for edges that carried
-            // data in the previous slot, in ascending edge order.
-            // Piggybacked on a reverse-direction retransmission when one
-            // exists (free); standalone ACK_BITS messages otherwise.
-            let ack_now: Vec<(bool, DelayedAck)> = self
+            // (b) Cumulative + SACK acks for edges that carried data in
+            // the previous slot, in ascending edge order — generated and
+            // applied *before* this slot's retransmission decisions (the
+            // one-slot control turnaround: acks ride ahead of data
+            // within a slot), so the first recovery slot already
+            // retransmits selectively. An ack piggybacks for free when
+            // the reverse direction still has unacknowledged traffic in
+            // flight; standalone ACK_BITS messages otherwise.
+            let acks: Vec<(bool, DelayedAck)> = self
                 .links
                 .iter()
                 .filter(|(_, link)| link.got_data_last_slot)
                 .map(|(&(from, to), link)| {
-                    let piggyback = due.binary_search(&(to, from)).is_ok();
+                    let piggyback = self
+                        .links
+                        .get(&(to, from))
+                        .is_some_and(|rev| rev.outstanding.iter().any(|p| !p.acked));
                     (
                         piggyback,
                         DelayedAck {
                             from: from as usize,
                             to: to as usize,
-                            cumulative: link.cumulative(),
-                            ahead: link.recv_ahead.clone(),
+                            cumulative_wire: link.cumulative() as u16,
+                            ahead_wire: link.recv_ahead.iter().map(|&s| s as u16).collect(),
                         },
                     )
                 })
                 .collect();
-            for (piggyback, ack) in ack_now {
+            for (piggyback, ack) in acks {
                 if !piggyback {
                     metrics.acks += 1;
                     metrics.ack_bits += ACK_BITS;
@@ -654,22 +804,31 @@ impl<M: Clone + MessageSize> Reliable<M> {
                     }
                     // Acks are cumulative and idempotent: duplication is
                     // a no-op, so both delivery fates collapse.
-                    Fate::Deliver { .. } => {
-                        let link = self
-                            .links
-                            .get_mut(&(ack.from as u32, ack.to as u32))
-                            .expect("acked link exists");
-                        for packet in &mut link.outstanding {
-                            if packet.seq < ack.cumulative || ack.ahead.contains(&packet.seq) {
-                                packet.acked = true;
-                            }
-                        }
-                    }
+                    Fate::Deliver { .. } => Self::apply_ack(&mut self.links, &ack),
+                }
+            }
+
+            // (c) Retransmissions, snapshotted after the ack pass: a
+            // packet is due eagerly while its in-flight budget (the
+            // window) has room, and on the two-slot pacing timer past
+            // it. Ascending edge order (BTreeMap iteration) keeps the
+            // trace deterministic.
+            let mut resends: Vec<(u32, u32, u16, M, usize, u64)> = Vec::new();
+            for (&(from, to), link) in self.links.iter_mut() {
+                let window = self.window as u64;
+                for p in link
+                    .outstanding
+                    .iter_mut()
+                    .filter(|p| !p.acked && (p.sends < window || slot - p.last_sent >= 2))
+                {
+                    p.last_sent = slot;
+                    p.sends += 1;
+                    resends.push((from, to, p.seq as u16, p.msg.clone(), p.class, p.bits));
                 }
             }
 
             // (d) Transmit the snapshotted retransmissions.
-            for (from, to, seq, msg, class, bits) in resends {
+            for (from, to, wire, msg, class, bits) in resends {
                 metrics.retransmits += 1;
                 metrics.by_class[class].retransmits += 1;
                 let loss = self.model.classes[class];
@@ -680,7 +839,7 @@ impl<M: Clone + MessageSize> Reliable<M> {
                         self.delayed_data.push(DelayedData {
                             from: from as usize,
                             to: to as usize,
-                            seq,
+                            wire,
                             msg,
                             class,
                             bits,
@@ -688,37 +847,37 @@ impl<M: Clone + MessageSize> Reliable<M> {
                     }
                     Fate::Deliver { duplicate } => {
                         let link = self.links.get_mut(&(from, to)).expect("due link exists");
-                        let was_new = !link.already_received(seq);
                         if duplicate {
                             // Same shape as the slot-0 path: the copy is
                             // genuinely delivered, then suppressed by
                             // sequence tracking.
                             metrics.duplicated += 1;
-                            Self::receive(
+                            if Self::receive(
                                 link,
                                 &mut staging,
                                 metrics,
                                 from as usize,
                                 to as usize,
-                                seq,
+                                wire,
                                 msg.clone(),
                                 class,
                                 bits,
-                            );
+                            ) {
+                                undelivered -= 1;
+                            }
                         }
                         let link = self.links.get_mut(&(from, to)).expect("due link exists");
-                        Self::receive(
+                        if Self::receive(
                             link,
                             &mut staging,
                             metrics,
                             from as usize,
                             to as usize,
-                            seq,
+                            wire,
                             msg,
                             class,
                             bits,
-                        );
-                        if was_new {
+                        ) {
                             undelivered -= 1;
                         }
                     }
@@ -728,7 +887,9 @@ impl<M: Clone + MessageSize> Reliable<M> {
 
         // ---- Round barrier: completion is common knowledge (the
         // synchronizer's guarantee), which acts as the final cumulative
-        // ack — outstanding state clears, receive windows compact.
+        // ack — outstanding state clears, receive windows compact. The
+        // virtual sequence counters keep running across rounds; only
+        // their 16-bit wire form ever wraps.
         for link in self.links.values_mut() {
             link.outstanding.clear();
             link.recv_cum = link.next_seq;
@@ -816,5 +977,74 @@ mod tests {
         assert!(link.already_received(1));
         assert!(link.already_received(3));
         assert!(!link.already_received(5));
+        assert_eq!(link.expected(), 5);
+    }
+
+    #[test]
+    fn salvo_schedule_matches_the_residual_target() {
+        // Lossless classes and the stop-and-wait window send one copy.
+        assert_eq!(salvo_copies(0.0, 6), 1);
+        assert_eq!(salvo_copies(0.2, 1), 1);
+        // ceil(ln 0.002 / ln p): 0.2 → 4 copies, 0.05 → 3, 0.01 → 2.
+        assert_eq!(salvo_copies(0.2, 6), 4);
+        assert_eq!(salvo_copies(0.05, 6), 3);
+        assert_eq!(salvo_copies(0.01, 6), 2);
+        // A drop probability already below the residual target needs no
+        // redundancy at all.
+        assert_eq!(salvo_copies(0.001, 6), 1);
+        // Capped by the window (room for one eager repair copy) and by
+        // the hard cap.
+        assert_eq!(salvo_copies(0.2, 3), 2);
+        assert_eq!(salvo_copies(0.9, 16), 5);
+        assert_eq!(salvo_copies(1.0, 16), 5);
+    }
+
+    #[test]
+    fn wire_reconstruction_is_exact_within_the_horizon() {
+        // Identity near zero.
+        assert_eq!(unwrap_wire(0, 0), 0);
+        assert_eq!(unwrap_wire(0, 5), 5);
+        assert_eq!(unwrap_wire(10, 7), 7);
+        // Across the wrap, forwards and backwards.
+        assert_eq!(unwrap_wire(65_530, 65_535), 65_535);
+        assert_eq!(unwrap_wire(65_534, 2), 65_538);
+        assert_eq!(unwrap_wire(65_540, 65_533), 65_533);
+        assert_eq!(unwrap_wire(131_070, 3), 131_075);
+        // Large virtual values far past the first wrap.
+        let v = 1_000_000u64;
+        assert_eq!(unwrap_wire(v, v as u16), v);
+        assert_eq!(unwrap_wire(v, (v + 100) as u16), v + 100);
+        assert_eq!(unwrap_wire(v, (v - 100) as u16), v - 100);
+    }
+
+    #[test]
+    fn wire_sequence_numbers_survive_wrap() {
+        // Drive one edge through > 2^16 sequence numbers across many
+        // rounds, with forced drops straddling the wrap boundary: the
+        // virtual-sequence reconstruction must keep delivery exact and
+        // canonical. (The u64 payload doubles as the expected sequence.)
+        let per_round = 48u64;
+        let rounds = 1_500u64; // 72_000 packets on edge (0, 1)
+        let model = LossModel::lossless(3).with_forced_drops(vec![
+            65_533, 65_534, 65_535, 65_536, 65_537, // the wrap itself
+            70_001, // and a straggler past it
+        ]);
+        let mut layer: Reliable<u64> = Reliable::new(model, DEFAULT_ARQ_WINDOW);
+        let mut metrics = Metrics::default();
+        for r in 0..rounds {
+            let mut outs: Vec<Vec<(usize, u64)>> = vec![Vec::new(), Vec::new()];
+            for k in 0..per_round {
+                outs[0].push((1, r * per_round + k));
+            }
+            let inboxes = layer.exchange(&mut outs, &mut metrics);
+            let got: Vec<u64> = inboxes[1].iter().map(|e| e.msg).collect();
+            let expect: Vec<u64> = (r * per_round..(r + 1) * per_round).collect();
+            assert_eq!(got, expect, "round {r} lost canonical order");
+            assert!(inboxes[0].is_empty());
+        }
+        assert!(per_round * rounds > u16::MAX as u64);
+        assert_eq!(metrics.messages, per_round * rounds);
+        assert_eq!(metrics.dropped, 6, "every forced drop fired");
+        assert!(metrics.retransmits >= 6, "and was repaired");
     }
 }

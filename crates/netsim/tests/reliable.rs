@@ -133,15 +133,17 @@ fn drops_are_recovered_with_identical_results_and_logical_traffic() {
         assert_eq!(plain.bits, lossy.bits, "seed {seed}");
         assert_eq!(plain.by_class[0].messages, lossy.by_class[0].messages);
         assert_eq!(plain.max_message_bits, lossy.max_message_bits);
-        // Loss actually happened and was recovered.
+        // Loss actually happened and was recovered. (The proactive salvo
+        // may absorb every drop without a single recovery slot — that is
+        // the point — so only the retransmission traffic is asserted.)
         assert!(lossy.dropped > 0, "seed {seed}: no drop fired at p=0.3");
         assert!(lossy.retransmits > 0, "seed {seed}");
-        assert!(lossy.retransmit_rounds > 0, "seed {seed}");
-        // Round inflation is exactly the recovery slots, and bounded.
+        // Round inflation is exactly the recovery slots, and bounded by
+        // the windowed-ARQ formula (window ≥ 2).
         assert_eq!(lossy.rounds, plain.rounds + lossy.retransmit_rounds);
         assert!(
-            lossy.retransmit_rounds <= 4 * (lossy.dropped + lossy.delayed),
-            "seed {seed}: {} recovery slots > 4·({} dropped + {} delayed)",
+            lossy.retransmit_rounds <= 2 * (lossy.dropped + lossy.delayed),
+            "seed {seed}: {} recovery slots > 2·({} dropped + {} delayed)",
             lossy.retransmit_rounds,
             lossy.dropped,
             lossy.delayed
@@ -180,7 +182,7 @@ fn delays_are_recovered() {
         lossy.retransmit_rounds > 0,
         "a delayed packet stalls the round"
     );
-    assert!(lossy.retransmit_rounds <= 4 * (lossy.dropped + lossy.delayed));
+    assert!(lossy.retransmit_rounds <= 2 * (lossy.dropped + lossy.delayed));
 }
 
 #[test]
@@ -193,7 +195,7 @@ fn heavy_mixed_loss_still_converges_exactly() {
     assert_eq!(plain_best, lossy_best);
     assert_eq!(plain.messages, lossy.messages);
     assert!(lossy.dropped > 0 && lossy.duplicated > 0 && lossy.delayed > 0);
-    assert!(lossy.retransmit_rounds <= 4 * (lossy.dropped + lossy.delayed));
+    assert!(lossy.retransmit_rounds <= 2 * (lossy.dropped + lossy.delayed));
 }
 
 #[test]
@@ -281,10 +283,13 @@ impl Protocol for Pinger {
 
 #[test]
 fn forced_drop_episode_has_the_textbook_shape() {
-    // Three packets, the middle original forced-dropped. Episode: slot 1
-    // acks the two deliveries (one standalone ack — no reverse traffic),
-    // slot 2 retransmits the missing packet on timeout. Two recovery
-    // slots, one retransmission, one ack, no duplicates.
+    // Three packets, the middle original forced-dropped (the class is
+    // lossless, so no proactive salvo fires). Episode: in recovery slot
+    // 1 the receiver's cumulative+SACK ack (one standalone message — no
+    // reverse traffic to piggyback on) rides ahead of the slot's
+    // retransmissions, so the sender repairs exactly the missing packet
+    // eagerly in the same slot. One recovery slot, one retransmission,
+    // one ack, no duplicates.
     let mut topology = Topology::new(2);
     topology.add_edge(0, 1);
     let nodes = vec![
@@ -305,7 +310,7 @@ fn forced_drop_episode_has_the_textbook_shape() {
     assert_eq!(metrics.dropped, 1);
     assert_eq!(metrics.retransmits, 1);
     assert_eq!(metrics.by_class[0].retransmits, 1);
-    assert_eq!(metrics.retransmit_rounds, 2);
+    assert_eq!(metrics.retransmit_rounds, 1);
     assert_eq!(metrics.acks, 1);
     assert_eq!(metrics.ack_bits, ACK_BITS);
     assert_eq!(metrics.dup_suppressed, 0);
@@ -314,7 +319,7 @@ fn forced_drop_episode_has_the_textbook_shape() {
     assert_eq!(metrics.bits, 3 * 64);
     assert_eq!(metrics.max_message_bits, 64);
     // Ordering survives the gap: seq 1 is slotted back between 0 and 2.
-    assert!(metrics.retransmit_rounds <= 4 * (metrics.dropped + metrics.delayed));
+    assert!(metrics.retransmit_rounds <= 2 * (metrics.dropped + metrics.delayed));
 }
 
 #[test]
