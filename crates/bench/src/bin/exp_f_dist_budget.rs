@@ -19,6 +19,13 @@
 //! amortized control plane's headline claim, enforced on the PR smoke
 //! lane where the committed baseline is not regenerated.
 //!
+//! The `O(M)` check is two-sided and registry-driven: the static bit
+//! table in `crates/lint/protocol_registry.toml` (the same file
+//! `treenet-lint` cross-checks against the `DistMsg` source) must
+//! declare no width over the descriptor bound, and the largest message
+//! actually observed must stay within the largest declared width — so
+//! the static table and this runtime gate can never drift apart.
+//!
 //! Flags (shared across the dist bench bins via
 //! `treenet_bench::DistArgs`): `--smoke` runs the reduced grid,
 //! `--scenarios a,b` filters by name substring, `--out <path>` picks the
@@ -35,6 +42,7 @@ use treenet_dist::{
     run_distributed_tree_arbitrary_reference, run_distributed_tree_unit,
     run_distributed_tree_unit_reference, DistAutoRun, DistConfig,
 };
+use treenet_lint::{Registry, REGISTRY_REL_PATH};
 use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
 use treenet_model::Problem;
 use treenet_netsim::Metrics;
@@ -394,12 +402,53 @@ fn run_scenario(s: &Scenario, requested_threads: Option<usize>) -> ScenarioRepor
     }
 }
 
-/// The gate: every scenario within the O(M)-bit bound, and no >10%
+/// Loads the protocol registry the lint enforces, so this gate prices
+/// its bound off the same committed table. Tries the workspace-relative
+/// path first (CI runs from the root), then the source-tree location.
+fn load_registry() -> Registry {
+    let local = std::path::Path::new(REGISTRY_REL_PATH);
+    let fallback = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../crates/lint/protocol_registry.toml");
+    let path = if local.is_file() {
+        local
+    } else {
+        fallback.as_path()
+    };
+    match Registry::load(path) {
+        Ok(registry) => registry,
+        Err(e) => {
+            eprintln!("cannot load {REGISTRY_REL_PATH}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The gate: every scenario within the O(M)-bit bound — both the
+/// registry's static widths and the observed traffic — and no >10%
 /// regression in rounds or messages against the baseline. Returns the
 /// failures as human-readable lines.
-fn gate(current: &[ScenarioReport], baseline: &BudgetReport) -> Vec<String> {
+fn gate(current: &[ScenarioReport], baseline: &BudgetReport, registry: &Registry) -> Vec<String> {
     let mut failures = Vec::new();
     for row in current {
+        // Static side: no declared width may exceed the paper's O(M)
+        // descriptor bound for this problem.
+        let declared_max = registry.max_message_bits(row.bound_bits);
+        if declared_max > row.bound_bits {
+            failures.push(format!(
+                "{}: {REGISTRY_REL_PATH} declares a {declared_max}-bit message, over the \
+                 O(M) bound of {} bits",
+                row.name, row.bound_bits
+            ));
+        }
+        // Runtime side: observed traffic within the declared widths
+        // (and hence, given the static check, within O(M)).
+        if row.max_message_bits > declared_max {
+            failures.push(format!(
+                "{}: observed message of {} bits exceeds the largest registry-declared \
+                 width of {declared_max} bits",
+                row.name, row.max_message_bits
+            ));
+        }
         if row.max_message_bits > row.bound_bits {
             failures.push(format!(
                 "{}: message of {} bits exceeds the O(M) bound of {} bits",
@@ -554,6 +603,8 @@ fn main() {
         }
     };
 
+    let registry = load_registry();
+
     if let Some(baseline_path) = &args.baseline {
         let baseline = match validate_json(baseline_path) {
             Ok(b) => b,
@@ -583,6 +634,7 @@ fn main() {
                 scenarios: gated,
                 ..baseline
             },
+            &registry,
         );
         if !failures.is_empty() {
             for f in &failures {
@@ -605,6 +657,7 @@ fn main() {
                 mode: "empty".to_string(),
                 scenarios: Vec::new(),
             },
+            &registry,
         );
         if !failures.is_empty() {
             for f in &failures {

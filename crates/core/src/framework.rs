@@ -1066,7 +1066,7 @@ mod tests {
 
     #[test]
     fn mis_tags_are_unique_per_tuple() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for k in 1..5u32 {
             for j in 1..5u32 {
                 for s in 0..5u64 {

@@ -53,7 +53,7 @@
 //! and delays beneath it, delivering byte-identical inboxes — which is
 //! why fault tolerance required no change here at all.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use treenet_core::RaiseRule;
@@ -435,7 +435,7 @@ struct EchoState {
 /// A free function over the field (rather than a `&self` method) so call
 /// sites keep disjoint mutable borrows of the node's other fields.
 fn neighbor_view(
-    neighbors: &HashMap<usize, Vec<InstView>>,
+    neighbors: &BTreeMap<usize, Vec<InstView>>,
     node: usize,
     idx: u8,
 ) -> Option<&InstView> {
@@ -491,13 +491,13 @@ pub(crate) struct ProcessorNode {
     /// α of the own demand.
     alpha: f64,
     /// β(e) for every edge on an own path, keyed by (network, edge).
-    beta: HashMap<(u32, u32), f64>,
+    beta: BTreeMap<(u32, u32), f64>,
     /// Phase-2 residual capacity for every edge on an own path.
-    residual: HashMap<(u32, u32), f64>,
+    residual: BTreeMap<(u32, u32), f64>,
     /// Neighbor views, derived from received descriptors.
-    neighbors: HashMap<usize, Vec<InstView>>,
+    neighbors: BTreeMap<usize, Vec<InstView>>,
     /// Instances of neighbors participating in the current step's MIS.
-    neighbor_active: HashMap<(usize, u8), bool>,
+    neighbor_active: BTreeMap<(usize, u8), bool>,
     /// Deaths to announce in the next cleanup round.
     pending_died: Vec<u8>,
     /// Reusable winner buffer for the Luby evaluation rounds (steady-state
@@ -526,7 +526,7 @@ pub(crate) struct ProcessorNode {
     bfs_changed: bool,
     /// Prologue: best label heard per neighbor (labels only improve, so
     /// the minimum is the neighbor's final label once the flood settles).
-    neighbor_bfs: HashMap<usize, (u32, u32)>,
+    neighbor_bfs: BTreeMap<usize, (u32, u32)>,
     /// Combiner contributions collected at this node for the networks it
     /// leads, in arrival order (sorted canonically before folding).
     contributions: Vec<Contribution>,
@@ -554,8 +554,8 @@ impl ProcessorNode {
             views.len() <= 64,
             "at most 64 instances per processor (mask width)"
         );
-        let mut beta = HashMap::new();
-        let mut residual = HashMap::new();
+        let mut beta = BTreeMap::new();
+        let mut residual = BTreeMap::new();
         for view in &views {
             for &e in &view.edges {
                 beta.insert((view.network.0, e.0), 0.0f64);
@@ -583,8 +583,8 @@ impl ProcessorNode {
             alpha: 0.0,
             beta,
             residual,
-            neighbors: HashMap::new(),
-            neighbor_active: HashMap::new(),
+            neighbors: BTreeMap::new(),
+            neighbor_active: BTreeMap::new(),
             pending_died: Vec::new(),
             scratch_winners: Vec::new(),
             iteration: 0,
@@ -597,7 +597,7 @@ impl ProcessorNode {
             echo: [EchoState::default(), EchoState::default()],
             bfs_label: (me, 0),
             bfs_changed: true,
-            neighbor_bfs: HashMap::new(),
+            neighbor_bfs: BTreeMap::new(),
             contributions: Vec::new(),
             choices: Vec::new(),
             mode: Mode::Setup,

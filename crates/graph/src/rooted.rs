@@ -444,7 +444,7 @@ mod tests {
     fn order_puts_parents_first() {
         let t = figure6_tree();
         let r = RootedTree::new(&t, VertexId(4));
-        let pos: std::collections::HashMap<VertexId, usize> = r
+        let pos: std::collections::BTreeMap<VertexId, usize> = r
             .order()
             .iter()
             .copied()

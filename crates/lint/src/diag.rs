@@ -1,0 +1,236 @@
+//! Rule identities and diagnostic types.
+//!
+//! Rendering lives here too — both the human rustc-style form and the
+//! machine-readable JSON report — so `main.rs` only decides *where*
+//! output goes, never *what* it looks like.
+
+use crate::json::Json;
+
+/// Every rule the engine knows, in stable display order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Iteration-order-dependent operation on a `HashMap`/`HashSet`
+    /// binding in a protocol crate.
+    HashIter,
+    /// A `HashMap`/`HashSet` import or fully-qualified use in a
+    /// protocol crate (even keyed-only access is one refactor away
+    /// from an iteration hazard).
+    HashState,
+    /// Wall-clock read (`Instant::now`, `SystemTime`, `std::time`) in a
+    /// protocol crate.
+    WallClock,
+    /// Ambient randomness (`thread_rng`, `from_entropy`, `OsRng`) in a
+    /// protocol crate.
+    AmbientRng,
+    /// Environment read (`std::env`) in a protocol crate.
+    EnvRead,
+    /// `DistMsg` ↔ `protocol_registry.toml` cross-check failure.
+    ProtocolRegistry,
+    /// Library crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in library code.
+    NoPrint,
+    /// Per-crate `unwrap()`/`expect()` count differs from the ratcheted
+    /// budget in the registry.
+    UnwrapRatchet,
+    /// Malformed suppression directive (missing reason, unknown rule).
+    BadSuppression,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 10] = [
+        Rule::HashIter,
+        Rule::HashState,
+        Rule::WallClock,
+        Rule::AmbientRng,
+        Rule::EnvRead,
+        Rule::ProtocolRegistry,
+        Rule::ForbidUnsafe,
+        Rule::NoPrint,
+        Rule::UnwrapRatchet,
+        Rule::BadSuppression,
+    ];
+
+    /// The kebab-case name used in diagnostics, `--only` and
+    /// suppression directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::HashState => "hash-state",
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::EnvRead => "env-read",
+            Rule::ProtocolRegistry => "protocol-registry",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::NoPrint => "no-print",
+            Rule::UnwrapRatchet => "unwrap-ratchet",
+            Rule::BadSuppression => "bad-suppression",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::HashIter => {
+                "iteration-order-dependent op (.iter/.keys/.values/.drain/for-in) on a \
+                 HashMap/HashSet binding in a protocol crate"
+            }
+            Rule::HashState => {
+                "HashMap/HashSet imported or used fully-qualified in a protocol crate; \
+                 use BTreeMap/BTreeSet or an index-keyed Vec"
+            }
+            Rule::WallClock => {
+                "wall-clock read (Instant::now, SystemTime, std::time) in a protocol crate"
+            }
+            Rule::AmbientRng => {
+                "ambient randomness (thread_rng, from_entropy, OsRng) in a protocol crate; \
+                 all randomness must come from the seeded config RNG"
+            }
+            Rule::EnvRead => "std::env read in a protocol crate",
+            Rule::ProtocolRegistry => {
+                "DistMsg variants, bit widths and traffic classes must match \
+                 crates/lint/protocol_registry.toml exactly, with exhaustive match arms"
+            }
+            Rule::ForbidUnsafe => "library crate root must start with #![forbid(unsafe_code)]",
+            Rule::NoPrint => {
+                "println!/eprintln!/print!/eprint!/dbg! in library code \
+                 (bin/test/bench paths are exempt)"
+            }
+            Rule::UnwrapRatchet => {
+                "per-crate unwrap()/expect() count must equal the ratcheted budget in the \
+                 registry (only decreases are accepted, by lowering the budget)"
+            }
+            Rule::BadSuppression => {
+                "suppression directive is malformed, names an unknown rule, or is missing \
+                 its reason"
+            }
+        }
+    }
+
+    /// Whether an inline `allow` directive can silence this rule.
+    /// File- and corpus-level rules (and the directive checker itself)
+    /// are deliberately not suppressible.
+    pub fn suppressible(self) -> bool {
+        matches!(
+            self,
+            Rule::HashIter
+                | Rule::HashState
+                | Rule::WallClock
+                | Rule::AmbientRng
+                | Rule::EnvRead
+                | Rule::NoPrint
+        )
+    }
+}
+
+/// One unsuppressed finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// One finding silenced by a well-formed `allow` directive. Kept in the
+/// report so suppressions round-trip through `--json` and stay
+/// auditable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppressed {
+    pub rule: Rule,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+}
+
+/// The engine's output: what fired and what was suppressed.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub suppressed: Vec<Suppressed>,
+    /// Number of files scanned, for the summary line.
+    pub files_scanned: usize,
+}
+
+/// Schema tag of the JSON report.
+pub const JSON_SCHEMA: &str = "treenet-lint/v1";
+
+impl Report {
+    /// Sorts diagnostics into the stable (file, line, col, rule) order
+    /// every output mode uses.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+        self.suppressed
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// rustc-style human rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "error[{}]: {}\n  --> {}:{}:{}\n",
+                f.rule.name(),
+                f.message,
+                f.file,
+                f.line,
+                f.col
+            ));
+        }
+        out.push_str(&format!(
+            "treenet-lint: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed.len(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Machine-readable report. Parse it back with
+    /// [`crate::json::parse`]; the layout is stable under
+    /// [`JSON_SCHEMA`].
+    pub fn render_json(&self) -> String {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Json::object(vec![
+                    ("rule", Json::Str(f.rule.name().to_string())),
+                    ("file", Json::Str(f.file.clone())),
+                    ("line", Json::Num(f.line as f64)),
+                    ("col", Json::Num(f.col as f64)),
+                    ("message", Json::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        let suppressed = self
+            .suppressed
+            .iter()
+            .map(|s| {
+                Json::object(vec![
+                    ("rule", Json::Str(s.rule.name().to_string())),
+                    ("file", Json::Str(s.file.clone())),
+                    ("line", Json::Num(s.line as f64)),
+                    ("reason", Json::Str(s.reason.clone())),
+                ])
+            })
+            .collect();
+        let root = Json::object(vec![
+            ("schema", Json::Str(JSON_SCHEMA.to_string())),
+            ("files_scanned", Json::Num(self.files_scanned as f64)),
+            ("findings", Json::Arr(findings)),
+            ("suppressed", Json::Arr(suppressed)),
+        ]);
+        let mut text = root.render();
+        text.push('\n');
+        text
+    }
+}

@@ -1,0 +1,298 @@
+//! The corpus engine: file discovery, per-file rules, suppression
+//! application, and the two corpus-level rules (the protocol registry
+//! cross-check and the unwrap ratchet).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Finding, Report, Rule, Suppressed};
+use crate::protocol;
+use crate::registry::Registry;
+use crate::rules::{self, FileClass};
+
+/// One source file handed to [`lint_sources`].
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    pub source: String,
+}
+
+/// Engine options.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    /// Restrict to these rules (`--only`); `None` runs everything.
+    pub only: Option<BTreeSet<Rule>>,
+    /// Path of the registry file, as reported in diagnostics.
+    pub registry_rel: String,
+}
+
+impl Options {
+    fn selected(&self, rule: Rule) -> bool {
+        self.only.as_ref().is_none_or(|set| set.contains(&rule))
+    }
+}
+
+/// Walks `crates/*/src` and `src/` under `root`, reads every `.rs`
+/// file, and lints the corpus.
+pub fn lint_tree(root: &Path, registry: &Registry, opts: &Options) -> Result<Report, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for crate_dir in sorted_dirs(&crates_dir)? {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, root, &mut files)?;
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, root, &mut files)?;
+    }
+    Ok(lint_sources(&files, registry, opts))
+}
+
+fn sorted_dirs(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("while walking {}: {e}", dir.display()))?;
+        if entry.path().is_dir() {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("while walking {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| format!("{} escapes the root", path.display()))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            out.push(SourceFile { rel, source });
+        }
+    }
+    Ok(())
+}
+
+/// Lints an in-memory corpus — the testable core behind [`lint_tree`].
+pub fn lint_sources(files: &[SourceFile], registry: &Registry, opts: &Options) -> Report {
+    let mut report = Report::default();
+    // crate name → (unwrap count, anchor file for ratchet findings).
+    let mut unwraps: BTreeMap<String, (u64, String)> = BTreeMap::new();
+    // Files declaring `enum DistMsg`.
+    let mut msg_models = Vec::new();
+
+    for file in files {
+        let Some(class) = rules::classify(&file.rel) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let analysis = rules::analyze(&class, &file.source);
+        apply_suppressions(&class, &analysis, opts, &mut report);
+
+        let entry = unwraps
+            .entry(class.crate_name.clone())
+            .or_insert_with(|| (0, anchor_for(&class)));
+        entry.0 += analysis.unwrap_count;
+        if class.is_crate_root {
+            entry.1 = anchor_for(&class);
+        }
+
+        if opts.selected(Rule::ProtocolRegistry) {
+            if let Some(model) = protocol::extract(&analysis.scanned) {
+                msg_models.push((file.rel.clone(), model));
+            }
+        }
+    }
+
+    if opts.selected(Rule::ProtocolRegistry) {
+        protocol_rule(&msg_models, registry, opts, &mut report);
+    }
+    if opts.selected(Rule::UnwrapRatchet) {
+        ratchet_rule(&unwraps, registry, opts, &mut report);
+    }
+
+    report.sort();
+    report
+}
+
+fn anchor_for(class: &FileClass) -> String {
+    class.rel.clone()
+}
+
+/// Applies the file's directives to its findings, moving silenced ones
+/// into the suppressed list and raising `bad-suppression` where the
+/// directives themselves are defective.
+fn apply_suppressions(
+    class: &FileClass,
+    analysis: &rules::FileAnalysis,
+    opts: &Options,
+    report: &mut Report,
+) {
+    for directive in &analysis.directives {
+        if let Some(problem) = &directive.problem {
+            if opts.selected(Rule::BadSuppression) {
+                report.findings.push(Finding {
+                    rule: Rule::BadSuppression,
+                    file: class.rel.clone(),
+                    line: directive.line,
+                    col: directive.col,
+                    message: problem.clone(),
+                });
+            }
+        }
+    }
+    'findings: for finding in &analysis.findings {
+        if !opts.selected(finding.rule) {
+            continue;
+        }
+        for directive in &analysis.directives {
+            // A reason-less directive still targets its rule (its
+            // defect is reported separately above); unknown-rule and
+            // malformed directives have `rule: None` and target
+            // nothing.
+            if directive.rule == Some(finding.rule) && directive.target_line == finding.line {
+                report.suppressed.push(Suppressed {
+                    rule: finding.rule,
+                    file: finding.file.clone(),
+                    line: finding.line,
+                    reason: directive.reason.clone().unwrap_or_default(),
+                });
+                continue 'findings;
+            }
+        }
+        report.findings.push(finding.clone());
+    }
+}
+
+fn protocol_rule(
+    models: &[(String, protocol::MsgModel)],
+    registry: &Registry,
+    opts: &Options,
+    report: &mut Report,
+) {
+    match models {
+        [] => {
+            if !registry.messages.is_empty() {
+                report.findings.push(Finding {
+                    rule: Rule::ProtocolRegistry,
+                    file: opts.registry_rel.clone(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "registry declares {} message(s) but no scanned file defines \
+                         `enum {}`",
+                        registry.messages.len(),
+                        protocol::ENUM_NAME
+                    ),
+                });
+            }
+        }
+        [(file, model)] => {
+            report.findings.extend(protocol::cross_check(
+                model,
+                registry,
+                file,
+                &opts.registry_rel,
+            ));
+        }
+        many => {
+            for (file, _) in many {
+                report.findings.push(Finding {
+                    rule: Rule::ProtocolRegistry,
+                    file: file.clone(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "`enum {}` is defined in {} scanned files — the registry \
+                         cross-check needs exactly one",
+                        protocol::ENUM_NAME,
+                        many.len()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn ratchet_rule(
+    unwraps: &BTreeMap<String, (u64, String)>,
+    registry: &Registry,
+    opts: &Options,
+    report: &mut Report,
+) {
+    for (crate_name, &(count, ref anchor)) in unwraps {
+        match registry.unwrap_budget.get(crate_name) {
+            None => report.findings.push(Finding {
+                rule: Rule::UnwrapRatchet,
+                file: anchor.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate `{crate_name}` has no unwrap budget in {} — add \
+                     `{crate_name} = {count}` under [budget.unwrap]",
+                    opts.registry_rel
+                ),
+            }),
+            Some(&(budget, line)) if count > budget => report.findings.push(Finding {
+                rule: Rule::UnwrapRatchet,
+                file: anchor.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate `{crate_name}` has {count} unwrap()/expect() calls in non-test \
+                     library code, over the ratcheted budget of {budget} \
+                     ({}:{line}) — handle the error instead",
+                    opts.registry_rel
+                ),
+            }),
+            Some(&(budget, line)) if count < budget => report.findings.push(Finding {
+                rule: Rule::UnwrapRatchet,
+                file: opts.registry_rel.clone(),
+                line,
+                col: 1,
+                message: format!(
+                    "crate `{crate_name}` is down to {count} unwrap()/expect() calls — \
+                     ratchet the budget in {} down from {budget} so it cannot creep back",
+                    opts.registry_rel
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    // Budgets for crates that no longer exist go stale silently
+    // otherwise.
+    for (crate_name, &(_, line)) in &registry.unwrap_budget {
+        if !unwraps.contains_key(crate_name) {
+            report.findings.push(Finding {
+                rule: Rule::UnwrapRatchet,
+                file: opts.registry_rel.clone(),
+                line,
+                col: 1,
+                message: format!(
+                    "unwrap budget for `{crate_name}` matches no scanned crate — remove \
+                     the stale entry"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! A small hand-rolled Rust token scanner — `syn` is not vendored, and
+//! the lint rules only need identifiers, punctuation and literals with
+//! accurate positions. The scanner is comment-, string-, raw-string- and
+//! char-literal-aware (so a `HashMap` inside a doc comment or a string
+//! literal never fires a rule) and distinguishes lifetimes from char
+//! literals. Comments are not discarded: line comments are kept for the
+//! suppression-directive layer.
+
+/// One lexical token with its 1-based source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token's text. For string/char literals this is the raw slice
+    /// including quotes; rules never need the decoded value.
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are stored without `r#`).
+    Ident,
+    /// `'a` — never confused with a char literal.
+    Lifetime,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`.
+    CharLit,
+    /// `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`.
+    StrLit,
+    /// Integer or float literal, suffix included (`1_000u64`, `0.5f64`).
+    Number,
+    /// A single punctuation character (`:` `.` `(` …). Multi-character
+    /// operators arrive as consecutive tokens; the rules match on runs.
+    Punct,
+}
+
+/// A `//` comment, kept separately for the suppression layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineComment {
+    /// Text after the leading `//` (doc-comment markers included).
+    pub text: String,
+    pub line: u32,
+    /// Column of the first `/`.
+    pub col: u32,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Clone, Debug, Default)]
+pub struct Scanned {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<LineComment>,
+}
+
+impl Scanned {
+    /// Whether any token sits on `line`.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line/col. Multi-byte UTF-8
+    /// continuation bytes do not advance the column, so columns count
+    /// characters, matching rustc's diagnostics closely enough for
+    /// clickable `file:line:col` output.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Scans `src` into tokens and line comments. The scanner never fails:
+/// unterminated literals simply run to end-of-input (the real compiler
+/// rejects such files long before the lint matters).
+pub fn scan(src: &str) -> Scanned {
+    let mut cur = Cursor::new(src);
+    let mut out = Scanned::default();
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos + 2;
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                out.comments.push(LineComment { text, line, col });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                // Block comments nest in Rust.
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&cur) => {
+                let start = cur.pos;
+                scan_raw_or_byte_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::StrLit,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                let start = cur.pos;
+                scan_quoted(&mut cur, b'"');
+                out.tokens.push(Token {
+                    kind: TokenKind::StrLit,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                let start = cur.pos;
+                let kind = scan_quote_or_lifetime(&mut cur);
+                out.tokens.push(Token {
+                    kind,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let mut start = cur.pos;
+                // Raw identifier `r#ident`: store without the prefix.
+                if b == b'r'
+                    && cur.peek_at(1) == Some(b'#')
+                    && cur.peek_at(2).is_some_and(is_ident_start)
+                {
+                    cur.bump();
+                    cur.bump();
+                    start = cur.pos;
+                }
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let start = cur.pos;
+                scan_number(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Whether the cursor sits on `r"`, `r#`, `b"`, `b'`, `br"` or `br#` —
+/// i.e. a raw string, byte string or byte char, not an identifier.
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    match (cur.peek(), cur.peek_at(1), cur.peek_at(2)) {
+        (Some(b'r'), Some(b'"'), _) => true,
+        (Some(b'r'), Some(b'#'), Some(n)) => n == b'"' || n == b'#',
+        (Some(b'b'), Some(b'"'), _) | (Some(b'b'), Some(b'\''), _) => true,
+        (Some(b'b'), Some(b'r'), Some(b'"')) | (Some(b'b'), Some(b'r'), Some(b'#')) => true,
+        _ => false,
+    }
+}
+
+fn scan_raw_or_byte_string(cur: &mut Cursor<'_>) {
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    match cur.peek() {
+        Some(b'\'') => {
+            // Byte char `b'x'`.
+            scan_quoted(cur, b'\'');
+        }
+        Some(b'"') => {
+            // Cooked (byte) string.
+            scan_quoted(cur, b'"');
+        }
+        Some(b'r') => {
+            cur.bump();
+            // Raw string: count `#`s, then run to `"` followed by that
+            // many `#`s. No escapes inside.
+            let mut hashes = 0usize;
+            while cur.peek() == Some(b'#') {
+                cur.bump();
+                hashes += 1;
+            }
+            if cur.peek() == Some(b'"') {
+                cur.bump();
+                'body: while let Some(c) = cur.bump() {
+                    if c == b'"' {
+                        let mut seen = 0usize;
+                        while seen < hashes {
+                            if cur.peek() == Some(b'#') {
+                                cur.bump();
+                                seen += 1;
+                            } else {
+                                continue 'body;
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Scans a cooked string or char literal body, honoring `\` escapes.
+/// Assumes the cursor sits on the opening quote.
+fn scan_quoted(cur: &mut Cursor<'_>, quote: u8) {
+    cur.bump();
+    while let Some(c) = cur.bump() {
+        if c == b'\\' {
+            cur.bump();
+        } else if c == quote {
+            break;
+        }
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` (char literal). The cursor
+/// sits on the `'`. Rule: an identifier run after the quote that is NOT
+/// followed by a closing `'` is a lifetime; everything else is a char
+/// literal.
+fn scan_quote_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    // Look ahead without consuming: `'` ident-run `'` → char literal.
+    if cur.peek_at(1).is_some_and(is_ident_start) && cur.peek_at(1) != Some(b'\\') {
+        let mut k = 2;
+        while cur.peek_at(k).is_some_and(is_ident_continue) {
+            k += 1;
+        }
+        if cur.peek_at(k) != Some(b'\'') {
+            // Lifetime: consume `'` + the identifier run.
+            cur.bump();
+            for _ in 1..k {
+                cur.bump();
+            }
+            return TokenKind::Lifetime;
+        }
+    }
+    scan_quoted(cur, b'\'');
+    TokenKind::CharLit
+}
+
+/// Consumes a numeric literal: digits, `_`, radix prefixes, a fractional
+/// part (but not `..` ranges or method calls like `1.max(2)`), exponents
+/// and type suffixes.
+fn scan_number(cur: &mut Cursor<'_>) {
+    cur.bump();
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            // `1e5`/`2E-3` exponent signs.
+            if (c == b'e' || c == b'E') && matches!(cur.peek_at(1), Some(b'+') | Some(b'-')) {
+                cur.bump();
+            }
+            cur.bump();
+        } else if c == b'.' && cur.peek_at(1).is_some_and(|n| n.is_ascii_digit()) {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Parses the numeric value of an integer `Number` token (`1_000u64` →
+/// 1000). Returns `None` for floats, radix-prefixed or overflowing
+/// literals — the registry cross-check only needs small decimal widths.
+pub fn int_value(text: &str) -> Option<u64> {
+    let digits: String = text
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .filter(|c| c.is_ascii_digit())
+        .collect();
+    let rest = &text[text
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit() && *c != '_')
+        .map(|(i, _)| i)
+        .unwrap_or(text.len())..];
+    // A `.` or radix letter right after the digits means float/hex/etc.
+    if rest.starts_with('.')
+        || rest.starts_with('x')
+        || rest.starts_with('o')
+        || rest.starts_with('b')
+    {
+        return None;
+    }
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts_of(src: &str, kind: TokenKind) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let s = scan("a /* x /* y */ still comment */ b");
+        let idents: Vec<&str> = s.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_to_eof() {
+        let s = scan("a /* never closed\nmore");
+        let idents: Vec<&str> = s.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, ["a"]);
+    }
+
+    #[test]
+    fn line_comments_are_kept_for_the_suppression_layer() {
+        let s = scan("let x = 1; // treenet-lint: allow(no-print, reason = \"t\")\ny");
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("treenet-lint:"));
+        assert_eq!(s.comments[0].line, 1);
+        // The comment ends at the newline; the next token is code again.
+        assert!(s.tokens.iter().any(|t| t.text == "y" && t.line == 2));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let s = scan(r###"let s = r#"HashMap // "quoted" inside"#;"###);
+        assert!(
+            s.comments.is_empty(),
+            "// inside a raw string is not a comment"
+        );
+        assert!(!s
+            .tokens
+            .iter()
+            .any(|t| t.text.contains("HashMap") && t.kind == TokenKind::Ident));
+        let lit = &texts_of(
+            r###"let s = r#"HashMap // "quoted" inside"#;"###,
+            TokenKind::StrLit,
+        )[0];
+        assert!(lit.starts_with("r#\"") && lit.ends_with("\"#"), "{lit}");
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_balance_their_guards() {
+        let src = r####"let s = r##"ends with "# not here"##; after"####;
+        let s = scan(src);
+        assert!(
+            s.tokens.iter().any(|t| t.text == "after"),
+            "scanning resumed after the literal"
+        );
+        assert_eq!(texts_of(src, TokenKind::StrLit).len(), 1);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r##"let a = b"x"; let b = br#"y"#; let c = b'z';"##;
+        assert_eq!(
+            texts_of(src, TokenKind::StrLit),
+            ["b\"x\"", "br#\"y\"#", "b'z'"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<&Token> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+        let chars: Vec<&Token> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::CharLit)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'a'");
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let c = '\n'; let q = '\''; let s = 'x';";
+        assert_eq!(texts_of(src, TokenKind::CharLit), [r"'\n'", r"'\''", "'x'"]);
+    }
+
+    #[test]
+    fn raw_identifiers_drop_the_prefix() {
+        let s = scan("let r#type = 1;");
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "type"));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_utf8_aware() {
+        let s = scan("let α = 1;\n  x");
+        // α is a 2-byte char but one column wide.
+        let alpha = s.tokens.iter().find(|t| t.text == "α").unwrap();
+        assert_eq!((alpha.line, alpha.col), (1, 5));
+        let one = s.tokens.iter().find(|t| t.text == "1").unwrap();
+        assert_eq!((one.line, one.col), (1, 9));
+        let x = s.tokens.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!((x.line, x.col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_stop_before_method_calls_and_keep_suffixes() {
+        let src = "let a = 1_000u64; let b = 0.5f64; let c = 1.max(2); let d = 2e-3;";
+        assert_eq!(
+            texts_of(src, TokenKind::Number),
+            ["1_000u64", "0.5f64", "1", "2", "2e-3"]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators_arrive_as_single_puncts() {
+        let s = scan("a::b => c");
+        let puncts: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, [":", ":", "=", ">"]);
+    }
+
+    #[test]
+    fn int_value_parses_decimal_only() {
+        assert_eq!(int_value("42"), Some(42));
+        assert_eq!(int_value("1_000u64"), Some(1000));
+        assert_eq!(int_value("0x10"), None);
+        assert_eq!(int_value("1.5"), None);
+        assert_eq!(int_value("u64"), None);
+    }
+}

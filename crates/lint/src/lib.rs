@@ -1,0 +1,58 @@
+//! `treenet-lint` — a repo-native static-analysis pass for determinism
+//! and protocol-bit invariants.
+//!
+//! Every guarantee the workspace ships — bit-identical schedules and λ
+//! at any thread count, loss rate, ARQ window and sweep cadence, plus
+//! the paper's `O(M)`-bit message bound — is enforced dynamically by
+//! proptests and CI byte-diffs. This crate enforces the *source-level*
+//! invariants behind those guarantees, so a hazard is rejected at lint
+//! time instead of waiting for the right seed to expose it:
+//!
+//! * **determinism** — no iteration-order-dependent constructs
+//!   (`HashMap`/`HashSet` iteration), no wall-clock reads, no ambient
+//!   randomness and no environment reads inside the protocol crates
+//!   (`dist`, `netsim`, `core`, `mis`, `decomp`);
+//! * **protocol bit-accounting** — the `DistMsg` enum and its
+//!   `MessageSize::size_bits`/`traffic_class` impls are cross-checked
+//!   against the committed registry
+//!   (`crates/lint/protocol_registry.toml`): every variant has a
+//!   declared bit width and traffic class, the match arms are
+//!   exhaustive (no wildcard), and adding a message without updating
+//!   the registry fails the build;
+//! * **policy** — every library crate root carries
+//!   `#![forbid(unsafe_code)]`, no `println!`-family output in library
+//!   code, and a per-crate ratcheted `unwrap()`/`expect()` count stored
+//!   in the registry so the number can only go down.
+//!
+//! The analysis is a hand-rolled token scanner ([`lexer`]) — `syn` is
+//! not vendored and the rules only need identifiers, punctuation and
+//! literals with accurate positions — plus a rule engine ([`engine`])
+//! that walks every `crates/*/src` and `src/` file. Findings are
+//! rustc-style `file:line:col` diagnostics with a machine-readable
+//! `--json` report; inline suppression uses
+//! `// treenet-lint: allow(<rule>, reason = "...")`, where a missing
+//! reason is itself an error.
+//!
+//! The registry module is also consumed by `treenet-bench`'s
+//! `exp_f_dist_budget` gate, so the static bit table and the runtime
+//! `O(M)`-bound check can never drift apart.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod engine;
+pub mod json;
+pub mod lexer;
+pub mod protocol;
+pub mod registry;
+pub mod rules;
+pub mod suppress;
+
+pub use diag::{Finding, Report, Rule, Suppressed};
+pub use engine::{lint_sources, lint_tree, Options, SourceFile};
+pub use registry::Registry;
+
+/// Workspace-relative path of the protocol registry — the single
+/// committed source of truth for message bit widths, traffic classes
+/// and the per-crate unwrap budgets.
+pub const REGISTRY_REL_PATH: &str = "crates/lint/protocol_registry.toml";

@@ -1,0 +1,144 @@
+//! The `treenet-lint` binary. Run from anywhere inside the workspace:
+//!
+//! ```text
+//! cargo run -p treenet-lint --              # human diagnostics
+//! cargo run -p treenet-lint -- --json       # JSON report on stdout
+//! cargo run -p treenet-lint -- --list-rules # rule table
+//! cargo run -p treenet-lint -- --only hash-iter,no-print
+//! cargo run -p treenet-lint -- --out /tmp/lint.json
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use treenet_lint::{lint_tree, Options, Registry, Rule, REGISTRY_REL_PATH};
+
+struct Args {
+    json: bool,
+    list_rules: bool,
+    only: Option<BTreeSet<Rule>>,
+    out: Option<PathBuf>,
+    root: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: treenet-lint [--json] [--out <path>] [--only <rule,...>] \
+                     [--root <dir>] [--list-rules]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        list_rules: false,
+        only: None,
+        out: None,
+        root: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--only" => {
+                let value = argv.next().ok_or("--only needs a rule list")?;
+                let mut set = BTreeSet::new();
+                for name in value.split(',') {
+                    let rule = Rule::from_name(name.trim())
+                        .ok_or_else(|| format!("unknown rule `{name}` (see --list-rules)"))?;
+                    set.insert(rule);
+                }
+                args.only = Some(set);
+            }
+            "--out" => args.out = Some(PathBuf::from(argv.next().ok_or("--out needs a path")?)),
+            "--root" => args.root = Some(PathBuf::from(argv.next().ok_or("--root needs a dir")?)),
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Finds the workspace root: `--root`, or the nearest ancestor of the
+/// current directory containing the registry file.
+fn find_root(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(root) = explicit {
+        return if root.join(REGISTRY_REL_PATH).is_file() {
+            Ok(root)
+        } else {
+            Err(format!("{} has no {REGISTRY_REL_PATH}", root.display()))
+        };
+    }
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        if dir.join(REGISTRY_REL_PATH).is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no {REGISTRY_REL_PATH} in the current directory or any ancestor \
+                 (run from inside the workspace or pass --root)"
+            ));
+        }
+    }
+}
+
+fn list_rules() {
+    let width = Rule::ALL.iter().map(|r| r.name().len()).max().unwrap_or(0);
+    println!("treenet-lint rules:");
+    for rule in Rule::ALL {
+        println!(
+            "  {:width$}  {}{}",
+            rule.name(),
+            rule.summary(),
+            if rule.suppressible() {
+                ""
+            } else {
+                " [not inline-suppressible]"
+            },
+        );
+    }
+    println!(
+        "\nsuppress with: // treenet-lint: allow(<rule>, reason = \"…\")  \
+         (a missing reason is itself an error)"
+    );
+}
+
+fn run() -> Result<i32, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        list_rules();
+        return Ok(0);
+    }
+    let root = find_root(args.root)?;
+    let registry = Registry::load(&root.join(REGISTRY_REL_PATH))
+        .map_err(|e| format!("{REGISTRY_REL_PATH}: {e}"))?;
+    let opts = Options {
+        only: args.only,
+        registry_rel: REGISTRY_REL_PATH.to_string(),
+    };
+    let report = lint_tree(&root, &registry, &opts)?;
+
+    let json = report.render_json();
+    if let Some(out) = &args.out {
+        std::fs::write(out, &json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    }
+    if args.json {
+        print!("{json}");
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(if report.findings.is_empty() { 0 } else { 1 })
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("treenet-lint: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! The protocol bit-accounting cross-check.
+//!
+//! Parses the `DistMsg` enum and its `MessageSize` impl out of the
+//! token stream and verifies them against the committed registry:
+//!
+//! * every enum variant has a `[message.<Variant>]` entry, and every
+//!   entry has a variant (adding a message without updating the
+//!   registry — or leaving a stale entry behind — fails the build);
+//! * the `size_bits` arm of each variant matches the declared width
+//!   (a fixed integer literal, or a call to the declared dynamic
+//!   sizing function);
+//! * the `traffic_class` arm matches the declared class (a fixed
+//!   integer, or the `1 + run.index()` sub-run form declared as
+//!   `"run"`);
+//! * both matches are exhaustive **without a wildcard arm** — a `_ =>`
+//!   would let a new variant slip past rustc's exhaustiveness check
+//!   and therefore past the registry.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::{int_value, Scanned, Token, TokenKind};
+use crate::registry::{BitSpec, ClassSpec, Registry};
+
+/// The enum the cross-check anchors on.
+pub const ENUM_NAME: &str = "DistMsg";
+/// The size trait whose impl carries the accounting.
+pub const TRAIT_NAME: &str = "MessageSize";
+
+/// What one match arm declares for a variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ArmSpec {
+    Fixed(u64),
+    /// RHS calls the named function (dynamic width).
+    Call(String),
+    /// RHS is the `1 + run.index()` traffic-class form.
+    RunIndexed,
+    /// RHS the parser cannot map onto a registry spec.
+    Opaque,
+}
+
+/// The parsed shape of the enum + impl.
+#[derive(Debug, Default)]
+pub struct MsgModel {
+    /// Variant name → (line, col) of its declaration.
+    variants: BTreeMap<String, (u32, u32)>,
+    /// Declaration line of the enum itself.
+    enum_line: u32,
+    size_arms: BTreeMap<String, (ArmSpec, u32)>,
+    class_arms: BTreeMap<String, (ArmSpec, u32)>,
+    /// Lines of wildcard (`_`) arms, per function.
+    wildcards: Vec<(&'static str, u32)>,
+    /// Whether both accounting fns were found.
+    size_fn_found: bool,
+    class_fn_found: bool,
+}
+
+fn ident(t: &Token, name: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == name
+}
+
+fn punct(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+fn open_of(close: &str) -> &'static str {
+    match close {
+        ")" => "(",
+        "]" => "[",
+        _ => "{",
+    }
+}
+
+/// Extracts the model from a scanned file, or `None` when the file does
+/// not declare `enum DistMsg`.
+pub fn extract(scanned: &Scanned) -> Option<MsgModel> {
+    let tokens = &scanned.tokens;
+    let enum_at = tokens
+        .windows(2)
+        .position(|w| ident(&w[0], "enum") && ident(&w[1], ENUM_NAME))?;
+    let mut model = MsgModel {
+        enum_line: tokens[enum_at].line,
+        ..MsgModel::default()
+    };
+    parse_enum(tokens, enum_at + 2, &mut model);
+
+    // `impl MessageSize for DistMsg {`
+    if let Some(impl_at) = tokens.windows(4).position(|w| {
+        ident(&w[0], "impl")
+            && ident(&w[1], TRAIT_NAME)
+            && ident(&w[2], "for")
+            && ident(&w[3], ENUM_NAME)
+    }) {
+        let body = block_after(tokens, impl_at + 4)?;
+        if let Some(fn_body) = fn_block(tokens, body.clone(), "size_bits") {
+            model.size_fn_found = true;
+            parse_match_arms(tokens, fn_body, "size_bits", &mut model);
+        }
+        if let Some(fn_body) = fn_block(tokens, body, "traffic_class") {
+            model.class_fn_found = true;
+            parse_match_arms(tokens, fn_body, "traffic_class", &mut model);
+        }
+    }
+    Some(model)
+}
+
+/// Finds the token range of the `{ … }` block starting at or after
+/// `from` (exclusive of the braces).
+fn block_after(tokens: &[Token], from: usize) -> Option<std::ops::Range<usize>> {
+    let mut i = from;
+    while i < tokens.len() && !punct(&tokens[i], "{") {
+        i += 1;
+    }
+    let open = i;
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if punct(&tokens[i], "{") {
+            depth += 1;
+        } else if punct(&tokens[i], "}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(open + 1..i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The body range of `fn <name>` inside `range`.
+fn fn_block(
+    tokens: &[Token],
+    range: std::ops::Range<usize>,
+    name: &str,
+) -> Option<std::ops::Range<usize>> {
+    let mut i = range.start;
+    while i + 1 < range.end {
+        if ident(&tokens[i], "fn") && ident(&tokens[i + 1], name) {
+            let body = block_after(tokens, i + 2)?;
+            return (body.end <= range.end).then_some(body);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Collects the variant names of the enum whose `{` follows `from`.
+fn parse_enum(tokens: &[Token], from: usize, model: &mut MsgModel) {
+    let Some(body) = block_after(tokens, from) else {
+        return;
+    };
+    let mut i = body.start;
+    while i < body.end {
+        let t = &tokens[i];
+        if punct(t, "#") {
+            // Attribute: skip the bracket group.
+            if let Some(j) = skip_group(tokens, i + 1, "]") {
+                i = j;
+                continue;
+            }
+        }
+        if t.kind == TokenKind::Ident {
+            model.variants.insert(t.text.clone(), (t.line, t.col));
+            i += 1;
+            // Skip the payload `{…}` / `(…)` if present.
+            if i < body.end && (punct(&tokens[i], "{") || punct(&tokens[i], "(")) {
+                let close = if punct(&tokens[i], "{") { "}" } else { ")" };
+                if let Some(j) = skip_group(tokens, i, close) {
+                    i = j;
+                }
+            }
+            // Skip to past the separating comma.
+            while i < body.end && !punct(&tokens[i], ",") {
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// With `tokens[at]` at (or before) the opening delimiter, returns the
+/// index just past the matching `close`.
+fn skip_group(tokens: &[Token], at: usize, close: &str) -> Option<usize> {
+    let open = open_of(close);
+    let mut i = at;
+    while i < tokens.len() && !punct(&tokens[i], open) {
+        i += 1;
+    }
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if punct(&tokens[i], open) {
+            depth += 1;
+        } else if punct(&tokens[i], close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses the arms of the `match` inside one accounting fn.
+fn parse_match_arms(
+    tokens: &[Token],
+    fn_body: std::ops::Range<usize>,
+    which: &'static str,
+    model: &mut MsgModel,
+) {
+    let Some(match_at) = (fn_body.start..fn_body.end).find(|&i| ident(&tokens[i], "match")) else {
+        return;
+    };
+    let Some(arms) = block_after(tokens, match_at) else {
+        return;
+    };
+    let mut i = arms.start;
+    while i < arms.end {
+        // Pattern: tokens until `=>` at depth 0.
+        let pat_start = i;
+        let mut depth = 0i32;
+        while i < arms.end {
+            let t = &tokens[i];
+            if punct(t, "{") || punct(t, "(") || punct(t, "[") {
+                depth += 1;
+            } else if punct(t, "}") || punct(t, ")") || punct(t, "]") {
+                depth -= 1;
+            } else if depth == 0 && punct(t, "=") && i + 1 < arms.end && punct(&tokens[i + 1], ">")
+            {
+                break;
+            }
+            i += 1;
+        }
+        if i >= arms.end {
+            break;
+        }
+        let pat = &tokens[pat_start..i];
+        i += 2; // past `=>`
+                // RHS: tokens until `,` at depth 0 (or the end of the match).
+        let rhs_start = i;
+        depth = 0;
+        while i < arms.end {
+            let t = &tokens[i];
+            if punct(t, "{") || punct(t, "(") || punct(t, "[") {
+                depth += 1;
+            } else if punct(t, "}") || punct(t, ")") || punct(t, "]") {
+                depth -= 1;
+            } else if depth == 0 && punct(t, ",") {
+                break;
+            }
+            i += 1;
+        }
+        let rhs = &tokens[rhs_start..i];
+        i += 1; // past `,`
+
+        record_arm(pat, rhs, which, model);
+    }
+}
+
+fn record_arm(pat: &[Token], rhs: &[Token], which: &'static str, model: &mut MsgModel) {
+    if pat.is_empty() {
+        return;
+    }
+    // Wildcard: a top-level `_` pattern (payload `..` sits inside
+    // groups and never reaches depth 0 here).
+    let mut depth = 0i32;
+    for t in pat {
+        if punct(t, "{") || punct(t, "(") || punct(t, "[") {
+            depth += 1;
+        } else if punct(t, "}") || punct(t, ")") || punct(t, "]") {
+            depth -= 1;
+        } else if depth == 0 && ident(t, "_") {
+            model.wildcards.push((which, t.line));
+            return;
+        }
+    }
+    // Variants: every ident preceded by `DistMsg::` at depth 0.
+    let mut variants = Vec::new();
+    for k in 3..pat.len() {
+        if pat[k].kind == TokenKind::Ident
+            && punct(&pat[k - 1], ":")
+            && punct(&pat[k - 2], ":")
+            && ident(&pat[k - 3], ENUM_NAME)
+        {
+            variants.push((pat[k].text.clone(), pat[k].line));
+        }
+    }
+    let spec = classify_rhs(rhs, which);
+    let arms = if which == "size_bits" {
+        &mut model.size_arms
+    } else {
+        &mut model.class_arms
+    };
+    for (name, line) in variants {
+        arms.insert(name, (spec.clone(), line));
+    }
+}
+
+fn classify_rhs(rhs: &[Token], which: &'static str) -> ArmSpec {
+    if rhs.len() == 1 && rhs[0].kind == TokenKind::Number {
+        if let Some(v) = int_value(&rhs[0].text) {
+            return ArmSpec::Fixed(v);
+        }
+    }
+    if which == "size_bits" {
+        // A call expression: first ident followed by `(`.
+        for (k, t) in rhs.iter().enumerate() {
+            if t.kind == TokenKind::Ident && rhs.get(k + 1).is_some_and(|n| punct(n, "(")) {
+                return ArmSpec::Call(t.text.clone());
+            }
+        }
+    } else {
+        // `1 + run.index()` (any spelling mentioning run + index).
+        let has_run = rhs.iter().any(|t| ident(t, "run"));
+        let has_index = rhs.iter().any(|t| ident(t, "index"));
+        if has_run && has_index {
+            return ArmSpec::RunIndexed;
+        }
+    }
+    ArmSpec::Opaque
+}
+
+/// Cross-checks the model against the registry. `file` is the path of
+/// the file declaring the enum; `registry_file` is the registry's path
+/// (for findings anchored on registry lines).
+pub fn cross_check(
+    model: &MsgModel,
+    registry: &Registry,
+    file: &str,
+    registry_file: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |file: &str, line: u32, col: u32, message: String| {
+        findings.push(Finding {
+            rule: Rule::ProtocolRegistry,
+            file: file.to_string(),
+            line,
+            col,
+            message,
+        });
+    };
+
+    if !model.size_fn_found || !model.class_fn_found {
+        push(
+            file,
+            model.enum_line,
+            1,
+            format!(
+                "`impl {TRAIT_NAME} for {ENUM_NAME}` with `size_bits` and `traffic_class` \
+                 not found in the file declaring the enum"
+            ),
+        );
+        return findings;
+    }
+
+    for (which, line) in &model.wildcards {
+        push(
+            file,
+            *line,
+            1,
+            format!(
+                "wildcard arm in `{which}`: every `{ENUM_NAME}` variant must be matched \
+                 explicitly so a new message cannot bypass the registry"
+            ),
+        );
+    }
+
+    for (name, &(line, col)) in &model.variants {
+        let Some(spec) = registry.messages.get(name) else {
+            push(
+                file,
+                line,
+                col,
+                format!(
+                    "`{ENUM_NAME}::{name}` has no [message.{name}] entry in {registry_file}: \
+                     declare its bit width and traffic class"
+                ),
+            );
+            continue;
+        };
+        match model.size_arms.get(name) {
+            None => push(
+                file,
+                line,
+                col,
+                format!("`{ENUM_NAME}::{name}` has no `size_bits` arm"),
+            ),
+            Some((arm, arm_line)) => {
+                let matches = match (&spec.bits, arm) {
+                    (BitSpec::Fixed(want), ArmSpec::Fixed(got)) => want == got,
+                    (BitSpec::Dynamic(want), ArmSpec::Call(got)) => want == got,
+                    _ => false,
+                };
+                if !matches {
+                    push(
+                        file,
+                        *arm_line,
+                        1,
+                        format!(
+                            "`size_bits` arm of `{ENUM_NAME}::{name}` ({}) disagrees with \
+                             bits = {} declared at {registry_file}:{}",
+                            describe(arm),
+                            spec.bits,
+                            spec.line
+                        ),
+                    );
+                }
+            }
+        }
+        match model.class_arms.get(name) {
+            None => push(
+                file,
+                line,
+                col,
+                format!("`{ENUM_NAME}::{name}` has no `traffic_class` arm"),
+            ),
+            Some((arm, arm_line)) => {
+                let matches = match (&spec.class, arm) {
+                    (ClassSpec::Fixed(want), ArmSpec::Fixed(got)) => want == got,
+                    (ClassSpec::RunIndexed, ArmSpec::RunIndexed) => true,
+                    _ => false,
+                };
+                if !matches {
+                    push(
+                        file,
+                        *arm_line,
+                        1,
+                        format!(
+                            "`traffic_class` arm of `{ENUM_NAME}::{name}` ({}) disagrees \
+                             with class = {} declared at {registry_file}:{}",
+                            describe(arm),
+                            spec.class,
+                            spec.line
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    for (name, spec) in &registry.messages {
+        if !model.variants.contains_key(name) {
+            push(
+                registry_file,
+                spec.line,
+                1,
+                format!(
+                    "[message.{name}] has no matching `{ENUM_NAME}` variant — remove the \
+                     stale registry entry"
+                ),
+            );
+        }
+    }
+
+    findings
+}
+
+fn describe(arm: &ArmSpec) -> String {
+    match arm {
+        ArmSpec::Fixed(v) => format!("literal {v}"),
+        ArmSpec::Call(f) => format!("call to `{f}`"),
+        ArmSpec::RunIndexed => "run-indexed `1 + run.index()`".to_string(),
+        ArmSpec::Opaque => "an expression the lint cannot classify".to_string(),
+    }
+}

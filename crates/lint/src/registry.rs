@@ -1,0 +1,314 @@
+//! The committed protocol registry (`crates/lint/protocol_registry.toml`)
+//! and its TOML-subset parser.
+//!
+//! The registry is the single source of truth for
+//!
+//! * every `DistMsg` variant's **bit width** (a fixed integer, or the
+//!   name of the dynamic sizing function for descriptor-bounded
+//!   payloads) and **traffic class** (a fixed integer, or `"run"` for
+//!   the `1 + run.index()` sub-run classes), cross-checked at lint time
+//!   against the enum and its `MessageSize` impl; and
+//! * the per-crate ratcheted **unwrap budgets** — the exact number of
+//!   `unwrap()`/`expect()` calls allowed in each crate's non-test
+//!   library code. The count must *equal* the budget: a new unwrap
+//!   fails the lint, and removing one fails it too until the budget is
+//!   ratcheted down, so the number can only decrease.
+//!
+//! `treenet-bench`'s `exp_f_dist_budget` reads the same file to derive
+//! its runtime `O(M)`-bound gate, so the static table and the runtime
+//! check cannot drift apart.
+//!
+//! The parser supports exactly the subset the registry uses: `[a]` /
+//! `[a.b]` section headers, `key = <integer|"string">` pairs, `#`
+//! comments and blank lines. Keys record their line number so registry
+//! mismatches get clickable diagnostics.
+
+use std::collections::BTreeMap;
+
+/// A variant's declared bit width.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BitSpec {
+    /// A fixed width in bits.
+    Fixed(u64),
+    /// A dynamic width computed by the named function (today always
+    /// `descriptor_bits` — the paper's `O(M)` descriptor payload).
+    Dynamic(String),
+}
+
+impl std::fmt::Display for BitSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitSpec::Fixed(bits) => write!(f, "{bits}"),
+            BitSpec::Dynamic(name) => write!(f, "\"{name}\""),
+        }
+    }
+}
+
+/// A variant's declared traffic class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClassSpec {
+    /// A fixed engine traffic class.
+    Fixed(u64),
+    /// `1 + run.index()` — class 1 for the Primary sub-run, 2 for the
+    /// Narrow sub-run. Spelled `class = "run"` in the registry.
+    RunIndexed,
+}
+
+impl std::fmt::Display for ClassSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassSpec::Fixed(class) => write!(f, "{class}"),
+            ClassSpec::RunIndexed => write!(f, "\"run\""),
+        }
+    }
+}
+
+/// One `[message.<Variant>]` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MessageSpec {
+    pub bits: BitSpec,
+    pub class: ClassSpec,
+    /// Line of the section header, for diagnostics.
+    pub line: u32,
+}
+
+/// The parsed registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    /// `DistMsg` variant name → declared width and class.
+    pub messages: BTreeMap<String, MessageSpec>,
+    /// Crate name → (allowed unwrap/expect count, header line).
+    pub unwrap_budget: BTreeMap<String, (u64, u32)>,
+}
+
+impl Registry {
+    /// Parses the registry text. Errors carry `line N:` prefixes.
+    pub fn parse(text: &str) -> Result<Registry, String> {
+        let mut registry = Registry::default();
+        // Section state: a message entry being accumulated, or the
+        // unwrap-budget table.
+        enum Section {
+            None,
+            Message { name: String, line: u32 },
+            UnwrapBudget,
+        }
+        let mut section = Section::None;
+        let mut bits: Option<BitSpec> = None;
+        let mut class: Option<ClassSpec> = None;
+
+        let flush = |registry: &mut Registry,
+                     section: &Section,
+                     bits: &mut Option<BitSpec>,
+                     class: &mut Option<ClassSpec>|
+         -> Result<(), String> {
+            if let Section::Message { name, line } = section {
+                let spec = MessageSpec {
+                    bits: bits.take().ok_or_else(|| {
+                        format!("line {line}: [message.{name}] is missing `bits`")
+                    })?,
+                    class: class.take().ok_or_else(|| {
+                        format!("line {line}: [message.{name}] is missing `class`")
+                    })?,
+                    line: *line,
+                };
+                if registry.messages.insert(name.clone(), spec).is_some() {
+                    return Err(format!("line {line}: duplicate [message.{name}]"));
+                }
+            }
+            Ok(())
+        };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {lineno}: unterminated section header"))?
+                    .trim();
+                flush(&mut registry, &section, &mut bits, &mut class)?;
+                section = if let Some(name) = header.strip_prefix("message.") {
+                    Section::Message {
+                        name: name.trim().to_string(),
+                        line: lineno,
+                    }
+                } else if header == "budget.unwrap" {
+                    Section::UnwrapBudget
+                } else {
+                    return Err(format!("line {lineno}: unknown section [{header}]"));
+                };
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let (key, value) = (key.trim(), parse_value(value.trim(), lineno)?);
+            match &section {
+                Section::None => {
+                    return Err(format!("line {lineno}: `{key}` outside any section"));
+                }
+                Section::Message { name, .. } => match (key, value) {
+                    ("bits", Value::Int(n)) => bits = Some(BitSpec::Fixed(n)),
+                    ("bits", Value::Str(s)) => bits = Some(BitSpec::Dynamic(s)),
+                    ("class", Value::Int(n)) => class = Some(ClassSpec::Fixed(n)),
+                    ("class", Value::Str(s)) if s == "run" => class = Some(ClassSpec::RunIndexed),
+                    ("class", Value::Str(s)) => {
+                        return Err(format!(
+                            "line {lineno}: unknown class \"{s}\" in [message.{name}] \
+                             (use an integer or \"run\")"
+                        ));
+                    }
+                    (other, _) => {
+                        return Err(format!(
+                            "line {lineno}: unknown key `{other}` in [message.{name}]"
+                        ));
+                    }
+                },
+                Section::UnwrapBudget => match value {
+                    Value::Int(n) => {
+                        if registry
+                            .unwrap_budget
+                            .insert(key.to_string(), (n, lineno))
+                            .is_some()
+                        {
+                            return Err(format!("line {lineno}: duplicate budget for `{key}`"));
+                        }
+                    }
+                    Value::Str(_) => {
+                        return Err(format!(
+                            "line {lineno}: unwrap budget for `{key}` must be an integer"
+                        ));
+                    }
+                },
+            }
+        }
+        flush(&mut registry, &section, &mut bits, &mut class)?;
+        Ok(registry)
+    }
+
+    /// Reads and parses the registry at `path`.
+    pub fn load(path: &std::path::Path) -> Result<Registry, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Registry::parse(&text)
+    }
+
+    /// The largest message the registry permits, with every dynamic
+    /// entry priced at `dynamic_bits` (the caller's `O(M)` descriptor
+    /// bound for its problem). This is what `exp_f_dist_budget` uses as
+    /// its runtime gate bound, so a variant added to the registry
+    /// automatically widens (or a removed one narrows) the runtime
+    /// check.
+    pub fn max_message_bits(&self, dynamic_bits: u64) -> u64 {
+        self.messages
+            .values()
+            .map(|spec| match &spec.bits {
+                BitSpec::Fixed(bits) => *bits,
+                BitSpec::Dynamic(_) => dynamic_bits,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+enum Value {
+    Int(u64),
+    Str(String),
+}
+
+fn parse_value(text: &str, lineno: u32) -> Result<Value, String> {
+    if let Some(rest) = text.strip_prefix('"') {
+        let inner = rest
+            .strip_suffix('"')
+            .ok_or_else(|| format!("line {lineno}: unterminated string"))?;
+        return Ok(Value::Str(inner.to_string()));
+    }
+    text.replace('_', "")
+        .parse::<u64>()
+        .map(Value::Int)
+        .map_err(|_| format!("line {lineno}: `{text}` is neither an integer nor a string"))
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# leading comment
+[message.Ping]
+bits = 32 # trailing comment
+class = "run"
+
+[message.Desc]
+bits = "descriptor_bits"
+class = 0
+
+[budget.unwrap]
+treenet-dist = 3
+"#;
+
+    #[test]
+    fn parses_the_full_subset() {
+        let r = Registry::parse(GOOD).unwrap();
+        assert_eq!(r.messages["Ping"].bits, BitSpec::Fixed(32));
+        assert_eq!(r.messages["Ping"].class, ClassSpec::RunIndexed);
+        assert_eq!(
+            r.messages["Desc"].bits,
+            BitSpec::Dynamic("descriptor_bits".to_string())
+        );
+        assert_eq!(r.messages["Desc"].class, ClassSpec::Fixed(0));
+        assert_eq!(r.unwrap_budget["treenet-dist"].0, 3);
+        // Section-header lines are recorded for diagnostics.
+        assert_eq!(r.messages["Ping"].line, 3);
+    }
+
+    #[test]
+    fn max_message_bits_prices_dynamic_entries() {
+        let r = Registry::parse(GOOD).unwrap();
+        assert_eq!(r.max_message_bits(224), 224);
+        // When the descriptor bound is tiny, a fixed width can dominate.
+        assert_eq!(r.max_message_bits(16), 32);
+        assert_eq!(Registry::default().max_message_bits(100), 0);
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        let err = Registry::parse("[message.P]\nbits = 1\n").unwrap_err();
+        assert!(err.contains("missing `class`"), "{err}");
+        let err = Registry::parse("[message.P]\nclass = 1\n").unwrap_err();
+        assert!(err.contains("missing `bits`"), "{err}");
+    }
+
+    #[test]
+    fn duplicates_are_rejected() {
+        let doubled = "[message.P]\nbits = 1\nclass = 0\n[message.P]\nbits = 1\nclass = 0\n";
+        assert!(Registry::parse(doubled).unwrap_err().contains("duplicate"));
+        let doubled = "[budget.unwrap]\na = 1\na = 2\n";
+        assert!(Registry::parse(doubled).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn unknown_sections_keys_and_classes_are_rejected() {
+        assert!(Registry::parse("[frobnicate]\n").is_err());
+        assert!(Registry::parse("[message.P]\nwidth = 1\n").is_err());
+        assert!(Registry::parse("x = 1\n").is_err());
+        assert!(Registry::parse("[message.P]\nbits = 1\nclass = \"echo\"\n").is_err());
+        assert!(Registry::parse("[budget.unwrap]\na = \"lots\"\n").is_err());
+    }
+}

@@ -1,0 +1,463 @@
+//! Per-file rules: file classification, `#[cfg(test)]` region
+//! detection, the determinism family and the policy family.
+//!
+//! Everything here is token-sequence matching over [`crate::lexer`]
+//! output — deliberately heuristic (no type information), tuned to the
+//! idioms this workspace actually uses. The taint pass that feeds
+//! `hash-iter` tracks bindings whose declared type or initializer names
+//! a hash container *within the same file*; a map smuggled across a
+//! file boundary under a type alias is out of scope (and `hash-state`
+//! catches the import that would make one possible).
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::{scan, Scanned, Token, TokenKind};
+use crate::suppress::{self, Directive};
+
+/// The crates whose sources must be replay-deterministic: every value
+/// they compute feeds bit-identical schedules, duals and λ.
+pub const PROTOCOL_CRATES: [&str; 5] = ["dist", "netsim", "core", "mis", "decomp"];
+
+/// How a scanned file participates in the rule families.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileClass {
+    /// Package name, e.g. `treenet-dist` (`treenet` for the umbrella
+    /// crate's `src/`).
+    pub crate_name: String,
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Whether the determinism family applies.
+    pub is_protocol: bool,
+    /// Binary / bench-harness code: exempt from `no-print` and the
+    /// unwrap ratchet.
+    pub output_exempt: bool,
+    /// A library crate root (`lib.rs`) — must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// Classifies a workspace-relative `.rs` path, or `None` when the file
+/// is outside the lint's scope (`crates/*/src/**` and `src/**`).
+pub fn classify(rel: &str) -> Option<FileClass> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_dir, under_src): (&str, &[&str]) = match parts.as_slice() {
+        ["crates", crate_dir, "src", rest @ ..] if !rest.is_empty() => (crate_dir, rest),
+        ["src", rest @ ..] if !rest.is_empty() => ("", rest),
+        _ => return None,
+    };
+    let crate_name = if crate_dir.is_empty() {
+        "treenet".to_string()
+    } else {
+        format!("treenet-{crate_dir}")
+    };
+    let is_protocol = PROTOCOL_CRATES.contains(&crate_dir);
+    let output_exempt =
+        under_src.contains(&"bin") || under_src.last() == Some(&"main.rs") || crate_dir == "bench";
+    let is_crate_root = under_src == ["lib.rs"];
+    Some(FileClass {
+        crate_name,
+        rel: rel.to_string(),
+        is_protocol,
+        output_exempt,
+        is_crate_root,
+    })
+}
+
+/// Everything the engine needs from one file pass.
+pub struct FileAnalysis {
+    /// Raw findings, before suppression.
+    pub findings: Vec<Finding>,
+    /// Suppression directives found in the file.
+    pub directives: Vec<Directive>,
+    /// `unwrap()`/`expect()` calls in non-test code (0 for
+    /// output-exempt files — bins may unwrap freely).
+    pub unwrap_count: u64,
+    /// The token stream, reused by the protocol cross-check.
+    pub scanned: Scanned,
+}
+
+/// Runs every per-file rule over one source file.
+pub fn analyze(class: &FileClass, src: &str) -> FileAnalysis {
+    let scanned = scan(src);
+    let test_regions = test_regions(&scanned.tokens);
+    let in_test = |line: u32| {
+        test_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    };
+    let mut findings = Vec::new();
+
+    if class.is_protocol {
+        determinism_rules(class, &scanned.tokens, &in_test, &mut findings);
+    }
+    if !class.output_exempt {
+        no_print_rule(class, &scanned.tokens, &in_test, &mut findings);
+    }
+    if class.is_crate_root {
+        forbid_unsafe_rule(class, &scanned.tokens, &mut findings);
+    }
+
+    let unwrap_count = if class.output_exempt {
+        0
+    } else {
+        unwrap_count(&scanned.tokens, &in_test)
+    };
+    let directives = suppress::directives(&scanned);
+
+    // One finding per (rule, line): path rules often hit the same
+    // construct twice (`std::time::Instant::now()` is both a
+    // `std::time` path and an `Instant::now` call).
+    findings.sort_by_key(|f| (f.rule, f.line, f.col));
+    findings.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+
+    FileAnalysis {
+        findings,
+        directives,
+        unwrap_count,
+        scanned,
+    }
+}
+
+fn ident(t: &Token, name: &str) -> bool {
+    t.kind == TokenKind::Ident && t.text == name
+}
+
+fn is_ident_any(t: &Token) -> bool {
+    t.kind == TokenKind::Ident
+}
+
+fn punct(t: &Token, s: &str) -> bool {
+    t.kind == TokenKind::Punct && t.text == s
+}
+
+/// `#[cfg(test)] mod …` and `#[test] fn …` brace regions, as inclusive
+/// line ranges. Dynamic checks already cover test code; the lint's
+/// determinism and policy rules only guard shipped library paths.
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_cfg_test = tokens.len() > i + 6
+            && punct(&tokens[i], "#")
+            && punct(&tokens[i + 1], "[")
+            && ident(&tokens[i + 2], "cfg")
+            && punct(&tokens[i + 3], "(")
+            && ident(&tokens[i + 4], "test")
+            && punct(&tokens[i + 5], ")")
+            && punct(&tokens[i + 6], "]");
+        let is_test_attr = tokens.len() > i + 3
+            && punct(&tokens[i], "#")
+            && punct(&tokens[i + 1], "[")
+            && ident(&tokens[i + 2], "test")
+            && punct(&tokens[i + 3], "]");
+        if !(is_cfg_test || is_test_attr) {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut j = i + if is_cfg_test { 7 } else { 4 };
+        // Find the body the attribute gates. A `;` before any `{`
+        // means it gated an item without a body (`#[cfg(test)] use …`).
+        while j < tokens.len() && !punct(&tokens[j], "{") && !punct(&tokens[j], ";") {
+            j += 1;
+        }
+        if j >= tokens.len() || punct(&tokens[j], ";") {
+            i = j;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut end_line = tokens[j].line;
+        while j < tokens.len() {
+            if punct(&tokens[j], "{") {
+                depth += 1;
+            } else if punct(&tokens[j], "}") {
+                depth -= 1;
+                if depth == 0 {
+                    end_line = tokens[j].line;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+/// Counts `.unwrap()` / `.expect(` outside test regions.
+fn unwrap_count(tokens: &[Token], in_test: &dyn Fn(u32) -> bool) -> u64 {
+    tokens
+        .windows(3)
+        .filter(|w| {
+            punct(&w[0], ".")
+                && (ident(&w[1], "unwrap") || ident(&w[1], "expect"))
+                && punct(&w[2], "(")
+                && !in_test(w[1].line)
+        })
+        .count() as u64
+}
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+fn determinism_rules(
+    class: &FileClass,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let tainted = hash_tainted_names(tokens);
+    let mut push = |rule: Rule, t: &Token, message: String| {
+        if !in_test(t.line) {
+            findings.push(Finding {
+                rule,
+                file: class.rel.clone(),
+                line: t.line,
+                col: t.col,
+                message,
+            });
+        }
+    };
+
+    let mut in_use = false;
+    for (i, t) in tokens.iter().enumerate() {
+        if ident(t, "use") {
+            in_use = true;
+        } else if punct(t, ";") {
+            in_use = false;
+        }
+
+        // hash-state: imports and fully-qualified paths of hash
+        // containers anywhere in a protocol crate.
+        if is_ident_any(t) && HASH_TYPES.contains(&t.text.as_str()) {
+            let qualified = i >= 3
+                && punct(&tokens[i - 1], ":")
+                && punct(&tokens[i - 2], ":")
+                && ident(&tokens[i - 3], "collections");
+            // Heuristic: inside a `use …;` item, or spelled through
+            // `std::collections::`. Bare `HashMap<…>` type positions are
+            // covered transitively — they are unusable without one of
+            // the two.
+            if in_use || qualified {
+                push(
+                    Rule::HashState,
+                    t,
+                    format!(
+                        "`{}` in protocol crate `{}`: iteration order depends on hasher \
+                         state; use BTreeMap/BTreeSet or an index-keyed Vec (or suppress \
+                         with a reason proving keyed-only access)",
+                        t.text, class.crate_name
+                    ),
+                );
+            }
+        }
+
+        // hash-iter: ordered operations on a tainted binding.
+        if is_ident_any(t)
+            && tainted.contains(t.text.as_str())
+            && i + 3 < tokens.len()
+            && punct(&tokens[i + 1], ".")
+            && is_ident_any(&tokens[i + 2])
+            && ITER_METHODS.contains(&tokens[i + 2].text.as_str())
+            && punct(&tokens[i + 3], "(")
+        {
+            push(
+                Rule::HashIter,
+                &tokens[i + 2],
+                format!(
+                    "`.{}()` on hash container `{}`: iteration order is \
+                     hasher-dependent and breaks replay determinism",
+                    tokens[i + 2].text,
+                    t.text
+                ),
+            );
+        }
+
+        // hash-iter: `for … in [&][mut][self.]<tainted> {`.
+        if ident(t, "in") {
+            let mut j = i + 1;
+            while j < tokens.len()
+                && (punct(&tokens[j], "&")
+                    || punct(&tokens[j], ".")
+                    || ident(&tokens[j], "mut")
+                    || ident(&tokens[j], "self"))
+            {
+                j += 1;
+            }
+            if j + 1 < tokens.len()
+                && is_ident_any(&tokens[j])
+                && tainted.contains(tokens[j].text.as_str())
+                && punct(&tokens[j + 1], "{")
+            {
+                push(
+                    Rule::HashIter,
+                    &tokens[j],
+                    format!(
+                        "`for … in` over hash container `{}`: iteration order is \
+                         hasher-dependent and breaks replay determinism",
+                        tokens[j].text
+                    ),
+                );
+            }
+        }
+
+        // wall-clock: std::time, Instant::now, SystemTime.
+        if path2(tokens, i, "std", "time") {
+            push(
+                Rule::WallClock,
+                t,
+                "`std::time` in a protocol crate: wall-clock reads break replay \
+                 determinism (timing belongs in treenet-bench)"
+                    .to_string(),
+            );
+        }
+        if path2(tokens, i, "Instant", "now") || ident(t, "SystemTime") {
+            push(
+                Rule::WallClock,
+                t,
+                format!(
+                    "`{}` in a protocol crate: wall-clock reads break replay determinism",
+                    t.text
+                ),
+            );
+        }
+
+        // ambient-rng.
+        if ident(t, "thread_rng") || ident(t, "from_entropy") || ident(t, "OsRng") {
+            push(
+                Rule::AmbientRng,
+                t,
+                format!(
+                    "`{}` in a protocol crate: all randomness must derive from the seeded \
+                     config RNG so runs replay bit-identically",
+                    t.text
+                ),
+            );
+        }
+
+        // env-read.
+        if path2(tokens, i, "std", "env") {
+            push(
+                Rule::EnvRead,
+                t,
+                "`std::env` in a protocol crate: environment reads make behavior \
+                 host-dependent"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Whether tokens at `i` spell `a::b`.
+fn path2(tokens: &[Token], i: usize, a: &str, b: &str) -> bool {
+    i + 3 < tokens.len()
+        && ident(&tokens[i], a)
+        && punct(&tokens[i + 1], ":")
+        && punct(&tokens[i + 2], ":")
+        && ident(&tokens[i + 3], b)
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file, via a type
+/// ascription (`name: [&][mut][std::collections::]HashMap<…>` — struct
+/// fields, lets, fn params alike) or an initializer
+/// (`name = HashMap::new()`).
+fn hash_tainted_names(tokens: &[Token]) -> BTreeSet<String> {
+    let mut tainted = BTreeSet::new();
+    for i in 0..tokens.len() {
+        if !is_ident_any(&tokens[i]) {
+            continue;
+        }
+        // `name :` but not `name ::`.
+        let ascription =
+            i + 2 < tokens.len() && punct(&tokens[i + 1], ":") && !punct(&tokens[i + 2], ":");
+        if ascription {
+            let mut j = i + 2;
+            while j < tokens.len()
+                && (punct(&tokens[j], "&")
+                    || punct(&tokens[j], ":")
+                    || ident(&tokens[j], "mut")
+                    || ident(&tokens[j], "std")
+                    || ident(&tokens[j], "collections"))
+            {
+                j += 1;
+            }
+            if j < tokens.len() && HASH_TYPES.contains(&tokens[j].text.as_str()) {
+                tainted.insert(tokens[i].text.clone());
+            }
+        }
+        if i + 2 < tokens.len()
+            && punct(&tokens[i + 1], "=")
+            && HASH_TYPES.contains(&tokens[i + 2].text.as_str())
+        {
+            tainted.insert(tokens[i].text.clone());
+        }
+    }
+    tainted
+}
+
+const PRINT_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+
+fn no_print_rule(
+    class: &FileClass,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for w in tokens.windows(2) {
+        if is_ident_any(&w[0])
+            && PRINT_MACROS.contains(&w[0].text.as_str())
+            && punct(&w[1], "!")
+            && !in_test(w[0].line)
+        {
+            findings.push(Finding {
+                rule: Rule::NoPrint,
+                file: class.rel.clone(),
+                line: w[0].line,
+                col: w[0].col,
+                message: format!(
+                    "`{}!` in library code of `{}`: return data or use the bench \
+                     reporting layer (bin/test/bench paths are exempt)",
+                    w[0].text, class.crate_name
+                ),
+            });
+        }
+    }
+}
+
+fn forbid_unsafe_rule(class: &FileClass, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let has_attr = tokens.windows(8).any(|w| {
+        punct(&w[0], "#")
+            && punct(&w[1], "!")
+            && punct(&w[2], "[")
+            && ident(&w[3], "forbid")
+            && punct(&w[4], "(")
+            && ident(&w[5], "unsafe_code")
+            && punct(&w[6], ")")
+            && punct(&w[7], "]")
+    });
+    if !has_attr {
+        findings.push(Finding {
+            rule: Rule::ForbidUnsafe,
+            file: class.rel.clone(),
+            line: 1,
+            col: 1,
+            message: format!(
+                "library crate root of `{}` is missing `#![forbid(unsafe_code)]`",
+                class.crate_name
+            ),
+        });
+    }
+}

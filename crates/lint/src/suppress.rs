@@ -1,0 +1,131 @@
+//! Inline suppression directives.
+//!
+//! Syntax (inside a `//` comment, doc comments excluded):
+//!
+//! ```text
+//! // treenet-lint: allow(<rule>, reason = "why this occurrence is sound")
+//! ```
+//!
+//! A directive on a line of its own applies to the **next** line that
+//! carries code; a trailing directive applies to **its own** line. The
+//! reason is mandatory: a directive without one still suppresses its
+//! target (so the fix is always "write the reason", never "also fix the
+//! finding you were suppressing") but raises a `bad-suppression`
+//! finding of its own. Unknown rule names and malformed directives
+//! raise `bad-suppression` and suppress nothing.
+
+use crate::diag::Rule;
+use crate::lexer::{LineComment, Scanned};
+
+/// One parsed (or rejected) directive.
+#[derive(Clone, Debug)]
+pub struct Directive {
+    /// Line the comment sits on.
+    pub line: u32,
+    pub col: u32,
+    /// The rule this directive silences (`None` when rejected).
+    pub rule: Option<Rule>,
+    /// The declared reason, if present and non-empty.
+    pub reason: Option<String>,
+    /// Why the directive itself is a finding (`None` when well-formed).
+    pub problem: Option<String>,
+    /// The source line the suppression applies to.
+    pub target_line: u32,
+}
+
+/// Extracts every directive from a file's comments. `scanned` provides
+/// the token stream used to resolve each directive's target line.
+pub fn directives(scanned: &Scanned) -> Vec<Directive> {
+    scanned
+        .comments
+        .iter()
+        .filter_map(|c| parse_comment(c, scanned))
+        .collect()
+}
+
+const MARKER: &str = "treenet-lint:";
+
+fn parse_comment(comment: &LineComment, scanned: &Scanned) -> Option<Directive> {
+    // Doc comments (`/// …`, `//! …`) never carry directives — prose
+    // about the lint must not accidentally suppress it.
+    let body = comment.text.trim_start();
+    if body.starts_with('/') || body.starts_with('!') {
+        return None;
+    }
+    let rest = body.strip_prefix(MARKER)?.trim();
+    let target_line = if scanned.line_has_code(comment.line) {
+        comment.line
+    } else {
+        scanned
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > comment.line)
+            .unwrap_or(comment.line)
+    };
+    let mut directive = Directive {
+        line: comment.line,
+        col: comment.col,
+        rule: None,
+        reason: None,
+        problem: None,
+        target_line,
+    };
+    let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.trim_end().strip_suffix(')'))
+    else {
+        directive.problem = Some(format!(
+            "malformed directive `{MARKER} {rest}` — expected \
+             `{MARKER} allow(<rule>, reason = \"…\")`"
+        ));
+        return Some(directive);
+    };
+    let (rule_name, reason_part) = match args.split_once(',') {
+        Some((rule, rest)) => (rule.trim(), Some(rest.trim())),
+        None => (args.trim(), None),
+    };
+    let Some(rule) = Rule::from_name(rule_name) else {
+        directive.problem = Some(format!(
+            "unknown rule `{rule_name}` in suppression (see --list-rules)"
+        ));
+        return Some(directive);
+    };
+    if !rule.suppressible() {
+        directive.problem = Some(format!(
+            "rule `{rule_name}` cannot be suppressed inline — it is a file- or \
+             corpus-level check"
+        ));
+        return Some(directive);
+    }
+    directive.rule = Some(rule);
+    match reason_part {
+        Some(rest) => match parse_reason(rest) {
+            Some(reason) if !reason.trim().is_empty() => {
+                directive.reason = Some(reason);
+            }
+            _ => {
+                directive.problem = Some(format!(
+                    "suppression of `{rule_name}` is missing its reason — write \
+                     `reason = \"…\"` (non-empty)"
+                ));
+            }
+        },
+        None => {
+            directive.problem = Some(format!(
+                "suppression of `{rule_name}` is missing its reason — write \
+                 `allow({rule_name}, reason = \"…\")`"
+            ));
+        }
+    }
+    Some(directive)
+}
+
+/// Parses `reason = "…"`, returning the quoted text.
+fn parse_reason(text: &str) -> Option<String> {
+    let rest = text.strip_prefix("reason")?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.rfind('"')?;
+    Some(rest[..end].to_string())
+}

@@ -1,0 +1,291 @@
+//! The known-bad corpus: every rule must fire — exactly where expected
+//! and exactly once — on its fixture, and every suppression form must
+//! round-trip through the JSON report.
+//!
+//! Each fixture under `tests/fixtures/` carries a header comment
+//! `// lint-fixture: path = <workspace-relative path>` giving the
+//! synthetic location it is linted under (the path decides the crate,
+//! protocol membership and bin/lib classification). Fixtures are never
+//! compiled — they only need to lex.
+
+use std::path::Path;
+
+use treenet_lint::engine::{lint_sources, Options, SourceFile};
+use treenet_lint::{json, Registry, Report, Rule};
+
+/// Reads a fixture and its synthetic workspace path from the header.
+fn fixture(name: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {name}: {e}"));
+    let rel = source
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("// lint-fixture: path = "))
+        .unwrap_or_else(|| panic!("{name} is missing its `// lint-fixture: path = …` header"))
+        .trim()
+        .to_string();
+    SourceFile { rel, source }
+}
+
+fn lint_fixture(name: &str, registry_text: &str) -> Report {
+    let registry = Registry::parse(registry_text).expect("fixture registry parses");
+    let opts = Options {
+        only: None,
+        registry_rel: "crates/lint/protocol_registry.toml".to_string(),
+    };
+    lint_sources(&[fixture(name)], &registry, &opts)
+}
+
+fn rule_names(report: &Report) -> Vec<&'static str> {
+    report.findings.iter().map(|f| f.rule.name()).collect()
+}
+
+const DIST_CLEAN: &str = "[budget.unwrap]\ntreenet-dist = 0\n";
+const GRAPH_CLEAN: &str = "[budget.unwrap]\ntreenet-graph = 0\n";
+
+#[test]
+fn hash_iter_fires_once_and_the_suppression_round_trips() {
+    let report = lint_fixture("hash_iter.rs", DIST_CLEAN);
+    assert_eq!(rule_names(&report), ["hash-iter"], "{report:?}");
+    let f = &report.findings[0];
+    assert_eq!((f.file.as_str(), f.line), ("crates/dist/src/fixture.rs", 6));
+    // The import on the next line after the directive was silenced,
+    // with its reason kept auditable.
+    assert_eq!(report.suppressed.len(), 1);
+    let s = &report.suppressed[0];
+    assert_eq!((s.rule, s.line), (Rule::HashState, 3));
+    assert!(s.reason.contains("keyed-only"));
+}
+
+#[test]
+fn hash_for_in_fires_on_field_iteration() {
+    let report = lint_fixture("hash_for_in.rs", "[budget.unwrap]\ntreenet-netsim = 0\n");
+    assert_eq!(rule_names(&report), ["hash-iter"], "{report:?}");
+    assert!(report.findings[0].message.contains("for … in"));
+    // The std::collections-qualified field type was suppressed.
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, Rule::HashState);
+}
+
+#[test]
+fn hash_state_fires_once_on_the_import() {
+    let report = lint_fixture("hash_state.rs", "[budget.unwrap]\ntreenet-core = 0\n");
+    assert_eq!(rule_names(&report), ["hash-state"], "{report:?}");
+    assert_eq!(report.findings[0].line, 2);
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn wall_clock_fires_once_despite_two_matching_patterns() {
+    // `std::time::Instant::now()` is both a `std::time` path and an
+    // `Instant::now` call — the (rule, line) dedup keeps one finding.
+    let report = lint_fixture("wall_clock.rs", "[budget.unwrap]\ntreenet-mis = 0\n");
+    assert_eq!(rule_names(&report), ["wall-clock"], "{report:?}");
+    assert_eq!(report.findings[0].line, 3);
+}
+
+#[test]
+fn ambient_rng_fires_once() {
+    let report = lint_fixture("ambient_rng.rs", "[budget.unwrap]\ntreenet-decomp = 0\n");
+    assert_eq!(rule_names(&report), ["ambient-rng"], "{report:?}");
+    assert!(report.findings[0].message.contains("thread_rng"));
+}
+
+#[test]
+fn env_read_fires_once() {
+    let report = lint_fixture("env_read.rs", DIST_CLEAN);
+    assert_eq!(rule_names(&report), ["env-read"], "{report:?}");
+}
+
+#[test]
+fn no_print_fires_in_lib_code_but_not_in_bins() {
+    let report = lint_fixture("no_print.rs", GRAPH_CLEAN);
+    assert_eq!(rule_names(&report), ["no-print"], "{report:?}");
+
+    // The same source under a bin path is output-exempt.
+    let mut as_bin = fixture("no_print.rs");
+    as_bin.rel = "crates/graph/src/bin/fixture.rs".to_string();
+    let registry = Registry::parse(GRAPH_CLEAN).unwrap();
+    let report = lint_sources(&[as_bin], &registry, &Options::default());
+    assert!(rule_names(&report).is_empty(), "{report:?}");
+}
+
+#[test]
+fn forbid_unsafe_fires_on_a_bare_crate_root() {
+    let report = lint_fixture("forbid_unsafe.rs", GRAPH_CLEAN);
+    assert_eq!(rule_names(&report), ["forbid-unsafe"], "{report:?}");
+}
+
+#[test]
+fn unwrap_ratchet_rejects_over_and_under_budget() {
+    // The fixture has exactly one unwrap; a budget of 0 is exceeded …
+    let report = lint_fixture("unwrap_ratchet.rs", GRAPH_CLEAN);
+    assert_eq!(rule_names(&report), ["unwrap-ratchet"], "{report:?}");
+    assert!(report.findings[0]
+        .message
+        .contains("over the ratcheted budget"));
+
+    // … a budget of 5 must be ratcheted down …
+    let report = lint_fixture("unwrap_ratchet.rs", "[budget.unwrap]\ntreenet-graph = 5\n");
+    assert_eq!(rule_names(&report), ["unwrap-ratchet"]);
+    assert!(report.findings[0].message.contains("ratchet the budget"));
+
+    // … a budget of 1 is exact, and a stale entry is flagged.
+    let report = lint_fixture(
+        "unwrap_ratchet.rs",
+        "[budget.unwrap]\ntreenet-graph = 1\ntreenet-gone = 2\n",
+    );
+    assert_eq!(rule_names(&report), ["unwrap-ratchet"]);
+    assert!(report.findings[0].message.contains("stale"));
+}
+
+#[test]
+fn test_regions_are_exempt_from_policy_rules() {
+    let report = lint_fixture("test_exempt.rs", GRAPH_CLEAN);
+    assert!(rule_names(&report).is_empty(), "{report:?}");
+}
+
+#[test]
+fn protocol_cross_check_passes_a_consistent_pair() {
+    let registry = "[message.Ping]\nbits = 32\nclass = 3\n\
+                    [message.Beat]\nbits = \"descriptor_bits\"\nclass = \"run\"\n\
+                    [budget.unwrap]\ntreenet-dist = 0\n";
+    let report = lint_fixture("protocol_ok.rs", registry);
+    assert!(rule_names(&report).is_empty(), "{report:?}");
+}
+
+#[test]
+fn protocol_cross_check_catches_every_drift_direction() {
+    // Ping's width disagrees (32 in code, 64 declared), size_bits has a
+    // wildcard arm, Extra has no registry entry, Stale has no variant.
+    let registry = "[message.Ping]\nbits = 64\nclass = 1\n\
+                    [message.Pong]\nbits = 16\nclass = 2\n\
+                    [message.Stale]\nbits = 8\nclass = 0\n\
+                    [budget.unwrap]\ntreenet-dist = 0\n";
+    let report = lint_fixture("protocol_mismatch.rs", registry);
+    assert_eq!(rule_names(&report), ["protocol-registry"; 4], "{report:?}");
+    let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("wildcard arm in `size_bits`")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("disagrees with") && m.contains("bits = 64")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("`DistMsg::Extra` has no [message.Extra]")));
+    assert!(messages
+        .iter()
+        .any(|m| m.contains("[message.Stale] has no matching")));
+}
+
+#[test]
+fn missing_reason_still_suppresses_but_is_itself_a_finding() {
+    let report = lint_fixture("suppress_missing_reason.rs", DIST_CLEAN);
+    assert_eq!(rule_names(&report), ["bad-suppression"], "{report:?}");
+    assert!(report.findings[0].message.contains("missing its reason"));
+    // The target was still silenced — the fix is writing the reason,
+    // not re-litigating the suppression.
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, Rule::HashState);
+    assert!(report.suppressed[0].reason.is_empty());
+}
+
+#[test]
+fn unknown_rule_suppresses_nothing() {
+    let report = lint_fixture("suppress_unknown_rule.rs", DIST_CLEAN);
+    assert_eq!(
+        rule_names(&report),
+        ["bad-suppression", "hash-state"],
+        "{report:?}"
+    );
+    assert!(report.findings[0]
+        .message
+        .contains("unknown rule `hash-order`"));
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn corpus_level_rules_cannot_be_suppressed_inline() {
+    let report = lint_fixture("suppress_not_suppressible.rs", GRAPH_CLEAN);
+    let mut names = rule_names(&report);
+    names.sort_unstable();
+    assert_eq!(names, ["bad-suppression", "unwrap-ratchet"], "{report:?}");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("cannot be suppressed inline")));
+}
+
+#[test]
+fn only_filter_restricts_the_run() {
+    let registry = Registry::parse(GRAPH_CLEAN).unwrap();
+    let opts = Options {
+        only: Some([Rule::NoPrint].into_iter().collect()),
+        registry_rel: "registry.toml".to_string(),
+    };
+    let report = lint_sources(&[fixture("unwrap_ratchet.rs")], &registry, &opts);
+    assert!(rule_names(&report).is_empty(), "{report:?}");
+
+    let opts = Options {
+        only: Some([Rule::UnwrapRatchet].into_iter().collect()),
+        registry_rel: "registry.toml".to_string(),
+    };
+    let report = lint_sources(&[fixture("unwrap_ratchet.rs")], &registry, &opts);
+    assert_eq!(rule_names(&report), ["unwrap-ratchet"]);
+}
+
+#[test]
+fn the_json_report_round_trips() {
+    let report = lint_fixture("hash_iter.rs", DIST_CLEAN);
+    let doc = json::parse(&report.render_json()).expect("report parses back");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("treenet-lint/v1")
+    );
+    assert_eq!(doc.get("files_scanned").and_then(|v| v.as_num()), Some(1.0));
+    let findings = doc.get("findings").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(findings.len(), 1);
+    assert_eq!(
+        findings[0].get("rule").and_then(|v| v.as_str()),
+        Some("hash-iter")
+    );
+    assert_eq!(
+        findings[0].get("file").and_then(|v| v.as_str()),
+        Some("crates/dist/src/fixture.rs")
+    );
+    assert_eq!(findings[0].get("line").and_then(|v| v.as_num()), Some(6.0));
+    let suppressed = doc.get("suppressed").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(
+        suppressed[0].get("rule").and_then(|v| v.as_str()),
+        Some("hash-state")
+    );
+    assert!(suppressed[0]
+        .get("reason")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .contains("keyed-only"));
+}
+
+#[test]
+fn every_fixture_header_names_a_classifiable_path() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty());
+    for name in names {
+        let f = fixture(&name);
+        assert!(
+            treenet_lint::rules::classify(&f.rel).is_some(),
+            "{name}: header path {} is outside the lint's scope",
+            f.rel
+        );
+    }
+}

@@ -1,0 +1,5 @@
+// lint-fixture: path = crates/decomp/src/fixture.rs
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

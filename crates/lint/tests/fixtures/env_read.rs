@@ -1,0 +1,4 @@
+// lint-fixture: path = crates/dist/src/fixture.rs
+pub fn seed() -> Option<String> {
+    std::env::var("TREENET_SEED").ok()
+}

@@ -1,0 +1,6 @@
+// lint-fixture: path = crates/graph/src/lib.rs
+//! A crate root that forgot its `#![forbid(unsafe_code)]`.
+
+pub fn id(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,15 @@
+// lint-fixture: path = crates/netsim/src/fixture.rs
+pub struct State {
+    // treenet-lint: allow(hash-state, reason = "fixture: the for-in below is the hazard under test")
+    links: std::collections::HashSet<u32>,
+}
+
+impl State {
+    pub fn touch(&self) -> u32 {
+        let mut sum = 0;
+        for link in &self.links {
+            sum += *link;
+        }
+        sum
+    }
+}

@@ -1,0 +1,7 @@
+// lint-fixture: path = crates/dist/src/fixture.rs
+// treenet-lint: allow(hash-state, reason = "fixture: keyed-only map, the iteration below is the hazard under test")
+use std::collections::HashMap;
+
+pub fn order(map: &HashMap<u32, u32>) -> Vec<u32> {
+    map.keys().copied().collect()
+}

@@ -1,0 +1,6 @@
+// lint-fixture: path = crates/core/src/fixture.rs
+use std::collections::HashMap;
+
+pub fn lookup(map: &HashMap<u32, u32>, key: u32) -> Option<u32> {
+    map.get(&key).copied()
+}

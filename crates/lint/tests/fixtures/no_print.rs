@@ -1,0 +1,5 @@
+// lint-fixture: path = crates/graph/src/fixture.rs
+pub fn report(x: u32) -> u32 {
+    println!("x = {x}");
+    x
+}

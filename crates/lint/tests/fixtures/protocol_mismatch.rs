@@ -1,0 +1,24 @@
+// lint-fixture: path = crates/dist/src/fixture.rs
+pub enum DistMsg {
+    Ping(u32),
+    Pong,
+    Extra,
+}
+
+impl MessageSize for DistMsg {
+    fn size_bits(&self) -> u64 {
+        match self {
+            DistMsg::Ping(_) => 32,
+            DistMsg::Pong => 16,
+            _ => 0,
+        }
+    }
+
+    fn traffic_class(&self) -> usize {
+        match self {
+            DistMsg::Ping(_) => 1,
+            DistMsg::Pong => 2,
+            DistMsg::Extra => 3,
+        }
+    }
+}

@@ -1,0 +1,21 @@
+// lint-fixture: path = crates/dist/src/fixture.rs
+pub enum DistMsg {
+    Ping(u32),
+    Beat { mask: u64 },
+}
+
+impl MessageSize for DistMsg {
+    fn size_bits(&self, networks: usize) -> u64 {
+        match self {
+            DistMsg::Ping(_) => 32,
+            DistMsg::Beat { .. } => descriptor_bits(networks),
+        }
+    }
+
+    fn traffic_class(&self, run: Run) -> usize {
+        match self {
+            DistMsg::Ping(_) => 3,
+            DistMsg::Beat { .. } => 1 + run.index(),
+        }
+    }
+}

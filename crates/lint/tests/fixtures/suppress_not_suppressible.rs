@@ -1,0 +1,5 @@
+// lint-fixture: path = crates/graph/src/fixture.rs
+// treenet-lint: allow(unwrap-ratchet, reason = "corpus-level rules cannot be silenced inline")
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

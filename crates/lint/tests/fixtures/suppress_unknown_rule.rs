@@ -1,0 +1,7 @@
+// lint-fixture: path = crates/dist/src/fixture.rs
+// treenet-lint: allow(hash-order, reason = "no such rule")
+use std::collections::HashMap;
+
+pub fn lookup(map: &HashMap<u32, u32>, key: u32) -> Option<u32> {
+    map.get(&key).copied()
+}

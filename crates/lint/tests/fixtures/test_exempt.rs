@@ -1,0 +1,12 @@
+// lint-fixture: path = crates/graph/src/fixture.rs
+pub fn id(x: u32) -> u32 {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_and_unwraps_freely() {
+        println!("{}", Some(1).unwrap());
+    }
+}

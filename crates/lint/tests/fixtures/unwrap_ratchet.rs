@@ -1,0 +1,4 @@
+// lint-fixture: path = crates/graph/src/fixture.rs
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

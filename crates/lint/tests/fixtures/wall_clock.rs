@@ -1,0 +1,5 @@
+// lint-fixture: path = crates/mis/src/fixture.rs
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,34 @@
+//! The linter's own acceptance bar: the real workspace must lint clean.
+//! This runs the same corpus walk as the CI `lint` job, so `cargo test`
+//! alone catches a new finding (or a registry drift) before CI does.
+
+use std::path::Path;
+
+use treenet_lint::engine::{lint_tree, Options};
+use treenet_lint::{Registry, REGISTRY_REL_PATH};
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let registry = Registry::load(&root.join(REGISTRY_REL_PATH)).expect("registry parses");
+    let opts = Options {
+        only: None,
+        registry_rel: REGISTRY_REL_PATH.to_string(),
+    };
+    let report = lint_tree(&root, &registry, &opts).expect("corpus walk succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must lint clean:\n{}",
+        report.render_human()
+    );
+    // The walk actually covered the workspace — a path-layout change
+    // that silently skipped every crate would otherwise pass vacuously.
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned — did the corpus walk break?",
+        report.files_scanned
+    );
+}
