@@ -1,0 +1,581 @@
+//! The online scheduling engine: warm-started re-solve under
+//! arrival/departure deltas.
+//!
+//! # How the warm start works
+//!
+//! The two-phase framework factorizes over **conflict components**:
+//! running [`run_two_phase`] with the participant set restricted to one
+//! component of the conflict graph produces bit-identical duals, λ
+//! contribution and selections to the same component inside a global run.
+//! The mechanics behind that guarantee:
+//!
+//! * MIS joins are neighbor-local, and the per-stage step counter resets,
+//!   so `mis_tag(epoch, stage, step)` values line up across runs — a
+//!   component that finishes a stage early simply contributes no active
+//!   members while another component keeps stepping;
+//! * every dual variable is touched by exactly one component (`α` by the
+//!   demand's own component, `β(e)` by the instances sharing edge `e`,
+//!   which by definition conflict);
+//! * the phase-2 stack pops preserve per-component relative order, and
+//!   [`Solution::new`] sorts, so the union of per-component selections is
+//!   the global selection;
+//! * λ is a `min`-fold seeded at `1.0` over non-negative satisfactions,
+//!   so min-of-component-λs is bitwise equal to the global fold.
+//!
+//! Moreover the factorization tolerates **conflict-closed supersets**: a
+//! merged blob of several true components still solves bit-identically
+//! (each true component inside it is independent). That means components
+//! may only ever *grow* — an arrival unions, a departure never splits —
+//! which is exactly what a union-find maintains cheaply.
+//!
+//! [`DeltaEngine`] exploits this: it keeps a union-find over demands, a
+//! per-component cache of `(λ, selected)`, and a dirty set. A delta
+//! invalidates only the touched component; [`DeltaEngine::resolve`]
+//! re-runs the two-phase engine over dirty components only and reuses
+//! every clean component's cached result. The from-scratch oracle
+//! [`DeltaEngine::resolve_reference`] re-solves everything with
+//! [`run_two_phase_reference`] and must agree bit-for-bit after **any**
+//! delta sequence — the invariant the proptest oracle and the `treenet
+//! serve` `check` op enforce.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::framework::{
+    run_two_phase, run_two_phase_reference, FrameworkConfig, FrameworkError, Outcome, RaiseRule,
+};
+use crate::solvers::{unit_xi, SolverConfig};
+use treenet_decomp::{tree_instance_layer, LayeredDecomposition, Strategy, TreeDecomposition};
+use treenet_graph::UnionFind;
+use treenet_model::{DeltaEffect, InstanceId, ModelError, Problem, ProblemDelta, Solution};
+
+/// The a-priori critical-set bound of the ideal tree decomposition
+/// (Lemma 4.3): `Δ ≤ 6` for every tree, hence a fixed stage factor
+/// `ξ = 14/15` that cannot drift as arrivals change the measured `Δ`.
+pub const IDEAL_DELTA_BOUND: usize = 6;
+
+/// Error raised by [`DeltaEngine`] construction or delta admission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeltaEngineError {
+    /// The underlying model rejected the delta (see [`ModelError`]).
+    Model(ModelError),
+    /// The engine runs the unit-height rule with a fixed `ξ`; a non-unit
+    /// height demand cannot be admitted online.
+    NonUnitHeight {
+        /// The offending height.
+        height: f64,
+    },
+}
+
+impl fmt::Display for DeltaEngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaEngineError::Model(e) => write!(f, "{e}"),
+            DeltaEngineError::NonUnitHeight { height } => write!(
+                f,
+                "online admission requires unit height, got {height} \
+                 (the fixed-ξ unit rule is the only one served)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaEngineError {}
+
+impl From<ModelError> for DeltaEngineError {
+    fn from(e: ModelError) -> Self {
+        DeltaEngineError::Model(e)
+    }
+}
+
+/// The cached result of one conflict component's two-phase run.
+#[derive(Clone, Debug)]
+struct ComponentSolve {
+    /// The component's λ: min satisfaction over its participants.
+    lambda: f64,
+    /// The component's selected instances (sorted, as extracted).
+    selected: Vec<InstanceId>,
+}
+
+/// Cumulative counters of an engine's lifetime, for the serve `stats` op
+/// and the throughput bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaEngineStats {
+    /// Deltas successfully applied.
+    pub deltas_applied: u64,
+    /// [`DeltaEngine::resolve`] calls.
+    pub resolves: u64,
+    /// Components re-solved across all resolves (the warm-start win is
+    /// this staying near `resolves`, not near `resolves × components`).
+    pub components_resolved: u64,
+    /// Participant instances across all component re-solves.
+    pub instances_resolved: u64,
+}
+
+/// What a [`DeltaEngine::resolve`] call produced: the globally assembled
+/// schedule plus how much work the warm start actually did.
+#[derive(Clone, Debug)]
+pub struct ResolveOutcome {
+    /// Measured slackness λ over all live instances (min of component λs;
+    /// `1.0` when nothing is live).
+    pub lambda: f64,
+    /// The assembled feasible solution (union of component selections).
+    pub solution: Solution,
+    /// Components re-solved by this call (dirty ones only).
+    pub components_resolved: usize,
+    /// Participant instances of the re-solved components.
+    pub instances_resolved: usize,
+    /// Live instances overall — the size a cold solve would have paid.
+    pub live_instances: usize,
+}
+
+/// The online scheduling engine (the module-level docs above lay out
+/// the component-factorization argument it rests on).
+///
+/// Workflow: [`DeltaEngine::new`] over an initial (possibly empty)
+/// problem, then interleave [`DeltaEngine::apply`] and
+/// [`DeltaEngine::resolve`] freely; [`DeltaEngine::resolve_reference`]
+/// re-solves from scratch and must match bit-for-bit at any point.
+#[derive(Clone, Debug)]
+pub struct DeltaEngine {
+    problem: Problem,
+    layers: LayeredDecomposition,
+    /// The per-network ideal tree decompositions, retained so arriving
+    /// instances get layered against the *same* decomposition as the
+    /// initial batch (networks are fixed at construction).
+    decompositions: Vec<TreeDecomposition>,
+    depths: Vec<u32>,
+    config: FrameworkConfig,
+    /// Conflict components over demands: merged on arrival, never split.
+    comps: UnionFind,
+    /// Component root → member demands (live and departed).
+    comp_demands: BTreeMap<u32, Vec<u32>>,
+    /// Component root → cached solve of its live participants.
+    cache: BTreeMap<u32, ComponentSolve>,
+    /// Demand keys touched since the last resolve (mapped to their
+    /// *current* roots lazily, since later unions can re-root them).
+    dirty: BTreeSet<u32>,
+    stats: DeltaEngineStats,
+}
+
+impl DeltaEngine {
+    /// Builds the engine over an initial problem.
+    ///
+    /// The decomposition strategy is always [`Strategy::Ideal`] and the
+    /// stage factor is the a-priori `ξ = unit_xi(6) = 14/15`, independent
+    /// of the measured `Δ` — a fixed ξ is what keeps warm and cold solves
+    /// on the same stage schedule while the instance set changes. Of
+    /// `config`, the engine honors `epsilon`, `seed` and `mis_backend`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaEngineError::NonUnitHeight`] if any initial demand has
+    /// non-unit height.
+    pub fn new(problem: Problem, config: &SolverConfig) -> Result<DeltaEngine, DeltaEngineError> {
+        if let Some(a) = problem
+            .demands()
+            .find(|&a| !problem.demand(a).is_unit_height())
+        {
+            return Err(DeltaEngineError::NonUnitHeight {
+                height: problem.demand(a).height,
+            });
+        }
+        let decompositions: Vec<TreeDecomposition> = problem
+            .networks()
+            .map(|t| Strategy::Ideal.build(problem.network(t)))
+            .collect();
+        let depths: Vec<u32> = decompositions
+            .iter()
+            .map(TreeDecomposition::depth)
+            .collect();
+        let layers = LayeredDecomposition::from_decompositions(&problem, &decompositions);
+        let framework_config = FrameworkConfig {
+            epsilon: config.epsilon,
+            xi: unit_xi(IDEAL_DELTA_BOUND),
+            seed: config.seed,
+            max_steps_per_stage: Some(1_000_000),
+            record_trace: false,
+            mis_backend: config.mis_backend,
+        };
+
+        let mut comps = UnionFind::new(problem.demand_count());
+        // Demands conflict iff some pair of their instances shares an
+        // edge; instances_using lists each edge's users in id order, so
+        // unioning consecutive users links exactly the conflicting
+        // demands, in O(Σ path lengths).
+        for t in problem.networks() {
+            for e in 0..problem.network(t).edge_count() {
+                let users = problem.instances_using(t, treenet_graph::EdgeId(e as u32));
+                for pair in users.windows(2) {
+                    let a = problem.instance(pair[0]).demand.0;
+                    let b = problem.instance(pair[1]).demand.0;
+                    comps.union(a, b);
+                }
+            }
+        }
+        let mut comp_demands: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut dirty = BTreeSet::new();
+        for a in problem.demands() {
+            comp_demands.entry(comps.find(a.0)).or_default().push(a.0);
+            dirty.insert(a.0);
+        }
+
+        Ok(DeltaEngine {
+            problem,
+            layers,
+            decompositions,
+            depths,
+            config: framework_config,
+            comps,
+            comp_demands,
+            cache: BTreeMap::new(),
+            dirty,
+            stats: DeltaEngineStats::default(),
+        })
+    }
+
+    /// The current problem (append-only; departed demands tombstoned).
+    pub fn problem(&self) -> &Problem {
+        &self.problem
+    }
+
+    /// The framework configuration every solve (warm or reference) uses.
+    pub fn framework_config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> DeltaEngineStats {
+        self.stats
+    }
+
+    /// Number of conflict components currently tracked (over-merged
+    /// components from departures count as one).
+    pub fn component_count(&self) -> usize {
+        self.comp_demands.len()
+    }
+
+    /// Applies one delta, invalidating exactly the touched component.
+    ///
+    /// An arrival unions the new demand with every demand it conflicts
+    /// with (via the inverted edge index) and layers its new instances
+    /// incrementally; a departure only tombstones and marks dirty.
+    /// The re-solve itself is deferred to [`DeltaEngine::resolve`].
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaEngineError::NonUnitHeight`] for non-unit arrivals, else
+    /// whatever the model layer rejects ([`ModelError`]). A rejected
+    /// delta leaves the engine unchanged.
+    pub fn apply(&mut self, delta: ProblemDelta) -> Result<DeltaEffect, DeltaEngineError> {
+        if let ProblemDelta::Arrival { demand, .. } = &delta {
+            if !demand.is_unit_height() {
+                return Err(DeltaEngineError::NonUnitHeight {
+                    height: demand.height,
+                });
+            }
+        }
+        let arrival = matches!(delta, ProblemDelta::Arrival { .. });
+        let effect = self.problem.apply_delta(delta)?;
+        self.stats.deltas_applied += 1;
+        if arrival {
+            let key = self.comps.make_set();
+            debug_assert_eq!(key as usize, effect.demand.index());
+            self.comp_demands.insert(key, vec![key]);
+
+            // Layer the new instances against the retained decompositions
+            // — identical to what a from-scratch layering would assign.
+            for &d in &effect.new_instances {
+                let inst = self.problem.instance(d);
+                let q = inst.network.index();
+                let (g, pi) = tree_instance_layer(
+                    &self.decompositions[q],
+                    self.problem.rooted(inst.network),
+                    self.depths[q],
+                    &inst.path,
+                );
+                self.layers.push_instance(g, pi);
+            }
+
+            // Union with every demand sharing an edge. Each counterparty's
+            // root is recorded *before* its union so the final root is
+            // always among `old_roots`.
+            let mut old_roots: BTreeSet<u32> = BTreeSet::new();
+            old_roots.insert(self.comps.find(key));
+            for &d in &effect.new_instances {
+                let network = self.problem.instance(d).network;
+                let edges: Vec<treenet_graph::EdgeId> =
+                    self.problem.instance(d).path.edges().to_vec();
+                for e in edges {
+                    for i in 0..self.problem.instances_using(network, e).len() {
+                        let other = self.problem.instances_using(network, e)[i];
+                        let other = self.problem.instance(other).demand.0;
+                        old_roots.insert(self.comps.find(other));
+                        self.comps.union(key, other);
+                    }
+                }
+            }
+            let root = self.comps.find(key);
+            let mut members = Vec::new();
+            for r in old_roots {
+                self.cache.remove(&r);
+                if let Some(mut list) = self.comp_demands.remove(&r) {
+                    members.append(&mut list);
+                }
+            }
+            members.sort_unstable();
+            self.comp_demands.insert(root, members);
+        } else {
+            let root = self.comps.find(effect.demand.0);
+            self.cache.remove(&root);
+        }
+        self.dirty.insert(effect.demand.0);
+        Ok(effect)
+    }
+
+    /// Warm re-solve: re-runs the two-phase engine over the dirty
+    /// components' live instances only, keeping every clean component's
+    /// cached `(λ, selected)`, then assembles the global schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrameworkError`] from a component run.
+    pub fn resolve(&mut self) -> Result<ResolveOutcome, FrameworkError> {
+        let dirty: Vec<u32> = std::mem::take(&mut self.dirty).into_iter().collect();
+        let mut roots: BTreeSet<u32> = BTreeSet::new();
+        for d in dirty {
+            roots.insert(self.comps.find(d));
+        }
+        let mut components_resolved = 0usize;
+        let mut instances_resolved = 0usize;
+        for root in roots {
+            let members = self.comp_demands.get(&root).cloned().unwrap_or_default();
+            let mut participants: Vec<InstanceId> = Vec::new();
+            for a in members {
+                let a = treenet_model::DemandId(a);
+                if !self.problem.is_departed(a) {
+                    participants.extend_from_slice(self.problem.instances_of(a));
+                }
+            }
+            participants.sort_unstable();
+            if participants.is_empty() {
+                self.cache.remove(&root);
+                continue;
+            }
+            let outcome = run_two_phase(
+                &self.problem,
+                &self.layers,
+                RaiseRule::Unit,
+                &self.config,
+                &participants,
+            )?;
+            components_resolved += 1;
+            instances_resolved += participants.len();
+            self.cache.insert(
+                root,
+                ComponentSolve {
+                    lambda: outcome.lambda,
+                    selected: outcome.solution.selected().to_vec(),
+                },
+            );
+        }
+        self.stats.resolves += 1;
+        self.stats.components_resolved += components_resolved as u64;
+        self.stats.instances_resolved += instances_resolved as u64;
+        Ok(ResolveOutcome {
+            lambda: self.lambda(),
+            solution: self.solution(),
+            components_resolved,
+            instances_resolved,
+            live_instances: self.problem.live_instances().len(),
+        })
+    }
+
+    /// The current global λ: min of the cached component λs, `1.0` when
+    /// nothing is cached. Bitwise equal to the reference λ after a
+    /// [`DeltaEngine::resolve`] (min-folds of the same non-negative
+    /// satisfaction multiset associate freely).
+    pub fn lambda(&self) -> f64 {
+        self.cache.values().map(|c| c.lambda).fold(1.0f64, f64::min)
+    }
+
+    /// The current global schedule: the sorted union of the cached
+    /// component selections.
+    pub fn solution(&self) -> Solution {
+        Solution::new(
+            self.cache
+                .values()
+                .flat_map(|c| c.selected.iter().copied())
+                .collect(),
+        )
+    }
+
+    /// The from-scratch oracle: a reference (non-incremental) two-phase
+    /// run over **all** live instances with the engine's own layering and
+    /// configuration. After any delta sequence and a
+    /// [`DeltaEngine::resolve`], its `lambda` and `solution` must equal
+    /// the warm results bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrameworkError`].
+    pub fn resolve_reference(&self) -> Result<Outcome, FrameworkError> {
+        let live = self.problem.live_instances();
+        run_two_phase_reference(
+            &self.problem,
+            &self.layers,
+            RaiseRule::Unit,
+            &self.config,
+            &live,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use treenet_graph::VertexId;
+    use treenet_model::workload::TreeWorkload;
+    use treenet_model::{Demand, DemandId, NetworkId, ProblemBuilder};
+
+    fn seed_problem(seed: u64) -> Problem {
+        TreeWorkload::new(16, 18)
+            .with_networks(2)
+            .generate(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    fn engine(seed: u64) -> DeltaEngine {
+        DeltaEngine::new(seed_problem(seed), &SolverConfig::default()).unwrap()
+    }
+
+    fn assert_matches_reference(engine: &DeltaEngine) {
+        let reference = engine.resolve_reference().unwrap();
+        assert_eq!(engine.lambda().to_bits(), reference.lambda.to_bits());
+        assert_eq!(engine.solution().selected(), reference.solution.selected());
+    }
+
+    #[test]
+    fn initial_resolve_matches_reference() {
+        for seed in 0..4u64 {
+            let mut e = engine(seed);
+            let out = e.resolve().unwrap();
+            assert!(out.components_resolved >= 1);
+            assert!(out.solution.verify(e.problem()).is_ok());
+            assert_matches_reference(&e);
+        }
+    }
+
+    #[test]
+    fn arrivals_and_departures_stay_bit_identical() {
+        let mut e = engine(7);
+        e.resolve().unwrap();
+        let eff = e
+            .apply(ProblemDelta::Arrival {
+                demand: Demand::pair(VertexId(2), VertexId(11), 3.5),
+                access: vec![NetworkId(0), NetworkId(1)],
+            })
+            .unwrap();
+        e.resolve().unwrap();
+        assert_matches_reference(&e);
+        e.apply(ProblemDelta::Departure { demand: eff.demand })
+            .unwrap();
+        e.apply(ProblemDelta::Departure {
+            demand: DemandId(3),
+        })
+        .unwrap();
+        e.resolve().unwrap();
+        assert_matches_reference(&e);
+    }
+
+    #[test]
+    fn warm_resolve_touches_only_dirty_components() {
+        // Two disjoint pods: perturbing pod 1 must not re-solve pod 0.
+        let mut b = ProblemBuilder::new();
+        let t0 = b.add_network(treenet_graph::Tree::line(8)).unwrap();
+        let t1 = b.add_network(treenet_graph::Tree::line(8)).unwrap();
+        for s in [0u32, 3] {
+            b.add_demand(Demand::pair(VertexId(s), VertexId(s + 3), 2.0), &[t0])
+                .unwrap();
+            b.add_demand(Demand::pair(VertexId(s), VertexId(s + 3), 1.0), &[t1])
+                .unwrap();
+        }
+        let mut e = DeltaEngine::new(b.build().unwrap(), &SolverConfig::default()).unwrap();
+        let first = e.resolve().unwrap();
+        assert_eq!(first.components_resolved, e.component_count());
+        e.apply(ProblemDelta::Arrival {
+            demand: Demand::pair(VertexId(1), VertexId(6), 9.0),
+            access: vec![t1],
+        })
+        .unwrap();
+        let warm = e.resolve().unwrap();
+        // Only the t1 component is dirty.
+        assert_eq!(warm.components_resolved, 1);
+        assert!(warm.instances_resolved < warm.live_instances);
+        assert_matches_reference(&e);
+    }
+
+    #[test]
+    fn resolve_without_dirt_is_free() {
+        let mut e = engine(3);
+        e.resolve().unwrap();
+        let again = e.resolve().unwrap();
+        assert_eq!(again.components_resolved, 0);
+        assert_eq!(again.instances_resolved, 0);
+        assert_matches_reference(&e);
+        assert_eq!(e.stats().resolves, 2);
+    }
+
+    #[test]
+    fn departing_everything_empties_the_schedule() {
+        let mut e = engine(5);
+        e.resolve().unwrap();
+        let demands: Vec<DemandId> = e.problem().demands().collect();
+        for a in demands {
+            e.apply(ProblemDelta::Departure { demand: a }).unwrap();
+        }
+        let out = e.resolve().unwrap();
+        assert_eq!(out.lambda, 1.0);
+        assert!(out.solution.is_empty());
+        assert_eq!(out.live_instances, 0);
+        assert_matches_reference(&e);
+    }
+
+    #[test]
+    fn non_unit_heights_are_rejected() {
+        let mut e = engine(1);
+        let err = e.apply(ProblemDelta::Arrival {
+            demand: Demand::pair(VertexId(0), VertexId(1), 1.0).with_height(0.5),
+            access: vec![NetworkId(0)],
+        });
+        assert!(matches!(err, Err(DeltaEngineError::NonUnitHeight { .. })));
+        let mut b = ProblemBuilder::new();
+        let t = b.add_network(treenet_graph::Tree::line(4)).unwrap();
+        b.add_demand(
+            Demand::pair(VertexId(0), VertexId(2), 1.0).with_height(0.25),
+            &[t],
+        )
+        .unwrap();
+        assert!(matches!(
+            DeltaEngine::new(b.build().unwrap(), &SolverConfig::default()),
+            Err(DeltaEngineError::NonUnitHeight { .. })
+        ));
+    }
+
+    #[test]
+    fn model_rejections_pass_through_and_leave_engine_usable() {
+        let mut e = engine(2);
+        e.resolve().unwrap();
+        let err = e.apply(ProblemDelta::Departure {
+            demand: DemandId(9999),
+        });
+        assert!(matches!(
+            err,
+            Err(DeltaEngineError::Model(ModelError::UnknownDemand { .. }))
+        ));
+        assert!(err.unwrap_err().to_string().contains("a9999"));
+        e.resolve().unwrap();
+        assert_matches_reference(&e);
+    }
+}

@@ -41,12 +41,16 @@
 #![warn(missing_docs)]
 
 mod certificate;
+mod delta;
 mod dual;
 mod framework;
 mod sequential;
 mod solvers;
 
 pub use certificate::Certificate;
+pub use delta::{
+    DeltaEngine, DeltaEngineError, DeltaEngineStats, ResolveOutcome, IDEAL_DELTA_BOUND,
+};
 pub use dual::{DualForm, DualState};
 pub use framework::{
     check_interference, echo_sweep_rounds, mis_tag, prologue_rounds, retransmit_round_bound,

@@ -159,6 +159,37 @@ impl LayeredDecomposition {
         Self::from_parts(group, critical)
     }
 
+    /// Appends the layer assignment of one newly materialized instance —
+    /// the incremental counterpart of
+    /// [`LayeredDecomposition::from_decompositions`] for online arrivals.
+    ///
+    /// Instances must be pushed in id order (the caller appends exactly
+    /// the instances an arrival materialized, in order). `num_groups` and
+    /// `delta` are running maxima, so they only grow; the two-phase
+    /// engine skips empty groups, so a stale-high group count changes no
+    /// observable behavior. Compute `(group, critical)` with
+    /// [`tree_instance_layer`] against the *same* per-network
+    /// [`TreeDecomposition`] used at build time — the networks are fixed,
+    /// so layer assignments of existing instances never change.
+    pub fn push_instance(&mut self, group: u32, critical: Vec<EdgeId>) {
+        self.num_groups = self.num_groups.max(group as usize);
+        self.delta = self.delta.max(critical.len());
+        self.group.push(group);
+        self.critical.push(critical);
+    }
+
+    /// Number of instances covered (== the problem's instance count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Whether the decomposition covers no instances.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.group.is_empty()
+    }
+
     /// The 1-based group index of instance `d`.
     ///
     /// # Panics
@@ -340,6 +371,51 @@ mod tests {
         let layers = LayeredDecomposition::for_trees(&p, Strategy::Ideal);
         let per = layers.groups_per_network(&p);
         assert_eq!(per.len(), p.network_count());
+    }
+
+    #[test]
+    fn push_instance_matches_batch_layering() {
+        use treenet_model::{Demand, ProblemDelta};
+        // Grow a workload by one arrival; pushing the new instances'
+        // layers incrementally must agree with re-layering from scratch.
+        let mut p = workload(8, TreeFamily::Uniform);
+        let decompositions: Vec<TreeDecomposition> = p
+            .networks()
+            .map(|t| Strategy::Ideal.build(p.network(t)))
+            .collect();
+        let depths: Vec<u32> = decompositions
+            .iter()
+            .map(TreeDecomposition::depth)
+            .collect();
+        let mut layers = LayeredDecomposition::from_decompositions(&p, &decompositions);
+        assert_eq!(layers.len(), p.instance_count());
+        assert!(!layers.is_empty());
+        let effect = p
+            .apply_delta(ProblemDelta::Arrival {
+                demand: Demand::pair(treenet_graph::VertexId(0), treenet_graph::VertexId(17), 2.5),
+                access: p.networks().collect(),
+            })
+            .unwrap();
+        for &d in &effect.new_instances {
+            let inst = p.instance(d);
+            let q = inst.network.index();
+            let (g, pi) = tree_instance_layer(
+                &decompositions[q],
+                p.rooted(inst.network),
+                depths[q],
+                &inst.path,
+            );
+            layers.push_instance(g, pi);
+        }
+        let batch = LayeredDecomposition::from_decompositions(&p, &decompositions);
+        assert_eq!(layers.len(), batch.len());
+        for inst in p.instances() {
+            assert_eq!(layers.group_of(inst.id), batch.group_of(inst.id));
+            assert_eq!(layers.critical_of(inst.id), batch.critical_of(inst.id));
+        }
+        assert_eq!(layers.num_groups(), batch.num_groups());
+        assert_eq!(layers.delta(), batch.delta());
+        assert!(layers.verify(&p).is_ok());
     }
 
     #[test]

@@ -123,10 +123,15 @@ pub(crate) enum Layering {
 /// standard O(diameter) leader-election/BFS preprocessing.
 #[derive(Debug)]
 pub(crate) struct PublicInfo {
+    /// Every network's rooted tree, indexed by `NetworkId`.
     pub rooted: Vec<RootedTree>,
+    /// The shared layered decomposition of all networks.
     pub layering: Layering,
+    /// Common-randomness seed every processor derives its coins from.
     pub seed: u64,
+    /// Which MIS implementation the run uses.
     pub backend: MisBackend,
+    /// BFS spanning forest used for echo/convergecast sweeps.
     pub forest: ConvergecastForest,
 }
 
@@ -210,6 +215,7 @@ pub(crate) struct InstView {
     /// Canonical common-randomness key (matches
     /// `DemandInstance::canonical_key`).
     pub key: u64,
+    /// Network this view routes through.
     pub network: NetworkId,
     /// Path edges in path order (the dual-LHS summation order).
     pub edges: Vec<EdgeId>,
@@ -219,7 +225,9 @@ pub(crate) struct InstView {
     pub group: u32,
     /// Critical edges `π(d)`, sorted.
     pub critical: Vec<EdgeId>,
+    /// Bandwidth demand `h(d)`.
     pub height: f64,
+    /// Profit `p(d)` of selecting this instance.
     pub profit: f64,
 }
 
@@ -536,6 +544,8 @@ pub(crate) struct ProcessorNode {
 }
 
 impl ProcessorNode {
+    /// Builds the processor for one demand from the public inputs and
+    /// its private descriptor, pre-deriving every instance view.
     pub fn new(
         public: Arc<PublicInfo>,
         descriptor: Descriptor,

@@ -10,7 +10,8 @@
 //! * a **balancer** of `C` is a vertex `z ∈ C` whose removal splits the
 //!   induced subtree into components of size at most `⌊|C|/2⌋` (a centroid).
 //!
-//! Functions here take a scratch [`Membership`] buffer so that recursive
+//! Functions here take a scratch
+//! [`Membership`](crate::component::Membership) buffer so that recursive
 //! decomposition code can reuse allocations; a convenience constructor
 //! builds one per call for one-off use.
 

@@ -34,16 +34,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Tree statistics and Graphviz export.
 pub mod analysis;
+/// Components, neighborhoods and balancers (Section 4 primitives).
 pub mod component;
+/// Random and structured tree families for tests and experiments.
 pub mod generators;
 mod path;
 mod rooted;
 mod tree;
+mod union;
 
 pub use path::TreePath;
 pub use rooted::RootedTree;
 pub use tree::{Tree, TreeError};
+pub use union::UnionFind;
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -33,12 +33,16 @@ pub enum Rule {
     /// Per-crate `unwrap()`/`expect()` count differs from the ratcheted
     /// budget in the registry.
     UnwrapRatchet,
+    /// Per-crate undocumented-public-item count differs from the
+    /// ratcheted budget in the registry.
+    DocCoverage,
     /// Malformed suppression directive (missing reason, unknown rule).
     BadSuppression,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 10] = [
+    /// Every rule, in stable display order.
+    pub const ALL: [Rule; 11] = [
         Rule::HashIter,
         Rule::HashState,
         Rule::WallClock,
@@ -48,6 +52,7 @@ impl Rule {
         Rule::ForbidUnsafe,
         Rule::NoPrint,
         Rule::UnwrapRatchet,
+        Rule::DocCoverage,
         Rule::BadSuppression,
     ];
 
@@ -64,10 +69,12 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::NoPrint => "no-print",
             Rule::UnwrapRatchet => "unwrap-ratchet",
+            Rule::DocCoverage => "doc-coverage",
             Rule::BadSuppression => "bad-suppression",
         }
     }
 
+    /// Looks a rule up by its kebab-case [`Rule::name`].
     pub fn from_name(name: &str) -> Option<Rule> {
         Rule::ALL.into_iter().find(|r| r.name() == name)
     }
@@ -104,6 +111,11 @@ impl Rule {
                 "per-crate unwrap()/expect() count must equal the ratcheted budget in the \
                  registry (only decreases are accepted, by lowering the budget)"
             }
+            Rule::DocCoverage => {
+                "per-crate count of undocumented public items must equal the ratcheted \
+                 budget in the registry (only decreases are accepted, by lowering the \
+                 budget)"
+            }
             Rule::BadSuppression => {
                 "suppression directive is malformed, names an unknown rule, or is missing \
                  its reason"
@@ -130,11 +142,15 @@ impl Rule {
 /// One unsuppressed finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
+    /// Which rule fired.
     pub rule: Rule,
     /// Workspace-relative path.
     pub file: String,
+    /// 1-based source line.
     pub line: u32,
+    /// 1-based source column.
     pub col: u32,
+    /// Human-readable explanation with the suggested fix.
     pub message: String,
 }
 
@@ -143,16 +159,23 @@ pub struct Finding {
 /// auditable.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Suppressed {
+    /// The rule that would have fired.
     pub rule: Rule,
+    /// Workspace-relative path.
     pub file: String,
+    /// 1-based line of the silenced finding.
     pub line: u32,
+    /// The directive's reason text (empty when the reason is missing —
+    /// which is itself a `bad-suppression` finding).
     pub reason: String,
 }
 
 /// The engine's output: what fired and what was suppressed.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
+    /// Unsuppressed findings in stable order.
     pub findings: Vec<Finding>,
+    /// Findings silenced by well-formed directives.
     pub suppressed: Vec<Suppressed>,
     /// Number of files scanned, for the summary line.
     pub files_scanned: usize,

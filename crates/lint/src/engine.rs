@@ -1,6 +1,6 @@
 //! The corpus engine: file discovery, per-file rules, suppression
-//! application, and the two corpus-level rules (the protocol registry
-//! cross-check and the unwrap ratchet).
+//! application, and the corpus-level rules (the protocol registry
+//! cross-check, the unwrap ratchet and the doc-coverage ratchet).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -15,6 +15,7 @@ use crate::rules::{self, FileClass};
 pub struct SourceFile {
     /// Workspace-relative path with `/` separators.
     pub rel: String,
+    /// Full file contents.
     pub source: String,
 }
 
@@ -98,6 +99,8 @@ pub fn lint_sources(files: &[SourceFile], registry: &Registry, opts: &Options) -
     let mut report = Report::default();
     // crate name → (unwrap count, anchor file for ratchet findings).
     let mut unwraps: BTreeMap<String, (u64, String)> = BTreeMap::new();
+    // crate name → (undocumented-pub count, anchor file).
+    let mut undocumented: BTreeMap<String, (u64, String)> = BTreeMap::new();
     // Files declaring `enum DistMsg`.
     let mut msg_models = Vec::new();
 
@@ -109,12 +112,17 @@ pub fn lint_sources(files: &[SourceFile], registry: &Registry, opts: &Options) -
         let analysis = rules::analyze(&class, &file.source);
         apply_suppressions(&class, &analysis, opts, &mut report);
 
-        let entry = unwraps
-            .entry(class.crate_name.clone())
-            .or_insert_with(|| (0, anchor_for(&class)));
-        entry.0 += analysis.unwrap_count;
-        if class.is_crate_root {
-            entry.1 = anchor_for(&class);
+        for (counts, n) in [
+            (&mut unwraps, analysis.unwrap_count),
+            (&mut undocumented, analysis.undocumented_pub),
+        ] {
+            let entry = counts
+                .entry(class.crate_name.clone())
+                .or_insert_with(|| (0, anchor_for(&class)));
+            entry.0 += n;
+            if class.is_crate_root {
+                entry.1 = anchor_for(&class);
+            }
         }
 
         if opts.selected(Rule::ProtocolRegistry) {
@@ -128,7 +136,22 @@ pub fn lint_sources(files: &[SourceFile], registry: &Registry, opts: &Options) -
         protocol_rule(&msg_models, registry, opts, &mut report);
     }
     if opts.selected(Rule::UnwrapRatchet) {
-        ratchet_rule(&unwraps, registry, opts, &mut report);
+        ratchet_rule(
+            &unwraps,
+            &registry.unwrap_budget,
+            UNWRAP_RATCHET,
+            opts,
+            &mut report,
+        );
+    }
+    if opts.selected(Rule::DocCoverage) {
+        ratchet_rule(
+            &undocumented,
+            &registry.doc_budget,
+            DOC_RATCHET,
+            opts,
+            &mut report,
+        );
     }
 
     report.sort();
@@ -234,46 +257,77 @@ fn protocol_rule(
     }
 }
 
+/// The wording slots that distinguish one ratchet family from another;
+/// the equal-or-fail mechanics in [`ratchet_rule`] are shared.
+struct RatchetSpec {
+    rule: Rule,
+    /// Budget noun, e.g. `unwrap` — names the table in messages.
+    noun: &'static str,
+    /// Registry section, e.g. `budget.unwrap`.
+    section: &'static str,
+    /// What is being counted, e.g. `unwrap()/expect() calls`.
+    what: &'static str,
+    /// How to fix an over-budget count.
+    advice: &'static str,
+}
+
+const UNWRAP_RATCHET: RatchetSpec = RatchetSpec {
+    rule: Rule::UnwrapRatchet,
+    noun: "unwrap",
+    section: "budget.unwrap",
+    what: "unwrap()/expect() calls",
+    advice: "handle the error instead",
+};
+
+const DOC_RATCHET: RatchetSpec = RatchetSpec {
+    rule: Rule::DocCoverage,
+    noun: "doc",
+    section: "budget.doc",
+    what: "undocumented public items",
+    advice: "add doc comments",
+};
+
 fn ratchet_rule(
-    unwraps: &BTreeMap<String, (u64, String)>,
-    registry: &Registry,
+    counts: &BTreeMap<String, (u64, String)>,
+    budgets: &BTreeMap<String, (u64, u32)>,
+    spec: RatchetSpec,
     opts: &Options,
     report: &mut Report,
 ) {
-    for (crate_name, &(count, ref anchor)) in unwraps {
-        match registry.unwrap_budget.get(crate_name) {
+    for (crate_name, &(count, ref anchor)) in counts {
+        match budgets.get(crate_name) {
             None => report.findings.push(Finding {
-                rule: Rule::UnwrapRatchet,
+                rule: spec.rule,
                 file: anchor.clone(),
                 line: 1,
                 col: 1,
                 message: format!(
-                    "crate `{crate_name}` has no unwrap budget in {} — add \
-                     `{crate_name} = {count}` under [budget.unwrap]",
-                    opts.registry_rel
+                    "crate `{crate_name}` has no {} budget in {} — add \
+                     `{crate_name} = {count}` under [{}]",
+                    spec.noun, opts.registry_rel, spec.section
                 ),
             }),
             Some(&(budget, line)) if count > budget => report.findings.push(Finding {
-                rule: Rule::UnwrapRatchet,
+                rule: spec.rule,
                 file: anchor.clone(),
                 line: 1,
                 col: 1,
                 message: format!(
-                    "crate `{crate_name}` has {count} unwrap()/expect() calls in non-test \
+                    "crate `{crate_name}` has {count} {} in non-test \
                      library code, over the ratcheted budget of {budget} \
-                     ({}:{line}) — handle the error instead",
-                    opts.registry_rel
+                     ({}:{line}) — {}",
+                    spec.what, opts.registry_rel, spec.advice
                 ),
             }),
             Some(&(budget, line)) if count < budget => report.findings.push(Finding {
-                rule: Rule::UnwrapRatchet,
+                rule: spec.rule,
                 file: opts.registry_rel.clone(),
                 line,
                 col: 1,
                 message: format!(
-                    "crate `{crate_name}` is down to {count} unwrap()/expect() calls — \
+                    "crate `{crate_name}` is down to {count} {} — \
                      ratchet the budget in {} down from {budget} so it cannot creep back",
-                    opts.registry_rel
+                    spec.what, opts.registry_rel
                 ),
             }),
             Some(_) => {}
@@ -281,16 +335,17 @@ fn ratchet_rule(
     }
     // Budgets for crates that no longer exist go stale silently
     // otherwise.
-    for (crate_name, &(_, line)) in &registry.unwrap_budget {
-        if !unwraps.contains_key(crate_name) {
+    for (crate_name, &(_, line)) in budgets {
+        if !counts.contains_key(crate_name) {
             report.findings.push(Finding {
-                rule: Rule::UnwrapRatchet,
+                rule: spec.rule,
                 file: opts.registry_rel.clone(),
                 line,
                 col: 1,
                 message: format!(
-                    "unwrap budget for `{crate_name}` matches no scanned crate — remove \
-                     the stale entry"
+                    "{} budget for `{crate_name}` matches no scanned crate — remove \
+                     the stale entry",
+                    spec.noun
                 ),
             });
         }

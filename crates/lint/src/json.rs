@@ -34,6 +34,7 @@ impl Json {
         }
     }
 
+    /// The string value, when this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -41,6 +42,7 @@ impl Json {
         }
     }
 
+    /// The numeric value, when this is a number.
     pub fn as_num(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
@@ -48,6 +50,7 @@ impl Json {
         }
     }
 
+    /// The element slice, when this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),

@@ -9,14 +9,18 @@
 /// One lexical token with its 1-based source position.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Token {
+    /// Lexical category.
     pub kind: TokenKind,
     /// The token's text. For string/char literals this is the raw slice
     /// including quotes; rules never need the decoded value.
     pub text: String,
+    /// 1-based source line.
     pub line: u32,
+    /// 1-based source column (in characters).
     pub col: u32,
 }
 
+/// Lexical category of a [`Token`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum TokenKind {
     /// Identifier or keyword (raw identifiers are stored without `r#`).
@@ -39,6 +43,7 @@ pub enum TokenKind {
 pub struct LineComment {
     /// Text after the leading `//` (doc-comment markers included).
     pub text: String,
+    /// 1-based source line.
     pub line: u32,
     /// Column of the first `/`.
     pub col: u32,
@@ -47,7 +52,9 @@ pub struct LineComment {
 /// Lexer output: the token stream plus every line comment.
 #[derive(Clone, Debug, Default)]
 pub struct Scanned {
+    /// Every code token, in source order.
     pub tokens: Vec<Token>,
+    /// Every `//` line comment, in source order.
     pub comments: Vec<LineComment>,
 }
 

@@ -21,8 +21,10 @@
 //!   the registry fails the build;
 //! * **policy** — every library crate root carries
 //!   `#![forbid(unsafe_code)]`, no `println!`-family output in library
-//!   code, and a per-crate ratcheted `unwrap()`/`expect()` count stored
-//!   in the registry so the number can only go down.
+//!   code, and two per-crate ratcheted counts stored in the registry so
+//!   the numbers can only go down: the `unwrap()`/`expect()` budget
+//!   (`[budget.unwrap]`) and the undocumented-public-item budget
+//!   (`[budget.doc]`, the `doc-coverage` rule).
 //!
 //! The analysis is a hand-rolled token scanner ([`lexer`]) — `syn` is
 //! not vendored and the rules only need identifiers, punctuation and
@@ -39,13 +41,21 @@
 
 #![forbid(unsafe_code)]
 
+/// Rule identities, findings and report rendering.
 pub mod diag;
+/// Corpus walk, suppression application and corpus-level rules.
 pub mod engine;
+/// Minimal JSON tree used by the report round-trip.
 pub mod json;
+/// The hand-rolled Rust token scanner.
 pub mod lexer;
+/// `DistMsg` ↔ registry cross-check.
 pub mod protocol;
+/// The committed registry and its TOML-subset parser.
 pub mod registry;
+/// Per-file rules and file classification.
 pub mod rules;
+/// Inline `allow(...)` suppression directives.
 pub mod suppress;
 
 pub use diag::{Finding, Report, Rule, Suppressed};

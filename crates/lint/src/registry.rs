@@ -12,7 +12,11 @@
 //!   `unwrap()`/`expect()` calls allowed in each crate's non-test
 //!   library code. The count must *equal* the budget: a new unwrap
 //!   fails the lint, and removing one fails it too until the budget is
-//!   ratcheted down, so the number can only decrease.
+//!   ratcheted down, so the number can only decrease; and
+//! * the per-crate ratcheted **doc budgets** (`[budget.doc]`) — the
+//!   exact number of undocumented public items tolerated in each
+//!   crate's non-test library code, with the same equal-or-fail
+//!   ratchet, so documentation coverage can only improve.
 //!
 //! `treenet-bench`'s `exp_f_dist_budget` reads the same file to derive
 //! its runtime `O(M)`-bound gate, so the static table and the runtime
@@ -66,7 +70,9 @@ impl std::fmt::Display for ClassSpec {
 /// One `[message.<Variant>]` entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MessageSpec {
+    /// Declared bit width.
     pub bits: BitSpec,
+    /// Declared traffic class.
     pub class: ClassSpec,
     /// Line of the section header, for diagnostics.
     pub line: u32,
@@ -79,18 +85,22 @@ pub struct Registry {
     pub messages: BTreeMap<String, MessageSpec>,
     /// Crate name → (allowed unwrap/expect count, header line).
     pub unwrap_budget: BTreeMap<String, (u64, u32)>,
+    /// Crate name → (allowed undocumented-public-item count, header
+    /// line).
+    pub doc_budget: BTreeMap<String, (u64, u32)>,
 }
 
 impl Registry {
     /// Parses the registry text. Errors carry `line N:` prefixes.
     pub fn parse(text: &str) -> Result<Registry, String> {
         let mut registry = Registry::default();
-        // Section state: a message entry being accumulated, or the
-        // unwrap-budget table.
+        // Section state: a message entry being accumulated, or one of
+        // the ratchet-budget tables.
         enum Section {
             None,
             Message { name: String, line: u32 },
             UnwrapBudget,
+            DocBudget,
         }
         let mut section = Section::None;
         let mut bits: Option<BitSpec> = None;
@@ -137,6 +147,8 @@ impl Registry {
                     }
                 } else if header == "budget.unwrap" {
                     Section::UnwrapBudget
+                } else if header == "budget.doc" {
+                    Section::DocBudget
                 } else {
                     return Err(format!("line {lineno}: unknown section [{header}]"));
                 };
@@ -167,22 +179,24 @@ impl Registry {
                         ));
                     }
                 },
-                Section::UnwrapBudget => match value {
-                    Value::Int(n) => {
-                        if registry
-                            .unwrap_budget
-                            .insert(key.to_string(), (n, lineno))
-                            .is_some()
-                        {
-                            return Err(format!("line {lineno}: duplicate budget for `{key}`"));
+                Section::UnwrapBudget | Section::DocBudget => {
+                    let (table, noun) = match &section {
+                        Section::UnwrapBudget => (&mut registry.unwrap_budget, "unwrap"),
+                        _ => (&mut registry.doc_budget, "doc"),
+                    };
+                    match value {
+                        Value::Int(n) => {
+                            if table.insert(key.to_string(), (n, lineno)).is_some() {
+                                return Err(format!("line {lineno}: duplicate budget for `{key}`"));
+                            }
+                        }
+                        Value::Str(_) => {
+                            return Err(format!(
+                                "line {lineno}: {noun} budget for `{key}` must be an integer"
+                            ));
                         }
                     }
-                    Value::Str(_) => {
-                        return Err(format!(
-                            "line {lineno}: unwrap budget for `{key}` must be an integer"
-                        ));
-                    }
-                },
+                }
             }
         }
         flush(&mut registry, &section, &mut bits, &mut class)?;
@@ -261,6 +275,9 @@ class = 0
 
 [budget.unwrap]
 treenet-dist = 3
+
+[budget.doc]
+treenet-dist = 2
 "#;
 
     #[test]
@@ -274,8 +291,24 @@ treenet-dist = 3
         );
         assert_eq!(r.messages["Desc"].class, ClassSpec::Fixed(0));
         assert_eq!(r.unwrap_budget["treenet-dist"].0, 3);
+        assert_eq!(r.doc_budget["treenet-dist"].0, 2);
         // Section-header lines are recorded for diagnostics.
         assert_eq!(r.messages["Ping"].line, 3);
+    }
+
+    #[test]
+    fn the_two_budget_tables_are_independent() {
+        let r = Registry::parse("[budget.doc]\ntreenet-core = 4\n").unwrap();
+        assert_eq!(r.doc_budget["treenet-core"].0, 4);
+        assert!(r.unwrap_budget.is_empty());
+        assert!(Registry::parse("[budget.doc]\na = \"all\"\n")
+            .unwrap_err()
+            .contains("doc budget"));
+        // The same crate may appear in both tables; duplicates within
+        // one table are still rejected.
+        assert!(Registry::parse("[budget.doc]\na = 1\na = 2\n")
+            .unwrap_err()
+            .contains("duplicate"));
     }
 
     #[test]

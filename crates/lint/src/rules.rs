@@ -73,6 +73,9 @@ pub struct FileAnalysis {
     /// `unwrap()`/`expect()` calls in non-test code (0 for
     /// output-exempt files — bins may unwrap freely).
     pub unwrap_count: u64,
+    /// Public items without a doc comment in non-test code (0 for
+    /// output-exempt files — bins have no API surface).
+    pub undocumented_pub: u64,
     /// The token stream, reused by the protocol cross-check.
     pub scanned: Scanned,
 }
@@ -98,10 +101,13 @@ pub fn analyze(class: &FileClass, src: &str) -> FileAnalysis {
         forbid_unsafe_rule(class, &scanned.tokens, &mut findings);
     }
 
-    let unwrap_count = if class.output_exempt {
-        0
+    let (unwrap_count, undocumented_pub) = if class.output_exempt {
+        (0, 0)
     } else {
-        unwrap_count(&scanned.tokens, &in_test)
+        (
+            unwrap_count(&scanned.tokens, &in_test),
+            undocumented_pub_count(&scanned, &in_test),
+        )
     };
     let directives = suppress::directives(&scanned);
 
@@ -115,6 +121,7 @@ pub fn analyze(class: &FileClass, src: &str) -> FileAnalysis {
         findings,
         directives,
         unwrap_count,
+        undocumented_pub,
         scanned,
     }
 }
@@ -197,6 +204,138 @@ fn unwrap_count(tokens: &[Token], in_test: &dyn Fn(u32) -> bool) -> u64 {
                 && !in_test(w[1].line)
         })
         .count() as u64
+}
+
+/// Item keywords that can follow a `pub` visibility (the qualifier
+/// keywords `async`/`unsafe`/`const`/`extern` all lead to an item too).
+const ITEM_KEYWORDS: [&str; 12] = [
+    "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union", "async", "unsafe",
+    "extern",
+];
+
+/// `macro_rules! name { … }` brace regions, as inclusive line ranges.
+/// Tokens inside are patterns and expansion templates — a literal `pub`
+/// there is not an item of this file.
+fn macro_rules_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if !(ident(&tokens[i], "macro_rules") && punct(&tokens[i + 1], "!")) {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut j = i + 2;
+        while j < tokens.len() && !punct(&tokens[j], "{") {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        let mut end_line = start_line;
+        while j < tokens.len() {
+            if punct(&tokens[j], "{") {
+                depth += 1;
+            } else if punct(&tokens[j], "}") {
+                depth -= 1;
+                if depth == 0 {
+                    end_line = tokens[j].line;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+/// Whether the `pub` at `pub_idx` carries a doc comment: a `///` line
+/// (or a `#[doc…]`/`#[cfg_attr(…, doc…)]` attribute) between the
+/// previous item's last token and the `pub`, with any attribute chain
+/// in between walked over.
+fn has_doc(tokens: &[Token], pub_idx: usize, doc_lines: &BTreeSet<u32>) -> bool {
+    let mut p = pub_idx as isize - 1;
+    while p >= 0 && punct(&tokens[p as usize], "]") {
+        // Walk back over one `#[…]` attribute to its opening bracket.
+        let mut depth = 0i32;
+        let mut q = p;
+        while q >= 0 {
+            if punct(&tokens[q as usize], "]") {
+                depth += 1;
+            } else if punct(&tokens[q as usize], "[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            q -= 1;
+        }
+        if q < 0 {
+            break;
+        }
+        if tokens[q as usize..=p as usize]
+            .iter()
+            .any(|t| ident(t, "doc"))
+        {
+            return true;
+        }
+        if q >= 1 && punct(&tokens[q as usize - 1], "#") {
+            p = q - 2;
+        } else {
+            // Not an attribute (an array/index expression) — the `]`
+            // itself is the previous item's last token.
+            break;
+        }
+    }
+    let pub_line = tokens[pub_idx].line;
+    let lower = if p >= 0 { tokens[p as usize].line } else { 0 };
+    doc_lines.iter().any(|&l| l > lower && l < pub_line)
+}
+
+/// Counts public items without a doc comment, outside test and
+/// `macro_rules!` regions.
+///
+/// A public item is a `pub` visibility (not `pub(crate)`/`pub(super)`,
+/// which is not public API, and not `pub use`, whose target carries the
+/// docs) followed by an item keyword or a struct-field `name: Type`
+/// ascription. A doc comment is a `///` line kept by the lexer
+/// ([`crate::lexer::LineComment`] text starting with `/`); `/** … */`
+/// block docs are not recognized — this workspace does not use them.
+fn undocumented_pub_count(scanned: &Scanned, in_test: &dyn Fn(u32) -> bool) -> u64 {
+    let doc_lines: BTreeSet<u32> = scanned
+        .comments
+        .iter()
+        .filter(|c| c.text.starts_with('/'))
+        .map(|c| c.line)
+        .collect();
+    let tokens = &scanned.tokens;
+    let macro_regions = macro_rules_regions(tokens);
+    let in_macro = |line: u32| {
+        macro_regions
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    };
+    let mut count = 0u64;
+    for i in 0..tokens.len() {
+        if !ident(&tokens[i], "pub") || in_test(tokens[i].line) || in_macro(tokens[i].line) {
+            continue;
+        }
+        let Some(next) = tokens.get(i + 1) else {
+            continue;
+        };
+        if punct(next, "(") || ident(next, "use") {
+            continue;
+        }
+        let is_item = next.kind == TokenKind::Ident && ITEM_KEYWORDS.contains(&next.text.as_str());
+        // `pub name: Type` (a field) — but not `pub name::…` (a path).
+        let is_field = is_ident_any(next)
+            && tokens.get(i + 2).is_some_and(|t| punct(t, ":"))
+            && !tokens.get(i + 3).is_some_and(|t| punct(t, ":"));
+        if (is_item || is_field) && !has_doc(tokens, i, &doc_lines) {
+            count += 1;
+        }
+    }
+    count
 }
 
 const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];

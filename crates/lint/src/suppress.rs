@@ -22,6 +22,7 @@ use crate::lexer::{LineComment, Scanned};
 pub struct Directive {
     /// Line the comment sits on.
     pub line: u32,
+    /// Column of the comment's first `/`.
     pub col: u32,
     /// The rule this directive silences (`None` when rejected).
     pub rule: Option<Rule>,

@@ -43,8 +43,11 @@ fn rule_names(report: &Report) -> Vec<&'static str> {
     report.findings.iter().map(|f| f.rule.name()).collect()
 }
 
-const DIST_CLEAN: &str = "[budget.unwrap]\ntreenet-dist = 0\n";
-const GRAPH_CLEAN: &str = "[budget.unwrap]\ntreenet-graph = 0\n";
+// The fixtures deliberately leave their pub items undocumented (docs
+// would shift the line numbers the tests assert on), so each "clean"
+// registry carries a matching [budget.doc] entry.
+const DIST_CLEAN: &str = "[budget.unwrap]\ntreenet-dist = 0\n[budget.doc]\ntreenet-dist = 1\n";
+const GRAPH_CLEAN: &str = "[budget.unwrap]\ntreenet-graph = 0\n[budget.doc]\ntreenet-graph = 1\n";
 
 #[test]
 fn hash_iter_fires_once_and_the_suppression_round_trips() {
@@ -62,7 +65,10 @@ fn hash_iter_fires_once_and_the_suppression_round_trips() {
 
 #[test]
 fn hash_for_in_fires_on_field_iteration() {
-    let report = lint_fixture("hash_for_in.rs", "[budget.unwrap]\ntreenet-netsim = 0\n");
+    let report = lint_fixture(
+        "hash_for_in.rs",
+        "[budget.unwrap]\ntreenet-netsim = 0\n[budget.doc]\ntreenet-netsim = 2\n",
+    );
     assert_eq!(rule_names(&report), ["hash-iter"], "{report:?}");
     assert!(report.findings[0].message.contains("for … in"));
     // The std::collections-qualified field type was suppressed.
@@ -72,7 +78,10 @@ fn hash_for_in_fires_on_field_iteration() {
 
 #[test]
 fn hash_state_fires_once_on_the_import() {
-    let report = lint_fixture("hash_state.rs", "[budget.unwrap]\ntreenet-core = 0\n");
+    let report = lint_fixture(
+        "hash_state.rs",
+        "[budget.unwrap]\ntreenet-core = 0\n[budget.doc]\ntreenet-core = 1\n",
+    );
     assert_eq!(rule_names(&report), ["hash-state"], "{report:?}");
     assert_eq!(report.findings[0].line, 2);
     assert!(report.suppressed.is_empty());
@@ -82,14 +91,20 @@ fn hash_state_fires_once_on_the_import() {
 fn wall_clock_fires_once_despite_two_matching_patterns() {
     // `std::time::Instant::now()` is both a `std::time` path and an
     // `Instant::now` call — the (rule, line) dedup keeps one finding.
-    let report = lint_fixture("wall_clock.rs", "[budget.unwrap]\ntreenet-mis = 0\n");
+    let report = lint_fixture(
+        "wall_clock.rs",
+        "[budget.unwrap]\ntreenet-mis = 0\n[budget.doc]\ntreenet-mis = 1\n",
+    );
     assert_eq!(rule_names(&report), ["wall-clock"], "{report:?}");
     assert_eq!(report.findings[0].line, 3);
 }
 
 #[test]
 fn ambient_rng_fires_once() {
-    let report = lint_fixture("ambient_rng.rs", "[budget.unwrap]\ntreenet-decomp = 0\n");
+    let report = lint_fixture(
+        "ambient_rng.rs",
+        "[budget.unwrap]\ntreenet-decomp = 0\n[budget.doc]\ntreenet-decomp = 1\n",
+    );
     assert_eq!(rule_names(&report), ["ambient-rng"], "{report:?}");
     assert!(report.findings[0].message.contains("thread_rng"));
 }
@@ -105,10 +120,14 @@ fn no_print_fires_in_lib_code_but_not_in_bins() {
     let report = lint_fixture("no_print.rs", GRAPH_CLEAN);
     assert_eq!(rule_names(&report), ["no-print"], "{report:?}");
 
-    // The same source under a bin path is output-exempt.
+    // The same source under a bin path is output-exempt — from
+    // `no-print` and from both ratchet counts (hence the doc budget
+    // drops to 0 here).
     let mut as_bin = fixture("no_print.rs");
     as_bin.rel = "crates/graph/src/bin/fixture.rs".to_string();
-    let registry = Registry::parse(GRAPH_CLEAN).unwrap();
+    let registry =
+        Registry::parse("[budget.unwrap]\ntreenet-graph = 0\n[budget.doc]\ntreenet-graph = 0\n")
+            .unwrap();
     let report = lint_sources(&[as_bin], &registry, &Options::default());
     assert!(rule_names(&report).is_empty(), "{report:?}");
 }
@@ -129,17 +148,67 @@ fn unwrap_ratchet_rejects_over_and_under_budget() {
         .contains("over the ratcheted budget"));
 
     // … a budget of 5 must be ratcheted down …
-    let report = lint_fixture("unwrap_ratchet.rs", "[budget.unwrap]\ntreenet-graph = 5\n");
+    let report = lint_fixture(
+        "unwrap_ratchet.rs",
+        "[budget.unwrap]\ntreenet-graph = 5\n[budget.doc]\ntreenet-graph = 1\n",
+    );
     assert_eq!(rule_names(&report), ["unwrap-ratchet"]);
     assert!(report.findings[0].message.contains("ratchet the budget"));
 
     // … a budget of 1 is exact, and a stale entry is flagged.
     let report = lint_fixture(
         "unwrap_ratchet.rs",
-        "[budget.unwrap]\ntreenet-graph = 1\ntreenet-gone = 2\n",
+        "[budget.unwrap]\ntreenet-graph = 1\ntreenet-gone = 2\n[budget.doc]\ntreenet-graph = 1\n",
     );
     assert_eq!(rule_names(&report), ["unwrap-ratchet"]);
     assert!(report.findings[0].message.contains("stale"));
+}
+
+#[test]
+fn doc_coverage_counts_and_ratchets() {
+    // The fixture has exactly two undocumented public items (a bare fn
+    // and a struct field); `pub(crate)`, `pub use`, `#[doc …]`,
+    // macro_rules templates and test code are all exempt. Over a budget
+    // of 1 …
+    let report = lint_fixture(
+        "doc_coverage.rs",
+        "[budget.unwrap]\ntreenet-graph = 0\n[budget.doc]\ntreenet-graph = 1\n",
+    );
+    assert_eq!(rule_names(&report), ["doc-coverage"], "{report:?}");
+    assert!(report.findings[0]
+        .message
+        .contains("2 undocumented public items"));
+    assert!(report.findings[0]
+        .message
+        .contains("over the ratcheted budget"));
+    assert!(report.findings[0].message.contains("add doc comments"));
+
+    // … exact at 2 …
+    let report = lint_fixture(
+        "doc_coverage.rs",
+        "[budget.unwrap]\ntreenet-graph = 0\n[budget.doc]\ntreenet-graph = 2\n",
+    );
+    assert!(rule_names(&report).is_empty(), "{report:?}");
+
+    // … and a generous budget must be ratcheted down.
+    let report = lint_fixture(
+        "doc_coverage.rs",
+        "[budget.unwrap]\ntreenet-graph = 0\n[budget.doc]\ntreenet-graph = 3\n",
+    );
+    assert_eq!(rule_names(&report), ["doc-coverage"]);
+    assert!(report.findings[0].message.contains("ratchet the budget"));
+
+    // A missing table entry and a stale one are both findings.
+    let report = lint_fixture(
+        "doc_coverage.rs",
+        "[budget.unwrap]\ntreenet-graph = 0\n[budget.doc]\ntreenet-gone = 2\n",
+    );
+    assert_eq!(rule_names(&report), ["doc-coverage"; 2], "{report:?}");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("no doc budget")));
+    assert!(report.findings.iter().any(|f| f.message.contains("stale")));
 }
 
 #[test]
@@ -152,7 +221,8 @@ fn test_regions_are_exempt_from_policy_rules() {
 fn protocol_cross_check_passes_a_consistent_pair() {
     let registry = "[message.Ping]\nbits = 32\nclass = 3\n\
                     [message.Beat]\nbits = \"descriptor_bits\"\nclass = \"run\"\n\
-                    [budget.unwrap]\ntreenet-dist = 0\n";
+                    [budget.unwrap]\ntreenet-dist = 0\n\
+                    [budget.doc]\ntreenet-dist = 1\n";
     let report = lint_fixture("protocol_ok.rs", registry);
     assert!(rule_names(&report).is_empty(), "{report:?}");
 }
@@ -164,7 +234,8 @@ fn protocol_cross_check_catches_every_drift_direction() {
     let registry = "[message.Ping]\nbits = 64\nclass = 1\n\
                     [message.Pong]\nbits = 16\nclass = 2\n\
                     [message.Stale]\nbits = 8\nclass = 0\n\
-                    [budget.unwrap]\ntreenet-dist = 0\n";
+                    [budget.unwrap]\ntreenet-dist = 0\n\
+                    [budget.doc]\ntreenet-dist = 1\n";
     let report = lint_fixture("protocol_mismatch.rs", registry);
     assert_eq!(rule_names(&report), ["protocol-registry"; 4], "{report:?}");
     let messages: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();

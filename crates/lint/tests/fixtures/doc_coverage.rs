@@ -1,0 +1,36 @@
+// lint-fixture: path = crates/graph/src/fixture.rs
+//! Doc-coverage fixture: exactly two undocumented public items — the
+//! bare `pub fn` and the `b` field. Everything else is documented,
+//! non-public, re-exported, macro-generated or test-only.
+
+/// Documented.
+pub fn documented() {}
+
+pub fn bare() {}
+
+pub(crate) fn internal() {}
+
+pub use std::cmp::Ordering;
+
+/// A documented struct (the doc sits above the attribute chain).
+#[derive(Clone)]
+pub struct S {
+    /// Documented field.
+    pub a: u32,
+    pub b: u32,
+}
+
+#[doc = "attribute docs count too"]
+pub fn attr_documented() {}
+
+macro_rules! emit {
+    () => {
+        pub fn generated() {}
+    };
+}
+emit!();
+
+#[cfg(test)]
+mod tests {
+    pub fn helper() {}
+}

@@ -5,12 +5,14 @@
 //! unit-height solution is exactly an independent set in this graph
 //! (Section 2 of the paper).
 //!
-//! [`ConflictGraph`] stores the adjacency in CSR layout (one flat
-//! neighbor array plus per-vertex offsets), built with a degree-count
-//! pass so nothing is reallocated. [`ActiveSubgraph`] is a reusable
+//! [`ConflictGraph`](crate::conflict::ConflictGraph) stores the
+//! adjacency in CSR layout (one flat neighbor array plus per-vertex
+//! offsets), built with a degree-count pass so nothing is reallocated.
+//! [`ActiveSubgraph`](crate::conflict::ActiveSubgraph) is a reusable
 //! *view* onto a conflict graph: given an activity bitmap it produces
 //! the induced subgraph on the active vertices — byte-identical to a
-//! from-scratch [`ConflictGraph::build`] over the same members — while
+//! from-scratch [`ConflictGraph::build`](crate::conflict::ConflictGraph::build)
+//! over the same members — while
 //! reusing its internal buffers, so repeated filtering (the per-step MIS
 //! input of the two-phase framework) allocates nothing in steady state.
 

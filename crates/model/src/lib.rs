@@ -49,16 +49,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Conflict graphs over demand instances — the input to MIS.
 pub mod conflict;
 mod demand;
+/// The paper's figure examples as reusable test fixtures.
 pub mod fixtures;
 mod problem;
 mod solution;
+/// Serializable problem specifications (JSON round-trip).
 pub mod spec;
+/// Seeded workload generators (line and tree families).
 pub mod workload;
 
 pub use demand::{Demand, DemandKind, HeightClass};
-pub use problem::{canonical_instance_key, DemandInstance, ModelError, Problem, ProblemBuilder};
+pub use problem::{
+    canonical_instance_key, DeltaEffect, DemandInstance, ModelError, Problem, ProblemBuilder,
+    ProblemDelta,
+};
 pub use solution::{FeasibilityError, Solution, SolutionTracker};
 
 use serde::{Deserialize, Serialize};

@@ -165,6 +165,16 @@ pub enum ModelError {
         /// Number of timeslots available (edges of the line).
         slots: usize,
     },
+    /// A delta referenced a demand id that was never admitted.
+    UnknownDemand {
+        /// The unknown demand id.
+        demand: DemandId,
+    },
+    /// A departure delta targeted a demand that already departed.
+    AlreadyDeparted {
+        /// The doubly-departed demand.
+        demand: DemandId,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -206,6 +216,12 @@ impl fmt::Display for ModelError {
                     f,
                     "window demand {demand} deadline {deadline} exceeds {slots} timeslots"
                 )
+            }
+            ModelError::UnknownDemand { demand } => {
+                write!(f, "demand {demand} was never admitted")
+            }
+            ModelError::AlreadyDeparted { demand } => {
+                write!(f, "demand {demand} has already departed")
             }
         }
     }
@@ -293,7 +309,6 @@ impl ProblemBuilder {
         if self.networks.is_empty() {
             return Err(ModelError::NoNetworks);
         }
-        let n = self.networks[0].len();
         let rooted: Vec<RootedTree> = self
             .networks
             .iter()
@@ -311,81 +326,24 @@ impl ProblemBuilder {
 
         for (ai, demand) in self.demands.iter().enumerate() {
             let a = DemandId(ai as u32);
-            match demand.kind {
-                DemandKind::Pair { u, v } => {
-                    for &vx in [u, v].iter() {
-                        if vx.index() >= n {
-                            return Err(ModelError::EndpointOutOfRange {
-                                demand: a,
-                                vertex: vx,
-                            });
-                        }
-                    }
-                    for &t in &self.access[ai] {
-                        let path = rooted[t.index()].path(u, v);
-                        let id = InstanceId(instances.len() as u32);
-                        instances.push(DemandInstance::new(
-                            id,
-                            a,
-                            t,
-                            path,
-                            None,
-                            words_per_network[t.index()],
-                        ));
-                        by_demand[ai].push(id);
-                        by_network[t.index()].push(id);
-                    }
-                }
-                DemandKind::Window {
-                    release,
-                    deadline,
-                    processing,
-                } => {
-                    for &t in &self.access[ai] {
-                        let tree = &self.networks[t.index()];
-                        if !tree.is_canonical_line() {
-                            return Err(ModelError::WindowOnNonLine {
-                                demand: a,
-                                network: t,
-                            });
-                        }
-                        let slots = tree.edge_count();
-                        if deadline as usize >= slots {
-                            return Err(ModelError::WindowOutOfRange {
-                                demand: a,
-                                deadline,
-                                slots,
-                            });
-                        }
-                        // One instance per feasible start timeslot: the
-                        // execution segment [s, s + ρ - 1] must fit inside
-                        // [release, deadline].
-                        for s in release..=(deadline + 1 - processing) {
-                            let vertices: Vec<VertexId> =
-                                (s..=s + processing).map(VertexId).collect();
-                            let edges: Vec<EdgeId> = (s..s + processing).map(EdgeId).collect();
-                            let path = TreePath::new(vertices, edges);
-                            let id = InstanceId(instances.len() as u32);
-                            instances.push(DemandInstance::new(
-                                id,
-                                a,
-                                t,
-                                path,
-                                Some(s),
-                                words_per_network[t.index()],
-                            ));
-                            by_demand[ai].push(id);
-                            by_network[t.index()].push(id);
-                        }
-                    }
-                }
-            }
+            validate_demand_shape(a, demand, &self.access[ai], &self.networks)?;
+            materialize_demand(
+                a,
+                demand,
+                &self.access[ai],
+                &rooted,
+                &words_per_network,
+                &mut instances,
+                &mut by_demand[ai],
+                &mut by_network,
+            );
         }
 
         let edge_counts: Vec<usize> = self.networks.iter().map(Tree::edge_count).collect();
         let by_edge = EdgeIndex::build_all(&edge_counts, &instances);
 
         Ok(Problem {
+            departed: vec![false; self.demands.len()],
             networks: self.networks,
             rooted,
             demands: self.demands,
@@ -395,6 +353,113 @@ impl ProblemBuilder {
             by_network,
             by_edge,
         })
+    }
+}
+
+/// Build-time validation shared by [`ProblemBuilder::build`] and
+/// [`Problem::apply_delta`]: endpoint range checks for pair demands and
+/// line/timeline checks for window demands. Runs *before* any state is
+/// mutated so a rejected arrival leaves the problem untouched.
+fn validate_demand_shape(
+    a: DemandId,
+    demand: &Demand,
+    access: &[NetworkId],
+    networks: &[Tree],
+) -> Result<(), ModelError> {
+    let n = networks[0].len();
+    match demand.kind {
+        DemandKind::Pair { u, v } => {
+            for &vx in [u, v].iter() {
+                if vx.index() >= n {
+                    return Err(ModelError::EndpointOutOfRange {
+                        demand: a,
+                        vertex: vx,
+                    });
+                }
+            }
+        }
+        DemandKind::Window { deadline, .. } => {
+            for &t in access {
+                let tree = &networks[t.index()];
+                if !tree.is_canonical_line() {
+                    return Err(ModelError::WindowOnNonLine {
+                        demand: a,
+                        network: t,
+                    });
+                }
+                let slots = tree.edge_count();
+                if deadline as usize >= slots {
+                    return Err(ModelError::WindowOutOfRange {
+                        demand: a,
+                        deadline,
+                        slots,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Materializes the instances of one (pre-validated) demand, appending to
+/// the instance list and the per-demand / per-network indexes. The single
+/// definition shared by the batch builder and the arrival delta path, so
+/// an admitted demand gets bit-identical instances either way.
+#[allow(clippy::too_many_arguments)]
+fn materialize_demand(
+    a: DemandId,
+    demand: &Demand,
+    access: &[NetworkId],
+    rooted: &[RootedTree],
+    words_per_network: &[usize],
+    instances: &mut Vec<DemandInstance>,
+    demand_row: &mut Vec<InstanceId>,
+    by_network: &mut [Vec<InstanceId>],
+) {
+    match demand.kind {
+        DemandKind::Pair { u, v } => {
+            for &t in access {
+                let path = rooted[t.index()].path(u, v);
+                let id = InstanceId(instances.len() as u32);
+                instances.push(DemandInstance::new(
+                    id,
+                    a,
+                    t,
+                    path,
+                    None,
+                    words_per_network[t.index()],
+                ));
+                demand_row.push(id);
+                by_network[t.index()].push(id);
+            }
+        }
+        DemandKind::Window {
+            release,
+            deadline,
+            processing,
+        } => {
+            for &t in access {
+                // One instance per feasible start timeslot: the
+                // execution segment [s, s + ρ - 1] must fit inside
+                // [release, deadline].
+                for s in release..=(deadline + 1 - processing) {
+                    let vertices: Vec<VertexId> = (s..=s + processing).map(VertexId).collect();
+                    let edges: Vec<EdgeId> = (s..s + processing).map(EdgeId).collect();
+                    let path = TreePath::new(vertices, edges);
+                    let id = InstanceId(instances.len() as u32);
+                    instances.push(DemandInstance::new(
+                        id,
+                        a,
+                        t,
+                        path,
+                        Some(s),
+                        words_per_network[t.index()],
+                    ));
+                    demand_row.push(id);
+                    by_network[t.index()].push(id);
+                }
+            }
+        }
     }
 }
 
@@ -449,9 +514,73 @@ impl EdgeIndex {
         indexes
     }
 
+    /// Rebuilds the index of a single network from that network's own
+    /// instance list — the incremental counterpart of [`EdgeIndex::build_all`]
+    /// used after an arrival delta, so a delta pays for the *affected*
+    /// networks only instead of a full-problem reindex.
+    fn build_one(edges: usize, members: &[InstanceId], instances: &[DemandInstance]) -> Self {
+        let mut offsets = vec![0u32; edges + 1];
+        for &d in members {
+            for &e in instances[d.index()].path.edges() {
+                offsets[e.index() + 1] += 1;
+            }
+        }
+        for e in 0..edges {
+            offsets[e + 1] += offsets[e];
+        }
+        let mut ids = vec![InstanceId(0); *offsets.last().unwrap_or(&0) as usize];
+        let mut cursor = offsets[..edges].to_vec();
+        // `members` is in instance-id order, so each per-edge slice ends
+        // up sorted by instance id — same invariant as `build_all`.
+        for &d in members {
+            for &e in instances[d.index()].path.edges() {
+                ids[cursor[e.index()] as usize] = d;
+                cursor[e.index()] += 1;
+            }
+        }
+        EdgeIndex { offsets, ids }
+    }
+
     fn users(&self, e: EdgeId) -> &[InstanceId] {
         &self.ids[self.offsets[e.index()] as usize..self.offsets[e.index() + 1] as usize]
     }
+}
+
+/// One online change to a [`Problem`]: a demand arriving (with its
+/// accessible networks) or a previously admitted demand departing.
+///
+/// Applied with [`Problem::apply_delta`]. The problem is append-only:
+/// arrivals extend the demand/instance arrays (so every id ever issued
+/// stays stable, which keeps [`canonical_instance_key`] stable too), and
+/// departures set a tombstone instead of removing state.
+#[derive(Clone, Debug)]
+pub enum ProblemDelta {
+    /// A new demand arrives and is admitted with the given access list.
+    Arrival {
+        /// The arriving demand.
+        demand: Demand,
+        /// Networks the owning processor can access.
+        access: Vec<NetworkId>,
+    },
+    /// The demand departs: its instances stop participating in any
+    /// subsequent solve.
+    Departure {
+        /// The departing demand.
+        demand: DemandId,
+    },
+}
+
+/// What a successfully applied delta touched — the "affected
+/// neighborhood" an incremental solver needs to invalidate.
+#[derive(Clone, Debug)]
+pub struct DeltaEffect {
+    /// The demand admitted (arrival) or tombstoned (departure).
+    pub demand: DemandId,
+    /// Instances materialized by an arrival, in id order (empty for a
+    /// departure).
+    pub new_instances: Vec<InstanceId>,
+    /// The networks whose edge load can change: the demand's access list.
+    pub networks: Vec<NetworkId>,
 }
 
 /// A validated problem instance: networks, demands with accessibility, and
@@ -466,6 +595,10 @@ pub struct Problem {
     by_demand: Vec<Vec<InstanceId>>,
     by_network: Vec<Vec<InstanceId>>,
     by_edge: Vec<EdgeIndex>,
+    /// Tombstones: `departed[a]` iff demand `a` has departed. The demand
+    /// and its instances stay materialized (ids are append-only-stable);
+    /// online solvers simply exclude them from the participant set.
+    departed: Vec<bool>,
 }
 
 impl Problem {
@@ -652,6 +785,156 @@ impl Problem {
         let da = &self.instances[a.index()];
         let db = &self.instances[b.index()];
         da.demand == db.demand || da.overlaps(db)
+    }
+
+    /// Whether demand `a` has departed (tombstoned by a
+    /// [`ProblemDelta::Departure`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[inline]
+    pub fn is_departed(&self, a: DemandId) -> bool {
+        self.departed[a.index()]
+    }
+
+    /// Whether instance `d` belongs to a live (non-departed) demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    #[inline]
+    pub fn is_live_instance(&self, d: InstanceId) -> bool {
+        !self.departed[self.instances[d.index()].demand.index()]
+    }
+
+    /// Number of live (non-departed) demands.
+    pub fn live_demand_count(&self) -> usize {
+        self.departed.iter().filter(|&&gone| !gone).count()
+    }
+
+    /// Iterator over live demand ids, in id order.
+    pub fn live_demands(&self) -> impl Iterator<Item = DemandId> + '_ {
+        self.departed
+            .iter()
+            .enumerate()
+            .filter(|(_, &gone)| !gone)
+            .map(|(i, _)| DemandId(i as u32))
+    }
+
+    /// All instances of live demands, in instance-id order — the
+    /// participant set an online solve runs over.
+    pub fn live_instances(&self) -> Vec<InstanceId> {
+        self.instances
+            .iter()
+            .filter(|inst| !self.departed[inst.demand.index()])
+            .map(|inst| inst.id)
+            .collect()
+    }
+
+    /// Applies one online [`ProblemDelta`] and reports the affected
+    /// neighborhood.
+    ///
+    /// An **arrival** is validated exactly like
+    /// [`ProblemBuilder::add_demand`] + [`ProblemBuilder::build`] (so the
+    /// grown problem is bit-identical to one built from scratch with the
+    /// same demand sequence), then materialized append-only; only the
+    /// accessed networks' inverted edge indexes are rebuilt. A
+    /// **departure** sets a tombstone and touches no index at all.
+    ///
+    /// # Errors
+    ///
+    /// Arrival: any [`ModelError`] the batch builder would raise for the
+    /// same demand. Departure: [`ModelError::UnknownDemand`] /
+    /// [`ModelError::AlreadyDeparted`]. A rejected delta leaves the
+    /// problem unchanged.
+    pub fn apply_delta(&mut self, delta: ProblemDelta) -> Result<DeltaEffect, ModelError> {
+        match delta {
+            ProblemDelta::Arrival { demand, access } => self.apply_arrival(demand, access),
+            ProblemDelta::Departure { demand } => self.apply_departure(demand),
+        }
+    }
+
+    fn apply_arrival(
+        &mut self,
+        demand: Demand,
+        access: Vec<NetworkId>,
+    ) -> Result<DeltaEffect, ModelError> {
+        let a = DemandId(self.demands.len() as u32);
+        demand
+            .validate()
+            .map_err(|reason| ModelError::InvalidDemand { demand: a, reason })?;
+        if access.is_empty() {
+            return Err(ModelError::EmptyAccess { demand: a });
+        }
+        let mut acc = access;
+        acc.sort_unstable();
+        acc.dedup();
+        for &t in &acc {
+            if t.index() >= self.networks.len() {
+                return Err(ModelError::UnknownNetwork {
+                    demand: a,
+                    network: t,
+                });
+            }
+        }
+        validate_demand_shape(a, &demand, &acc, &self.networks)?;
+
+        // All checks passed — mutate. Everything below is infallible, so
+        // a rejected arrival above left the problem untouched.
+        let words_per_network: Vec<usize> = self
+            .networks
+            .iter()
+            .map(|t| t.edge_count().div_ceil(64).max(1))
+            .collect();
+        let first_new = self.instances.len();
+        let mut row = Vec::new();
+        materialize_demand(
+            a,
+            &demand,
+            &acc,
+            &self.rooted,
+            &words_per_network,
+            &mut self.instances,
+            &mut row,
+            &mut self.by_network,
+        );
+        let new_instances = row.clone();
+        self.demands.push(demand);
+        self.by_demand.push(row);
+        self.departed.push(false);
+        debug_assert_eq!(self.instances.len() - first_new, new_instances.len());
+
+        // Incremental index maintenance: only the networks this demand
+        // accesses gained instances, so only their CSR indexes change.
+        for &t in &acc {
+            self.by_edge[t.index()] = EdgeIndex::build_one(
+                self.networks[t.index()].edge_count(),
+                &self.by_network[t.index()],
+                &self.instances,
+            );
+        }
+        self.access.push(acc.clone());
+        Ok(DeltaEffect {
+            demand: a,
+            new_instances,
+            networks: acc,
+        })
+    }
+
+    fn apply_departure(&mut self, a: DemandId) -> Result<DeltaEffect, ModelError> {
+        if a.index() >= self.demands.len() {
+            return Err(ModelError::UnknownDemand { demand: a });
+        }
+        if self.departed[a.index()] {
+            return Err(ModelError::AlreadyDeparted { demand: a });
+        }
+        self.departed[a.index()] = true;
+        Ok(DeltaEffect {
+            demand: a,
+            new_instances: Vec::new(),
+            networks: self.access[a.index()].clone(),
+        })
     }
 
     /// The processor communication graph: processors (demands) `P₁, P₂`
@@ -859,6 +1142,161 @@ mod tests {
         assert_eq!(g[0], vec![DemandId(1), DemandId(2)]);
         assert_eq!(g[1], vec![DemandId(0)]);
         assert_eq!(g[2], vec![DemandId(0)]);
+    }
+
+    /// Builds the same three demands as [`two_line_problem`] but online:
+    /// start from the first demand only, then admit the rest as deltas.
+    fn grown_two_line_problem() -> Problem {
+        let mut b = ProblemBuilder::new();
+        let t0 = b.add_network(Tree::line(6)).unwrap();
+        let t1 = b.add_network(Tree::line(6)).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(3), 4.0), &[t0, t1])
+            .unwrap();
+        let mut p = b.build().unwrap();
+        let eff = p
+            .apply_delta(ProblemDelta::Arrival {
+                demand: Demand::pair(VertexId(2), VertexId(5), 2.0),
+                access: vec![t0],
+            })
+            .unwrap();
+        assert_eq!(eff.demand, DemandId(1));
+        assert_eq!(eff.networks, vec![t0]);
+        let eff = p
+            .apply_delta(ProblemDelta::Arrival {
+                demand: Demand::pair(VertexId(4), VertexId(5), 1.0),
+                access: vec![t1],
+            })
+            .unwrap();
+        assert_eq!(eff.demand, DemandId(2));
+        assert_eq!(eff.new_instances.len(), 1);
+        p
+    }
+
+    #[test]
+    fn arrivals_grow_bit_identically_to_batch_build() {
+        let batch = two_line_problem();
+        let grown = grown_two_line_problem();
+        assert_eq!(grown.instance_count(), batch.instance_count());
+        for (a, b) in grown.instances().zip(batch.instances()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.demand, b.demand);
+            assert_eq!(a.network, b.network);
+            assert_eq!(a.path.edges(), b.path.edges());
+            assert_eq!(a.canonical_key(), b.canonical_key());
+        }
+        for t in batch.networks() {
+            assert_eq!(grown.instances_on(t), batch.instances_on(t));
+            for e in 0..batch.network(t).edge_count() {
+                let e = EdgeId(e as u32);
+                assert_eq!(grown.instances_using(t, e), batch.instances_using(t, e));
+            }
+        }
+        for a in batch.demands() {
+            assert_eq!(grown.instances_of(a), batch.instances_of(a));
+            assert_eq!(grown.access(a), batch.access(a));
+        }
+    }
+
+    #[test]
+    fn departure_tombstones_without_touching_indexes() {
+        let mut p = two_line_problem();
+        assert_eq!(p.live_demand_count(), 3);
+        let eff = p
+            .apply_delta(ProblemDelta::Departure {
+                demand: DemandId(0),
+            })
+            .unwrap();
+        assert_eq!(eff.networks, vec![NetworkId(0), NetworkId(1)]);
+        assert!(eff.new_instances.is_empty());
+        assert!(p.is_departed(DemandId(0)));
+        assert!(!p.is_departed(DemandId(1)));
+        assert_eq!(p.live_demand_count(), 2);
+        assert_eq!(
+            p.live_demands().collect::<Vec<_>>(),
+            vec![DemandId(1), DemandId(2)]
+        );
+        // Instances stay materialized (ids stable) but drop out of the
+        // live participant set.
+        assert_eq!(p.instance_count(), 4);
+        let live = p.live_instances();
+        assert_eq!(live.len(), 2);
+        assert!(live.iter().all(|&d| p.is_live_instance(d)));
+        assert!(!p.is_live_instance(p.instances_of(DemandId(0))[0]));
+        // The inverted index is untouched by a departure.
+        assert!(!p.instances_using(NetworkId(0), EdgeId(0)).is_empty());
+    }
+
+    #[test]
+    fn delta_errors_leave_problem_unchanged() {
+        let mut p = two_line_problem();
+        assert!(matches!(
+            p.apply_delta(ProblemDelta::Departure {
+                demand: DemandId(99)
+            }),
+            Err(ModelError::UnknownDemand { .. })
+        ));
+        p.apply_delta(ProblemDelta::Departure {
+            demand: DemandId(2),
+        })
+        .unwrap();
+        assert!(matches!(
+            p.apply_delta(ProblemDelta::Departure {
+                demand: DemandId(2)
+            }),
+            Err(ModelError::AlreadyDeparted { .. })
+        ));
+        let before = p.instance_count();
+        assert!(matches!(
+            p.apply_delta(ProblemDelta::Arrival {
+                demand: Demand::pair(VertexId(0), VertexId(9), 1.0),
+                access: vec![NetworkId(0)],
+            }),
+            Err(ModelError::EndpointOutOfRange { .. })
+        ));
+        assert!(matches!(
+            p.apply_delta(ProblemDelta::Arrival {
+                demand: Demand::pair(VertexId(0), VertexId(1), 1.0),
+                access: vec![],
+            }),
+            Err(ModelError::EmptyAccess { .. })
+        ));
+        assert!(matches!(
+            p.apply_delta(ProblemDelta::Arrival {
+                demand: Demand::pair(VertexId(0), VertexId(1), 1.0),
+                access: vec![NetworkId(42)],
+            }),
+            Err(ModelError::UnknownNetwork { .. })
+        ));
+        assert!(matches!(
+            p.apply_delta(ProblemDelta::Arrival {
+                demand: Demand::window(0, 9, 2, 1.0),
+                access: vec![NetworkId(0)],
+            }),
+            Err(ModelError::WindowOutOfRange { .. })
+        ));
+        assert_eq!(p.instance_count(), before);
+        assert_eq!(p.demand_count(), 3);
+    }
+
+    #[test]
+    fn window_arrivals_expand_like_the_builder() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_network(Tree::line(11)).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(1), 1.0), &[t])
+            .unwrap();
+        let mut p = b.build().unwrap();
+        let eff = p
+            .apply_delta(ProblemDelta::Arrival {
+                demand: Demand::window(2, 6, 3, 1.0),
+                access: vec![t],
+            })
+            .unwrap();
+        let starts: Vec<u32> = eff
+            .new_instances
+            .iter()
+            .map(|&d| p.instance(d).start.unwrap())
+            .collect();
+        assert_eq!(starts, vec![2, 3, 4]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Serializable problem descriptions for reproducible experiments.
 //!
-//! A [`ProblemSpec`] captures everything needed to rebuild a [`Problem`]
+//! A [`ProblemSpec`](crate::spec::ProblemSpec) captures everything
+//! needed to rebuild a [`Problem`]
 //! — network edge lists, demands, accessibility — in a plain data form
 //! that serializes with serde. The experiment harness uses it to persist
 //! interesting workloads (e.g. a seed that produced a surprising ratio)

@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+/// Loss, ARQ and sliding-window delivery on top of the engine.
 pub mod reliable;
 mod topology;
 

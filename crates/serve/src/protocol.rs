@@ -1,0 +1,283 @@
+//! Wire format of the admission protocol: request parsing and rendering.
+
+use serde_json::Value;
+
+/// The route shape of a submitted demand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// A pair demand between two vertices (tree networks).
+    Pair {
+        /// One endpoint.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+    },
+    /// A time-window demand (canonical line networks).
+    Window {
+        /// Earliest start slot.
+        release: u32,
+        /// Latest finish slot (inclusive).
+        deadline: u32,
+        /// Processing length in slots.
+        processing: u32,
+    },
+}
+
+/// One protocol request, as parsed from a line of JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Admit a demand under a client-chosen id.
+    Submit {
+        /// Client-chosen demand id (unique for the server's lifetime).
+        id: u64,
+        /// Route shape.
+        shape: Shape,
+        /// Demand profit (must be positive).
+        profit: f64,
+        /// Accessible networks; `None` means all of them.
+        networks: Option<Vec<u32>>,
+    },
+    /// Withdraw a previously admitted demand.
+    Withdraw {
+        /// The client id given at submit time.
+        id: u64,
+    },
+    /// Warm re-solve over the dirty components.
+    Resolve,
+    /// Re-solve if needed and report the full schedule.
+    Query,
+    /// Compare the warm state against the from-scratch oracle, bitwise.
+    Check,
+    /// Dump every demand ever admitted with its live flag.
+    Snapshot,
+    /// Lifetime engine and server counters.
+    Stats,
+    /// Final resolve, then close the connection.
+    Drain,
+}
+
+/// Largest client id representable exactly in the JSON number model.
+const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+
+fn num_field(v: &Value, key: &str) -> Result<f64, String> {
+    match v.field(key) {
+        Ok(Value::Num(n)) => Ok(*n),
+        Ok(other) => Err(format!("field `{key}` must be a number, got {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn uint_field(v: &Value, key: &str) -> Result<u64, String> {
+    let n = num_field(v, key)?;
+    if !(0.0..=MAX_EXACT).contains(&n) || n.fract() != 0.0 {
+        return Err(format!(
+            "field `{key}` must be a non-negative integer, got {n}"
+        ));
+    }
+    Ok(n as u64)
+}
+
+fn u32_field(v: &Value, key: &str) -> Result<u32, String> {
+    let n = uint_field(v, key)?;
+    u32::try_from(n).map_err(|_| format!("field `{key}` out of range: {n}"))
+}
+
+impl Request {
+    /// Parses one line of the wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed JSON, a missing or
+    /// mistyped field, or an unknown `op`.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+        let op = match value.field("op") {
+            Ok(Value::Str(op)) => op.clone(),
+            Ok(other) => return Err(format!("field `op` must be a string, got {other:?}")),
+            Err(e) => return Err(e.to_string()),
+        };
+        match op.as_str() {
+            "submit" => {
+                let id = uint_field(&value, "id")?;
+                let profit = num_field(&value, "profit")?;
+                let shape = if value.field("u").is_ok() {
+                    Shape::Pair {
+                        u: u32_field(&value, "u")?,
+                        v: u32_field(&value, "v")?,
+                    }
+                } else if value.field("release").is_ok() {
+                    Shape::Window {
+                        release: u32_field(&value, "release")?,
+                        deadline: u32_field(&value, "deadline")?,
+                        processing: u32_field(&value, "processing")?,
+                    }
+                } else {
+                    return Err(
+                        "submit needs either `u`/`v` (pair) or `release`/`deadline`/`processing` \
+                         (window)"
+                            .to_string(),
+                    );
+                };
+                let networks = match value.field("networks") {
+                    Err(_) => None,
+                    Ok(Value::Array(items)) => {
+                        let mut nets = Vec::with_capacity(items.len());
+                        for (i, item) in items.iter().enumerate() {
+                            match item {
+                                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => {
+                                    nets.push(*n as u32)
+                                }
+                                other => {
+                                    return Err(format!(
+                                        "networks[{i}] must be a network index, got {other:?}"
+                                    ))
+                                }
+                            }
+                        }
+                        Some(nets)
+                    }
+                    Ok(other) => {
+                        return Err(format!("field `networks` must be an array, got {other:?}"))
+                    }
+                };
+                Ok(Request::Submit {
+                    id,
+                    shape,
+                    profit,
+                    networks,
+                })
+            }
+            "withdraw" => Ok(Request::Withdraw {
+                id: uint_field(&value, "id")?,
+            }),
+            "resolve" => Ok(Request::Resolve),
+            "query" => Ok(Request::Query),
+            "check" => Ok(Request::Check),
+            "snapshot" => Ok(Request::Snapshot),
+            "stats" => Ok(Request::Stats),
+            "drain" => Ok(Request::Drain),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// The request's `op` name as it appears on the wire.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Submit { .. } => "submit",
+            Request::Withdraw { .. } => "withdraw",
+            Request::Resolve => "resolve",
+            Request::Query => "query",
+            Request::Check => "check",
+            Request::Snapshot => "snapshot",
+            Request::Stats => "stats",
+            Request::Drain => "drain",
+        }
+    }
+
+    /// Renders the request back to one line of the wire format.
+    pub fn to_json(&self) -> String {
+        let mut pairs: Vec<(String, Value)> =
+            vec![("op".to_string(), Value::Str(self.op().to_string()))];
+        match self {
+            Request::Submit {
+                id,
+                shape,
+                profit,
+                networks,
+            } => {
+                pairs.push(("id".to_string(), Value::Num(*id as f64)));
+                match shape {
+                    Shape::Pair { u, v } => {
+                        pairs.push(("u".to_string(), Value::Num(f64::from(*u))));
+                        pairs.push(("v".to_string(), Value::Num(f64::from(*v))));
+                    }
+                    Shape::Window {
+                        release,
+                        deadline,
+                        processing,
+                    } => {
+                        pairs.push(("release".to_string(), Value::Num(f64::from(*release))));
+                        pairs.push(("deadline".to_string(), Value::Num(f64::from(*deadline))));
+                        pairs.push(("processing".to_string(), Value::Num(f64::from(*processing))));
+                    }
+                }
+                pairs.push(("profit".to_string(), Value::Num(*profit)));
+                if let Some(nets) = networks {
+                    pairs.push((
+                        "networks".to_string(),
+                        Value::Array(nets.iter().map(|t| Value::Num(f64::from(*t))).collect()),
+                    ));
+                }
+            }
+            Request::Withdraw { id } => {
+                pairs.push(("id".to_string(), Value::Num(*id as f64)));
+            }
+            _ => {}
+        }
+        serde_json::to_string(&Value::Object(pairs)).expect("requests serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips_through_the_wire_format() {
+        let requests = [
+            Request::Submit {
+                id: 12,
+                shape: Shape::Pair { u: 3, v: 9 },
+                profit: 2.25,
+                networks: Some(vec![0, 2]),
+            },
+            Request::Submit {
+                id: 13,
+                shape: Shape::Window {
+                    release: 0,
+                    deadline: 9,
+                    processing: 3,
+                },
+                profit: 1.0,
+                networks: None,
+            },
+            Request::Withdraw { id: 12 },
+            Request::Resolve,
+            Request::Query,
+            Request::Check,
+            Request::Snapshot,
+            Request::Stats,
+            Request::Drain,
+        ];
+        for req in requests {
+            let line = req.to_json();
+            assert_eq!(Request::parse(&line).as_ref(), Ok(&req), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_produce_readable_errors() {
+        for (line, needle) in [
+            ("not json", "bad JSON"),
+            ("{}", "missing field `op`"),
+            (r#"{"op":"fly"}"#, "unknown op"),
+            (r#"{"op":"submit","id":1,"profit":1.0}"#, "submit needs"),
+            (
+                r#"{"op":"submit","id":-1,"u":0,"v":1,"profit":1.0}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"op":"submit","id":1.5,"u":0,"v":1,"profit":1.0}"#,
+                "non-negative",
+            ),
+            (r#"{"op":"withdraw"}"#, "missing field `id`"),
+            (
+                r#"{"op":"submit","id":1,"u":0,"v":1,"profit":1.0,"networks":3}"#,
+                "must be an array",
+            ),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "line {line}: {err}");
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //!                line-arbitrary|sequential|ps-line] [--epsilon 0.1]
 //!               [--seed 7] SPEC.json
 //! treenet decompose [--strategy ideal|balancing|root-fixing] SPEC.json
+//! treenet serve [--networks K] [--n V] [--m M] [--seed S]
+//!               [--epsilon E] [--spec SPEC.json]
 //! ```
 //!
 //! Problem files are [`treenet::model::spec::ProblemSpec`] JSON; `solve`
@@ -42,7 +44,10 @@ const USAGE: &str = "usage:
   treenet generate --kind tree|line [--n N] [--m M] [--heights unit|mixed] [--seed S] OUT.json
   treenet solve [--algorithm ALGO] [--epsilon E] [--seed S] SPEC.json
       ALGO: tree-unit | tree-arbitrary | line-unit | line-arbitrary | sequential | ps-line
-  treenet decompose [--strategy ideal|balancing|root-fixing] SPEC.json";
+  treenet decompose [--strategy ideal|balancing|root-fixing] SPEC.json
+  treenet serve [--networks K] [--n V] [--m M] [--seed S] [--epsilon E]
+      [--spec SPEC.json]   (NDJSON admission protocol on stdin/stdout;
+      the standalone `treenet-serve` binary adds --tcp and --gen)";
 
 /// Minimal flag parser: `--key value` pairs plus positional arguments.
 struct Args {
@@ -92,6 +97,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => generate(&rest),
         "solve" => solve(&rest),
         "decompose" => decompose(&rest),
+        "serve" => serve(&rest),
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -234,6 +240,30 @@ fn solve(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown algorithm {other}")),
     }
     Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let problem = match args.flags.get("spec") {
+        Some(path) => load(path)?,
+        None => {
+            let networks: usize = args.get("networks", 2)?;
+            let n: usize = args.get("n", 32)?;
+            let m: usize = args.get("m", 0)?;
+            let seed: u64 = args.get("seed", 7)?;
+            TreeWorkload::new(n, m)
+                .with_networks(networks)
+                .generate(&mut SmallRng::seed_from_u64(seed))
+        }
+    };
+    let cfg = SolverConfig::default()
+        .with_epsilon(args.get("epsilon", 0.1)?)
+        .with_seed(args.get("solver-seed", 0x7ee5)?);
+    let mut server = treenet::serve::Server::new(problem, &cfg).map_err(|e| e.to_string())?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    server
+        .run(stdin.lock(), stdout.lock())
+        .map_err(|e| e.to_string())
 }
 
 fn decompose(args: &Args) -> Result<(), String> {

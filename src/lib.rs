@@ -16,6 +16,7 @@
 //! | [`mis`] | `treenet-mis` | Luby's maximal independent set |
 //! | [`dist`] | `treenet-dist` | message-passing scheduler |
 //! | [`baseline`] | `treenet-baseline` | Panconesi–Sozio, exact solvers, greedy |
+//! | [`serve`] | `treenet-serve` | online scheduling service (NDJSON protocol) |
 //!
 //! # Quickstart
 //!
@@ -30,6 +31,12 @@
 
 #![forbid(unsafe_code)]
 
+// Compiles and runs every Rust block in the README under
+// `cargo test --doc`, so the front-page examples cannot rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 pub use treenet_baseline as baseline;
 pub use treenet_core as core;
 pub use treenet_decomp as decomp;
@@ -38,3 +45,4 @@ pub use treenet_graph as graph;
 pub use treenet_mis as mis;
 pub use treenet_model as model;
 pub use treenet_netsim as netsim;
+pub use treenet_serve as serve;
