@@ -1,9 +1,10 @@
 //! **Experiment perf-phase1** — the repo's performance baseline for the
 //! incremental phase-1 engine: times end-to-end `run_two_phase` solves
 //! against the preserved from-scratch reference
-//! (`run_two_phase_reference`) across a tree/line × size × ε scenario
-//! grid, asserts the two engines stay bit-identical while the clock
-//! runs, and writes the results to `BENCH_phase1.json`.
+//! (`run_two_phase_reference`) across a tree/line × rule × size × ε
+//! scenario grid (unit, narrow, and capacitated raise rules), asserts
+//! the engines stay bit-identical while the clock runs, and writes the
+//! results to `BENCH_phase1.json` (schema `phase1/v2`).
 //!
 //! Usage:
 //!
@@ -24,14 +25,17 @@ use std::time::Instant;
 use treenet_bench::report::f2;
 use treenet_bench::{DistArgs, Table};
 use treenet_core::{
-    run_two_phase, run_two_phase_reference, unit_xi, FrameworkConfig, Outcome, RaiseRule,
+    narrow_xi, run_two_phase, run_two_phase_reference, unit_xi, FrameworkConfig, Outcome, RaiseRule,
 };
 use treenet_decomp::{LayeredDecomposition, Strategy};
-use treenet_model::workload::{LineWorkload, TreeWorkload};
-use treenet_model::{InstanceId, Problem};
+use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
+use treenet_model::{HeightClass, InstanceId, Problem};
 
 /// Schema tag checked by the smoke validation (bump on layout changes).
-const SCHEMA: &str = "treenet-bench/phase1/v1";
+const SCHEMA: &str = "treenet-bench/phase1/v2";
+
+/// Narrow-height floor of the narrow/capacitated scenarios.
+const HMIN: f64 = 0.25;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Family {
@@ -48,10 +52,46 @@ impl Family {
     }
 }
 
+/// Which raise rule a scenario times. `Capacitated` times the wide
+/// (unit-rule) and narrow (narrow-rule) runs of the height-class split
+/// back to back — the exact composition the combined solvers and the
+/// capacitated `DeltaEngine` execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Rule {
+    Unit,
+    Narrow,
+    Capacitated,
+}
+
+impl Rule {
+    fn name(self) -> &'static str {
+        match self {
+            Rule::Unit => "unit",
+            Rule::Narrow => "narrow",
+            Rule::Capacitated => "capacitated",
+        }
+    }
+
+    fn heights(self) -> HeightMode {
+        match self {
+            Rule::Unit => HeightMode::Unit,
+            Rule::Narrow => HeightMode::Bimodal {
+                narrow_frac: 1.0,
+                hmin: HMIN,
+            },
+            Rule::Capacitated => HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: HMIN,
+            },
+        }
+    }
+}
+
 /// One point of the scenario grid.
 struct Scenario {
     name: &'static str,
     family: Family,
+    rule: Rule,
     n: usize,
     m: usize,
     epsilon: f64,
@@ -70,6 +110,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "tree-small-e3",
         family: Family::Tree,
+        rule: Rule::Unit,
         n: 16,
         m: 14,
         epsilon: 0.3,
@@ -79,6 +120,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "line-small-e3",
         family: Family::Line,
+        rule: Rule::Unit,
         n: 32,
         m: 20,
         epsilon: 0.3,
@@ -88,6 +130,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "tree-small-e1",
         family: Family::Tree,
+        rule: Rule::Unit,
         n: 16,
         m: 14,
         epsilon: 0.1,
@@ -97,6 +140,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "line-small-e1",
         family: Family::Line,
+        rule: Rule::Unit,
         n: 32,
         m: 20,
         epsilon: 0.1,
@@ -106,6 +150,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "tree-mid-e3",
         family: Family::Tree,
+        rule: Rule::Unit,
         n: 48,
         m: 120,
         epsilon: 0.3,
@@ -115,6 +160,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "line-mid-e3",
         family: Family::Line,
+        rule: Rule::Unit,
         n: 96,
         m: 120,
         epsilon: 0.3,
@@ -124,6 +170,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "tree-mid-e1",
         family: Family::Tree,
+        rule: Rule::Unit,
         n: 48,
         m: 120,
         epsilon: 0.1,
@@ -133,6 +180,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "line-mid-e1",
         family: Family::Line,
+        rule: Rule::Unit,
         n: 96,
         m: 120,
         epsilon: 0.1,
@@ -142,6 +190,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "line-large-e1",
         family: Family::Line,
+        rule: Rule::Unit,
         n: 160,
         m: 320,
         epsilon: 0.1,
@@ -151,6 +200,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "tree-large-e1",
         family: Family::Tree,
+        rule: Rule::Unit,
         n: 96,
         m: 400,
         epsilon: 0.1,
@@ -160,6 +210,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "line-xl-e1",
         family: Family::Line,
+        rule: Rule::Unit,
         n: 320,
         m: 1200,
         epsilon: 0.1,
@@ -169,6 +220,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "tree-xl-e1",
         family: Family::Tree,
+        rule: Rule::Unit,
         n: 192,
         m: 1600,
         epsilon: 0.1,
@@ -178,6 +230,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "line-xxl-e1",
         family: Family::Line,
+        rule: Rule::Unit,
         n: 640,
         m: 4800,
         epsilon: 0.1,
@@ -187,6 +240,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "tree-xxl-e1",
         family: Family::Tree,
+        rule: Rule::Unit,
         n: 384,
         m: 6400,
         epsilon: 0.1,
@@ -200,6 +254,7 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "line-huge-e3",
         family: Family::Line,
+        rule: Rule::Unit,
         n: 30,
         m: 100_000,
         epsilon: 0.3,
@@ -209,6 +264,92 @@ const GRID: &[Scenario] = &[
     Scenario {
         name: "tree-huge-e3",
         family: Family::Tree,
+        rule: Rule::Unit,
+        n: 24,
+        m: 100_000,
+        epsilon: 0.3,
+        smoke: false,
+        pods: 2500,
+    },
+    // Narrow and capacitated rows: the same families under the
+    // arbitrary-height machinery (all-narrow, and the wide/narrow
+    // split timed back to back).
+    Scenario {
+        name: "tree-narrow-small-e3",
+        family: Family::Tree,
+        rule: Rule::Narrow,
+        n: 16,
+        m: 14,
+        epsilon: 0.3,
+        smoke: true,
+        pods: 0,
+    },
+    Scenario {
+        name: "line-narrow-small-e3",
+        family: Family::Line,
+        rule: Rule::Narrow,
+        n: 32,
+        m: 20,
+        epsilon: 0.3,
+        smoke: false,
+        pods: 0,
+    },
+    Scenario {
+        name: "line-cap-small-e3",
+        family: Family::Line,
+        rule: Rule::Capacitated,
+        n: 32,
+        m: 20,
+        epsilon: 0.3,
+        smoke: true,
+        pods: 0,
+    },
+    Scenario {
+        name: "tree-cap-small-e3",
+        family: Family::Tree,
+        rule: Rule::Capacitated,
+        n: 16,
+        m: 14,
+        epsilon: 0.3,
+        smoke: false,
+        pods: 0,
+    },
+    Scenario {
+        name: "tree-narrow-mid-e3",
+        family: Family::Tree,
+        rule: Rule::Narrow,
+        n: 48,
+        m: 120,
+        epsilon: 0.3,
+        smoke: false,
+        pods: 0,
+    },
+    Scenario {
+        name: "line-cap-mid-e3",
+        family: Family::Line,
+        rule: Rule::Capacitated,
+        n: 96,
+        m: 120,
+        epsilon: 0.3,
+        smoke: false,
+        pods: 0,
+    },
+    // Pod-structured huge capacitated rows: the serve-path workload
+    // shape (many independent pods, mixed heights) at netsim scale.
+    Scenario {
+        name: "line-cap-huge-e3",
+        family: Family::Line,
+        rule: Rule::Capacitated,
+        n: 30,
+        m: 100_000,
+        epsilon: 0.3,
+        smoke: false,
+        pods: 2500,
+    },
+    Scenario {
+        name: "tree-cap-huge-e3",
+        family: Family::Tree,
+        rule: Rule::Capacitated,
         n: 24,
         m: 100_000,
         epsilon: 0.3,
@@ -222,6 +363,7 @@ const GRID: &[Scenario] = &[
 struct ScenarioReport {
     name: String,
     family: String,
+    rule: String,
     n: u64,
     m: u64,
     epsilon: f64,
@@ -255,12 +397,14 @@ fn problem_for(s: &Scenario) -> Problem {
             .with_networks(2)
             .with_pods(s.pods)
             .with_profit_ratio(8.0)
+            .with_heights(s.rule.heights())
             .generate(&mut rng),
         Family::Line => LineWorkload::new(s.n, s.m)
             .with_resources(2)
             .with_pods(s.pods)
             .with_window_slack(2)
             .with_len_range(2, (s.n as u32 / 8).max(3))
+            .with_heights(s.rule.heights())
             .generate(&mut rng),
     }
 }
@@ -287,7 +431,7 @@ const MIN_TOTAL_MS: f64 = 20.0;
 /// microsecond-scale scenarios are timed over hundreds of runs instead
 /// of a noise-dominated handful, while second-scale scenarios stop at
 /// `min_repeats`.
-fn time_best(min_repeats: u32, mut run: impl FnMut() -> Outcome) -> (f64, Outcome) {
+fn time_best<T>(min_repeats: u32, mut run: impl FnMut() -> T) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut total = 0.0;
     let mut last = None;
@@ -305,46 +449,87 @@ fn time_best(min_repeats: u32, mut run: impl FnMut() -> Outcome) -> (f64, Outcom
     (best, last.expect("min_repeats >= 1"))
 }
 
-fn run_scenario(s: &Scenario, repeats: u32) -> ScenarioReport {
-    let problem = problem_for(s);
-    let layers = layers_for(&problem, s.family);
-    let config = FrameworkConfig {
+/// How many framework runs a scenario requires: one for the unit and narrow
+/// rules, two for the capacitated rule (a wide unit-rule run plus a
+/// narrow narrow-rule run over the height-class split, mirroring the
+/// paper's composition).
+fn runs_for(
+    s: &Scenario,
+    problem: &Problem,
+    delta: usize,
+) -> Vec<(RaiseRule, FrameworkConfig, Vec<InstanceId>)> {
+    let config = |xi: f64| FrameworkConfig {
         epsilon: s.epsilon,
-        xi: unit_xi(layers.delta()),
+        xi,
         seed: 0x7ee5,
         ..FrameworkConfig::default()
     };
-    let participants: Vec<InstanceId> = problem.instances().map(|d| d.id).collect();
-    let (reference_ms, oracle) = time_best(repeats, || {
-        run_two_phase_reference(&problem, &layers, RaiseRule::Unit, &config, &participants)
-            .expect("reference run")
+    let all: Vec<InstanceId> = problem.instances().map(|d| d.id).collect();
+    match s.rule {
+        Rule::Unit => vec![(RaiseRule::Unit, config(unit_xi(delta)), all)],
+        Rule::Narrow => vec![(RaiseRule::Narrow, config(narrow_xi(delta, HMIN)), all)],
+        Rule::Capacitated => {
+            let (mut wide, mut narrow) = (Vec::new(), Vec::new());
+            for &d in &all {
+                match problem.demand(problem.instance(d).demand).height_class() {
+                    HeightClass::Wide => wide.push(d),
+                    HeightClass::Narrow => narrow.push(d),
+                }
+            }
+            vec![
+                (RaiseRule::Unit, config(unit_xi(delta)), wide),
+                (RaiseRule::Narrow, config(narrow_xi(delta, HMIN)), narrow),
+            ]
+        }
+    }
+}
+
+fn run_scenario(s: &Scenario, repeats: u32) -> ScenarioReport {
+    let problem = problem_for(s);
+    let layers = layers_for(&problem, s.family);
+    let runs = runs_for(s, &problem, layers.delta());
+    let (reference_ms, oracles) = time_best(repeats, || -> Vec<Outcome> {
+        runs.iter()
+            .map(|(rule, config, participants)| {
+                run_two_phase_reference(&problem, &layers, *rule, config, participants)
+                    .expect("reference run")
+            })
+            .collect()
     });
-    let (incremental_ms, fast) = time_best(repeats, || {
-        run_two_phase(&problem, &layers, RaiseRule::Unit, &config, &participants)
-            .expect("incremental run")
+    let (incremental_ms, fasts) = time_best(repeats, || -> Vec<Outcome> {
+        runs.iter()
+            .map(|(rule, config, participants)| {
+                run_two_phase(&problem, &layers, *rule, config, participants)
+                    .expect("incremental run")
+            })
+            .collect()
     });
-    // The clock only counts if the engines stay bit-identical.
-    assert_eq!(
-        fast.solution, oracle.solution,
-        "{}: solutions diverged",
-        s.name
-    );
-    assert_eq!(fast.stack, oracle.stack, "{}: stacks diverged", s.name);
-    assert_eq!(fast.stats, oracle.stats, "{}: stats diverged", s.name);
-    assert_eq!(
-        fast.lambda.to_bits(),
-        oracle.lambda.to_bits(),
-        "{}: λ diverged",
-        s.name
-    );
+    // The clock only counts if the engines stay bit-identical, run by
+    // run (for capacitated scenarios: the wide and the narrow run).
+    for (fast, oracle) in fasts.iter().zip(oracles.iter()) {
+        assert_eq!(
+            fast.solution, oracle.solution,
+            "{}: solutions diverged",
+            s.name
+        );
+        assert_eq!(fast.stack, oracle.stack, "{}: stacks diverged", s.name);
+        assert_eq!(fast.stats, oracle.stats, "{}: stats diverged", s.name);
+        assert_eq!(
+            fast.lambda.to_bits(),
+            oracle.lambda.to_bits(),
+            "{}: λ diverged",
+            s.name
+        );
+    }
     ScenarioReport {
         name: s.name.to_string(),
         family: s.family.name().to_string(),
+        rule: s.rule.name().to_string(),
         n: s.n as u64,
         m: s.m as u64,
         epsilon: s.epsilon,
         instances: problem.instance_count() as u64,
-        steps: fast.stats.steps,
+        steps: fasts.iter().map(|f| f.stats.steps).sum(),
         reference_ms,
         incremental_ms,
         speedup: reference_ms / incremental_ms,
@@ -367,11 +552,26 @@ fn validate_json(path: &str) -> Result<Phase1Report, String> {
         return Err(format!("{path} contains no scenarios"));
     }
     for s in &report.scenarios {
+        if !matches!(s.rule.as_str(), "unit" | "narrow" | "capacitated") {
+            return Err(format!(
+                "{path}: scenario {} has unknown rule `{}`",
+                s.name, s.rule
+            ));
+        }
         if !(s.speedup.is_finite() && s.speedup > 0.0) {
             return Err(format!("{path}: scenario {} has bad speedup", s.name));
         }
         if s.reference_ms < 0.0 || s.incremental_ms < 0.0 {
             return Err(format!("{path}: scenario {} has negative timing", s.name));
+        }
+        // The headline claim is "never slower than from scratch"; a
+        // single-repeat smoke run is too noisy to hold that line, but a
+        // full run must.
+        if report.mode == "full" && s.speedup < 1.0 {
+            return Err(format!(
+                "{path}: scenario {} regressed below 1.0x ({:.2}x)",
+                s.name, s.speedup
+            ));
         }
     }
     Ok(report)
@@ -400,6 +600,7 @@ fn main() {
         &[
             "scenario",
             "family",
+            "rule",
             "n",
             "m",
             "eps",
@@ -416,6 +617,7 @@ fn main() {
         table.row(&[
             row.name.clone(),
             row.family.clone(),
+            row.rule.clone(),
             row.n.to_string(),
             row.m.to_string(),
             format!("{}", row.epsilon),

@@ -3,7 +3,10 @@
 //! [`Server`] over a pod-structured workload with 10⁴–10⁶ queued
 //! demands, drives a seeded open-loop submit/withdraw stream through the
 //! wire protocol, and compares the warm per-delta re-solve latency
-//! against the cold from-scratch solve. Writes `BENCH_serve.json`.
+//! against the cold from-scratch solve. Runs both server modes:
+//! unit-height and capacitated (`hmin = 0.25`, bimodal narrow/wide
+//! heights on every demand and on the delta stream). Writes
+//! `BENCH_serve.json`.
 //!
 //! Usage:
 //!
@@ -18,7 +21,8 @@
 //! * every scenario's final `check` must be **bit-identical** to the
 //!   from-scratch oracle;
 //! * at ≥10⁵ queued demands, the warm median re-solve must be at least
-//!   **5×** faster than the cold solve;
+//!   **5×** faster than the cold solve — in *both* modes: the
+//!   capacitated 10⁵ row holds the same line as the unit one;
 //! * the emitted JSON must re-read through the typed schema.
 
 use rand::rngs::SmallRng;
@@ -28,11 +32,14 @@ use std::time::Instant;
 use treenet_bench::report::f2;
 use treenet_bench::{DistArgs, Table};
 use treenet_core::SolverConfig;
-use treenet_model::workload::TreeWorkload;
+use treenet_model::workload::{HeightMode, TreeWorkload};
 use treenet_serve::{OpenLoop, Request, Server};
 
 /// Schema tag checked by the smoke validation (bump on layout changes).
-const SCHEMA: &str = "treenet-bench/serve/v1";
+const SCHEMA: &str = "treenet-bench/serve/v2";
+
+/// Height floor served by capacitated scenarios.
+const HMIN: f64 = 0.25;
 
 /// Queued-demand count at which the ≥5× warm-vs-cold gate binds.
 const GATE_DEMANDS: u64 = 100_000;
@@ -40,8 +47,29 @@ const GATE_DEMANDS: u64 = 100_000;
 /// Required warm-vs-cold median speedup at the gate size.
 const GATE_SPEEDUP: f64 = 5.0;
 
+/// Which server mode a scenario boots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Rule {
+    /// Unit heights everywhere; the engine runs the unit raise rule.
+    Unit,
+    /// Bimodal narrow/wide heights over an `hmin = 0.25` floor; the
+    /// engine composes a wide unit-rule run with a narrow narrow-rule
+    /// run per component.
+    Capacitated,
+}
+
+impl Rule {
+    fn name(self) -> &'static str {
+        match self {
+            Rule::Unit => "unit",
+            Rule::Capacitated => "capacitated",
+        }
+    }
+}
+
 struct Scenario {
     name: &'static str,
+    rule: Rule,
     /// Vertices per tree-network.
     n: usize,
     /// Bootstrap (queued) demand count.
@@ -62,6 +90,19 @@ struct Scenario {
 const GRID: &[Scenario] = &[
     Scenario {
         name: "serve-1e4",
+        rule: Rule::Unit,
+        n: 24,
+        m: 10_000,
+        pods: 250,
+        epsilon: 0.3,
+        deltas: 120,
+        cold_samples: 3,
+        smoke: true,
+        default_run: true,
+    },
+    Scenario {
+        name: "serve-cap-1e4",
+        rule: Rule::Capacitated,
         n: 24,
         m: 10_000,
         pods: 250,
@@ -73,6 +114,19 @@ const GRID: &[Scenario] = &[
     },
     Scenario {
         name: "serve-1e5",
+        rule: Rule::Unit,
+        n: 24,
+        m: 100_000,
+        pods: 2500,
+        epsilon: 0.3,
+        deltas: 120,
+        cold_samples: 3,
+        smoke: false,
+        default_run: true,
+    },
+    Scenario {
+        name: "serve-cap-1e5",
+        rule: Rule::Capacitated,
         n: 24,
         m: 100_000,
         pods: 2500,
@@ -84,6 +138,7 @@ const GRID: &[Scenario] = &[
     },
     Scenario {
         name: "serve-1e6",
+        rule: Rule::Unit,
         n: 24,
         m: 1_000_000,
         pods: 4000,
@@ -99,6 +154,7 @@ const GRID: &[Scenario] = &[
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct ScenarioReport {
     scenario: String,
+    rule: String,
     demands: u64,
     instances: u64,
     pods: u64,
@@ -136,16 +192,27 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
 }
 
 fn run_scenario(s: &Scenario) -> ScenarioReport {
+    let heights = match s.rule {
+        Rule::Unit => HeightMode::Unit,
+        Rule::Capacitated => HeightMode::Bimodal {
+            narrow_frac: 0.5,
+            hmin: HMIN,
+        },
+    };
     let problem = TreeWorkload::new(s.n, s.m)
         .with_networks(2)
         .with_pods(s.pods)
         .with_profit_ratio(8.0)
+        .with_heights(heights)
         .generate(&mut SmallRng::seed_from_u64(0x5eed_ba5e));
     let instances = problem.instance_count() as u64;
     let networks = problem.network_count() as u64;
     let vertices = problem.vertex_count() as u32;
-    let config = SolverConfig::default().with_epsilon(s.epsilon);
-    let mut server = Server::new(problem, &config).expect("unit-height workload");
+    let mut config = SolverConfig::default().with_epsilon(s.epsilon);
+    if s.rule == Rule::Capacitated {
+        config = config.with_hmin(HMIN);
+    }
+    let mut server = Server::new(problem, &config).expect("workload admits");
 
     // Bootstrap: the first warm resolve pays for every component once —
     // the cost a cold client sees before the warm regime begins.
@@ -154,14 +221,13 @@ fn run_scenario(s: &Scenario) -> ScenarioReport {
     let bootstrap_resolve_ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(resp["ok"], true, "bootstrap resolve failed: {resp:?}");
 
-    // Cold baseline: the from-scratch oracle over all live instances.
+    // Cold baseline: the from-scratch oracle over all live instances
+    // (`reference_solve` covers both modes; in capacitated mode it
+    // composes the wide and narrow reference runs like the engine does).
     let mut cold_us = Vec::with_capacity(s.cold_samples);
     for _ in 0..s.cold_samples {
         let t0 = Instant::now();
-        server
-            .engine()
-            .resolve_reference()
-            .expect("reference solve");
+        server.engine().reference_solve().expect("reference solve");
         cold_us.push(t0.elapsed().as_secs_f64() * 1e6);
     }
     cold_us.sort_by(f64::total_cmp);
@@ -171,6 +237,9 @@ fn run_scenario(s: &Scenario) -> ScenarioReport {
     // wire protocol, resolving after every mutation. Timing includes the
     // JSON round-trip — this is what a client experiences per request.
     let mut generator = OpenLoop::new(17, vertices, networks as u32).with_id_floor(s.m as u64);
+    if s.rule == Rule::Capacitated {
+        generator = generator.with_heights(HMIN, 50);
+    }
     let resolve_line = r#"{"op":"resolve"}"#;
     let mut warm_us = Vec::with_capacity(s.deltas);
     let mut total_secs = 0.0;
@@ -195,6 +264,7 @@ fn run_scenario(s: &Scenario) -> ScenarioReport {
 
     ScenarioReport {
         scenario: s.name.to_string(),
+        rule: s.rule.name().to_string(),
         demands: s.m as u64,
         instances,
         pods: s.pods as u64,
@@ -228,6 +298,12 @@ fn validate_json(path: &str) -> Result<ServeReport, String> {
         return Err(format!("{path} contains no scenarios"));
     }
     for s in &report.scenarios {
+        if !matches!(s.rule.as_str(), "unit" | "capacitated") {
+            return Err(format!(
+                "{path}: scenario {} has unknown rule `{}`",
+                s.scenario, s.rule
+            ));
+        }
         if !s.identical {
             return Err(format!("{path}: scenario {} diverged", s.scenario));
         }
@@ -278,6 +354,7 @@ fn main() {
         "serve-throughput — warm re-solve vs cold solve over the wire protocol",
         &[
             "scenario",
+            "rule",
             "demands",
             "instances",
             "pods",
@@ -297,6 +374,7 @@ fn main() {
         let row = run_scenario(s);
         table.row(&[
             row.scenario.clone(),
+            row.rule.clone(),
             row.demands.to_string(),
             row.instances.to_string(),
             row.pods.to_string(),

@@ -28,14 +28,38 @@
 //! may only ever *grow* — an arrival unions, a departure never splits —
 //! which is exactly what a union-find maintains cheaply.
 //!
+//! # Rules and families
+//!
+//! The engine serves all four theorem variants of the paper:
+//!
+//! * **Family.** Networks are fixed at construction. When every network
+//!   is a canonical line the engine layers arrivals by *length class*
+//!   against the public minimum length [`DeltaEngine::lmin`]
+//!   (`Δ ≤ `[`LINE_DELTA_BOUND`]); otherwise it retains the per-network
+//!   ideal tree decompositions and layers arrivals against them
+//!   (`Δ ≤ `[`IDEAL_DELTA_BOUND`]). Both bounds are a-priori, so the
+//!   stage factor ξ cannot drift as arrivals change the measured `Δ`.
+//! * **Rule.** Without an a-priori `hmin` ([`SolverConfig::hmin`]) the
+//!   engine runs the unit rule and rejects non-unit heights. With
+//!   `hmin` fixed it runs the capacitated wide/narrow split of
+//!   Section 6: each component caches a *pair* of solves — the unit
+//!   rule over its wide instances (`h > 1/2`) and the narrow rule
+//!   (`ξ = c/(c+hmin)`) over its narrow ones — and the global schedule
+//!   is the per-network combination ([`combine_by_network`]) of the two
+//!   assembled class solutions. The factorization argument applies per
+//!   class: two same-class instances that conflict share an edge, so a
+//!   union-find component over *all* demands is a conflict-closed
+//!   superset within each class, and the per-class unions/min-folds are
+//!   bitwise equal to the global class runs.
+//!
 //! [`DeltaEngine`] exploits this: it keeps a union-find over demands, a
-//! per-component cache of `(λ, selected)`, and a dirty set. A delta
-//! invalidates only the touched component; [`DeltaEngine::resolve`]
+//! per-component cache of `(λ, selected)` per class, and a dirty set. A
+//! delta invalidates only the touched component; [`DeltaEngine::resolve`]
 //! re-runs the two-phase engine over dirty components only and reuses
 //! every clean component's cached result. The from-scratch oracle
-//! [`DeltaEngine::resolve_reference`] re-solves everything with
+//! [`DeltaEngine::reference_solve`] re-solves everything with
 //! [`run_two_phase_reference`] and must agree bit-for-bit after **any**
-//! delta sequence — the invariant the proptest oracle and the `treenet
+//! delta sequence — the invariant the proptest oracles and the `treenet
 //! serve` `check` op enforce.
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -44,26 +68,74 @@ use std::fmt;
 use crate::framework::{
     run_two_phase, run_two_phase_reference, FrameworkConfig, FrameworkError, Outcome, RaiseRule,
 };
-use crate::solvers::{unit_xi, SolverConfig};
-use treenet_decomp::{tree_instance_layer, LayeredDecomposition, Strategy, TreeDecomposition};
+use crate::solvers::{combine_by_network, narrow_xi, unit_xi, SolverConfig};
+use treenet_decomp::{
+    line_instance_layer, line_lmin, tree_instance_layer, LayeredDecomposition, Strategy,
+    TreeDecomposition,
+};
 use treenet_graph::UnionFind;
-use treenet_model::{DeltaEffect, InstanceId, ModelError, Problem, ProblemDelta, Solution};
+use treenet_model::{
+    DeltaEffect, Demand, DemandKind, HeightClass, InstanceId, ModelError, Problem, ProblemDelta,
+    Solution, EPS,
+};
 
 /// The a-priori critical-set bound of the ideal tree decomposition
 /// (Lemma 4.3): `Δ ≤ 6` for every tree, hence a fixed stage factor
 /// `ξ = 14/15` that cannot drift as arrivals change the measured `Δ`.
 pub const IDEAL_DELTA_BOUND: usize = 6;
 
+/// The a-priori critical-set bound of the line length-class decomposition
+/// (Section 7): every instance has at most 3 critical slots
+/// (start/mid/end), hence a fixed unit-rule stage factor `ξ = 8/9`.
+pub const LINE_DELTA_BOUND: usize = 3;
+
+/// Which layered decomposition the engine runs on (fixed at
+/// construction from the networks' shapes).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum EngineFamily {
+    /// General tree networks: per-network ideal decompositions,
+    /// `Δ ≤ `[`IDEAL_DELTA_BOUND`].
+    Tree,
+    /// Every network is a canonical line: length-class layering keyed on
+    /// the public [`DeltaEngine::lmin`], `Δ ≤ `[`LINE_DELTA_BOUND`].
+    Line,
+}
+
 /// Error raised by [`DeltaEngine`] construction or delta admission.
 #[derive(Clone, Debug, PartialEq)]
 pub enum DeltaEngineError {
     /// The underlying model rejected the delta (see [`ModelError`]).
     Model(ModelError),
-    /// The engine runs the unit-height rule with a fixed `ξ`; a non-unit
-    /// height demand cannot be admitted online.
+    /// Without an a-priori `hmin` the engine runs the unit-height rule
+    /// with a fixed `ξ`; a non-unit height demand cannot be admitted
+    /// online (configure [`SolverConfig::with_hmin`] to serve arbitrary
+    /// heights).
     NonUnitHeight {
         /// The offending height.
         height: f64,
+    },
+    /// A narrow demand's height undercuts the engine's a-priori `hmin`
+    /// (Section 6's fixed-floor assumption).
+    HeightBelowFloor {
+        /// The offending height.
+        height: f64,
+        /// The a-priori floor fixed at construction.
+        hmin: f64,
+    },
+    /// The configured a-priori `hmin` is not a height (must lie in
+    /// `(0, 1]`).
+    BadHmin {
+        /// The offending value.
+        hmin: f64,
+    },
+    /// A line-family arrival is shorter than the public `Lmin` the
+    /// length-class layering is keyed on — admitting it would break the
+    /// layered property for every already-layered instance.
+    InstanceTooShort {
+        /// The arrival's instance length (timeslots).
+        len: usize,
+        /// The engine's public minimum length.
+        lmin: f64,
     },
 }
 
@@ -74,7 +146,20 @@ impl fmt::Display for DeltaEngineError {
             DeltaEngineError::NonUnitHeight { height } => write!(
                 f,
                 "online admission requires unit height, got {height} \
-                 (the fixed-ξ unit rule is the only one served)"
+                 (fix an a-priori hmin to serve arbitrary heights)"
+            ),
+            DeltaEngineError::HeightBelowFloor { height, hmin } => write!(
+                f,
+                "height {height} undercuts the a-priori hmin = {hmin} \
+                 fixed at engine construction"
+            ),
+            DeltaEngineError::BadHmin { hmin } => {
+                write!(f, "a-priori hmin must lie in (0, 1], got {hmin}")
+            }
+            DeltaEngineError::InstanceTooShort { len, lmin } => write!(
+                f,
+                "instance length {len} undercuts the public Lmin = {lmin} \
+                 the line length-class layering is keyed on"
             ),
         }
     }
@@ -88,6 +173,35 @@ impl From<ModelError> for DeltaEngineError {
     }
 }
 
+/// The family-specific layering state.
+#[derive(Clone, Debug)]
+enum FamilyState {
+    /// The per-network ideal tree decompositions, retained so arriving
+    /// instances get layered against the *same* decomposition as the
+    /// initial batch (networks are fixed at construction).
+    Tree {
+        decompositions: Vec<TreeDecomposition>,
+        depths: Vec<u32>,
+    },
+    /// Line networks: the public minimum length the length classes are
+    /// keyed on, fixed at construction.
+    Line { lmin: f64 },
+}
+
+/// The raising mode, decided at construction from [`SolverConfig::hmin`].
+#[derive(Clone, Debug)]
+enum Mode {
+    /// Unit rule only; non-unit heights are rejected.
+    Unit,
+    /// Wide/narrow split with an a-priori height floor.
+    Capacitated {
+        /// The raw configured floor (admission checks use this).
+        hmin: f64,
+        /// The narrow-rule configuration (`ξ = narrow_xi(Δbound, hmin)`).
+        narrow_config: FrameworkConfig,
+    },
+}
+
 /// The cached result of one conflict component's two-phase run.
 #[derive(Clone, Debug)]
 struct ComponentSolve {
@@ -95,6 +209,27 @@ struct ComponentSolve {
     lambda: f64,
     /// The component's selected instances (sorted, as extracted).
     selected: Vec<InstanceId>,
+}
+
+impl ComponentSolve {
+    /// The solve of an empty participant set: λ = 1.0 (the min-fold
+    /// seed), nothing selected — bitwise what [`run_two_phase`] returns
+    /// for no participants, without paying for the run.
+    fn neutral() -> ComponentSolve {
+        ComponentSolve {
+            lambda: 1.0,
+            selected: Vec::new(),
+        }
+    }
+}
+
+/// One component's cache line: the wide-class and narrow-class solves.
+/// In unit mode the whole component solves as the wide class and the
+/// narrow slot stays neutral.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    wide: ComponentSolve,
+    narrow: ComponentSolve,
 }
 
 /// Cumulative counters of an engine's lifetime, for the serve `stats` op
@@ -119,7 +254,8 @@ pub struct ResolveOutcome {
     /// Measured slackness λ over all live instances (min of component λs;
     /// `1.0` when nothing is live).
     pub lambda: f64,
-    /// The assembled feasible solution (union of component selections).
+    /// The assembled feasible solution (union of component selections;
+    /// in capacitated mode, the per-network wide/narrow combination).
     pub solution: Solution,
     /// Components re-solved by this call (dirty ones only).
     pub components_resolved: usize,
@@ -129,29 +265,43 @@ pub struct ResolveOutcome {
     pub live_instances: usize,
 }
 
+/// The from-scratch oracle's result, mode-independent: what
+/// [`DeltaEngine::reference_solve`] computed cold. After any delta
+/// sequence and a [`DeltaEngine::resolve`], the warm
+/// [`DeltaEngine::lambda`]/[`DeltaEngine::solution`] must equal these
+/// bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct ReferenceSolve {
+    /// The reference λ (in capacitated mode, the min of the wide and
+    /// narrow run λs).
+    pub lambda: f64,
+    /// The reference schedule (in capacitated mode, the per-network
+    /// combination of the wide and narrow solutions).
+    pub solution: Solution,
+}
+
 /// The online scheduling engine (the module-level docs above lay out
 /// the component-factorization argument it rests on).
 ///
 /// Workflow: [`DeltaEngine::new`] over an initial (possibly empty)
 /// problem, then interleave [`DeltaEngine::apply`] and
-/// [`DeltaEngine::resolve`] freely; [`DeltaEngine::resolve_reference`]
+/// [`DeltaEngine::resolve`] freely; [`DeltaEngine::reference_solve`]
 /// re-solves from scratch and must match bit-for-bit at any point.
 #[derive(Clone, Debug)]
 pub struct DeltaEngine {
     problem: Problem,
     layers: LayeredDecomposition,
-    /// The per-network ideal tree decompositions, retained so arriving
-    /// instances get layered against the *same* decomposition as the
-    /// initial batch (networks are fixed at construction).
-    decompositions: Vec<TreeDecomposition>,
-    depths: Vec<u32>,
+    family: FamilyState,
+    mode: Mode,
+    /// The unit/wide-class framework configuration (the narrow-class one
+    /// lives in [`Mode::Capacitated`]).
     config: FrameworkConfig,
     /// Conflict components over demands: merged on arrival, never split.
     comps: UnionFind,
     /// Component root → member demands (live and departed).
     comp_demands: BTreeMap<u32, Vec<u32>>,
-    /// Component root → cached solve of its live participants.
-    cache: BTreeMap<u32, ComponentSolve>,
+    /// Component root → cached per-class solves of its live participants.
+    cache: BTreeMap<u32, CacheEntry>,
     /// Demand keys touched since the last resolve (mapped to their
     /// *current* roots lazily, since later unions can re-root them).
     dirty: BTreeSet<u32>,
@@ -161,41 +311,95 @@ pub struct DeltaEngine {
 impl DeltaEngine {
     /// Builds the engine over an initial problem.
     ///
-    /// The decomposition strategy is always [`Strategy::Ideal`] and the
-    /// stage factor is the a-priori `ξ = unit_xi(6) = 14/15`, independent
-    /// of the measured `Δ` — a fixed ξ is what keeps warm and cold solves
+    /// The family is detected from the networks (all canonical lines →
+    /// length-class layering, else [`Strategy::Ideal`] tree
+    /// decompositions) and the stage factors use the a-priori `Δ` bounds
+    /// ([`IDEAL_DELTA_BOUND`]/[`LINE_DELTA_BOUND`]), independent of the
+    /// measured `Δ` — fixed factors are what keep warm and cold solves
     /// on the same stage schedule while the instance set changes. Of
-    /// `config`, the engine honors `epsilon`, `seed` and `mis_backend`.
+    /// `config`, the engine honors `epsilon`, `seed`, `mis_backend` and
+    /// `hmin` (whose presence selects the capacitated wide/narrow mode).
     ///
     /// # Errors
     ///
-    /// [`DeltaEngineError::NonUnitHeight`] if any initial demand has
-    /// non-unit height.
+    /// [`DeltaEngineError::NonUnitHeight`] if no `hmin` is fixed and
+    /// some initial demand has non-unit height;
+    /// [`DeltaEngineError::BadHmin`]/[`DeltaEngineError::HeightBelowFloor`]
+    /// for a bad or violated a-priori floor.
     pub fn new(problem: Problem, config: &SolverConfig) -> Result<DeltaEngine, DeltaEngineError> {
-        if let Some(a) = problem
-            .demands()
-            .find(|&a| !problem.demand(a).is_unit_height())
-        {
-            return Err(DeltaEngineError::NonUnitHeight {
-                height: problem.demand(a).height,
-            });
-        }
-        let decompositions: Vec<TreeDecomposition> = problem
-            .networks()
-            .map(|t| Strategy::Ideal.build(problem.network(t)))
-            .collect();
-        let depths: Vec<u32> = decompositions
-            .iter()
-            .map(TreeDecomposition::depth)
-            .collect();
-        let layers = LayeredDecomposition::from_decompositions(&problem, &decompositions);
-        let framework_config = FrameworkConfig {
+        let line_family = problem.network_count() > 0
+            && problem
+                .networks()
+                .all(|t| problem.network(t).is_canonical_line());
+        let delta_bound = if line_family {
+            LINE_DELTA_BOUND
+        } else {
+            IDEAL_DELTA_BOUND
+        };
+        let base = |xi: f64| FrameworkConfig {
             epsilon: config.epsilon,
-            xi: unit_xi(IDEAL_DELTA_BOUND),
+            xi,
             seed: config.seed,
             max_steps_per_stage: Some(1_000_000),
             record_trace: false,
             mis_backend: config.mis_backend,
+        };
+        let framework_config = base(unit_xi(delta_bound));
+        let mode = match config.hmin {
+            None => {
+                if let Some(a) = problem
+                    .demands()
+                    .find(|&a| !problem.demand(a).is_unit_height())
+                {
+                    return Err(DeltaEngineError::NonUnitHeight {
+                        height: problem.demand(a).height,
+                    });
+                }
+                Mode::Unit
+            }
+            Some(hmin) => {
+                if !(hmin > 0.0 && hmin <= 1.0) {
+                    return Err(DeltaEngineError::BadHmin { hmin });
+                }
+                if let Some(a) = problem.demands().find(|&a| {
+                    let d = problem.demand(a);
+                    d.height_class() == HeightClass::Narrow && d.height < hmin - EPS
+                }) {
+                    return Err(DeltaEngineError::HeightBelowFloor {
+                        height: problem.demand(a).height,
+                        hmin,
+                    });
+                }
+                Mode::Capacitated {
+                    hmin,
+                    narrow_config: base(narrow_xi(delta_bound, hmin.min(0.5))),
+                }
+            }
+        };
+        let (family, layers) = if line_family {
+            (
+                FamilyState::Line {
+                    lmin: line_lmin(&problem),
+                },
+                LayeredDecomposition::for_lines(&problem),
+            )
+        } else {
+            let decompositions: Vec<TreeDecomposition> = problem
+                .networks()
+                .map(|t| Strategy::Ideal.build(problem.network(t)))
+                .collect();
+            let depths: Vec<u32> = decompositions
+                .iter()
+                .map(TreeDecomposition::depth)
+                .collect();
+            let layers = LayeredDecomposition::from_decompositions(&problem, &decompositions);
+            (
+                FamilyState::Tree {
+                    decompositions,
+                    depths,
+                },
+                layers,
+            )
         };
 
         let mut comps = UnionFind::new(problem.demand_count());
@@ -223,8 +427,8 @@ impl DeltaEngine {
         Ok(DeltaEngine {
             problem,
             layers,
-            decompositions,
-            depths,
+            family,
+            mode,
             config: framework_config,
             comps,
             comp_demands,
@@ -239,9 +443,44 @@ impl DeltaEngine {
         &self.problem
     }
 
-    /// The framework configuration every solve (warm or reference) uses.
+    /// The unit/wide-class framework configuration every solve (warm or
+    /// reference) uses.
     pub fn framework_config(&self) -> &FrameworkConfig {
         &self.config
+    }
+
+    /// The narrow-class framework configuration (`None` in unit mode).
+    pub fn narrow_framework_config(&self) -> Option<&FrameworkConfig> {
+        match &self.mode {
+            Mode::Unit => None,
+            Mode::Capacitated { narrow_config, .. } => Some(narrow_config),
+        }
+    }
+
+    /// Which layered decomposition family the engine runs on.
+    pub fn family(&self) -> EngineFamily {
+        match self.family {
+            FamilyState::Tree { .. } => EngineFamily::Tree,
+            FamilyState::Line { .. } => EngineFamily::Line,
+        }
+    }
+
+    /// The public minimum instance length `Lmin` the line length-class
+    /// layering is keyed on (`None` for the tree family). Fixed at
+    /// construction; arrivals shorter than this are rejected.
+    pub fn lmin(&self) -> Option<f64> {
+        match self.family {
+            FamilyState::Tree { .. } => None,
+            FamilyState::Line { lmin } => Some(lmin),
+        }
+    }
+
+    /// The a-priori narrow height floor (`None` in unit mode).
+    pub fn hmin(&self) -> Option<f64> {
+        match self.mode {
+            Mode::Unit => None,
+            Mode::Capacitated { hmin, .. } => Some(hmin),
+        }
     }
 
     /// Lifetime counters.
@@ -255,25 +494,61 @@ impl DeltaEngine {
         self.comp_demands.len()
     }
 
+    /// Admission check for an arriving demand: rule mode (heights) and
+    /// line family (public `Lmin`) constraints, before any state changes.
+    fn admit(&self, demand: &Demand) -> Result<(), DeltaEngineError> {
+        match &self.mode {
+            Mode::Unit => {
+                if !demand.is_unit_height() {
+                    return Err(DeltaEngineError::NonUnitHeight {
+                        height: demand.height,
+                    });
+                }
+            }
+            Mode::Capacitated { hmin, .. } => {
+                if demand.height_class() == HeightClass::Narrow && demand.height < hmin - EPS {
+                    return Err(DeltaEngineError::HeightBelowFloor {
+                        height: demand.height,
+                        hmin: *hmin,
+                    });
+                }
+            }
+        }
+        if let FamilyState::Line { lmin } = self.family {
+            // The instance length is known before materialization: a pair
+            // on a canonical line spans |u - v| slots, a window instance
+            // always spans its processing time. Degenerate (zero-length)
+            // demands fall through to the model's own rejection.
+            let len = match demand.kind {
+                DemandKind::Pair { u, v } => u.0.abs_diff(v.0) as usize,
+                DemandKind::Window { processing, .. } => processing as usize,
+            };
+            if len >= 1 && (len as f64) < lmin {
+                return Err(DeltaEngineError::InstanceTooShort { len, lmin });
+            }
+        }
+        Ok(())
+    }
+
     /// Applies one delta, invalidating exactly the touched component.
     ///
     /// An arrival unions the new demand with every demand it conflicts
     /// with (via the inverted edge index) and layers its new instances
-    /// incrementally; a departure only tombstones and marks dirty.
-    /// The re-solve itself is deferred to [`DeltaEngine::resolve`].
+    /// incrementally (tree family: against the retained decompositions;
+    /// line family: against the public `Lmin`); a departure only
+    /// tombstones and marks dirty. The re-solve itself is deferred to
+    /// [`DeltaEngine::resolve`].
     ///
     /// # Errors
     ///
-    /// [`DeltaEngineError::NonUnitHeight`] for non-unit arrivals, else
-    /// whatever the model layer rejects ([`ModelError`]). A rejected
-    /// delta leaves the engine unchanged.
+    /// [`DeltaEngineError::NonUnitHeight`] for non-unit arrivals in unit
+    /// mode, [`DeltaEngineError::HeightBelowFloor`] for arrivals under
+    /// the capacitated floor, [`DeltaEngineError::InstanceTooShort`] for
+    /// line arrivals under `Lmin`, else whatever the model layer rejects
+    /// ([`ModelError`]). A rejected delta leaves the engine unchanged.
     pub fn apply(&mut self, delta: ProblemDelta) -> Result<DeltaEffect, DeltaEngineError> {
         if let ProblemDelta::Arrival { demand, .. } = &delta {
-            if !demand.is_unit_height() {
-                return Err(DeltaEngineError::NonUnitHeight {
-                    height: demand.height,
-                });
-            }
+            self.admit(demand)?;
         }
         let arrival = matches!(delta, ProblemDelta::Arrival { .. });
         let effect = self.problem.apply_delta(delta)?;
@@ -283,17 +558,25 @@ impl DeltaEngine {
             debug_assert_eq!(key as usize, effect.demand.index());
             self.comp_demands.insert(key, vec![key]);
 
-            // Layer the new instances against the retained decompositions
-            // — identical to what a from-scratch layering would assign.
+            // Layer the new instances exactly as a from-scratch layering
+            // of the grown problem would.
             for &d in &effect.new_instances {
                 let inst = self.problem.instance(d);
-                let q = inst.network.index();
-                let (g, pi) = tree_instance_layer(
-                    &self.decompositions[q],
-                    self.problem.rooted(inst.network),
-                    self.depths[q],
-                    &inst.path,
-                );
+                let (g, pi) = match &self.family {
+                    FamilyState::Tree {
+                        decompositions,
+                        depths,
+                    } => {
+                        let q = inst.network.index();
+                        tree_instance_layer(
+                            &decompositions[q],
+                            self.problem.rooted(inst.network),
+                            depths[q],
+                            &inst.path,
+                        )
+                    }
+                    FamilyState::Line { lmin } => line_instance_layer(*lmin, inst.path.edges()),
+                };
                 self.layers.push_instance(g, pi);
             }
 
@@ -334,8 +617,9 @@ impl DeltaEngine {
     }
 
     /// Warm re-solve: re-runs the two-phase engine over the dirty
-    /// components' live instances only, keeping every clean component's
-    /// cached `(λ, selected)`, then assembles the global schedule.
+    /// components' live instances only (per height class in capacitated
+    /// mode), keeping every clean component's cached `(λ, selected)`,
+    /// then assembles the global schedule.
     ///
     /// # Errors
     ///
@@ -362,22 +646,26 @@ impl DeltaEngine {
                 self.cache.remove(&root);
                 continue;
             }
-            let outcome = run_two_phase(
-                &self.problem,
-                &self.layers,
-                RaiseRule::Unit,
-                &self.config,
-                &participants,
-            )?;
+            let entry = match &self.mode {
+                Mode::Unit => CacheEntry {
+                    wide: self.component_solve(RaiseRule::Unit, &self.config, &participants)?,
+                    narrow: ComponentSolve::neutral(),
+                },
+                Mode::Capacitated { narrow_config, .. } => {
+                    let (wide_ids, narrow_ids) = split_by_class(&self.problem, &participants);
+                    CacheEntry {
+                        wide: self.component_solve(RaiseRule::Unit, &self.config, &wide_ids)?,
+                        narrow: self.component_solve(
+                            RaiseRule::Narrow,
+                            narrow_config,
+                            &narrow_ids,
+                        )?,
+                    }
+                }
+            };
             components_resolved += 1;
             instances_resolved += participants.len();
-            self.cache.insert(
-                root,
-                ComponentSolve {
-                    lambda: outcome.lambda,
-                    selected: outcome.solution.selected().to_vec(),
-                },
-            );
+            self.cache.insert(root, entry);
         }
         self.stats.resolves += 1;
         self.stats.components_resolved += components_resolved as u64;
@@ -391,35 +679,127 @@ impl DeltaEngine {
         })
     }
 
-    /// The current global λ: min of the cached component λs, `1.0` when
-    /// nothing is cached. Bitwise equal to the reference λ after a
-    /// [`DeltaEngine::resolve`] (min-folds of the same non-negative
-    /// satisfaction multiset associate freely).
+    /// One class run over one component's participants (neutral when the
+    /// class is empty — bitwise what the empty run would return).
+    fn component_solve(
+        &self,
+        rule: RaiseRule,
+        config: &FrameworkConfig,
+        participants: &[InstanceId],
+    ) -> Result<ComponentSolve, FrameworkError> {
+        if participants.is_empty() {
+            return Ok(ComponentSolve::neutral());
+        }
+        let outcome = run_two_phase(&self.problem, &self.layers, rule, config, participants)?;
+        Ok(ComponentSolve {
+            lambda: outcome.lambda,
+            selected: outcome.solution.selected().to_vec(),
+        })
+    }
+
+    /// The current global λ: min over the cached per-class component λs,
+    /// `1.0` when nothing is cached. Bitwise equal to the reference λ
+    /// after a [`DeltaEngine::resolve`] (min-folds of the same
+    /// non-negative satisfaction multiset associate freely).
     pub fn lambda(&self) -> f64 {
-        self.cache.values().map(|c| c.lambda).fold(1.0f64, f64::min)
+        self.cache
+            .values()
+            .map(|c| c.wide.lambda.min(c.narrow.lambda))
+            .fold(1.0f64, f64::min)
     }
 
     /// The current global schedule: the sorted union of the cached
-    /// component selections.
+    /// component selections; in capacitated mode, the per-network
+    /// combination of the assembled wide and narrow class solutions
+    /// (bitwise the reference combination, since both class unions are).
     pub fn solution(&self) -> Solution {
-        Solution::new(
-            self.cache
-                .values()
-                .flat_map(|c| c.selected.iter().copied())
-                .collect(),
-        )
+        let class_union = |pick: fn(&CacheEntry) -> &ComponentSolve| -> Solution {
+            Solution::new(
+                self.cache
+                    .values()
+                    .flat_map(|c| pick(c).selected.iter().copied())
+                    .collect(),
+            )
+        };
+        match self.mode {
+            Mode::Unit => class_union(|c| &c.wide),
+            Mode::Capacitated { .. } => {
+                let wide = class_union(|c| &c.wide);
+                let narrow = class_union(|c| &c.narrow);
+                combine_by_network(&self.problem, &wide, &narrow)
+            }
+        }
     }
 
-    /// The from-scratch oracle: a reference (non-incremental) two-phase
-    /// run over **all** live instances with the engine's own layering and
-    /// configuration. After any delta sequence and a
+    /// The mode-independent from-scratch oracle: reference
+    /// (non-incremental) two-phase runs over **all** live instances with
+    /// the engine's own layering and configurations — one unit run in
+    /// unit mode, a wide and a narrow run combined per network in
+    /// capacitated mode. After any delta sequence and a
     /// [`DeltaEngine::resolve`], its `lambda` and `solution` must equal
     /// the warm results bit-for-bit.
     ///
     /// # Errors
     ///
     /// Propagates [`FrameworkError`].
+    pub fn reference_solve(&self) -> Result<ReferenceSolve, FrameworkError> {
+        let live = self.problem.live_instances();
+        match &self.mode {
+            Mode::Unit => {
+                let out = run_two_phase_reference(
+                    &self.problem,
+                    &self.layers,
+                    RaiseRule::Unit,
+                    &self.config,
+                    &live,
+                )?;
+                Ok(ReferenceSolve {
+                    lambda: out.lambda,
+                    solution: out.solution,
+                })
+            }
+            Mode::Capacitated { narrow_config, .. } => {
+                let (wide_ids, narrow_ids) = split_by_class(&self.problem, &live);
+                let wide = run_two_phase_reference(
+                    &self.problem,
+                    &self.layers,
+                    RaiseRule::Unit,
+                    &self.config,
+                    &wide_ids,
+                )?;
+                let narrow = run_two_phase_reference(
+                    &self.problem,
+                    &self.layers,
+                    RaiseRule::Narrow,
+                    narrow_config,
+                    &narrow_ids,
+                )?;
+                Ok(ReferenceSolve {
+                    lambda: wide.lambda.min(narrow.lambda),
+                    solution: combine_by_network(&self.problem, &wide.solution, &narrow.solution),
+                })
+            }
+        }
+    }
+
+    /// The unit-mode from-scratch oracle, exposing the full framework
+    /// [`Outcome`] (duals, stats, stack). Prefer
+    /// [`DeltaEngine::reference_solve`], which also serves capacitated
+    /// mode.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::BadParameters`] in capacitated mode (a single
+    /// `Outcome` cannot represent the wide/narrow pair), else propagates
+    /// [`FrameworkError`] from the run.
     pub fn resolve_reference(&self) -> Result<Outcome, FrameworkError> {
+        if let Mode::Capacitated { .. } = self.mode {
+            return Err(FrameworkError::BadParameters {
+                reason: "capacitated mode has no single reference Outcome; \
+                         use reference_solve"
+                    .into(),
+            });
+        }
         let live = self.problem.live_instances();
         run_two_phase_reference(
             &self.problem,
@@ -431,13 +811,30 @@ impl DeltaEngine {
     }
 }
 
+/// Splits participant instances into (wide, narrow) by their demand's
+/// height class, preserving order.
+fn split_by_class(
+    problem: &Problem,
+    participants: &[InstanceId],
+) -> (Vec<InstanceId>, Vec<InstanceId>) {
+    let mut wide = Vec::new();
+    let mut narrow = Vec::new();
+    for &d in participants {
+        match problem.demand(problem.instance(d).demand).height_class() {
+            HeightClass::Wide => wide.push(d),
+            HeightClass::Narrow => narrow.push(d),
+        }
+    }
+    (wide, narrow)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
     use treenet_graph::VertexId;
-    use treenet_model::workload::TreeWorkload;
+    use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
     use treenet_model::{Demand, DemandId, NetworkId, ProblemBuilder};
 
     fn seed_problem(seed: u64) -> Problem {
@@ -451,7 +848,7 @@ mod tests {
     }
 
     fn assert_matches_reference(engine: &DeltaEngine) {
-        let reference = engine.resolve_reference().unwrap();
+        let reference = engine.reference_solve().unwrap();
         assert_eq!(engine.lambda().to_bits(), reference.lambda.to_bits());
         assert_eq!(engine.solution().selected(), reference.solution.selected());
     }
@@ -460,6 +857,9 @@ mod tests {
     fn initial_resolve_matches_reference() {
         for seed in 0..4u64 {
             let mut e = engine(seed);
+            assert_eq!(e.family(), EngineFamily::Tree);
+            assert_eq!(e.lmin(), None);
+            assert_eq!(e.hmin(), None);
             let out = e.resolve().unwrap();
             assert!(out.components_resolved >= 1);
             assert!(out.solution.verify(e.problem()).is_ok());
@@ -502,6 +902,8 @@ mod tests {
                 .unwrap();
         }
         let mut e = DeltaEngine::new(b.build().unwrap(), &SolverConfig::default()).unwrap();
+        // All networks are canonical lines → length-class layering.
+        assert_eq!(e.family(), EngineFamily::Line);
         let first = e.resolve().unwrap();
         assert_eq!(first.components_resolved, e.component_count());
         e.apply(ProblemDelta::Arrival {
@@ -577,5 +979,178 @@ mod tests {
         assert!(err.unwrap_err().to_string().contains("a9999"));
         e.resolve().unwrap();
         assert_matches_reference(&e);
+    }
+
+    fn capacitated_problem(seed: u64) -> Problem {
+        TreeWorkload::new(16, 18)
+            .with_networks(2)
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.5,
+                hmin: 0.2,
+            })
+            .generate(&mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn capacitated_mode_matches_reference() {
+        for seed in 0..4u64 {
+            let p = capacitated_problem(seed);
+            let mut e = DeltaEngine::new(p, &SolverConfig::default().with_hmin(0.2)).unwrap();
+            assert_eq!(e.hmin(), Some(0.2));
+            let out = e.resolve().unwrap();
+            assert!(out.solution.verify(e.problem()).is_ok());
+            assert_matches_reference(&e);
+            // Warm deltas: a narrow arrival, a wide arrival, a departure.
+            e.apply(ProblemDelta::Arrival {
+                demand: Demand::pair(VertexId(1), VertexId(9), 2.5).with_height(0.3),
+                access: vec![NetworkId(0)],
+            })
+            .unwrap();
+            e.apply(ProblemDelta::Arrival {
+                demand: Demand::pair(VertexId(4), VertexId(12), 1.5).with_height(0.8),
+                access: vec![NetworkId(1)],
+            })
+            .unwrap();
+            e.apply(ProblemDelta::Departure {
+                demand: DemandId(seed as u32 % 18),
+            })
+            .unwrap();
+            e.resolve().unwrap();
+            assert_matches_reference(&e);
+        }
+    }
+
+    #[test]
+    fn capacitated_floor_is_enforced() {
+        let p = capacitated_problem(1);
+        let mut e = DeltaEngine::new(p, &SolverConfig::default().with_hmin(0.2)).unwrap();
+        let err = e.apply(ProblemDelta::Arrival {
+            demand: Demand::pair(VertexId(0), VertexId(3), 1.0).with_height(0.1),
+            access: vec![NetworkId(0)],
+        });
+        assert!(matches!(
+            err,
+            Err(DeltaEngineError::HeightBelowFloor { .. })
+        ));
+        // Construction over a problem violating the floor fails too.
+        let p = capacitated_problem(1);
+        assert!(matches!(
+            DeltaEngine::new(p, &SolverConfig::default().with_hmin(0.45)),
+            Err(DeltaEngineError::HeightBelowFloor { .. })
+        ));
+        // And a nonsensical floor is rejected outright.
+        let p = capacitated_problem(1);
+        assert!(matches!(
+            DeltaEngine::new(p, &SolverConfig::default().with_hmin(0.0)),
+            Err(DeltaEngineError::BadHmin { .. })
+        ));
+    }
+
+    #[test]
+    fn capacitated_mode_has_no_single_reference_outcome() {
+        let p = capacitated_problem(0);
+        let e = DeltaEngine::new(p, &SolverConfig::default().with_hmin(0.2)).unwrap();
+        assert!(matches!(
+            e.resolve_reference(),
+            Err(FrameworkError::BadParameters { .. })
+        ));
+        assert!(e.reference_solve().is_ok());
+    }
+
+    #[test]
+    fn line_family_layers_by_length_class() {
+        let p = LineWorkload::new(40, 20)
+            .with_resources(2)
+            .with_window_slack(2)
+            .with_len_range(2, 10)
+            .generate(&mut SmallRng::seed_from_u64(3));
+        let lmin = treenet_decomp::line_lmin(&p);
+        let mut e = DeltaEngine::new(p, &SolverConfig::default()).unwrap();
+        assert_eq!(e.family(), EngineFamily::Line);
+        assert_eq!(e.lmin(), Some(lmin));
+        e.resolve().unwrap();
+        assert_matches_reference(&e);
+        // A long arrival layers into a later length class and still
+        // matches the reference.
+        e.apply(ProblemDelta::Arrival {
+            demand: Demand::pair(VertexId(0), VertexId(35), 4.0),
+            access: vec![NetworkId(0)],
+        })
+        .unwrap();
+        e.resolve().unwrap();
+        assert_matches_reference(&e);
+    }
+
+    #[test]
+    fn line_arrivals_shorter_than_lmin_are_rejected() {
+        let mut b = ProblemBuilder::new();
+        let t = b.add_network(treenet_graph::Tree::line(20)).unwrap();
+        b.add_demand(Demand::pair(VertexId(0), VertexId(4), 1.0), &[t])
+            .unwrap();
+        let mut e = DeltaEngine::new(b.build().unwrap(), &SolverConfig::default()).unwrap();
+        assert_eq!(e.lmin(), Some(4.0));
+        let err = e.apply(ProblemDelta::Arrival {
+            demand: Demand::pair(VertexId(8), VertexId(10), 1.0),
+            access: vec![t],
+        });
+        assert!(matches!(
+            err,
+            Err(DeltaEngineError::InstanceTooShort { len: 2, .. })
+        ));
+        // Window arrivals are length-checked by their processing time.
+        let err = e.apply(ProblemDelta::Arrival {
+            demand: Demand::window(0, 10, 3, 1.0),
+            access: vec![t],
+        });
+        assert!(matches!(
+            err,
+            Err(DeltaEngineError::InstanceTooShort { len: 3, .. })
+        ));
+        // Engine still usable and consistent after rejections.
+        e.resolve().unwrap();
+        assert_matches_reference(&e);
+    }
+
+    #[test]
+    fn capacitated_line_mode_matches_reference() {
+        let p = LineWorkload::new(36, 16)
+            .with_resources(2)
+            .with_window_slack(2)
+            .with_len_range(2, 9)
+            .with_heights(HeightMode::Bimodal {
+                narrow_frac: 0.6,
+                hmin: 0.25,
+            })
+            .generate(&mut SmallRng::seed_from_u64(5));
+        let mut e = DeltaEngine::new(p, &SolverConfig::default().with_hmin(0.25)).unwrap();
+        assert_eq!(e.family(), EngineFamily::Line);
+        e.resolve().unwrap();
+        assert_matches_reference(&e);
+        e.apply(ProblemDelta::Arrival {
+            demand: Demand::pair(VertexId(2), VertexId(8), 3.0).with_height(0.4),
+            access: vec![NetworkId(1)],
+        })
+        .unwrap();
+        e.apply(ProblemDelta::Departure {
+            demand: DemandId(2),
+        })
+        .unwrap();
+        e.resolve().unwrap();
+        assert_matches_reference(&e);
+    }
+
+    #[test]
+    fn error_displays_name_the_constraint() {
+        let e = DeltaEngineError::HeightBelowFloor {
+            height: 0.1,
+            hmin: 0.2,
+        };
+        assert!(e.to_string().contains("hmin"));
+        let e = DeltaEngineError::BadHmin { hmin: -1.0 };
+        assert!(e.to_string().contains("(0, 1]"));
+        let e = DeltaEngineError::InstanceTooShort { len: 2, lmin: 4.0 };
+        assert!(e.to_string().contains("Lmin"));
+        let e = DeltaEngineError::NonUnitHeight { height: 0.5 };
+        assert!(e.to_string().contains("hmin"));
     }
 }

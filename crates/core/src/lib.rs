@@ -49,7 +49,8 @@ mod solvers;
 
 pub use certificate::Certificate;
 pub use delta::{
-    DeltaEngine, DeltaEngineError, DeltaEngineStats, ResolveOutcome, IDEAL_DELTA_BOUND,
+    DeltaEngine, DeltaEngineError, DeltaEngineStats, EngineFamily, ReferenceSolve, ResolveOutcome,
+    IDEAL_DELTA_BOUND, LINE_DELTA_BOUND,
 };
 pub use dual::{DualForm, DualState};
 pub use framework::{

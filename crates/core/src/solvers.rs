@@ -314,27 +314,35 @@ pub fn combine_decision(wide_profit: f64, narrow_profit: f64) -> bool {
 /// Per-network combiner of Theorem 6.3: for each network keep whichever of
 /// the two solutions earns more profit there. Feasible because the two
 /// runs partition the demands by height class.
+///
+/// Runs in `O(|wide| + |narrow| + networks)`: one bucketing pass per
+/// class, one decision per network, one emission pass per class. The
+/// per-network profit sums fold in ascending instance id order (the
+/// order of `Solution::selected`), so every [`combine_decision`] sees
+/// bit-identical operands to a per-network filtered sum.
 pub fn combine_by_network(problem: &Problem, wide: &Solution, narrow: &Solution) -> Solution {
-    let mut selected = Vec::new();
-    for t in problem.networks() {
-        let profit_of = |s: &Solution| -> f64 {
-            s.selected()
-                .iter()
-                .filter(|&&d| problem.instance(d).network == t)
-                .map(|&d| problem.profit_of(d))
-                .sum()
-        };
-        let pick = if combine_decision(profit_of(wide), profit_of(narrow)) {
-            wide
-        } else {
-            narrow
-        };
-        selected.extend(
-            pick.selected()
-                .iter()
-                .copied()
-                .filter(|&d| problem.instance(d).network == t),
-        );
+    let nets = problem.network_count();
+    let mut wide_profit = vec![0.0f64; nets];
+    let mut narrow_profit = vec![0.0f64; nets];
+    for &d in wide.selected() {
+        wide_profit[problem.instance(d).network.0 as usize] += problem.profit_of(d);
+    }
+    for &d in narrow.selected() {
+        narrow_profit[problem.instance(d).network.0 as usize] += problem.profit_of(d);
+    }
+    let pick_wide: Vec<bool> = (0..nets)
+        .map(|t| combine_decision(wide_profit[t], narrow_profit[t]))
+        .collect();
+    let mut selected = Vec::with_capacity(wide.len().max(narrow.len()));
+    for &d in wide.selected() {
+        if pick_wide[problem.instance(d).network.0 as usize] {
+            selected.push(d);
+        }
+    }
+    for &d in narrow.selected() {
+        if !pick_wide[problem.instance(d).network.0 as usize] {
+            selected.push(d);
+        }
     }
     Solution::new(selected)
 }

@@ -1,0 +1,44 @@
+//! Helpers shared by the differential oracle harnesses.
+//!
+//! The vendored proptest has no shrinking, so failing inputs are
+//! minimized by a hand-rolled ddmin before they are reported. The
+//! shrinker is generic over the op type, which is what lets every
+//! (family × rule) cell of the cross-rule harness reuse it: a script of
+//! height-carrying ops shrinks the same way whether the failing cell ran
+//! the unit, narrow, or capacitated engine.
+
+#![allow(dead_code)]
+
+/// Classic ddmin over a script: returns a subsequence that still fails
+/// `fails`, 1-minimal in the sense that removing any single remaining op
+/// makes the failure disappear. `fails(&input)` must hold on entry.
+pub fn ddmin<T: Clone, F: Fn(&[T]) -> bool>(input: &[T], fails: F) -> Vec<T> {
+    let mut current = input.to_vec();
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            // Try the complement of [start, end).
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}

@@ -5,10 +5,13 @@
 //! (withdraw-before-admit, double-withdraw) and interleaved resolve
 //! points; at each resolve the warm engine's λ must equal the reference
 //! solve **bitwise** and the schedules must be identical. The vendored
-//! proptest has no shrinking, so a divergence is minimized by a
-//! hand-rolled ddmin over the delta script before it is reported — the
-//! same idiom as the netsim drop-set shrinker.
+//! proptest has no shrinking, so a divergence is minimized by the
+//! shared [`common::ddmin`] over the delta script before it is
+//! reported — the same idiom as the netsim drop-set shrinker.
 
+mod common;
+
+use common::ddmin;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -179,40 +182,6 @@ fn diverges(seed: u64, script: &[Op]) -> Option<String> {
         }
     }
     None
-}
-
-/// Classic ddmin over a script: returns a subsequence that still fails
-/// `fails`, 1-minimal in the sense that removing any single remaining op
-/// makes the failure disappear. `fails(&input)` must hold on entry.
-fn ddmin<T: Clone, F: Fn(&[T]) -> bool>(input: &[T], fails: F) -> Vec<T> {
-    let mut current = input.to_vec();
-    let mut granularity = 2usize;
-    while current.len() >= 2 {
-        let chunk = current.len().div_ceil(granularity);
-        let mut reduced = false;
-        let mut start = 0;
-        while start < current.len() {
-            let end = (start + chunk).min(current.len());
-            // Try the complement of [start, end).
-            let mut candidate = Vec::with_capacity(current.len() - (end - start));
-            candidate.extend_from_slice(&current[..start]);
-            candidate.extend_from_slice(&current[end..]);
-            if !candidate.is_empty() && fails(&candidate) {
-                current = candidate;
-                granularity = granularity.saturating_sub(1).max(2);
-                reduced = true;
-                break;
-            }
-            start = end;
-        }
-        if !reduced {
-            if granularity >= current.len() {
-                break;
-            }
-            granularity = (granularity * 2).min(current.len());
-        }
-    }
-    current
 }
 
 proptest! {

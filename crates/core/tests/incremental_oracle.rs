@@ -16,25 +16,27 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use treenet_core::{
-    mis_tag, run_two_phase, run_two_phase_reference, stages_for, unit_xi, DualState,
+    mis_tag, narrow_xi, run_two_phase, run_two_phase_reference, stages_for, unit_xi, DualState,
     FrameworkConfig, RaiseRule, SATISFACTION_GUARD,
 };
 use treenet_decomp::{LayeredDecomposition, Strategy};
 use treenet_mis::{CsrAdjacency, MisBackend, MisScratch};
 use treenet_model::conflict::{ActiveSubgraph, ConflictGraph};
-use treenet_model::workload::{LineWorkload, TreeWorkload};
+use treenet_model::workload::{HeightMode, LineWorkload, TreeWorkload};
 use treenet_model::{InstanceId, Problem};
 
 /// Replays phase 1 with both engines side by side, checking byte
-/// identity of every step's MIS input and output.
+/// identity of every step's MIS input and output. Parameterized over
+/// the raise rule so the same walk pins the unit and narrow machinery.
 fn replay_phase1(
     problem: &Problem,
     layers: &LayeredDecomposition,
     backend: MisBackend,
     seed: u64,
     epsilon: f64,
+    rule: RaiseRule,
+    xi: f64,
 ) -> Result<(), TestCaseError> {
-    let xi = unit_xi(layers.delta());
     let stages = stages_for(epsilon, xi);
     let participants: Vec<InstanceId> = problem.instances().map(|d| d.id).collect();
     let num_groups = layers.num_groups() as u32;
@@ -43,7 +45,7 @@ fn replay_phase1(
         groups[layers.group_of(d) as usize].push(d);
     }
 
-    let mut dual = DualState::new(problem, RaiseRule::Unit.dual_form());
+    let mut dual = DualState::new(problem, rule.dual_form());
     dual.enable_cache(problem);
     let mut view = ActiveSubgraph::new();
     let mut scratch = MisScratch::default();
@@ -131,7 +133,7 @@ fn replay_phase1(
                     let d = members[view.base_vertex(v as usize)];
                     prop_assert_eq!(d, fresh.instance(v as usize));
                     let critical = layers.critical_of(d);
-                    let _ = RaiseRule::Unit.raise(problem, &mut dual, d, critical);
+                    let _ = rule.raise(problem, &mut dual, d, critical);
                     let inst = problem.instance(d);
                     let network = inst.network;
                     for &sib in problem.instances_of(inst.demand) {
@@ -163,18 +165,19 @@ fn assert_end_to_end(
     layers: &LayeredDecomposition,
     backend: MisBackend,
     seed: u64,
+    rule: RaiseRule,
+    xi: f64,
 ) -> Result<(), TestCaseError> {
     let config = FrameworkConfig {
         seed,
         record_trace: true,
         mis_backend: backend,
-        xi: unit_xi(layers.delta()),
+        xi,
         ..FrameworkConfig::default()
     };
     let participants: Vec<InstanceId> = problem.instances().map(|d| d.id).collect();
-    let fast = run_two_phase(problem, layers, RaiseRule::Unit, &config, &participants).unwrap();
-    let oracle =
-        run_two_phase_reference(problem, layers, RaiseRule::Unit, &config, &participants).unwrap();
+    let fast = run_two_phase(problem, layers, rule, &config, &participants).unwrap();
+    let oracle = run_two_phase_reference(problem, layers, rule, &config, &participants).unwrap();
     prop_assert_eq!(&fast.solution, &oracle.solution);
     prop_assert_eq!(&fast.stats, &oracle.stats);
     prop_assert_eq!(&fast.stack, &oracle.stack);
@@ -195,7 +198,15 @@ proptest! {
             .with_profit_ratio(6.0)
             .generate(&mut SmallRng::seed_from_u64(seed));
         let layers = LayeredDecomposition::for_trees(&p, Strategy::Ideal);
-        replay_phase1(&p, &layers, MisBackend::Luby, seed, 0.2)?;
+        replay_phase1(
+            &p,
+            &layers,
+            MisBackend::Luby,
+            seed,
+            0.2,
+            RaiseRule::Unit,
+            unit_xi(layers.delta()),
+        )?;
     }
 
     /// Line problems with windows, deterministic backend.
@@ -207,7 +218,36 @@ proptest! {
             .with_len_range(1, 6)
             .generate(&mut SmallRng::seed_from_u64(seed));
         let layers = LayeredDecomposition::for_lines(&p);
-        replay_phase1(&p, &layers, MisBackend::DeterministicGreedy, seed, 0.25)?;
+        replay_phase1(
+            &p,
+            &layers,
+            MisBackend::DeterministicGreedy,
+            seed,
+            0.25,
+            RaiseRule::Unit,
+            unit_xi(layers.delta()),
+        )?;
+    }
+
+    /// Narrow-rule replay: the lazy dual-LHS cache must stay bitwise
+    /// fresh under the capacitated LHS scaling at every step.
+    #[test]
+    fn narrow_steps_match_oracle(seed in 0u64..500) {
+        let p = TreeWorkload::new(14, 12)
+            .with_networks(2)
+            .with_profit_ratio(6.0)
+            .with_heights(HeightMode::Bimodal { narrow_frac: 1.0, hmin: 0.25 })
+            .generate(&mut SmallRng::seed_from_u64(seed));
+        let layers = LayeredDecomposition::for_trees(&p, Strategy::Ideal);
+        replay_phase1(
+            &p,
+            &layers,
+            MisBackend::Luby,
+            seed,
+            0.2,
+            RaiseRule::Narrow,
+            narrow_xi(layers.delta(), 0.25),
+        )?;
     }
 
     /// End-to-end: the shipped `run_two_phase` equals the preserved
@@ -219,7 +259,14 @@ proptest! {
             .with_profit_ratio(8.0)
             .generate(&mut SmallRng::seed_from_u64(seed));
         let layers = LayeredDecomposition::for_trees(&p, Strategy::Ideal);
-        assert_end_to_end(&p, &layers, MisBackend::Luby, seed)?;
+        assert_end_to_end(
+            &p,
+            &layers,
+            MisBackend::Luby,
+            seed,
+            RaiseRule::Unit,
+            unit_xi(layers.delta()),
+        )?;
     }
 
     /// ... and on lines, under both MIS backends.
@@ -236,6 +283,39 @@ proptest! {
         } else {
             MisBackend::DeterministicGreedy
         };
-        assert_end_to_end(&p, &layers, backend, seed)?;
+        assert_end_to_end(
+            &p,
+            &layers,
+            backend,
+            seed,
+            RaiseRule::Unit,
+            unit_xi(layers.delta()),
+        )?;
+    }
+
+    /// Narrow-rule end-to-end on lines: `run_two_phase` equals the
+    /// reference under the capacitated dual form and narrow ξ.
+    #[test]
+    fn narrow_line_end_to_end_matches_reference(seed in 0u64..500) {
+        let p = LineWorkload::new(30, 12)
+            .with_resources(2)
+            .with_window_slack(3)
+            .with_len_range(2, 8)
+            .with_heights(HeightMode::Bimodal { narrow_frac: 1.0, hmin: 0.25 })
+            .generate(&mut SmallRng::seed_from_u64(seed));
+        let layers = LayeredDecomposition::for_lines(&p);
+        let backend = if seed % 2 == 0 {
+            MisBackend::Luby
+        } else {
+            MisBackend::DeterministicGreedy
+        };
+        assert_end_to_end(
+            &p,
+            &layers,
+            backend,
+            seed,
+            RaiseRule::Narrow,
+            narrow_xi(layers.delta(), 0.25),
+        )?;
     }
 }

@@ -25,6 +25,11 @@ pub struct OpenLoop {
     networks: u32,
     depart_percent: u32,
     pod_local: bool,
+    /// `Some((hmin, narrow_percent))` emits capacitated submits: with
+    /// probability `narrow_percent` a narrow height in `[hmin, 1/2]`,
+    /// otherwise a wide height in `(1/2, 1]`. `None` emits unit-height
+    /// submits (no `height` field on the wire).
+    heights: Option<(f64, u32)>,
     next_id: u64,
     live: Vec<u64>,
 }
@@ -41,9 +46,24 @@ impl OpenLoop {
             networks,
             depart_percent: 30,
             pod_local: true,
+            heights: None,
             next_id: 0,
             live: Vec::new(),
         }
+    }
+
+    /// Emits capacitated submits: with probability `narrow_percent` a
+    /// narrow height in `[hmin, 1/2]`, otherwise a wide height in
+    /// `(1/2, 1]`. The serving engine must run with the same (or lower)
+    /// `hmin` floor to admit the stream.
+    #[must_use]
+    pub fn with_heights(mut self, hmin: f64, narrow_percent: u32) -> OpenLoop {
+        assert!(
+            hmin > 0.0 && hmin <= 0.5,
+            "hmin must be in (0, 1/2] for narrow heights to exist"
+        );
+        self.heights = Some((hmin, narrow_percent.min(100)));
+        self
     }
 
     /// Sets the percentage of requests that withdraw (when anything is
@@ -96,10 +116,18 @@ impl OpenLoop {
         } else {
             self.rng.gen_range(0..self.networks)
         };
+        let height = self.heights.map(|(hmin, narrow_percent)| {
+            if self.rng.gen_range(0..100u32) < narrow_percent {
+                hmin + (0.5 - hmin) * self.rng.gen::<f64>()
+            } else {
+                (0.5 + 0.5 * self.rng.gen::<f64>()).clamp(0.5000001, 1.0)
+            }
+        });
         Request::Submit {
             id,
             shape: Shape::Pair { u, v },
             profit: 1.0 + f64::from(self.rng.gen_range(0..16u32)) / 4.0,
+            height,
             networks: Some(vec![network]),
         }
     }
@@ -142,6 +170,30 @@ mod tests {
             }
         }
         assert_eq!(live.len(), g.live_count());
+    }
+
+    #[test]
+    fn height_streams_respect_the_floor_and_mix_classes() {
+        let mut g = OpenLoop::new(5, 10, 2)
+            .with_depart_percent(0)
+            .with_heights(0.25, 50);
+        let (mut narrow, mut wide) = (0u32, 0u32);
+        for _ in 0..200 {
+            match g.next_request() {
+                Request::Submit {
+                    height: Some(h), ..
+                } => {
+                    assert!((0.25..=1.0).contains(&h), "height {h} out of range");
+                    if h <= 0.5 {
+                        narrow += 1;
+                    } else {
+                        wide += 1;
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(narrow > 0 && wide > 0, "narrow {narrow}, wide {wide}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! treenet-serve [--spec FILE | --networks K --n V --m M --seed S]
-//!               [--epsilon E] [--solver-seed S]
+//!               [--epsilon E] [--solver-seed S] [--hmin H]
 //!               [--tcp ADDR] [--gen N [--gen-seed S]]
 //! ```
 //!
@@ -31,8 +31,12 @@ use treenet_serve::{OpenLoop, Server};
 
 const USAGE: &str = "usage:
   treenet-serve [--spec FILE | --networks K --n V --m M --seed S]
-                [--epsilon E] [--solver-seed S]
-                [--tcp ADDR] [--gen N [--gen-seed S]]";
+                [--epsilon E] [--solver-seed S] [--hmin H]
+                [--tcp ADDR] [--gen N [--gen-seed S]]
+
+  --hmin H  serve capacitated demands: admit any height >= H (H in
+            (0, 1]); submits may then carry a `height` field, and
+            `--gen` streams mixed narrow/wide heights";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -96,6 +100,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 "--seed",
                 "--epsilon",
                 "--solver-seed",
+                "--hmin",
                 "--tcp",
                 "--gen",
                 "--gen-seed",
@@ -106,9 +111,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let problem = bootstrap(args)?;
-    let config = SolverConfig::default()
+    let hmin: Option<f64> = match flag(args, "--hmin")? {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("bad value for --hmin: {raw}"))?,
+        ),
+    };
+    let mut config = SolverConfig::default()
         .with_epsilon(parsed(args, "--epsilon", 0.1)?)
         .with_seed(parsed(args, "--solver-seed", 0x7ee5)?);
+    if let Some(h) = hmin {
+        config = config.with_hmin(h);
+    }
     let vertices = problem.vertex_count() as u32;
     let networks = problem.network_count() as u32;
     let bootstrap_demands = problem.demand_count() as u64;
@@ -121,6 +136,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         let gen_seed: u64 = parsed(args, "--gen-seed", 11)?;
         let mut generator =
             OpenLoop::new(gen_seed, vertices, networks).with_id_floor(bootstrap_demands);
+        if let Some(h) = hmin {
+            // Capacitated self-drive: mixed narrow/wide heights above
+            // the served floor (capped at 1/2 so narrow heights exist).
+            generator = generator.with_heights(h.min(0.5), 50);
+        }
         let stdout = std::io::stdout();
         let mut out = stdout.lock();
         for _ in 0..count {

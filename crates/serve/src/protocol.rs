@@ -34,6 +34,9 @@ pub enum Request {
         shape: Shape,
         /// Demand profit (must be positive).
         profit: f64,
+        /// Demand height in `(0, 1]`; `None` means unit height. Non-unit
+        /// heights need a server running with an `hmin` floor.
+        height: Option<f64>,
         /// Accessible networks; `None` means all of them.
         networks: Option<Vec<u32>>,
     },
@@ -118,6 +121,13 @@ impl Request {
                             .to_string(),
                     );
                 };
+                let height = match value.field("height") {
+                    Err(_) => None,
+                    Ok(Value::Num(h)) => Some(*h),
+                    Ok(other) => {
+                        return Err(format!("field `height` must be a number, got {other:?}"))
+                    }
+                };
                 let networks = match value.field("networks") {
                     Err(_) => None,
                     Ok(Value::Array(items)) => {
@@ -144,6 +154,7 @@ impl Request {
                     id,
                     shape,
                     profit,
+                    height,
                     networks,
                 })
             }
@@ -183,6 +194,7 @@ impl Request {
                 id,
                 shape,
                 profit,
+                height,
                 networks,
             } => {
                 pairs.push(("id".to_string(), Value::Num(*id as f64)));
@@ -202,6 +214,9 @@ impl Request {
                     }
                 }
                 pairs.push(("profit".to_string(), Value::Num(*profit)));
+                if let Some(h) = height {
+                    pairs.push(("height".to_string(), Value::Num(*h)));
+                }
                 if let Some(nets) = networks {
                     pairs.push((
                         "networks".to_string(),
@@ -229,6 +244,7 @@ mod tests {
                 id: 12,
                 shape: Shape::Pair { u: 3, v: 9 },
                 profit: 2.25,
+                height: None,
                 networks: Some(vec![0, 2]),
             },
             Request::Submit {
@@ -239,6 +255,7 @@ mod tests {
                     processing: 3,
                 },
                 profit: 1.0,
+                height: Some(0.25),
                 networks: None,
             },
             Request::Withdraw { id: 12 },
@@ -271,6 +288,10 @@ mod tests {
                 "non-negative",
             ),
             (r#"{"op":"withdraw"}"#, "missing field `id`"),
+            (
+                r#"{"op":"submit","id":1,"u":0,"v":1,"profit":1.0,"height":"tall"}"#,
+                "must be a number",
+            ),
             (
                 r#"{"op":"submit","id":1,"u":0,"v":1,"profit":1.0,"networks":3}"#,
                 "must be an array",

@@ -60,7 +60,9 @@ impl Server {
     /// # Errors
     ///
     /// [`DeltaEngineError::NonUnitHeight`] if the bootstrap problem holds
-    /// a non-unit-height demand.
+    /// a non-unit-height demand and the config fixes no `hmin` floor, or
+    /// any other [`DeltaEngineError`] the engine raises at construction
+    /// (bad floor, heights below it, instances shorter than `Lmin`).
     pub fn new(problem: Problem, config: &SolverConfig) -> Result<Server, DeltaEngineError> {
         let seeded: Vec<DemandId> = problem.demands().collect();
         let engine = DeltaEngine::new(problem, config)?;
@@ -111,8 +113,9 @@ impl Server {
                 id,
                 shape,
                 profit,
+                height,
                 networks,
-            } => self.submit(*id, *shape, *profit, networks.as_deref()),
+            } => self.submit(*id, *shape, *profit, *height, networks.as_deref()),
             Request::Withdraw { id } => self.withdraw(*id),
             Request::Resolve => self.resolve(op),
             Request::Query => self.query(),
@@ -127,11 +130,18 @@ impl Server {
         }
     }
 
-    fn submit(&mut self, id: u64, shape: Shape, profit: f64, networks: Option<&[u32]>) -> Value {
+    fn submit(
+        &mut self,
+        id: u64,
+        shape: Shape,
+        profit: f64,
+        height: Option<f64>,
+        networks: Option<&[u32]>,
+    ) -> Value {
         if self.ids.contains_key(&id) {
             return err_response("submit", format!("demand id {id} already admitted"));
         }
-        let demand = match shape {
+        let mut demand = match shape {
             Shape::Pair { u, v } => Demand::pair(VertexId(u), VertexId(v), profit),
             Shape::Window {
                 release,
@@ -139,6 +149,9 @@ impl Server {
                 processing,
             } => Demand::window(release, deadline, processing, profit),
         };
+        if let Some(h) = height {
+            demand = demand.with_height(h);
+        }
         let access: Vec<NetworkId> = match networks {
             Some(nets) => nets.iter().map(|&t| NetworkId(t)).collect(),
             None => self.engine.problem().networks().collect(),
@@ -223,8 +236,8 @@ impl Server {
         if let Err(e) = self.engine.resolve() {
             return err_response("check", e.to_string());
         }
-        let reference = match self.engine.resolve_reference() {
-            Ok(outcome) => outcome,
+        let reference = match self.engine.reference_solve() {
+            Ok(solve) => solve,
             Err(e) => return err_response("check", e.to_string()),
         };
         let identical = self.engine.lambda().to_bits() == reference.lambda.to_bits()
@@ -367,10 +380,12 @@ mod tests {
         s.handle_line(r#"{"op":"withdraw","id":1}"#);
         let r = s.handle_line(r#"{"op":"withdraw","id":1}"#);
         assert!(r.contains("already departed"), "{r}");
-        // Non-unit height cannot arise over the wire (no height field), but
-        // model rejections pass through: unknown network.
+        // Model rejections pass through: unknown network.
         let r = s.handle_line(r#"{"op":"submit","id":2,"u":0,"v":2,"profit":1.0,"networks":[9]}"#);
         assert!(r.contains(r#""ok":false"#), "{r}");
+        // A non-unit height on a unit-mode server is rejected in-band.
+        let r = s.handle_line(r#"{"op":"submit","id":3,"u":0,"v":2,"profit":1.0,"height":0.5}"#);
+        assert!(r.contains("hmin"), "{r}");
         // Malformed JSON keeps the connection usable.
         let r = s.handle_line("garbage");
         assert!(r.contains("bad JSON"), "{r}");
@@ -385,6 +400,30 @@ mod tests {
             let line = format!(r#"{{"op":"submit","id":{id},"u":{u},"v":{v},"profit":2.0}}"#);
             assert!(s.handle_line(&line).contains(r#""ok":true"#));
         }
+        s.handle_line(r#"{"op":"withdraw","id":2}"#);
+        let r = s.handle_line(r#"{"op":"check"}"#);
+        assert!(r.contains(r#""identical":true"#), "{r}");
+    }
+
+    #[test]
+    fn capacitated_server_accepts_heights_and_stays_identical() {
+        let mut b = ProblemBuilder::new();
+        b.add_network(Tree::line(10)).unwrap();
+        b.add_network(Tree::line(10)).unwrap();
+        let config = SolverConfig::default().with_hmin(0.25);
+        let mut s = Server::new(b.build().unwrap(), &config).unwrap();
+        // Mixed narrow and wide submits, windows included.
+        for line in [
+            r#"{"op":"submit","id":1,"u":0,"v":4,"profit":2.0,"height":0.3}"#,
+            r#"{"op":"submit","id":2,"u":2,"v":7,"profit":3.0}"#,
+            r#"{"op":"submit","id":3,"release":0,"deadline":8,"processing":3,"profit":1.5,"height":0.5,"networks":[1]}"#,
+        ] {
+            let r = s.handle_line(line);
+            assert!(r.contains(r#""ok":true"#), "{r}");
+        }
+        // A height below the floor is rejected in-band.
+        let r = s.handle_line(r#"{"op":"submit","id":4,"u":1,"v":3,"profit":1.0,"height":0.1}"#);
+        assert!(r.contains("hmin"), "{r}");
         s.handle_line(r#"{"op":"withdraw","id":2}"#);
         let r = s.handle_line(r#"{"op":"check"}"#);
         assert!(r.contains(r#""identical":true"#), "{r}");
